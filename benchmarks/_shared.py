@@ -1,0 +1,51 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, prints
+the paper-reported value next to the measured one, and asserts the *shape*
+(orderings, ratios within tolerance bands) rather than exact equality —
+the substrate is a simulator, not the authors' testbed (DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+from repro import (
+    GenerativeClient,
+    GenerativeServer,
+    PageResource,
+    SiteStore,
+    connect_in_memory,
+)
+from repro.workloads.corpus import populate_traditional_assets
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print an aligned paper-vs-measured table to the bench log."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in rendered), default=0))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title}")
+    print(line)
+    print("-" * len(line))
+    for row in rendered:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def serve_page(page, *, server_gen: bool = True, client=None, device=None, **server_kwargs):
+    """Stand up a server for one corpus page and a connected client pair."""
+    store = SiteStore()
+    store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+    populate_traditional_assets(store, page)
+    server = GenerativeServer(store, gen_ability=server_gen, **server_kwargs)
+    if client is None:
+        from repro.devices import LAPTOP
+
+        client = GenerativeClient(device=device or LAPTOP)
+    pair = connect_in_memory(client, server)
+    return client, server, pair
+
+
+def within(measured: float, low: float, high: float, label: str = "") -> None:
+    assert low <= measured <= high, f"{label}: {measured} outside [{low}, {high}]"

@@ -1,0 +1,14 @@
+"""Benchmark harness configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each file regenerates one table/figure (see DESIGN.md §4 for the index).
+"""
+
+import sys
+from pathlib import Path
+
+# Make `_shared` importable regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))

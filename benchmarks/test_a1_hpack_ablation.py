@@ -1,0 +1,91 @@
+"""A1 ablation — protocol overhead of the SWW handshake and HPACK's role.
+
+The paper's extension costs exactly one 6-byte (identifier, value) pair in
+the initial SETTINGS frame. This ablation measures (a) that marginal cost
+on the wire, and (b) what HPACK's Huffman coding and dynamic-table
+indexing contribute on a realistic request stream — quantifying the
+"minor changes to HTTP" claim.
+"""
+
+from _shared import print_table
+
+from repro.http2.connection import H2Connection, Role
+from repro.http2.frames import TYPE_SETTINGS
+from repro.http2.hpack import HpackDecoder, HpackEncoder
+from repro.http2.transport import InMemoryTransportPair
+
+
+def handshake_bytes(gen_ability: bool) -> int:
+    client = H2Connection(Role.CLIENT, gen_ability=gen_ability)
+    server = H2Connection(Role.SERVER, gen_ability=gen_ability)
+    pair = InMemoryTransportPair(client, server)
+    pair.handshake()
+    return client.sent_frame_bytes.get(TYPE_SETTINGS, 0) + server.sent_frame_bytes.get(TYPE_SETTINGS, 0)
+
+
+REQUEST_HEADERS = [
+    (b":method", b"GET"),
+    (b":scheme", b"https"),
+    (b":authority", b"sww.example"),
+    (b"user-agent", b"sww-generative-client/1.0"),
+    (b"accept", b"text/html,application/xhtml+xml"),
+    (b"accept-language", b"en-GB,en;q=0.9"),
+]
+
+
+def request_stream_bytes(use_huffman: bool, use_indexing: bool, requests: int = 20) -> int:
+    encoder = HpackEncoder(use_huffman=use_huffman, use_indexing=use_indexing)
+    decoder = HpackDecoder()
+    total = 0
+    for i in range(requests):
+        headers = REQUEST_HEADERS + [(b":path", f"/wiki/page-{i}".encode())]
+        block = encoder.encode(headers)
+        assert decoder.decode(block) == [(n.lower(), v) for n, v in headers]
+        total += len(block)
+    return total
+
+
+def test_a1_settings_overhead(benchmark):
+    with_ext, without_ext = benchmark.pedantic(
+        lambda: (handshake_bytes(True), handshake_bytes(False)), rounds=1, iterations=1
+    )
+    marginal = with_ext - without_ext
+
+    print_table(
+        "A1a: wire cost of SETTINGS_GEN_ABILITY",
+        ["handshake", "SETTINGS bytes (both directions)"],
+        [
+            ["without extension", without_ext],
+            ["with extension", with_ext],
+            ["marginal cost", f"{marginal} B (one 6 B setting per side)"],
+        ],
+    )
+    # One 16-bit identifier + 32-bit value per side = 12 bytes total.
+    assert marginal == 12
+
+
+def test_a1_hpack_mechanisms(benchmark):
+    def run():
+        return {
+            (True, True): request_stream_bytes(True, True),
+            (False, True): request_stream_bytes(False, True),
+            (True, False): request_stream_bytes(True, False),
+            (False, False): request_stream_bytes(False, False),
+        }
+
+    sizes = benchmark.pedantic(run, rounds=1, iterations=1)
+    baseline = sizes[(False, False)]
+
+    print_table(
+        "A1b: HPACK ablation (20-request stream, bytes of header blocks)",
+        ["huffman", "indexing", "bytes", "vs raw literals"],
+        [
+            [str(h), str(i), sizes[(h, i)], f"{baseline / sizes[(h, i)]:.2f}x"]
+            for (h, i) in sizes
+        ],
+    )
+
+    assert sizes[(True, True)] < sizes[(False, True)] < baseline
+    assert sizes[(True, True)] < sizes[(True, False)] < baseline
+    # Full HPACK at least halves header bytes on a repetitive stream.
+    assert baseline / sizes[(True, True)] > 2.0

@@ -1,0 +1,65 @@
+"""A2 ablation — the §4.1 preloaded-pipeline design choice.
+
+Paper: "The choice to preload the image generation pipeline from a
+library is for performance optimisation. Since it is a large object, it
+would otherwise need to be repeatedly deleted and reloaded within the
+media generator every time it is invoked." This ablation quantifies that:
+the Wikimedia page with a preloaded pipeline vs a reload-per-invocation
+one.
+"""
+
+from _shared import print_table
+
+from repro.devices import LAPTOP
+from repro.genai.pipeline import GenerationPipeline
+from repro.html import parse_html
+from repro.sww.media_generator import MediaGenerator
+from repro.sww.page_processor import PageProcessor
+from repro.workloads import build_wikimedia_landscape_page
+
+
+def process_page(preloaded: bool):
+    page = build_wikimedia_landscape_page()
+    pipeline = GenerationPipeline(LAPTOP, preloaded=preloaded)
+    processor = PageProcessor(MediaGenerator(pipeline))
+    document = parse_html(page.sww_html)
+    report = processor.process(document)
+    total_time = report.sim_time_s + pipeline.overhead_time_s
+    total_energy = report.energy_wh + pipeline.overhead_energy_wh
+    return report, pipeline, total_time, total_energy
+
+
+def test_a2_preload_ablation(benchmark):
+    preloaded = benchmark.pedantic(lambda: process_page(True), rounds=1, iterations=1)
+    reloading = process_page(False)
+
+    rows = []
+    for label, (report, pipeline, total_time, total_energy) in (
+        ("preloaded (paper design)", preloaded),
+        ("reload per invocation", reloading),
+    ):
+        rows.append(
+            [
+                label,
+                pipeline.reloads,
+                f"{pipeline.overhead_time_s:.0f} s",
+                f"{report.sim_time_s:.0f} s",
+                f"{total_time:.0f} s",
+                f"{total_energy:.2f} Wh",
+            ]
+        )
+    print_table(
+        "A2 / §4.1: pipeline preloading on the 49-image page (laptop)",
+        ["design", "loads", "load time", "inference", "total", "energy"],
+        rows,
+    )
+
+    _report_p, pipeline_p, time_p, energy_p = preloaded
+    _report_r, pipeline_r, time_r, energy_r = reloading
+    assert pipeline_p.reloads == 1
+    assert pipeline_r.reloads == 49
+    # Reloading multiplies total page time several-fold.
+    assert time_r / time_p > 2.0
+    assert energy_r > energy_p
+    # Inference cost itself is identical — only overhead differs.
+    assert preloaded[0].sim_time_s == reloading[0].sim_time_s

@@ -1,0 +1,90 @@
+"""A4 ablation — when does SWW become worth it? (paper §7)
+
+The paper's verdict today: "generating content at the edge takes too long
+and does not save energy", with optimism that faster models and consumer
+accelerators flip the sign. This bench quantifies the flip: for each
+device, the combined speed+efficiency improvement factor at which
+generating a large image on-device beats transmitting it, plus the state
+of play for a StreamDiffusion-class (10× faster) model generation.
+"""
+
+from _shared import print_table, within
+
+from repro.devices import LAPTOP, MOBILE, WORKSTATION
+from repro.devices.future import (
+    find_crossover,
+    generation_vs_transmission,
+    project_device,
+    project_model,
+)
+from repro.genai.registry import SD3_MEDIUM
+
+
+def run_analysis():
+    today = {
+        device.name: generation_vs_transmission(SD3_MEDIUM, device)
+        for device in (LAPTOP, WORKSTATION, MOBILE)
+    }
+    crossovers = {
+        device.name: find_crossover(SD3_MEDIUM, device)
+        for device in (LAPTOP, WORKSTATION, MOBILE)
+    }
+    fast_model = project_model(SD3_MEDIUM, 10.0)  # StreamDiffusion-class
+    with_fast_model = {
+        device.name: find_crossover(fast_model, device)
+        for device in (LAPTOP, WORKSTATION, MOBILE)
+    }
+    return today, crossovers, with_fast_model
+
+
+def test_a4_crossover(benchmark):
+    today, crossovers, with_fast_model = benchmark.pedantic(run_analysis, rounds=1, iterations=1)
+
+    print_table(
+        "A4 / §7: energy crossover for a 1024² image (38 MWh/PB network)",
+        ["device", "today: gen/tx energy", "crossover (HW x)", "with 10x-faster model"],
+        [
+            [
+                name,
+                f"{today[name].energy_ratio:.0f}x against SWW",
+                f"{crossovers[name]:.1f}x",
+                f"{with_fast_model[name]:.1f}x",
+            ]
+            for name in today
+        ],
+    )
+
+    # Today, every device loses on energy (the paper's §7 verdict).
+    for name, point in today.items():
+        assert not point.sww_saves_energy, name
+    # The crossover ordering matches device efficiency.
+    assert crossovers["workstation"] < crossovers["laptop"] < crossovers["mobile"]
+    # The bar is near-term: single-digit for the workstation, roughly one
+    # hardware generation+model generation for the laptop.
+    within(crossovers["workstation"], 3, 10, "workstation crossover")
+    within(crossovers["laptop"], 8, 20, "laptop crossover")
+    # A 10x faster model slashes the hardware bar everywhere.
+    for name in crossovers:
+        assert with_fast_model[name] < crossovers[name] / 2, name
+
+
+def test_a4_future_point_check(benchmark):
+    """Sanity: a concrete projected configuration actually wins."""
+
+    def measure():
+        device = project_device(WORKSTATION, speedup=4.0, efficiency_gain=4.0)
+        model = project_model(SD3_MEDIUM, 10.0)
+        return generation_vs_transmission(model, device)
+
+    point = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "A4b: 10x model on a 4x-faster/4x-efficient workstation",
+        ["metric", "value"],
+        [
+            ["generation", f"{point.generation_s * 1000:.0f} ms / {point.generation_wh * 1000:.2f} mWh"],
+            ["transmission", f"{point.transmission_s * 1000:.1f} ms / {point.transmission_wh * 1000:.2f} mWh"],
+            ["SWW saves energy", str(point.sww_saves_energy)],
+        ],
+    )
+    assert point.sww_saves_energy
+    assert point.generation_s < 0.5  # real-time-ish, per the cited work

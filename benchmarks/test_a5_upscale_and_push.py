@@ -1,0 +1,99 @@
+"""A5 ablation — the §2.2 upscaling path and server push delivery.
+
+Two optional mechanisms around the core prompt path:
+
+* **upscaling**: store/ship a small unique image and upscale on-device —
+  storage falls by scale², and unlike full generation the paper notes
+  "sub-second inference".
+* **server push**: when a capable server materialises media for a naive
+  client, pushing it (RFC 9113 §8.4) removes the follow-up GET round
+  trips.
+"""
+
+from _shared import print_table, within
+
+from repro import GenerativeClient, GenerativeServer, LAPTOP, PageResource, SiteStore, WORKSTATION
+from repro.genai.image import generate_image
+from repro.genai.registry import SD3_MEDIUM
+from repro.genai.upscale import ONE_STEP_SR, storage_saving_factor, upscale_image
+from repro.media.jpeg_model import jpeg_size
+from repro.sww.client import connect_in_memory
+from repro.workloads import build_travel_blog
+
+
+def run_upscale_comparison():
+    rows = []
+    base = generate_image(SD3_MEDIUM, WORKSTATION, "a unique hike photo stand-in", 256, 256, 15)
+    for scale in (2, 4):
+        out_side = 256 * scale
+        stored_small = jpeg_size(256, 256)
+        stored_large = jpeg_size(out_side, out_side)
+        up_wk = upscale_image(ONE_STEP_SR, WORKSTATION, base.pixels, scale)
+        gen_wk = generate_image(SD3_MEDIUM, WORKSTATION, "x", out_side, out_side, 15)
+        rows.append(
+            (
+                scale,
+                stored_large,
+                stored_small,
+                stored_large / stored_small,
+                up_wk.sim_time_s,
+                gen_wk.sim_time_s,
+            )
+        )
+    return rows
+
+
+def test_a5_upscaling(benchmark):
+    rows = benchmark.pedantic(run_upscale_comparison, rounds=1, iterations=1)
+    print_table(
+        "A5a / §2.2: upscale-only path for unique content (workstation)",
+        ["scale", "full-size B", "stored B", "storage saving", "upscale s", "full gen s"],
+        [
+            [f"{scale}x", large, small, f"{saving:.0f}x", f"{up:.2f}", f"{gen:.2f}"]
+            for scale, large, small, saving, up, gen in rows
+        ],
+    )
+    for scale, _large, _small, saving, up_time, gen_time in rows:
+        assert saving == storage_saving_factor(256 * scale, 256 * scale, scale)
+        assert up_time < 1.0  # "sub-second inference"
+        assert gen_time / up_time > 5
+
+
+def run_push_comparison():
+    results = {}
+    for push in (False, True):
+        page = build_travel_blog()
+        store = SiteStore()
+        store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+        server = GenerativeServer(store, push_assets=push)
+        client = GenerativeClient(device=LAPTOP, gen_ability=False)
+        pair = connect_in_memory(client, server)
+        result = client.fetch_via_pair(pair, page.path)
+        extra_fetches = client.fetch_assets_via_pair(pair, result)
+        generated_fetches = [p for p in extra_fetches if p.startswith("/generated/")]
+        results[push] = {
+            "pushed": len(result.pushed_assets),
+            "follow_up_gets": len(generated_fetches),
+            "bytes": result.wire_bytes
+            + sum(len(b) for b in result.pushed_assets.values())
+            + sum(len(b) for b in extra_fetches.values()),
+        }
+    return results
+
+
+def test_a5_server_push(benchmark):
+    results = benchmark.pedantic(run_push_comparison, rounds=1, iterations=1)
+    print_table(
+        "A5b: server push of generated media to a naive client",
+        ["mode", "assets pushed", "follow-up GETs for generated media", "total bytes"],
+        [
+            ["pull (baseline)", results[False]["pushed"], results[False]["follow_up_gets"], f"{results[False]['bytes']:,}"],
+            ["push", results[True]["pushed"], results[True]["follow_up_gets"], f"{results[True]['bytes']:,}"],
+        ],
+    )
+    assert results[False]["pushed"] == 0 and results[False]["follow_up_gets"] == 3
+    assert results[True]["pushed"] == 3 and results[True]["follow_up_gets"] == 0
+    # Same media either way: bytes within framing overhead of each other.
+    within(
+        results[True]["bytes"] / results[False]["bytes"], 0.95, 1.05, "push/pull byte parity"
+    )

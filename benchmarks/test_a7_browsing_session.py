@@ -1,0 +1,56 @@
+"""A7 ablation — session-level SWW economics.
+
+Folds the per-page results into a realistic visit (search results → blog
+→ news article) on one negotiated connection with one preloaded pipeline,
+and evaluates the paper's bottom line at session scale: wire savings are
+enormous, but today's generation energy exceeds the transmission energy
+avoided — flipping only on projected hardware (§7).
+"""
+
+from _shared import print_table, within
+
+from repro.devices import LAPTOP, WORKSTATION
+from repro.devices.future import project_device
+from repro.workloads.session import BrowsingSession
+
+
+def run_sessions():
+    results = {}
+    for label, device in (
+        ("laptop (today)", LAPTOP),
+        ("workstation (today)", WORKSTATION),
+        ("laptop +16x hw", project_device(LAPTOP, 16.0, 16.0)),
+    ):
+        results[label] = BrowsingSession(device=device).run()
+    return results
+
+
+def test_a7_browsing_session(benchmark):
+    results = benchmark.pedantic(run_sessions, rounds=1, iterations=1)
+
+    print_table(
+        "A7: a 3-page browsing session (search -> blog -> article)",
+        ["client", "SWW wire", "traditional", "saving", "generation", "net energy"],
+        [
+            [
+                label,
+                f"{stats.sww_bytes:,} B",
+                f"{stats.traditional_bytes:,} B",
+                f"{stats.wire_saving:.0f}x",
+                f"{stats.generation_s:.0f} s / {stats.generation_wh:.2f} Wh",
+                f"{stats.net_energy_wh():+.2f} Wh",
+            ]
+            for label, stats in results.items()
+        ],
+    )
+
+    today = results["laptop (today)"]
+    within(today.wire_saving, 40, 100, "session wire saving")
+    assert today.net_energy_wh() > 0  # §7: SWW costs energy today
+    assert results["workstation (today)"].generation_s < today.generation_s / 4
+    assert results["laptop +16x hw"].net_energy_wh() < 0  # …but flips
+
+    # The pipeline is loaded once per session, and its cost is visible.
+    assert today.pipeline_load_s > 0
+    for stats in results.values():
+        assert stats.pages == 3

@@ -1,0 +1,76 @@
+"""E10 / §6.2 — the basic-functionality matrix over real HTTP/2 bytes.
+
+Paper: with both sides capable the exchange is generative; in every other
+combination "the communication defaulted to standard HTTP/2", and a
+capable server facing a naive client generates server-side before
+sending.
+"""
+
+from _shared import print_table
+
+from repro import (
+    GenerativeClient,
+    GenerativeServer,
+    LAPTOP,
+    PageResource,
+    SiteStore,
+    build_wikimedia_landscape_page,
+    connect_in_memory,
+)
+from repro.workloads.corpus import populate_traditional_assets
+
+
+def run_matrix():
+    page = build_wikimedia_landscape_page()
+    cells = {}
+    for client_gen in (True, False):
+        for server_gen in (True, False):
+            store = SiteStore()
+            store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+            populate_traditional_assets(store, page)
+            server = GenerativeServer(store, gen_ability=server_gen)
+            client = GenerativeClient(device=LAPTOP, gen_ability=client_gen)
+            pair = connect_in_memory(client, server)
+            result = client.fetch_via_pair(pair, page.path)
+            assets = client.fetch_assets_via_pair(pair, result)
+            cells[(client_gen, server_gen)] = {
+                "negotiated": pair.client.conn.gen_ability_negotiated,
+                "sww": result.sww_mode,
+                "wire": result.wire_bytes + sum(len(b) for b in assets.values()),
+                "client_gen_time": result.generation_time_s,
+                "assets_fetched": len(assets),
+            }
+    return cells
+
+
+def test_e10_matrix(benchmark):
+    cells = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+
+    print_table(
+        "E10 / §6.2: functionality matrix (49-image page)",
+        ["client", "server", "negotiated", "mode", "total wire", "client gen"],
+        [
+            [
+                "gen" if cg else "naive",
+                "gen" if sg else "naive",
+                str(cell["negotiated"]),
+                "SWW prompts" if cell["sww"] else "standard HTTP/2",
+                f"{cell['wire']:,} B",
+                f"{cell['client_gen_time']:.0f} s",
+            ]
+            for (cg, sg), cell in cells.items()
+        ],
+    )
+
+    both = cells[(True, True)]
+    assert both["negotiated"] and both["sww"]
+    assert both["assets_fetched"] == 0
+    assert both["client_gen_time"] > 0
+
+    for key in ((True, False), (False, True), (False, False)):
+        cell = cells[key]
+        assert not cell["negotiated"] and not cell["sww"], key
+        assert cell["client_gen_time"] == 0, key
+        assert cell["assets_fetched"] == 49, key
+        # Fallback cells move media-scale bytes.
+        assert cell["wire"] > 60 * both["wire"], key

@@ -1,0 +1,72 @@
+"""E11 / §3.2 — video capability negotiation and data savings.
+
+Paper: the SETTINGS mechanism extends to streaming; a frame-rate-boosting
+client halves the data (60→30 fps) and resolution upscaling saves 2.3×
+(4K 7 GB/h → HD 3 GB/h).
+"""
+
+import pytest
+from _shared import print_table
+
+from repro.http2.connection import H2Connection, Role
+from repro.http2.settings import GenAbility, GenCapability, Setting
+from repro.http2.transport import InMemoryTransportPair
+from repro.media.video import VideoLadder
+
+
+def negotiate_and_plan(client_value: int):
+    client = H2Connection(Role.CLIENT, gen_ability=bool(client_value), gen_ability_value=client_value)
+    server = H2Connection(Role.SERVER, gen_ability=True)
+    pair = InMemoryTransportPair(client, server)
+    pair.handshake()
+    ability = GenAbility(server.peer_settings.get(Setting.GEN_ABILITY))
+    ladder = VideoLadder()
+    target = ladder.find("4K")
+    sent, savings = ladder.serve_plan(
+        target,
+        client_framerate_boost=ability.supports(GenCapability.VIDEO_FRAMERATE),
+        client_resolution_upscale=ability.supports(GenCapability.VIDEO_RESOLUTION),
+    )
+    return sent, savings
+
+
+SCENARIOS = {
+    "none": 0,
+    "framerate": int(GenCapability.GENERATE | GenCapability.VIDEO_FRAMERATE),
+    "resolution": int(GenCapability.GENERATE | GenCapability.VIDEO_RESOLUTION),
+    "both": int(
+        GenCapability.GENERATE | GenCapability.VIDEO_FRAMERATE | GenCapability.VIDEO_RESOLUTION
+    ),
+}
+
+
+def run_all():
+    return {label: negotiate_and_plan(value) for label, value in SCENARIOS.items()}
+
+
+def test_e11_video_negotiation(benchmark):
+    plans = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print_table(
+        "E11 / §3.2: video capability negotiation (target: 4K@60, 7 GB/h)",
+        ["client capability", "server ships", "GB/h", "savings", "paper"],
+        [
+            [
+                label,
+                sent.name,
+                f"{sent.gb_per_hour:.2f}",
+                f"{savings:.2f}x",
+                {"none": "1x", "framerate": "2x", "resolution": "2.3x", "both": "-"}[label],
+            ]
+            for label, (sent, savings) in plans.items()
+        ],
+    )
+
+    assert plans["none"][1] == 1.0
+    assert plans["framerate"][1] == pytest.approx(2.0)
+    assert plans["resolution"][1] == pytest.approx(7.0 / 3.0, abs=0.01)
+    assert plans["both"][1] > plans["resolution"][1]
+    # 7 GB/h at 4K and 3 GB/h at FHD are the paper's cited anchors.
+    ladder = VideoLadder()
+    assert ladder.find("4K").gb_per_hour == 7.0
+    assert ladder.find("FHD").gb_per_hour == 3.0

@@ -1,0 +1,121 @@
+"""E12 / §2.2 — the CDN scenario: prompts at the edge.
+
+Paper: storing prompts instead of media at caching locations keeps the
+storage benefit but "loses data transmission benefits", with an energy
+trade-off from generating at the edge; §7 adds that smaller catalogs give
+flexibility in cache placement under backbone constraints.
+"""
+
+import numpy as np
+from _shared import print_table, within
+
+from repro.cdn import CatalogItem, EdgeNode, OriginCatalog
+from repro.cdn.placement import CandidateSite, PlacementProblem, plan_placement
+from repro.devices import WORKSTATION
+from repro.media.jpeg_model import jpeg_size
+from repro.workloads.corpus import landscape_prompts
+
+
+def build_catalog(count: int = 500) -> OriginCatalog:
+    catalog = OriginCatalog()
+    for index, prompt in enumerate(landscape_prompts(count, seed="e12")):
+        side = 256 if index % 3 else 512
+        catalog.add(
+            CatalogItem(
+                key=f"obj-{index:04d}",
+                prompt=prompt,
+                width=side,
+                height=side,
+                media_bytes=jpeg_size(side, side),
+            )
+        )
+    return catalog
+
+
+def zipf_trace(catalog: OriginCatalog, requests: int, alpha: float = 0.9) -> list[str]:
+    keys = sorted(catalog.items)
+    weights = np.arange(1, len(keys) + 1, dtype=np.float64) ** -alpha
+    weights /= weights.sum()
+    rng = np.random.default_rng(12345)
+    return [keys[i] for i in rng.choice(len(keys), size=requests, p=weights)]
+
+
+def run_cdn():
+    catalog = build_catalog()
+    trace = zipf_trace(catalog, 3000)
+    capacity = catalog.total_media_bytes() // 10
+    edges = {}
+    for mode in ("blob", "prompt"):
+        edge = EdgeNode(catalog, capacity, mode=mode, device=WORKSTATION)
+        for key in trace:
+            edge.serve(key)
+        edges[mode] = edge
+    return catalog, edges
+
+
+def test_e12_cdn_storage_vs_transmission(benchmark):
+    catalog, edges = benchmark.pedantic(run_cdn, rounds=1, iterations=1)
+    blob, prompt = edges["blob"], edges["prompt"]
+
+    print_table(
+        "E12 / §2.2: edge node, blob vs prompt mode (3,000 requests)",
+        ["metric", "blob mode", "prompt mode"],
+        [
+            ["storage used", f"{blob.storage_used_bytes:,} B", f"{prompt.storage_used_bytes:,} B"],
+            ["entries cached", blob.cache.entry_count, prompt.cache.entry_count],
+            ["hit rate", f"{blob.cache.stats.hit_rate:.1%}", f"{prompt.cache.stats.hit_rate:.1%}"],
+            ["backbone traffic", f"{blob.backbone_bytes_total:,} B", f"{prompt.backbone_bytes_total:,} B"],
+            ["user egress", f"{blob.egress_bytes_total:,} B", f"{prompt.egress_bytes_total:,} B"],
+            ["edge generation energy", "0 Wh", f"{prompt.generation_energy_total_wh:.1f} Wh"],
+        ],
+    )
+
+    # Storage benefit maintained: per-object footprint ~2 orders smaller,
+    # so the same capacity holds the WHOLE catalog as prompts while the
+    # blob cache churns on a fraction of it.
+    blob_per_entry = blob.storage_used_bytes / blob.cache.entry_count
+    prompt_per_entry = prompt.storage_used_bytes / prompt.cache.entry_count
+    assert blob_per_entry / prompt_per_entry > 50
+    # Every prompt ever requested stays resident — no evictions — while
+    # the blob cache cannot hold its working set.
+    assert prompt.cache.stats.evictions == 0
+    assert blob.cache.stats.evictions > 0
+    assert prompt.cache.stats.hit_rate > blob.cache.stats.hit_rate
+    # Transmission benefit lost: user egress identical.
+    assert prompt.egress_bytes_total == blob.egress_bytes_total
+    # Backbone traffic still collapses (prompt fills are tiny).
+    assert blob.backbone_bytes_total / prompt.backbone_bytes_total > 50
+    # The energy trade-off: edge generation dominates what transmission saves.
+    assert prompt.generation_energy_total_wh > 0
+
+
+def test_e12_placement_flexibility(benchmark):
+    """§7: prompt-sized catalogs let caches sit deep in the network."""
+
+    def plan_both():
+        catalog = build_catalog()
+        sites = []
+        for i in range(8):
+            sites.append(CandidateSite(f"metro-{i}", f"r{i}", user_latency_ms=8, fill_cost_factor=3.0))
+            sites.append(CandidateSite(f"core-{i}", f"r{i}", user_latency_ms=40, fill_cost_factor=1.0))
+        budget = catalog.total_media_bytes() * 10
+        media = plan_placement(PlacementProblem(sites, catalog.total_media_bytes(), budget))
+        prompts = plan_placement(PlacementProblem(sites, catalog.total_prompt_bytes(), budget))
+        return media, prompts
+
+    media, prompts = benchmark.pedantic(plan_both, rounds=1, iterations=1)
+    deep_media = sum(1 for s in media.chosen.values() if s.user_latency_ms == 8)
+    deep_prompt = sum(1 for s in prompts.chosen.values() if s.user_latency_ms == 8)
+
+    print_table(
+        "E12b / §7: cache placement under one backbone budget",
+        ["catalog", "deep (metro) regions", "mean latency"],
+        [
+            ["media", f"{deep_media}/8", f"{media.mean_latency_ms:.0f} ms"],
+            ["prompts", f"{deep_prompt}/8", f"{prompts.mean_latency_ms:.0f} ms"],
+        ],
+    )
+    assert deep_prompt == 8
+    assert deep_media < 8
+    assert prompts.mean_latency_ms < media.mean_latency_ms
+    within(prompts.coverage, 1.0, 1.0, "prompt coverage")

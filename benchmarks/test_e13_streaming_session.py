@@ -1,0 +1,63 @@
+"""E13 / §3.2 — a full streaming session with SWW-negotiated reconstruction.
+
+Extends E11's negotiation table into actual playback: an hour of 4K over
+an HLS-style segment schedule, for each client capability class, with the
+client-side reconstruction cost accounted. The paper's anchors: 60→30 fps
+halves the data; 4K shipped as FHD saves 2.3× (7 → 3 GB/h).
+"""
+
+import pytest
+from _shared import print_table
+
+from repro.http2.settings import GenAbility, GenCapability
+from repro.media.streaming import StreamingService, StreamingSession
+
+SCENARIOS = {
+    "none": 0,
+    "framerate": int(GenCapability.GENERATE | GenCapability.VIDEO_FRAMERATE),
+    "resolution": int(GenCapability.GENERATE | GenCapability.VIDEO_RESOLUTION),
+    "both": int(
+        GenCapability.GENERATE | GenCapability.VIDEO_FRAMERATE | GenCapability.VIDEO_RESOLUTION
+    ),
+}
+
+
+def run_sessions():
+    service = StreamingService(duration_s=3600.0)
+    stats = {}
+    for label, bits in SCENARIOS.items():
+        session = StreamingSession(service, GenAbility(bits))
+        stats[label] = session.play("4K", 3600.0)
+    return stats
+
+
+def test_e13_streaming_session(benchmark):
+    stats = benchmark.pedantic(run_sessions, rounds=1, iterations=1)
+
+    print_table(
+        "E13 / §3.2: one hour of 4K playback (HLS segments, laptop client)",
+        ["capability", "shipped", "GB received", "GB/h", "reconstruction", "paper"],
+        [
+            [
+                label,
+                s.shipped_variant,
+                f"{s.bytes_received / 1e9:.2f}",
+                f"{s.gb_per_hour:.2f}",
+                f"{s.reconstruction_s:.0f} s / {s.reconstruction_wh * 1000:.0f} mWh",
+                {"none": "7 GB/h", "framerate": "3.5 GB/h (2x)", "resolution": "3 GB/h (2.3x)", "both": "-"}[label],
+            ]
+            for label, s in stats.items()
+        ],
+    )
+
+    assert stats["none"].gb_per_hour == pytest.approx(7.0, rel=0.02)
+    assert stats["framerate"].gb_per_hour == pytest.approx(3.5, rel=0.02)
+    assert stats["resolution"].gb_per_hour == pytest.approx(3.0, rel=0.02)
+    assert stats["both"].gb_per_hour == pytest.approx(1.5, rel=0.02)
+    # Naive playback does no reconstruction; capable playback does, and
+    # keeps up with real time (else the capability would be unusable).
+    assert stats["none"].reconstruction_s == 0
+    for label in ("framerate", "resolution", "both"):
+        assert 0 < stats[label].reconstruction_s < 3600
+    # Every session played the full hour.
+    assert all(s.playback_seconds == pytest.approx(3600.0) for s in stats.values())

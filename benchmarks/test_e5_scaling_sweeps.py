@@ -1,0 +1,84 @@
+"""E5 / §6.3.1 — inference-step and image-size scaling sweeps.
+
+Paper: "These trends remain as we scale inference steps from 10 to 60,
+with only minor changes to CLIP score and with generation time increasing
+linearly with the number of steps. As image size is increased, generation
+time is increased on the workstation relative to the number of pixels,
+but on the laptop it grows significantly beyond that for images of
+1024×1024, reaching 310 seconds."
+"""
+
+import numpy as np
+import pytest
+from _shared import print_table
+
+from repro.devices import LAPTOP, WORKSTATION
+from repro.genai.image import generate_image
+from repro.genai.registry import SD3_MEDIUM
+from repro.metrics.clip import clip_score
+from repro.workloads.corpus import landscape_prompts
+
+PROMPT = landscape_prompts(1, seed="e5")[0]
+STEPS = (10, 20, 30, 40, 50, 60)
+SIZES = (224, 256, 512, 1024)
+
+
+def sweep_steps():
+    rows = []
+    for steps in STEPS:
+        # Fixed seed isolates the step effect from draw-to-draw jitter.
+        result = generate_image(SD3_MEDIUM, WORKSTATION, PROMPT, 224, 224, steps, seed=7)
+        rows.append((steps, result.sim_time_s, clip_score(PROMPT, result.pixels)))
+    return rows
+
+
+def sweep_sizes():
+    rows = []
+    for side in SIZES:
+        lt = generate_image(SD3_MEDIUM, LAPTOP, PROMPT, side, side, 15).sim_time_s
+        wt = generate_image(SD3_MEDIUM, WORKSTATION, PROMPT, side, side, 15).sim_time_s
+        rows.append((side, lt, wt))
+    return rows
+
+
+def test_e5_step_scaling(benchmark):
+    rows = benchmark.pedantic(sweep_steps, rounds=1, iterations=1)
+    print_table(
+        "E5a / §6.3.1: inference-step sweep (SD 3 Medium, workstation, 224²)",
+        ["steps", "time (s)", "CLIP"],
+        [[s, f"{t:.2f}", f"{c:.3f}"] for s, t, c in rows],
+    )
+    times = np.array([t for _s, t, _c in rows])
+    clips = np.array([c for _s, _t, c in rows])
+    steps = np.array(STEPS, dtype=float)
+
+    # Time is linear in steps: perfect correlation and proportionality.
+    ratios = times / steps
+    assert ratios.std() / ratios.mean() < 0.01, "time not linear in steps"
+    # CLIP changes only minorly across the sweep.
+    assert clips.max() - clips.min() < 0.03, "CLIP should barely move"
+    assert clips[-1] >= clips[0]  # ...and never degrades with more steps
+
+
+def test_e5_size_scaling(benchmark):
+    rows = benchmark.pedantic(sweep_sizes, rounds=1, iterations=1)
+    print_table(
+        "E5b / §6.3.1: image-size sweep (SD 3 Medium, 15 steps)",
+        ["size", "laptop (s)", "workstation (s)", "paper anchors"],
+        [
+            [f"{side}x{side}", f"{lt:.1f}", f"{wt:.2f}",
+             {256: "7 / 1.0", 512: "19 / 1.7", 1024: "310 / 6.2"}.get(side, "-")]
+            for side, lt, wt in rows
+        ],
+    )
+    by_size = {side: (lt, wt) for side, lt, wt in rows}
+
+    # Workstation scales like the pixel count (within 2.5x of linear).
+    wk_ratio = by_size[1024][1] / by_size[512][1]
+    pixel_ratio = 4.0
+    assert wk_ratio < 1.2 * pixel_ratio
+
+    # Laptop grows far beyond the pixel ratio at 1024², reaching ~310 s.
+    laptop_ratio = by_size[1024][0] / by_size[512][0]
+    assert laptop_ratio > 3 * pixel_ratio
+    assert by_size[1024][0] == pytest.approx(310, rel=0.03)

@@ -1,0 +1,91 @@
+"""E6 / §6.3.2 — text-to-text quality across the four models.
+
+Paper: SBERT means 0.82-0.91 (varying with word count); overshoot reaches
+20% with means near 1.3% but quartiles over 10% for most models;
+generation 6.98-14.33 s workstation vs 16.06-34.04 s laptop (only 2.5×
+benefit); weak, non-monotonic length dependence (50 words slower than
+100/150 for three of four models); DeepSeek-R1 8B consistently high SBERT
+with small length deviation.
+"""
+
+import numpy as np
+from _shared import print_table, within
+
+from repro.devices import LAPTOP, WORKSTATION
+from repro.genai.registry import TEXT_MODELS
+from repro.genai.text import expand_text
+from repro.metrics.overshoot import overshoot_stats
+from repro.metrics.sbert import sbert_similarity
+
+BULLETS = [
+    "- hidden waterfall trail\n- steep switchback ascent\n- panoramic summit vista",
+    "- quiet fjord crossing\n- morning mist on water\n- seabird colonies",
+    "- glacier tongue viewpoint\n- gravel valley walk\n- marked moraine route",
+    "- terraced hillside paths\n- afternoon light\n- village rest stops",
+    "- volcanic ridge traverse\n- storm cloud watching\n- basalt gorge descent",
+    "- prairie horizon drive\n- golden hour photography\n- wildflower meadows",
+]
+WORD_TARGETS = (50, 100, 150)
+
+
+def run_battery():
+    measurements = {}
+    for name, model in TEXT_MODELS.items():
+        sberts, overshoots, wk_times, laptop_times = [], [], [], []
+        for bullets in BULLETS:
+            for words in WORD_TARGETS:
+                result = expand_text(model, WORKSTATION, bullets, words, "travel")
+                sberts.append(sbert_similarity(bullets, result.text))
+                overshoots.append(result.overshoot)
+                wk_times.append(result.sim_time_s)
+                laptop_times.append(expand_text(model, LAPTOP, bullets, words, "travel").sim_time_s)
+        measurements[name] = {
+            "sbert_mean": float(np.mean(sberts)),
+            "overshoot": overshoot_stats(overshoots),
+            "wk": (min(wk_times), max(wk_times)),
+            "laptop": (min(laptop_times), max(laptop_times)),
+        }
+    return measurements
+
+
+def test_e6_text_quality(benchmark):
+    measurements = benchmark.pedantic(run_battery, rounds=1, iterations=1)
+
+    print_table(
+        "E6 / §6.3.2: text-to-text quality (paper bands in header)",
+        ["model", "SBERT mean (0.82-0.91)", "|overshoot| max (<=20%)", "wk s (6.98-14.33)", "laptop s (16.06-34.04)"],
+        [
+            [
+                name,
+                f"{m['sbert_mean']:.3f}",
+                f"{m['overshoot'].max_abs:.1%} (p75 {m['overshoot'].p75:+.1%})",
+                f"{m['wk'][0]:.1f}-{m['wk'][1]:.1f}",
+                f"{m['laptop'][0]:.1f}-{m['laptop'][1]:.1f}",
+            ]
+            for name, m in measurements.items()
+        ],
+    )
+
+    for name, m in measurements.items():
+        within(m["sbert_mean"], 0.80, 0.93, f"{name} SBERT mean")
+        assert m["overshoot"].max_abs <= 0.20, f"{name} overshoot cap"
+        assert abs(m["overshoot"].mean) < 0.05, f"{name} overshoot mean"
+        within(m["wk"][0], 6.0, 15.5, f"{name} wk min")
+        within(m["wk"][1], 6.0, 15.5, f"{name} wk max")
+        within(m["laptop"][0], 15.0, 38.0, f"{name} laptop min")
+        within(m["laptop"][1], 15.0, 38.0, f"{name} laptop max")
+        # Workstation benefit is "only 2.5x".
+        assert m["laptop"][1] / m["wk"][1] == np.float64(2.5) or abs(m["laptop"][1] / m["wk"][1] - 2.5) < 0.01
+
+    # DeepSeek-R1 8B: consistently high SBERT, small deviation.
+    assert max(measurements, key=lambda n: measurements[n]["sbert_mean"]) == "deepseek-r1-8b"
+    spreads = {n: m["overshoot"].max_abs for n, m in measurements.items()}
+    assert spreads["deepseek-r1-8b"] == min(spreads.values())
+
+    # Non-monotonic: 50 words slower than 150 for >= 3 of 4 models.
+    slow_short = sum(
+        1
+        for model in TEXT_MODELS.values()
+        if model.generation_time_s(WORKSTATION, 50) > model.generation_time_s(WORKSTATION, 150)
+    )
+    assert slow_short >= 3

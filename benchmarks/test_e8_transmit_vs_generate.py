@@ -1,0 +1,56 @@
+"""E8 / §6.4 — transmission vs generation: time and energy.
+
+Paper: sending a large image on a typical 100 Mbps link takes about ten
+milliseconds, while workstation generation takes 620× longer; network
+transmission costs ≈0.005 Wh (Telefónica 38 MWh/PB), about 2.5% of the
+workstation's generation energy.
+"""
+
+import pytest
+from _shared import print_table, within
+
+from repro.devices import WORKSTATION
+from repro.devices.energy import transmission_energy_wh, transmission_time_s
+from repro.genai.image import generate_image
+from repro.genai.registry import SD3_MEDIUM
+from repro.media.jpeg_model import jpeg_size
+
+PROMPT = "a landscape photograph of a rocky coastline with breaking waves"
+
+
+def run_comparison():
+    size = jpeg_size(1024, 1024)
+    send_time = transmission_time_s(size)
+    send_energy = transmission_energy_wh(size)
+    generation = generate_image(SD3_MEDIUM, WORKSTATION, PROMPT, 1024, 1024, 15)
+    return size, send_time, send_energy, generation
+
+
+def test_e8_transmit_vs_generate(benchmark):
+    size, send_time, send_energy, generation = benchmark.pedantic(
+        run_comparison, rounds=1, iterations=1
+    )
+    time_ratio = generation.sim_time_s / send_time
+    energy_ratio = send_energy / generation.energy_wh
+
+    print_table(
+        "E8 / §6.4: large image (1024²) — transmit vs generate",
+        ["metric", "paper", "measured"],
+        [
+            ["media size", "131072 B", f"{size} B"],
+            ["send time @100 Mbps", "~10 ms", f"{send_time * 1000:.1f} ms"],
+            ["generation (workstation)", "6.2 s", f"{generation.sim_time_s:.1f} s"],
+            ["generation / send", "620x", f"{time_ratio:.0f}x"],
+            ["send energy", "~0.005 Wh", f"{send_energy:.4f} Wh"],
+            ["generation energy", "0.21 Wh", f"{generation.energy_wh:.3f} Wh"],
+            ["send / generation energy", "2.5%", f"{energy_ratio:.1%}"],
+        ],
+    )
+
+    within(send_time * 1000, 9.0, 12.0, "send ms")
+    within(time_ratio, 550, 650, "time ratio")
+    assert send_energy == pytest.approx(0.005, abs=0.0005)
+    within(energy_ratio, 0.02, 0.03, "energy ratio")
+    # The §7 'is it worth it' verdict today: generating at the edge does
+    # not save energy over sending the bytes.
+    assert generation.energy_wh > send_energy

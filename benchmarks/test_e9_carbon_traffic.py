@@ -1,0 +1,63 @@
+"""E9 / §6.4 + §7 — embodied carbon and Internet-scale traffic projection.
+
+Paper: SSD embodied carbon is 6-7 kg CO₂e/TB, so at exabyte scale even
+modest compression saves millions of kg; mobile web browsing is 2-3
+EB/month, and the measured ~two-orders-of-magnitude reduction brings it
+to tens of PB/month.
+"""
+
+from _shared import print_table, within
+
+from repro.devices.energy import EB, TB, storage_carbon_savings_kg
+from repro.workloads import build_wikimedia_landscape_page
+from repro.workloads.traffic import MOBILE_WEB_EB_PER_MONTH, TrafficModel
+
+
+def run_projections():
+    page_ratio = build_wikimedia_landscape_page().account.ratio
+    # Carbon: an exabyte-scale store compressed "modestly" (2x) and at the
+    # measured page ratio.
+    modest = storage_carbon_savings_kg(1 * EB, 0.5 * EB)
+    measured = storage_carbon_savings_kg(1 * EB, (1 / page_ratio) * EB)
+    projections = {
+        volume: TrafficModel(volume).project(page_ratio) for volume in MOBILE_WEB_EB_PER_MONTH
+    }
+    return page_ratio, modest, measured, projections
+
+
+def test_e9_carbon_and_traffic(benchmark):
+    page_ratio, modest, measured, projections = benchmark.pedantic(
+        run_projections, rounds=1, iterations=1
+    )
+
+    rows = [
+        ["measured page compression", "~157x (Fig. 2)", f"{page_ratio:.0f}x"],
+        ["carbon saved, 1 EB @ 2x", "millions of kg", f"{modest / 1e6:.1f} Mkg CO2e"],
+        ["carbon saved, 1 EB @ measured", "millions of kg", f"{measured / 1e6:.1f} Mkg CO2e"],
+    ]
+    for volume, projection in projections.items():
+        rows.append(
+            [
+                f"mobile web {volume} EB/mo -> SWW",
+                "tens of PB/mo",
+                f"{projection.compressed_pb:.0f} PB/mo ({projection.monthly_energy_savings_mwh:,.0f} MWh saved)",
+            ]
+        )
+    print_table("E9 / §6.4+§7: carbon & traffic projections", ["metric", "paper", "measured"], rows)
+
+    assert modest > 1e6  # "millions of kg CO2e" at a modest 2x
+    assert measured > 6e6
+    for projection in projections.values():
+        within(projection.compressed_pb, 10, 99, "tens of PB")
+        # ~two orders of magnitude reduction.
+        assert 100 <= projection.reduction_factor <= 200
+
+
+def test_e9_embodied_rate_sanity(benchmark):
+    """The per-TB rate itself stays inside the cited 6-7 kg band."""
+
+    def rate():
+        return storage_carbon_savings_kg(1 * TB, 0)
+
+    saved = benchmark(rate)
+    within(saved, 6.0, 7.0, "kg CO2e per TB")

@@ -1,0 +1,50 @@
+"""E1 / Figure 1 — the HTML division before and after processing.
+
+Paper: the div carries the prompt for a cartoon goldfish image before
+processing; after processing it contains the pointer to the generated
+file. This bench regenerates both forms and times the rewrite.
+"""
+
+from _shared import print_table
+
+from repro.devices import WORKSTATION
+from repro.genai.pipeline import GenerationPipeline
+from repro.html import parse_html, serialize
+from repro.sww.content import GeneratedContent
+from repro.sww.media_generator import MediaGenerator
+from repro.sww.page_processor import PageProcessor
+
+GOLDFISH_DIV = serialize(
+    GeneratedContent.image(
+        "a cartoon goldfish with orange fins swimming in a round glass bowl",
+        name="goldfish",
+        width=256,
+        height=256,
+    ).to_element()
+)
+
+
+def rewrite_once() -> tuple[str, str]:
+    doc = parse_html(f"<body>{GOLDFISH_DIV}</body>")
+    processor = PageProcessor(MediaGenerator(GenerationPipeline(WORKSTATION)))
+    processor.process(doc)
+    return GOLDFISH_DIV, serialize(doc.body.children[0])
+
+
+def test_fig1_before_and_after(benchmark):
+    before, after = benchmark(rewrite_once)
+
+    print_table(
+        "Figure 1: HTML div before/after processing",
+        ["stage", "markup"],
+        [["before", before[:110] + "..."], ["after", after]],
+    )
+
+    # Before: the prompt travels in metadata (Fig. 1 top).
+    assert 'class="generated-content"' in before
+    assert "cartoon goldfish" in before
+    assert "<img" not in before
+    # After: an accurate path to the generated image (Fig. 1 bottom).
+    assert after.startswith("<img")
+    assert 'src="/generated/goldfish.png"' in after
+    assert "generated-content" not in after

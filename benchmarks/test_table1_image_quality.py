@@ -1,0 +1,105 @@
+"""E4 / Table 1 — ELO & CLIP scores with time per step.
+
+Paper's Table 1 (15 inference steps, CLIP at 224×224):
+
+    Model        ELO   CLIP   laptop t/step   workstation t/step
+    SD 2.1       688   0.19   0.18 s          0.02 s
+    SD 3 Med.    895   0.27   0.38 s          0.05 s
+    SD 3.5 Med.  927   0.27   0.59 s          0.06 s
+    DALLE 3      923   0.32   -               -
+
+Random-image CLIP floor: 0.09. Arena leader reference: GPT-4o at 1166.
+"""
+
+import numpy as np
+import pytest
+from _shared import print_table, within
+
+from repro.devices import CLOUD, LAPTOP, WORKSTATION
+from repro.genai.image import generate_image, random_image
+from repro.genai.registry import DALLE3, GPT4O_IMAGE, IMAGE_MODELS, SD3_MEDIUM, SD21, SD35_MEDIUM
+from repro.metrics.clip import clip_score
+from repro.metrics.elo import PreferenceArena
+from repro.workloads.corpus import landscape_prompts
+
+PROMPTS = landscape_prompts(8, seed="table1")
+
+PAPER = {
+    "sd-2.1-base": (688, 0.19, 0.18, 0.02),
+    "sd-3-medium": (895, 0.27, 0.38, 0.05),
+    "sd-3.5-medium": (927, 0.27, 0.59, 0.06),
+    "dalle-3": (923, 0.32, None, None),
+}
+
+
+def measure_clip(model):
+    device = CLOUD if model.server_only else WORKSTATION
+    scores = [
+        clip_score(p, generate_image(model, device, p, 224, 224, 15).pixels) for p in PROMPTS
+    ]
+    return float(np.mean(scores))
+
+
+def measure_step_time(model, device):
+    if device.name not in model.step_time_224:
+        return None
+    return generate_image(model, device, PROMPTS[0], 224, 224, 15).sim_time_s / 15
+
+
+def run_table1():
+    arena = PreferenceArena({m.name: m.arena_quality for m in IMAGE_MODELS.values()})
+    elo = arena.run(800).ratings
+    rows = {}
+    for model in (SD21, SD3_MEDIUM, SD35_MEDIUM, DALLE3):
+        rows[model.name] = (
+            elo[model.name],
+            measure_clip(model),
+            measure_step_time(model, LAPTOP),
+            measure_step_time(model, WORKSTATION),
+        )
+    floor = float(
+        np.mean([clip_score(p, random_image(224, 224, i)) for i, p in enumerate(PROMPTS)])
+    )
+    return rows, elo, floor
+
+
+def test_table1(benchmark):
+    rows, elo, floor = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+    table = []
+    for name, (m_elo, m_clip, m_lt, m_wt) in rows.items():
+        p_elo, p_clip, p_lt, p_wt = PAPER[name]
+        table.append(
+            [
+                name,
+                f"{p_elo} / {m_elo:.0f}",
+                f"{p_clip:.2f} / {m_clip:.3f}",
+                f"{p_lt or '-'} / {f'{m_lt:.2f}' if m_lt else '-'}",
+                f"{p_wt or '-'} / {f'{m_wt:.3f}' if m_wt else '-'}",
+            ]
+        )
+    table.append(["random image", "-", f"0.09 / {floor:.3f}", "-", "-"])
+    table.append(["gpt-4o (arena ref)", f"1166 / {elo['gpt-4o-image']:.0f}", "-", "-", "-"])
+    print_table(
+        "Table 1: ELO & CLIP (paper / measured)",
+        ["model", "ELO", "CLIP", "laptop t/step", "wk t/step"],
+        table,
+    )
+
+    for name, (m_elo, m_clip, m_lt, m_wt) in rows.items():
+        p_elo, p_clip, p_lt, p_wt = PAPER[name]
+        assert m_elo == pytest.approx(p_elo, abs=45), f"{name} ELO"
+        assert m_clip == pytest.approx(p_clip, abs=0.02), f"{name} CLIP"
+        if p_lt is not None:
+            assert m_lt == pytest.approx(p_lt, rel=0.02), f"{name} laptop step"
+            assert m_wt == pytest.approx(p_wt, rel=0.02), f"{name} wk step"
+    within(floor, 0.05, 0.13, "random floor")
+    assert elo["gpt-4o-image"] == pytest.approx(1166, abs=60)
+
+    # Shape claims from the Table 1 discussion.
+    clips = {n: v[1] for n, v in rows.items()}
+    assert abs(clips["sd-3-medium"] - clips["sd-3.5-medium"]) < 0.01  # "almost identical"
+    assert 1 - clips["sd-3-medium"] / clips["dalle-3"] == pytest.approx(0.16, abs=0.06)
+    assert 1 - clips["sd-2.1-base"] / clips["dalle-3"] == pytest.approx(0.40, abs=0.08)
+    elos = {n: v[0] for n, v in rows.items()}
+    assert elos["sd-2.1-base"] < min(elos["sd-3-medium"], elos["dalle-3"]) - 150

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""A full browsing session: the SWW economics of a 3-page visit.
+
+One negotiated HTTP/2 connection, one preloaded pipeline, three pages
+(Wikimedia search results, a travel blog, a news article). Prints the
+session ledger — wire bytes vs the traditional web, generation time and
+energy, and the net-energy verdict today vs on projected hardware.
+
+Run:  python examples/browsing_session.py
+"""
+
+from repro.devices import LAPTOP, WORKSTATION
+from repro.devices.future import project_device
+from repro.workloads.session import BrowsingSession
+
+
+def describe(label: str, stats) -> None:
+    print(f"\n== {label}")
+    for view in stats.views:
+        print(f"  {view.path:28s} {view.sww_wire_bytes:>9,} B (vs {view.traditional_bytes:>9,} B)  "
+              f"gen {view.generation_s:6.1f} s")
+    print(f"  {'TOTAL':28s} {stats.sww_bytes:>9,} B (vs {stats.traditional_bytes:>9,} B)  "
+          f"-> {stats.wire_saving:.0f}x less on the wire")
+    print(f"  pipeline load (once)     : {stats.pipeline_load_s:.0f} s / {stats.pipeline_load_wh:.2f} Wh")
+    print(f"  generation               : {stats.generation_s:.0f} s / {stats.generation_wh:.2f} Wh")
+    print(f"  transmission energy saved: {stats.transmission_energy_saved_wh():.3f} Wh")
+    verdict = stats.net_energy_wh()
+    print(f"  net energy               : {verdict:+.2f} Wh "
+          f"({'SWW costs energy today' if verdict > 0 else 'SWW SAVES energy'})")
+
+
+def main() -> None:
+    describe("laptop, today", BrowsingSession(device=LAPTOP).run())
+    describe("workstation, today", BrowsingSession(device=WORKSTATION).run())
+    future = project_device(LAPTOP, speedup=16.0, efficiency_gain=16.0)
+    describe("laptop, +16x accelerator generation (§7 projection)", BrowsingSession(device=future).run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""The §2.2 CDN scenario: prompts at the edge instead of media.
+
+Builds a 2,000-object media catalog, replays a Zipf-popularity request
+trace against two edge nodes of identical cache capacity — one caching
+blobs, one caching prompts and generating on demand — and reports the
+storage, backbone-traffic and energy trade-off the paper describes:
+"maintains the storage benefits, but loses data transmission benefits".
+
+Run:  python examples/cdn_edge.py
+"""
+
+import numpy as np
+
+from repro.cdn import CatalogItem, EdgeNode, OriginCatalog
+from repro.cdn.placement import CandidateSite, PlacementProblem, plan_placement
+from repro.devices import WORKSTATION
+from repro.media.jpeg_model import jpeg_size
+from repro.workloads.corpus import landscape_prompts
+
+
+def build_catalog(count: int = 2000) -> OriginCatalog:
+    catalog = OriginCatalog()
+    prompts = landscape_prompts(count, seed="cdn-catalog")
+    for index, prompt in enumerate(prompts):
+        size = (256, 256) if index % 3 else (512, 512)
+        catalog.add(
+            CatalogItem(
+                key=f"obj-{index:05d}",
+                prompt=prompt,
+                width=size[0],
+                height=size[1],
+                media_bytes=jpeg_size(*size),
+            )
+        )
+    return catalog
+
+
+def zipf_trace(catalog: OriginCatalog, requests: int = 10_000, alpha: float = 0.9) -> list[str]:
+    keys = sorted(catalog.items)
+    ranks = np.arange(1, len(keys) + 1, dtype=np.float64)
+    weights = ranks**-alpha
+    weights /= weights.sum()
+    rng = np.random.default_rng(20250705)
+    picks = rng.choice(len(keys), size=requests, p=weights)
+    return [keys[i] for i in picks]
+
+
+def main() -> None:
+    catalog = build_catalog()
+    trace = zipf_trace(catalog)
+    capacity = catalog.total_media_bytes() // 10  # a 10%-of-catalog edge
+
+    print("== catalog")
+    print(f"  objects            : {len(catalog.items):,}")
+    print(f"  media bytes        : {catalog.total_media_bytes():,}")
+    print(f"  prompt bytes       : {catalog.total_prompt_bytes():,} "
+          f"({catalog.total_media_bytes() / catalog.total_prompt_bytes():.0f}x smaller)")
+    print(f"  edge cache capacity: {capacity:,} bytes")
+
+    for mode in ("blob", "prompt"):
+        edge = EdgeNode(catalog, capacity, mode=mode, device=WORKSTATION)
+        for key in trace:
+            edge.serve(key)
+        stats = edge.cache.stats
+        print(f"\n== {mode}-mode edge ({len(trace):,} requests)")
+        print(f"  cache hit rate     : {stats.hit_rate:.1%}")
+        print(f"  entries cached     : {edge.cache.entry_count:,}")
+        print(f"  storage used       : {edge.storage_used_bytes:,} bytes")
+        print(f"  backbone traffic   : {edge.backbone_bytes_total:,} bytes")
+        print(f"  user egress        : {edge.egress_bytes_total:,} bytes")
+        print(f"  edge generation    : {edge.generation_energy_total_wh:.1f} Wh")
+
+    # §7: cache placement flexibility under a backbone budget.
+    sites = []
+    for region in range(8):
+        sites.append(CandidateSite(f"metro-{region}", f"region-{region}", user_latency_ms=8, fill_cost_factor=3.0))
+        sites.append(CandidateSite(f"core-{region}", f"region-{region}", user_latency_ms=35, fill_cost_factor=1.0))
+    budget = catalog.total_media_bytes() * 10  # enough for ~3 metro fills of media
+
+    for label, catalog_bytes in (
+        ("media catalog", catalog.total_media_bytes()),
+        ("prompt catalog", catalog.total_prompt_bytes()),
+    ):
+        result = plan_placement(PlacementProblem(sites, catalog_bytes, budget))
+        deep = sum(1 for s in result.chosen.values() if s.user_latency_ms <= 10)
+        print(f"\n== placement with the {label}")
+        print(f"  regions with deep (metro) caches : {deep}/8")
+        print(f"  mean user latency                : {result.mean_latency_ms:.0f} ms")
+        print(f"  backbone used                    : {result.backbone_bytes_used:,} / {budget:,} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""§7 "Is It Worth It?" — the energy crossover analysis.
+
+Today, generating a large image at the edge costs ~40x the energy of
+transmitting it. This example sweeps projected hardware generations
+(speed and perf/W improving together) and faster model families to find
+where SWW flips from costing energy to saving it, per device.
+
+Run:  python examples/future_crossover.py
+"""
+
+from repro.devices import LAPTOP, MOBILE, WORKSTATION
+from repro.devices.future import (
+    find_crossover,
+    generation_vs_transmission,
+    project_device,
+    project_model,
+)
+from repro.genai.registry import SD3_MEDIUM
+
+
+def main() -> None:
+    print("== today (SD 3 Medium, 1024x1024, 15 steps, 38 MWh/PB network)")
+    for device in (LAPTOP, WORKSTATION, MOBILE):
+        point = generation_vs_transmission(SD3_MEDIUM, device)
+        print(f"  {device.name:12s} gen {point.generation_s:7.1f} s / {point.generation_wh * 1000:7.1f} mWh   "
+              f"vs tx {point.transmission_s * 1000:.1f} ms / {point.transmission_wh * 1000:.1f} mWh   "
+              f"-> generation costs {point.energy_ratio:.0f}x more energy")
+
+    print("\n== hardware-generations sweep (speed and perf/W improve together)")
+    for factor in (2, 4, 8, 16, 32):
+        line = f"  {factor:3d}x:"
+        for device in (LAPTOP, WORKSTATION, MOBILE):
+            future = project_device(device, speedup=factor, efficiency_gain=factor)
+            point = generation_vs_transmission(SD3_MEDIUM, future)
+            verdict = "SAVES" if point.sww_saves_energy else f"{point.energy_ratio:5.1f}x"
+            line += f"   {device.name}={verdict}"
+        print(line)
+
+    print("\n== crossover factors (combined improvement where SWW starts saving energy)")
+    for model_label, model in (
+        ("SD 3 Medium (today)", SD3_MEDIUM),
+        ("10x-faster model (StreamDiffusion-class)", project_model(SD3_MEDIUM, 10.0)),
+    ):
+        print(f"  {model_label}:")
+        for device in (WORKSTATION, LAPTOP, MOBILE):
+            factor = find_crossover(model, device)
+            print(f"    {device.name:12s} {factor:5.1f}x")
+
+    print("\nReading: the workstation needs well under one GPU decade; a laptop")
+    print("needs roughly a model generation PLUS an accelerator generation; the")
+    print("phone is the long pole — matching the paper's 'long road ahead'.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""The §4.2 adoption path: converting an existing page to SWW.
+
+Takes a traditional page (the Wikimedia results page as ``<img>`` tags),
+runs the conversion script — CMS tags decide generatable vs unique, the
+prompt inverter recovers prompts from each image's description — and
+measures the compression achieved and the semantic fidelity retained when
+the converted page is regenerated.
+
+Run:  python examples/page_conversion.py
+"""
+
+import numpy as np
+
+from repro.devices import WORKSTATION
+from repro.genai.pipeline import GenerationPipeline
+from repro.html import parse_html, serialize
+from repro.metrics.clip import clip_score
+from repro.sww.cms import ContentManagementSystem, ContentTag
+from repro.sww.conversion import PageConverter, PromptInverter
+from repro.sww.media_generator import MediaGenerator
+from repro.sww.page_processor import PageProcessor
+from repro.workloads import build_wikimedia_landscape_page
+
+
+def main() -> None:
+    page = build_wikimedia_landscape_page()
+    document = parse_html(page.traditional_html)
+    images = document.find_by_tag("img")
+    print(f"original page: {len(images)} <img> tags, "
+          f"{page.account.original_media:,} bytes of media")
+
+    # The CMS marks two images as unique (say, rights-encumbered photos).
+    cms = ContentManagementSystem.for_template("gallery")
+    cms.tag("/thumbs/landscape-03.jpg", ContentTag.UNIQUE)
+    cms.tag("/thumbs/landscape-27.jpg", ContentTag.UNIQUE)
+
+    converter = PageConverter(inverter=PromptInverter(fidelity=0.85), cms=cms)
+    report = converter.convert(document, topic="landscape")
+
+    print("\n== conversion")
+    print(f"  images converted to prompts : {report.converted_images}")
+    print(f"  items kept unique           : {report.kept_unique}")
+    print(f"  compression on converted    : {report.account.ratio:.0f}x")
+    print(f"  page-level compression      : {report.account.page_ratio:.0f}x")
+
+    converted_html = serialize(document)
+    print(f"  converted page HTML bytes   : {len(converted_html.encode()):,}")
+
+    # Regenerate the converted page and score prompt fidelity (CLIP-sim
+    # between each ORIGINAL description and the image generated from the
+    # INVERTED prompt — the §4.2 quality-of-conversion question).
+    pipeline = GenerationPipeline(WORKSTATION)
+    processor = PageProcessor(MediaGenerator(pipeline))
+    regen = processor.process(document)
+    originals = [img.get("alt") for img in parse_html(page.traditional_html).find_by_tag("img")]
+    scores = []
+    for output, original in zip(regen.outputs, originals):
+        from repro.media.png import decode_png
+
+        scores.append(clip_score(original, decode_png(output.payload)))
+    print("\n== regeneration fidelity")
+    print(f"  images regenerated      : {regen.generated_images}")
+    print(f"  CLIP-sim vs originals   : mean {np.mean(scores):.3f} "
+          f"(direct-prompt reference ≈ 0.27, random floor 0.09)")
+    print(f"  server generation time  : {regen.sim_time_s:.1f} simulated s")
+
+
+if __name__ == "__main__":
+    main()

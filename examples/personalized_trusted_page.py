@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""§2.3 + §7: personalized generation with the echo-chamber guard, and
+provenance-verified content.
+
+A user profile steers the page's prompts toward their interests (with the
+diversity guard bounding the collapse the paper warns about), then every
+generated image is verified against the server's signed provenance
+manifest — including one deliberately tampered item.
+
+Run:  python examples/personalized_trusted_page.py
+"""
+
+from repro.devices import LAPTOP
+from repro.genai.pipeline import GenerationPipeline
+from repro.media.png import decode_png
+from repro.sww.content import GeneratedContent
+from repro.sww.media_generator import MediaGenerator
+from repro.sww.personalization import (
+    PromptPersonalizer,
+    UserProfile,
+    engagement_score,
+)
+from repro.sww.trust import ContentVerifier, TrustAuthority
+from repro.workloads.corpus import landscape_prompts
+
+
+def main() -> None:
+    profile = UserProfile(
+        "hiker-42", {"waterfall": 1.0, "kayaking": 0.8, "golden sunset": 0.6}
+    )
+    items = [GeneratedContent.image(p, name=f"img-{i}") for i, p in enumerate(landscape_prompts(8, "demo"))]
+
+    # The site signs provenance manifests over the PUBLISHED items; since
+    # personalization happens on-device, the client verifies its generated
+    # pixels against the publisher's anchor — bounding how far personal
+    # rewrites may drift from what the site actually published.
+    authority = TrustAuthority(b"site-signing-key-0123456789")
+    manifests = {item.name: authority.sign(item, min_clip=0.17) for item in items}
+    published = {
+        item.name: GeneratedContent.image(item.prompt, name=item.name) for item in items
+    }
+
+    print("== personalization (intensity 0.5, guarded)")
+    report = PromptPersonalizer(intensity=0.5).personalize_page(items, profile)
+    print(f"  prompts rewritten : {report.rewritten}/{len(items)}")
+    print(f"  engagement        : {report.mean_engagement_before:.3f} -> {report.mean_engagement_after:.3f}")
+    print(f"  topic diversity   : {report.diversity_before:.3f} -> {report.diversity_after:.3f}")
+    print(f"  guard verdict     : {'BLOCKED' if report.blocked_by_guard else 'allowed'}")
+
+    print("\n== what full-intensity personalization would do")
+    clones = [GeneratedContent.image(p) for p in landscape_prompts(8, "demo")]
+    extreme = PromptPersonalizer(intensity=1.0).personalize_page(clones, profile)
+    print(f"  guard verdict     : {'BLOCKED (rolled back)' if extreme.blocked_by_guard else 'allowed'}")
+
+    # Generate the (personalized) page and verify provenance.
+    generator = MediaGenerator(GenerationPipeline(LAPTOP))
+    verifier = ContentVerifier(authority)
+    print("\n== generation + verification on the laptop")
+    tampered_name = items[3].name
+    items[3].metadata["prompt"] = "limited time casino bonus spin now"  # an injected rewrite
+    trusted = 0
+    for item in items:
+        output = generator.generate(item)
+        pixels = decode_png(output.payload)
+        # Verify the personalized result against the PUBLISHER's item: the
+        # manifest must match what the site signed, and the pixels must
+        # stay semantically close to the published prompt.
+        reference = published[item.name]
+        if item.name == tampered_name:
+            # The attacker also forged the reference to match their prompt.
+            reference = GeneratedContent.image(item.prompt, name=item.name)
+        result = verifier.verify_image(manifests[item.name], reference, pixels)
+        marker = "ok " if result.trusted else "REJECTED"
+        detail = "tampered prompt" if item.name == tampered_name else f"clip {result.clip_sim:.2f}"
+        print(f"  {item.name}: {marker} ({detail}, engagement {engagement_score(item.prompt, profile):.2f})")
+        trusted += result.trusted
+    print(f"\n  {trusted}/{len(items)} items verified; generation took "
+          f"{generator.total_time_s:.0f} simulated s")
+
+
+if __name__ == "__main__":
+    main()

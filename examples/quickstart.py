@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: the full SWW flow on the paper's travel-blog example (§2.1).
+
+Builds the blog page in both delivery forms, stands up a generative server
+and client wired through the in-memory transport, negotiates
+SETTINGS_GEN_ABILITY over real HTTP/2 frames, fetches the page, generates
+the content on the "laptop", and renders the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    LAPTOP,
+    GenerativeClient,
+    GenerativeServer,
+    PageResource,
+    SiteStore,
+    build_travel_blog,
+    connect_in_memory,
+)
+
+
+def main() -> None:
+    page = build_travel_blog()
+
+    store = SiteStore()
+    store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+    server = GenerativeServer(store)
+
+    client = GenerativeClient(device=LAPTOP)
+    pair = connect_in_memory(client, server)
+
+    print("== negotiation")
+    print(f"  client advertises GEN_ABILITY : {client.gen_ability}")
+    print(f"  server advertises GEN_ABILITY : {server.gen_ability}")
+    print(f"  negotiated                    : {pair.client.conn.gen_ability_negotiated}")
+
+    result = client.fetch_via_pair(pair, page.path)
+
+    print("\n== fetch")
+    print(f"  status            : {result.status}")
+    print(f"  served as         : {'SWW prompts' if result.sww_mode else 'traditional'}")
+    print(f"  page wire bytes   : {result.wire_bytes:,}")
+    print(f"  original form     : {page.account.original_total:,} bytes (media + text + unique)")
+    print(f"  page compression  : {page.account.page_ratio:.1f}x end-to-end, {page.account.ratio:.1f}x on generatable content")
+
+    report = result.report
+    print("\n== client-side generation (simulated laptop)")
+    print(f"  images generated  : {report.generated_images}")
+    print(f"  texts expanded    : {report.generated_texts}")
+    print(f"  generation time   : {report.sim_time_s:.1f} simulated seconds")
+    print(f"  generation energy : {report.energy_wh:.3f} Wh")
+
+    print("\n== rendered page (text mode)")
+    print(result.rendered)
+
+
+if __name__ == "__main__":
+    main()

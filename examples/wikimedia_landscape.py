@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The Fig. 2 experiment as a runnable scenario.
+
+Recreates the Wikimedia-Commons "Landscape" search-results page (49
+images, ≈1.4 MB as JPEG), serves it in SWW form, and reports the
+compression factor, per-device generation time, and what a naive client
+would have transferred instead — the paper's §6.2 numbers.
+
+Run:  python examples/wikimedia_landscape.py
+"""
+
+from repro import (
+    LAPTOP,
+    WORKSTATION,
+    GenerativeClient,
+    GenerativeServer,
+    PageResource,
+    SiteStore,
+    build_wikimedia_landscape_page,
+    connect_in_memory,
+)
+from repro.metrics.compression import WORST_CASE_IMAGE_METADATA
+from repro.workloads.corpus import populate_traditional_assets
+
+
+def fetch_on(device, page) -> tuple:
+    store = SiteStore()
+    store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+    server = GenerativeServer(store)
+    client = GenerativeClient(device=device)
+    pair = connect_in_memory(client, server)
+    result = client.fetch_via_pair(pair, page.path)
+    return result, client
+
+
+def main() -> None:
+    page = build_wikimedia_landscape_page()
+    account = page.account
+
+    print("== the page")
+    print(f"  images                 : {account.items}")
+    print(f"  original JPEG bytes    : {account.original_media:,} (~{account.original_media/1e6:.2f} MB)")
+    print(f"  prompt metadata bytes  : {account.metadata:,} ({account.metadata/1000:.2f} kB)")
+    print(f"  compression factor     : {account.ratio:.0f}x   (paper: 157x)")
+    worst = account.items * WORST_CASE_IMAGE_METADATA
+    print(f"  worst-case metadata    : {worst:,} B -> {account.original_media / worst:.0f}x   (paper: 68x)")
+
+    for device in (LAPTOP, WORKSTATION):
+        result, _client = fetch_on(device, page)
+        per_image = result.generation_time_s / account.items
+        print(f"\n== generating on the {device.name}")
+        print(f"  page wire bytes   : {result.wire_bytes:,}")
+        print(f"  total time        : {result.generation_time_s:.0f} simulated s (paper: {'~310 s' if device.name == 'laptop' else '~49 s'})")
+        print(f"  per image         : {per_image:.2f} s (paper: {'6.32 s' if device.name == 'laptop' else '~1 s'})")
+        print(f"  energy            : {result.generation_energy_wh:.2f} Wh")
+
+    # What a naive client transfers instead.
+    store = SiteStore()
+    store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+    populate_traditional_assets(store, page)
+    server = GenerativeServer(store, gen_ability=False)
+    naive = GenerativeClient(device=LAPTOP, gen_ability=False)
+    pair = connect_in_memory(naive, server)
+    result = naive.fetch_via_pair(pair, page.path)
+    assets = naive.fetch_assets_via_pair(pair, result)
+    total = result.wire_bytes + sum(len(b) for b in assets.values())
+    print("\n== traditional delivery (no SWW on either side)")
+    print(f"  page + media bytes : {total:,} (~{total/1e6:.2f} MB)")
+    print(f"  SWW saves          : {total / 17_500:.0f}x on the wire for this page")
+
+
+if __name__ == "__main__":
+    main()

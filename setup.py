@@ -1,0 +1,6 @@
+from setuptools import setup
+
+# Entry points are declared here as well as in pyproject.toml because the
+# offline install path (`python setup.py develop`, used when the `wheel`
+# package is unavailable) does not read PEP 621 scripts on older setuptools.
+setup(entry_points={"console_scripts": ["sww = repro.cli:main"]})

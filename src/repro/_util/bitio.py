@@ -1,0 +1,63 @@
+"""Bit-level I/O used by the HPACK Huffman codec (RFC 7541 §5.2)."""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates big-endian bit strings into bytes.
+
+    HPACK Huffman output is padded to a byte boundary with the
+    most-significant bits of the EOS symbol (all ones).
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._bit_count = 0  # bits used in the trailing partial byte
+
+    def write(self, code: int, length: int) -> None:
+        """Append ``length`` bits of ``code`` (MSB first)."""
+        if length < 0 or (length and code >> length):
+            raise ValueError(f"code {code:#x} does not fit in {length} bits")
+        for shift in range(length - 1, -1, -1):
+            bit = (code >> shift) & 1
+            if self._bit_count == 0:
+                self._buffer.append(0)
+            self._buffer[-1] |= bit << (7 - self._bit_count)
+            self._bit_count = (self._bit_count + 1) % 8
+
+    def getvalue(self, pad_with_ones: bool = True) -> bytes:
+        """Return the written bytes, padding any partial byte."""
+        if self._bit_count and pad_with_ones:
+            pad_bits = 8 - self._bit_count
+            self._buffer[-1] |= (1 << pad_bits) - 1
+            self._bit_count = 0
+        return bytes(self._buffer)
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far (before padding)."""
+        full = len(self._buffer) * 8
+        if self._bit_count:
+            full -= 8 - self._bit_count
+        return full
+
+
+class BitReader:
+    """Reads a byte string bit by bit (MSB first)."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._position = 0  # absolute bit offset
+
+    @property
+    def remaining_bits(self) -> int:
+        return len(self._data) * 8 - self._position
+
+    def read_bit(self) -> int:
+        """Return the next bit; raises EOFError at the end of input."""
+        if self._position >= len(self._data) * 8:
+            raise EOFError("bit stream exhausted")
+        byte = self._data[self._position // 8]
+        bit = (byte >> (7 - self._position % 8)) & 1
+        self._position += 1
+        return bit

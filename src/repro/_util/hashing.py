@@ -1,0 +1,38 @@
+"""Stable, process-independent hashing.
+
+Python's built-in ``hash`` is salted per process (PYTHONHASHSEED), which
+would make the simulated models nondeterministic across runs. All seed
+material therefore flows through SHA-256.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_hash(*parts: object) -> bytes:
+    """Return a 32-byte digest of the given parts.
+
+    Parts are converted to ``str`` and joined with an unambiguous separator;
+    ``bytes`` parts are hashed raw. The same inputs always produce the same
+    digest on every platform and in every process.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, bytes):
+            h.update(b"\x00B")
+            h.update(part)
+        else:
+            h.update(b"\x00S")
+            h.update(str(part).encode("utf-8", errors="surrogatepass"))
+    return h.digest()
+
+
+def stable_u64(*parts: object) -> int:
+    """Return a stable unsigned 64-bit integer derived from the parts."""
+    return int.from_bytes(stable_hash(*parts)[:8], "big")
+
+
+def stable_unit(*parts: object) -> float:
+    """Return a stable float uniformly distributed in [0, 1)."""
+    return stable_u64(*parts) / 2**64

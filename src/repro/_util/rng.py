@@ -1,0 +1,85 @@
+"""A small deterministic pseudo-random generator.
+
+Wraps a counter-mode SHA-256 stream so that simulated noise (diffusion
+residuals, arena preferences, timing jitter) is reproducible from a string
+seed and independent of global random state.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro._util.hashing import stable_hash
+
+
+class DeterministicRNG:
+    """Counter-mode deterministic random stream seeded by arbitrary parts."""
+
+    def __init__(self, *seed_parts: object) -> None:
+        self._seed = stable_hash(*seed_parts)
+        self._counter = 0
+        self._spare_gauss: float | None = None
+
+    def _next_block(self) -> bytes:
+        block = stable_hash(self._seed, self._counter)
+        self._counter += 1
+        return block
+
+    def u64(self) -> int:
+        """Next unsigned 64-bit integer."""
+        return int.from_bytes(self._next_block()[:8], "big")
+
+    def random(self) -> float:
+        """Next float in [0, 1)."""
+        return self.u64() / 2**64
+
+    def uniform(self, low: float, high: float) -> float:
+        """Next float in [low, high)."""
+        return low + (high - low) * self.random()
+
+    def randint(self, low: int, high: int) -> int:
+        """Next integer in [low, high] inclusive."""
+        if high < low:
+            raise ValueError(f"empty range [{low}, {high}]")
+        span = high - low + 1
+        return low + self.u64() % span
+
+    def gauss(self, mu: float = 0.0, sigma: float = 1.0) -> float:
+        """Next normal variate via the Box-Muller transform."""
+        if self._spare_gauss is not None:
+            z = self._spare_gauss
+            self._spare_gauss = None
+            return mu + sigma * z
+        # Avoid log(0) by nudging u1 away from zero.
+        u1 = max(self.random(), 1e-12)
+        u2 = self.random()
+        r = math.sqrt(-2.0 * math.log(u1))
+        self._spare_gauss = r * math.sin(2.0 * math.pi * u2)
+        return mu + sigma * r * math.cos(2.0 * math.pi * u2)
+
+    def choice(self, seq):
+        """Pick one element of a non-empty sequence."""
+        if not seq:
+            raise ValueError("cannot choose from an empty sequence")
+        return seq[self.u64() % len(seq)]
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.u64() % (i + 1)
+            items[i], items[j] = items[j], items[i]
+
+    def sample(self, seq, k: int) -> list:
+        """Return k distinct elements (order deterministic)."""
+        if k > len(seq):
+            raise ValueError(f"sample size {k} exceeds population {len(seq)}")
+        pool = list(seq)
+        self.shuffle(pool)
+        return pool[:k]
+
+    def bytes(self, n: int) -> bytes:
+        """Return n pseudo-random bytes."""
+        out = bytearray()
+        while len(out) < n:
+            out.extend(self._next_block())
+        return bytes(out[:n])

@@ -1,0 +1,32 @@
+"""The CDN scenario (paper §2.2).
+
+    "media is sent from the content provider to caching locations or edge
+    servers as prompts, and only the prompts are saved at the edge. At a
+    request of a user, the edge server uses the prompt to generate the
+    content and sends it to the requester. This approach maintains the
+    storage benefits, but loses data transmission benefits."
+
+* :mod:`repro.cdn.cache` — an LRU edge cache that can store either blobs
+  or prompts, with byte-accurate capacity accounting.
+* :mod:`repro.cdn.edge` — an edge node that serves from cache, generating
+  from prompts on demand (with the energy/time trade-off §2.2 flags).
+* :mod:`repro.cdn.placement` — cache placement under backbone-traffic
+  constraints (§7: SWW "provides more flexibility in cache placement").
+"""
+
+from repro.cdn.cache import EdgeCache, CacheEntry, CacheStats
+from repro.cdn.edge import EdgeNode, EdgeServeResult, OriginCatalog, CatalogItem
+from repro.cdn.placement import PlacementProblem, PlacementResult, plan_placement
+
+__all__ = [
+    "EdgeCache",
+    "CacheEntry",
+    "CacheStats",
+    "EdgeNode",
+    "EdgeServeResult",
+    "OriginCatalog",
+    "CatalogItem",
+    "PlacementProblem",
+    "PlacementResult",
+    "plan_placement",
+]

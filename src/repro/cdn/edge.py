@@ -1,0 +1,159 @@
+"""The SWW edge node (paper §2.2).
+
+Two operating modes for the same catalog of media objects:
+
+* **blob mode** (traditional CDN): the edge caches materialised media;
+  misses fetch the full object from the origin.
+* **prompt mode** (SWW CDN): the edge caches prompts; misses fetch only
+  the prompt from the origin, and every user request pays an on-edge
+  generation (time + energy) before the materialised media is sent to the
+  user. "This approach maintains the storage benefits, but loses data
+  transmission benefits" — user-side egress is media-sized either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devices.energy import transmission_energy_wh
+from repro.devices.profiles import DeviceProfile, WORKSTATION
+from repro.genai.image import generate_image
+from repro.genai.registry import DEFAULT_IMAGE_MODEL, ImageModel
+from repro.cdn.cache import CacheEntry, EdgeCache
+from repro.metrics.compression import prompt_metadata_size
+
+
+@dataclass(frozen=True)
+class CatalogItem:
+    """One media object at the origin."""
+
+    key: str
+    prompt: str
+    width: int
+    height: int
+    media_bytes: int
+
+    def prompt_bytes(self) -> int:
+        return prompt_metadata_size(
+            {"prompt": self.prompt, "name": self.key, "width": self.width, "height": self.height}
+        )
+
+
+@dataclass
+class OriginCatalog:
+    """The content provider's object catalog."""
+
+    items: dict[str, CatalogItem] = field(default_factory=dict)
+
+    def add(self, item: CatalogItem) -> None:
+        self.items[item.key] = item
+
+    def get(self, key: str) -> CatalogItem:
+        try:
+            return self.items[key]
+        except KeyError:
+            raise KeyError(f"no catalog item {key!r}") from None
+
+    def total_media_bytes(self) -> int:
+        return sum(item.media_bytes for item in self.items.values())
+
+    def total_prompt_bytes(self) -> int:
+        return sum(item.prompt_bytes() for item in self.items.values())
+
+
+@dataclass
+class EdgeServeResult:
+    """Cost breakdown of serving one user request from the edge."""
+
+    key: str
+    cache_hit: bool
+    #: Bytes pulled from the origin over the backbone (miss cost).
+    backbone_bytes: int
+    #: Bytes sent to the requesting user.
+    egress_bytes: int
+    #: On-edge generation cost (prompt mode only).
+    generation_time_s: float = 0.0
+    generation_energy_wh: float = 0.0
+
+    @property
+    def transmission_energy_wh(self) -> float:
+        return transmission_energy_wh(self.backbone_bytes + self.egress_bytes)
+
+    @property
+    def total_energy_wh(self) -> float:
+        return self.transmission_energy_wh + self.generation_energy_wh
+
+
+class EdgeNode:
+    """An edge server in blob or prompt mode."""
+
+    def __init__(
+        self,
+        origin: OriginCatalog,
+        cache_capacity_bytes: int,
+        mode: str = "blob",
+        device: DeviceProfile = WORKSTATION,
+        model: ImageModel = DEFAULT_IMAGE_MODEL,
+        steps: int = 15,
+    ) -> None:
+        if mode not in ("blob", "prompt"):
+            raise ValueError(f"mode must be 'blob' or 'prompt', got {mode!r}")
+        self.origin = origin
+        self.cache = EdgeCache(cache_capacity_bytes)
+        self.mode = mode
+        self.device = device
+        self.model = model
+        self.steps = steps
+        self.results: list[EdgeServeResult] = []
+
+    def serve(self, key: str) -> EdgeServeResult:
+        """Serve one user request for ``key``."""
+        item = self.origin.get(key)
+        cached = self.cache.get(key)
+        hit = cached is not None
+        if self.mode == "blob":
+            backbone = 0 if hit else item.media_bytes
+            if not hit:
+                self.cache.put(CacheEntry(key, item.media_bytes, kind="blob"))
+            result = EdgeServeResult(
+                key=key, cache_hit=hit, backbone_bytes=backbone, egress_bytes=item.media_bytes
+            )
+        else:
+            backbone = 0 if hit else item.prompt_bytes()
+            if not hit:
+                self.cache.put(CacheEntry(key, item.prompt_bytes(), kind="prompt"))
+            # Every request regenerates at the edge (the paper's model; a
+            # short-lived materialisation cache would be an extension).
+            generation = generate_image(
+                self.model, self.device, item.prompt, item.width, item.height, self.steps
+            )
+            result = EdgeServeResult(
+                key=key,
+                cache_hit=hit,
+                backbone_bytes=backbone,
+                egress_bytes=item.media_bytes,
+                generation_time_s=generation.sim_time_s,
+                generation_energy_wh=generation.energy_wh,
+            )
+        self.results.append(result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+
+    @property
+    def backbone_bytes_total(self) -> int:
+        return sum(r.backbone_bytes for r in self.results)
+
+    @property
+    def egress_bytes_total(self) -> int:
+        return sum(r.egress_bytes for r in self.results)
+
+    @property
+    def generation_energy_total_wh(self) -> float:
+        return sum(r.generation_energy_wh for r in self.results)
+
+    @property
+    def storage_used_bytes(self) -> int:
+        return self.cache.used_bytes

@@ -1,0 +1,120 @@
+"""Cache placement under backbone constraints (paper §7, Sustainability).
+
+    "traffic reduction on the network provides more flexibility in cache
+    placement, without breaching backbone traffic constraints. While the
+    main limitation to cache location was often the latency to the user,
+    in SWW the network latency is a minor problem."
+
+The model: candidate cache sites sit at different depths of the network;
+deeper (closer-to-user) sites give lower latency but filling them consumes
+backbone capacity proportional to the catalog size shipped. A greedy
+planner picks the deepest feasible site per region; with prompt-sized
+catalogs, far more regions fit deep placements within the same backbone
+budget — the quantitative form of the paper's flexibility claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CandidateSite:
+    """A place a cache replica could go."""
+
+    name: str
+    region: str
+    #: One-way user latency when served from this site, ms.
+    user_latency_ms: float
+    #: Backbone bytes consumed per byte of catalog placed here (deeper
+    #: sites traverse more of the backbone to fill).
+    fill_cost_factor: float
+
+
+@dataclass
+class PlacementProblem:
+    """Inputs to the planner."""
+
+    sites: list[CandidateSite]
+    catalog_bytes: int
+    #: Total backbone budget for replica fills, bytes.
+    backbone_budget_bytes: int
+
+    def regions(self) -> list[str]:
+        seen: list[str] = []
+        for site in self.sites:
+            if site.region not in seen:
+                seen.append(site.region)
+        return seen
+
+
+@dataclass
+class PlacementResult:
+    """Chosen site per region plus aggregate metrics."""
+
+    chosen: dict[str, CandidateSite]
+    backbone_bytes_used: int
+    regions_unserved: list[str]
+
+    @property
+    def mean_latency_ms(self) -> float:
+        if not self.chosen:
+            return float("inf")
+        return sum(site.user_latency_ms for site in self.chosen.values()) / len(self.chosen)
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.chosen) + len(self.regions_unserved)
+        return len(self.chosen) / total if total else 0.0
+
+
+def plan_placement(problem: PlacementProblem) -> PlacementResult:
+    """Coverage-first placement, then deep upgrades, within the budget.
+
+    Pass 1 gives every region its cheapest-fill site (typically a core
+    site), so no budget is burned on depth while regions go unserved.
+    Pass 2 spends the remaining budget upgrading regions to their
+    lowest-latency affordable site, ordered by how much latency the
+    upgrade buys (largest gap first).
+    """
+    if problem.catalog_bytes < 0 or problem.backbone_budget_bytes < 0:
+        raise ValueError("sizes cannot be negative")
+    by_region: dict[str, list[CandidateSite]] = {}
+    for site in problem.sites:
+        by_region.setdefault(site.region, []).append(site)
+    for sites in by_region.values():
+        sites.sort(key=lambda s: s.user_latency_ms)  # best (deepest) first
+
+    def fill_cost(site: CandidateSite) -> int:
+        return int(problem.catalog_bytes * site.fill_cost_factor)
+
+    chosen: dict[str, CandidateSite] = {}
+    unserved: list[str] = []
+    budget = problem.backbone_budget_bytes
+
+    # Pass 1: cover every region as cheaply as possible.
+    for region, sites in by_region.items():
+        cheapest = min(sites, key=fill_cost)
+        if fill_cost(cheapest) <= budget:
+            chosen[region] = cheapest
+            budget -= fill_cost(cheapest)
+        else:
+            unserved.append(region)
+
+    # Pass 2: upgrade toward low latency, biggest win first.
+    def upgrade_gain(region: str) -> float:
+        return chosen[region].user_latency_ms - by_region[region][0].user_latency_ms
+
+    for region in sorted(chosen, key=upgrade_gain, reverse=True):
+        current = chosen[region]
+        for site in by_region[region]:
+            if site.user_latency_ms >= current.user_latency_ms:
+                break
+            extra = fill_cost(site) - fill_cost(current)
+            if extra <= budget:
+                chosen[region] = site
+                budget -= extra
+                break
+
+    used = problem.backbone_budget_bytes - budget
+    return PlacementResult(chosen=chosen, backbone_bytes_used=used, regions_unserved=unserved)

@@ -1,0 +1,212 @@
+"""Command-line tools for the SWW reproduction.
+
+Four subcommands mirror the workflows a site operator or researcher runs:
+
+* ``sww serve``   — start the generative server on TCP (§5.1).
+* ``sww fetch``   — run the generative client flow against a server and
+  render the page to stdout (§5.2).
+* ``sww convert`` — convert a traditional HTML file to SWW form (§4.2)
+  and report the compression achieved.
+* ``sww demo``    — run a built-in corpus page end-to-end in-process and
+  print the experiment summary (no network needed).
+* ``sww report``  — measure the paper's headline numbers live and print a
+  paper-vs-measured table.
+
+Installed as the ``sww`` console script; also runnable via
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+
+from repro.devices import DEVICES, get_device
+from repro.sww.client import GenerativeClient, connect_in_memory
+from repro.sww.server import GenerativeServer, PageResource, SiteStore
+from repro.workloads import (
+    build_news_article,
+    build_travel_blog,
+    build_wikimedia_landscape_page,
+)
+from repro.workloads.corpus import populate_traditional_assets
+
+PAGES = {
+    "wikimedia": build_wikimedia_landscape_page,
+    "travel-blog": build_travel_blog,
+    "news": build_news_article,
+}
+
+
+def _build_store(page_names: list[str]) -> SiteStore:
+    store = SiteStore()
+    for name in page_names:
+        try:
+            page = PAGES[name]()
+        except KeyError:
+            raise SystemExit(f"unknown page {name!r}; available: {sorted(PAGES)}")
+        store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+        populate_traditional_assets(store, page)
+    return store
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    store = _build_store(args.pages)
+    server = GenerativeServer(
+        store,
+        device=get_device(args.device),
+        gen_ability=not args.no_gen_ability,
+        push_assets=args.push,
+    )
+
+    async def run() -> None:
+        listener = await server.serve_forever(args.host, args.port)
+        port = listener.sockets[0].getsockname()[1]
+        paths = ", ".join(sorted(store.pages))
+        print(f"sww generative server on {args.host}:{port} (device={args.device}, "
+              f"gen_ability={server.gen_ability}); pages: {paths}", flush=True)
+        async with listener:
+            await listener.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def cmd_fetch(args: argparse.Namespace) -> int:
+    client = GenerativeClient(device=get_device(args.device), gen_ability=not args.no_gen_ability)
+
+    async def run():
+        return await client.fetch_tcp(args.host, args.port, args.path)
+
+    result = asyncio.run(run())
+    print(f"status {result.status}; served as "
+          f"{'SWW prompts' if result.sww_mode else 'traditional HTML'}; "
+          f"{result.wire_bytes:,} bytes on the wire")
+    if result.report:
+        print(f"generated {result.report.generated_images} images and "
+              f"{result.report.generated_texts} texts locally in "
+              f"{result.generation_time_s:.1f} simulated s "
+              f"({result.generation_energy_wh:.3f} Wh)")
+    print()
+    print(result.rendered)
+    return 0 if result.status == 200 else 1
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    from repro.html import parse_html, serialize
+    from repro.sww.cms import ContentManagementSystem
+    from repro.sww.conversion import PageConverter, PromptInverter
+
+    source = sys.stdin.read() if args.input == "-" else open(args.input, encoding="utf-8").read()
+    document = parse_html(source)
+    cms = (
+        ContentManagementSystem.for_template(args.template)
+        if args.template
+        else ContentManagementSystem()
+    )
+    converter = PageConverter(inverter=PromptInverter(fidelity=args.fidelity), cms=cms)
+    report = converter.convert(document, topic=args.topic)
+    converted = serialize(document)
+    if args.output == "-":
+        sys.stdout.write(converted)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(converted)
+    print(
+        f"converted {report.converted_images} images and {report.converted_texts} "
+        f"text blocks ({report.kept_unique} kept unique); compression "
+        f"{report.account.ratio:.1f}x on converted content",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    try:
+        page = PAGES[args.page]()
+    except KeyError:
+        raise SystemExit(f"unknown page {args.page!r}; available: {sorted(PAGES)}")
+    store = SiteStore()
+    store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+    populate_traditional_assets(store, page)
+    server = GenerativeServer(store)
+    client = GenerativeClient(device=get_device(args.device))
+    pair = connect_in_memory(client, server)
+    result = client.fetch_via_pair(pair, page.path)
+    account = page.account
+    print(f"page: {page.title}")
+    print(f"original content : {account.original_total:,} B")
+    print(f"SWW wire bytes   : {result.wire_bytes:,} B")
+    if account.metadata:
+        print(f"compression      : {account.ratio:.1f}x on generatable content")
+    if result.report:
+        print(f"generated        : {result.report.generated_images} images, "
+              f"{result.report.generated_texts} texts on the {args.device}")
+        print(f"generation cost  : {result.generation_time_s:.1f} simulated s, "
+              f"{result.generation_energy_wh:.3f} Wh")
+    if args.render:
+        print()
+        print(result.rendered)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.report import format_report, run_headline_experiments
+
+    print("running the headline experiments (simulated time; ~10 s wall)...", file=sys.stderr)
+    print(format_report(run_headline_experiments()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="sww", description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="start the generative server on TCP")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8443)
+    serve.add_argument("--device", default="workstation", choices=sorted(DEVICES))
+    serve.add_argument("--pages", nargs="+", default=list(PAGES), metavar="PAGE")
+    serve.add_argument("--no-gen-ability", action="store_true", help="run as a naive HTTP/2 server")
+    serve.add_argument("--push", action="store_true", help="server-push generated assets to naive clients")
+    serve.set_defaults(func=cmd_serve)
+
+    fetch = sub.add_parser("fetch", help="fetch a page with the generative client")
+    fetch.add_argument("path")
+    fetch.add_argument("--host", default="127.0.0.1")
+    fetch.add_argument("--port", type=int, default=8443)
+    fetch.add_argument("--device", default="laptop", choices=sorted(DEVICES))
+    fetch.add_argument("--no-gen-ability", action="store_true", help="fetch as a naive client")
+    fetch.set_defaults(func=cmd_fetch)
+
+    convert = sub.add_parser("convert", help="convert a traditional HTML file to SWW form")
+    convert.add_argument("input", help="input HTML file, or - for stdin")
+    convert.add_argument("output", help="output HTML file, or - for stdout")
+    convert.add_argument("--fidelity", type=float, default=0.85)
+    convert.add_argument("--topic", default="technology")
+    convert.add_argument("--template", default=None, help="CMS template (blog/company/gallery/news)")
+    convert.set_defaults(func=cmd_convert)
+
+    demo = sub.add_parser("demo", help="run a corpus page end-to-end in-process")
+    demo.add_argument("--page", default="travel-blog", choices=sorted(PAGES))
+    demo.add_argument("--device", default="laptop", choices=sorted(DEVICES))
+    demo.add_argument("--render", action="store_true", help="print the rendered page")
+    demo.set_defaults(func=cmd_demo)
+
+    report = sub.add_parser("report", help="measure the paper's headline numbers live")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,75 @@
+"""Virtual time and energy metering.
+
+Every simulated operation (model inference, network transfer) reports how
+long it *would* take on the modelled hardware; the clock accumulates those
+durations. Using simulated rather than wall-clock time makes results exact,
+deterministic and host-independent, while still letting the benchmark
+harness compare "who is slower and by what factor" the way the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TaskRecord:
+    """One metered operation."""
+
+    label: str
+    seconds: float
+    energy_wh: float
+    device: str = ""
+
+    @property
+    def average_power_w(self) -> float:
+        return self.energy_wh * 3600.0 / self.seconds if self.seconds else 0.0
+
+
+class SimClock:
+    """Accumulates simulated seconds across operations."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self.records: list[TaskRecord] = []
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float, label: str = "", energy_wh: float = 0.0, device: str = "") -> TaskRecord:
+        """Account for an operation that takes ``seconds`` of simulated time."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        self._now += seconds
+        record = TaskRecord(label=label, seconds=seconds, energy_wh=energy_wh, device=device)
+        self.records.append(record)
+        return record
+
+    def elapsed_for(self, label_prefix: str) -> float:
+        """Total simulated seconds of records whose label has the prefix."""
+        return sum(r.seconds for r in self.records if r.label.startswith(label_prefix))
+
+    def reset(self) -> None:
+        self._now = 0.0
+        self.records.clear()
+
+
+class EnergyMeter:
+    """Accumulates energy (Wh) by category, e.g. generation vs transmission."""
+
+    def __init__(self) -> None:
+        self.totals_wh: dict[str, float] = {}
+
+    def add(self, category: str, energy_wh: float) -> None:
+        if energy_wh < 0:
+            raise ValueError("negative energy")
+        self.totals_wh[category] = self.totals_wh.get(category, 0.0) + energy_wh
+
+    def total(self, category: str | None = None) -> float:
+        if category is None:
+            return sum(self.totals_wh.values())
+        return self.totals_wh.get(category, 0.0)
+
+    def reset(self) -> None:
+        self.totals_wh.clear()

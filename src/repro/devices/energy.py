@@ -1,0 +1,60 @@
+"""Network transmission and embodied-carbon models (paper §6.4).
+
+Transmission energy uses Telefónica's 2024 figure the paper cites:
+38 MWh per petabyte of traffic, i.e. 0.038 Wh/MB. Embodied carbon uses the
+6-7 kg CO₂e per terabyte of SSD range from the HotCarbon/SC work the paper
+cites; we default to the midpoint.
+"""
+
+from __future__ import annotations
+
+MB = 10**6
+TB = 10**12
+PB = 10**15
+EB = 10**18
+
+#: Telefónica 2024: 38 MWh/PB → 0.038 Wh/MB.
+TRANSMISSION_WH_PER_MB = 0.038
+
+#: Embodied carbon of SSD storage, kg CO₂e per TB (paper cites 6-7).
+SSD_EMBODIED_KG_CO2E_PER_TB = 6.5
+SSD_EMBODIED_RANGE = (6.0, 7.0)
+
+#: The paper's reference access link for transfer-time comparisons.
+TYPICAL_LINK_BPS = 100e6  # 100 Mbps
+
+
+def transmission_energy_wh(size_bytes: int | float, wh_per_mb: float = TRANSMISSION_WH_PER_MB) -> float:
+    """Network energy to move ``size_bytes`` across the operator network."""
+    if size_bytes < 0:
+        raise ValueError("negative size")
+    return size_bytes / MB * wh_per_mb
+
+
+def transmission_time_s(size_bytes: int | float, link_bps: float = TYPICAL_LINK_BPS) -> float:
+    """Serialization time of ``size_bytes`` on a link of ``link_bps``."""
+    if size_bytes < 0:
+        raise ValueError("negative size")
+    if link_bps <= 0:
+        raise ValueError("link rate must be positive")
+    return size_bytes * 8 / link_bps
+
+
+def embodied_carbon_kg(
+    stored_bytes: int | float, kg_per_tb: float = SSD_EMBODIED_KG_CO2E_PER_TB
+) -> float:
+    """Embodied carbon attributable to storing ``stored_bytes`` on SSD."""
+    if stored_bytes < 0:
+        raise ValueError("negative size")
+    return stored_bytes / TB * kg_per_tb
+
+
+def storage_carbon_savings_kg(
+    original_bytes: int | float,
+    compressed_bytes: int | float,
+    kg_per_tb: float = SSD_EMBODIED_KG_CO2E_PER_TB,
+) -> float:
+    """Embodied carbon avoided by storing prompts instead of media."""
+    if compressed_bytes > original_bytes:
+        return 0.0
+    return embodied_carbon_kg(original_bytes - compressed_bytes, kg_per_tb)

@@ -1,0 +1,166 @@
+"""Forward-looking projections (paper §7, "The Long Road Ahead").
+
+The paper's verdict on today's numbers is "not encouraging: currently,
+generating content at the edge takes too long and does not save energy" —
+but it argues three trends will flip the sign: faster models
+(StreamDiffusion/FLUX-class), inference accelerators in consumer devices,
+and on-device NPUs in phones. This module makes those arguments
+computable:
+
+* :func:`project_device` — derive a future device profile from a present
+  one by scaling speed and efficiency (an accelerator-generation knob).
+* :func:`project_model` — derive a faster model profile (a
+  model-generation knob, e.g. 10× step-time reduction).
+* :func:`generation_vs_transmission` — the §6.4 comparison for any
+  (device, model, media size) point.
+* :func:`find_crossover` — sweep the speed/efficiency knob until edge
+  generation beats transmission energy: "when does SWW become worth it?"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.devices.energy import transmission_energy_wh, transmission_time_s
+from repro.devices.profiles import DeviceProfile, PowerModel
+from repro.genai.image import ImageModel
+from repro.media.jpeg_model import jpeg_size
+
+
+def project_device(
+    device: DeviceProfile,
+    speedup: float = 1.0,
+    efficiency_gain: float = 1.0,
+    suffix: str = "future",
+) -> DeviceProfile:
+    """A future revision of ``device``.
+
+    ``speedup`` divides all step times (resolution curve shape is kept —
+    architectural memory cliffs don't vanish with clock speed);
+    ``efficiency_gain`` divides power draw at iso-work, so energy per
+    task falls by ``speedup × efficiency_gain``.
+    """
+    if speedup <= 0 or efficiency_gain <= 0:
+        raise ValueError("speedup and efficiency_gain must be positive")
+    scaled_curve = tuple((px, factor / speedup) for px, factor in device.resolution_curve)
+    return replace(
+        device,
+        name=f"{device.name}-{suffix}",
+        resolution_curve=scaled_curve,
+        image_power=PowerModel(
+            device.image_power.power_w / efficiency_gain,
+            device.image_power.fixed_wh / efficiency_gain,
+        ),
+        text_power=PowerModel(
+            device.text_power.power_w / efficiency_gain,
+            device.text_power.fixed_wh / efficiency_gain,
+        ),
+        text_speed_factor=device.text_speed_factor / speedup,
+    )
+
+
+def project_model(model: ImageModel, step_speedup: float, suffix: str = "next-gen") -> ImageModel:
+    """A future model generation: same quality profile, faster steps.
+
+    The paper: "already some models perform better (CLIP, ELO) and
+    generate faster than SD 3.5 Medium" — we keep quality conservative
+    (unchanged) and scale only speed.
+    """
+    if step_speedup <= 0:
+        raise ValueError("step_speedup must be positive")
+    return replace(
+        model,
+        name=f"{model.name}-{suffix}",
+        step_time_224={device: t / step_speedup for device, t in model.step_time_224.items()},
+    )
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """Generation vs transmission at one configuration."""
+
+    device: str
+    model: str
+    width: int
+    height: int
+    generation_s: float
+    generation_wh: float
+    transmission_s: float
+    transmission_wh: float
+
+    @property
+    def energy_ratio(self) -> float:
+        """Generation energy ÷ transmission energy (<1 means SWW wins)."""
+        return self.generation_wh / self.transmission_wh
+
+    @property
+    def time_ratio(self) -> float:
+        return self.generation_s / self.transmission_s
+
+    @property
+    def sww_saves_energy(self) -> bool:
+        return self.generation_wh < self.transmission_wh
+
+
+def generation_vs_transmission(
+    model: ImageModel,
+    device: DeviceProfile,
+    width: int = 1024,
+    height: int = 1024,
+    steps: int = 15,
+) -> TradeoffPoint:
+    """The §6.4 comparison at an arbitrary configuration."""
+    seconds = steps * model.step_time(device, width, height)
+    media_bytes = jpeg_size(width, height)
+    return TradeoffPoint(
+        device=device.name,
+        model=model.name,
+        width=width,
+        height=height,
+        generation_s=seconds,
+        generation_wh=device.image_energy_wh(seconds),
+        transmission_s=transmission_time_s(media_bytes),
+        transmission_wh=transmission_energy_wh(media_bytes),
+    )
+
+
+def find_crossover(
+    model: ImageModel,
+    device: DeviceProfile,
+    width: int = 1024,
+    height: int = 1024,
+    steps: int = 15,
+    efficiency_tracks_speed: bool = True,
+    max_speedup: float = 16384.0,
+) -> float:
+    """The combined improvement factor at which SWW starts saving energy.
+
+    Doubles the projection knob until the generation energy at the target
+    configuration drops below the transmission energy; then binary-searches
+    the boundary. ``efficiency_tracks_speed`` applies the same factor to
+    power efficiency (accelerators historically improve perf/W alongside
+    perf). Returns the factor, or ``inf`` if ``max_speedup`` isn't enough.
+    """
+    def energy_ratio(factor: float) -> float:
+        future_device = project_device(
+            device,
+            speedup=factor,
+            efficiency_gain=factor if efficiency_tracks_speed else 1.0,
+        )
+        point = generation_vs_transmission(model, future_device, width, height, steps)
+        return point.energy_ratio
+
+    if energy_ratio(1.0) < 1.0:
+        return 1.0
+    low, high = 1.0, 2.0
+    while energy_ratio(high) >= 1.0:
+        low, high = high, high * 2
+        if high > max_speedup:
+            return float("inf")
+    for _ in range(40):
+        mid = (low + high) / 2
+        if energy_ratio(mid) >= 1.0:
+            low = mid
+        else:
+            high = mid
+    return high

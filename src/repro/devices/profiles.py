@@ -1,0 +1,198 @@
+"""Calibrated device performance models.
+
+Each :class:`DeviceProfile` answers two questions for the generation
+simulators:
+
+* how long does one diffusion step take at a given resolution? — a
+  reference step time at 224×224 (per model, from Table 1) scaled by the
+  device's *resolution curve*: measured slowdown factors anchored on the
+  paper's SD 3 Medium data (Table 2), interpolated power-law in pixel
+  count between anchors. The laptop's curve blows up super-linearly at
+  1024² (16 GB + attention splitting, §6.3.1); the workstation's stays
+  near-linear.
+* how much energy does a task draw? — a per-task-class power model:
+  ``E = P·t + F`` where ``F`` is a fixed spin-up term (noticeable on the
+  workstation's short runs).
+
+Calibration sources (all from the paper):
+
+=================  =========================================================
+anchor             source
+=================  =========================================================
+step times @224²   Table 1 (SD 2.1 / SD 3 / SD 3.5 on laptop & workstation)
+resolution curve   Table 2 SD 3 Med generation times (7/19/310 s laptop,
+                   1.0/1.7/6.2 s workstation at 15 steps)
+laptop img power   Table 2 energies: 0.02/0.05/0.90 Wh → ≈10.45 W constant
+wk img power       Table 2 energies: fit E = 0.0333·t + 0.0033 → 120 W + 12 J
+text power         Table 2 text row: laptop 0.01 Wh/32 s ≈ 1.125 W,
+                   workstation 0.51 Wh/13 s ≈ 141 W
+=================  =========================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+REFERENCE_PIXELS = 224 * 224  # Table 1's CLIP-score evaluation resolution
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Energy for a task: ``E [Wh] = power_w * t / 3600 + fixed_wh``."""
+
+    power_w: float
+    fixed_wh: float = 0.0
+
+    def energy_wh(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("negative duration")
+        return self.power_w * seconds / 3600.0 + (self.fixed_wh if seconds > 0 else 0.0)
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """A simulated evaluation machine."""
+
+    name: str
+    description: str
+    #: (pixel_count, slowdown_factor) anchors, factor 1.0 at REFERENCE_PIXELS.
+    resolution_curve: tuple[tuple[int, float], ...]
+    image_power: PowerModel
+    text_power: PowerModel
+    #: Multiplier on text-model base generation time (workstation == 1.0).
+    text_speed_factor: float
+    #: Large text encoder available (paper's workstation yes, laptop no).
+    large_text_encoder: bool
+    #: Needs attention splitting (the laptop's 16 GB constraint).
+    attention_splitting: bool
+    #: Approximate idle/system overhead, used by the CDN edge experiment.
+    idle_power_w: float = 0.0
+
+    def resolution_factor(self, pixels: int) -> float:
+        """Slowdown relative to 224×224, interpolated between anchors.
+
+        Interpolation is power-law (linear in log-log space), matching how
+        inference cost scales; beyond the last anchor the final segment's
+        exponent is extrapolated.
+        """
+        if pixels <= 0:
+            raise ValueError("pixel count must be positive")
+        curve = self.resolution_curve
+        if pixels <= curve[0][0]:
+            # Below the smallest anchor, scale ~linearly with pixels.
+            return curve[0][1] * pixels / curve[0][0]
+        for (x0, y0), (x1, y1) in zip(curve, curve[1:]):
+            if pixels <= x1:
+                exponent = math.log(y1 / y0) / math.log(x1 / x0)
+                return y0 * (pixels / x0) ** exponent
+        (x0, y0), (x1, y1) = curve[-2], curve[-1]
+        exponent = math.log(y1 / y0) / math.log(x1 / x0)
+        return y1 * (pixels / x1) ** exponent
+
+    def image_step_time(self, reference_step_time_s: float, width: int, height: int) -> float:
+        """Seconds per diffusion step at the given resolution."""
+        return reference_step_time_s * self.resolution_factor(width * height)
+
+    def image_energy_wh(self, seconds: float) -> float:
+        return self.image_power.energy_wh(seconds)
+
+    def text_energy_wh(self, seconds: float) -> float:
+        return self.text_power.energy_wh(seconds)
+
+
+def _curve(anchors: dict[int, float]) -> tuple[tuple[int, float], ...]:
+    return tuple(sorted(anchors.items()))
+
+
+#: MacBook Pro M1 Pro, 16 GB — §6.1. Resolution curve from Table 2 SD 3
+#: rows: 15 steps × 0.38 s/step = 5.7 s predicted at 224², measured 7 s at
+#: 256² (×1.23), 19 s at 512² (×3.33) and 310 s at 1024² (×54.4 — the
+#: attention-splitting blow-up).
+LAPTOP = DeviceProfile(
+    name="laptop",
+    description="MacBook Pro, M1 Pro, 16GB LPDDR5, 16-core GPU, FP16, attention splitting",
+    resolution_curve=_curve(
+        {
+            224 * 224: 1.0,
+            256 * 256: 7.0 / (15 * 0.38),  # ≈1.228
+            512 * 512: 19.0 / (15 * 0.38),  # ≈3.333
+            1024 * 1024: 310.0 / (15 * 0.38),  # ≈54.39
+        }
+    ),
+    image_power=PowerModel(power_w=10.45),
+    text_power=PowerModel(power_w=1.125),
+    text_speed_factor=2.5,  # §6.3.2: workstation is only 2.5× faster
+    large_text_encoder=False,
+    attention_splitting=True,
+    idle_power_w=5.0,
+)
+
+#: Threadripper Pro + 2× NVIDIA RTX 4000 Ada — §6.1. Near-linear resolution
+#: scaling; fixed ≈12 J spin-up fitted from the Table 2 energy column.
+WORKSTATION = DeviceProfile(
+    name="workstation",
+    description="AMD Threadripper Pro 5, 128GB DDR5, 2x NVIDIA RTX 4000 Ada, FP16",
+    resolution_curve=_curve(
+        {
+            224 * 224: 1.0,
+            256 * 256: 1.0 / (15 * 0.05),  # ≈1.333
+            512 * 512: 1.7 / (15 * 0.05),  # ≈2.267
+            1024 * 1024: 6.2 / (15 * 0.05),  # ≈8.267
+        }
+    ),
+    image_power=PowerModel(power_w=120.0, fixed_wh=0.0033),
+    text_power=PowerModel(power_w=141.0),
+    text_speed_factor=1.0,
+    large_text_encoder=True,
+    attention_splitting=False,
+    idle_power_w=60.0,
+)
+
+#: A projected phone-class device (§7 "Generation on Mobile Devices"):
+#: roughly 3× slower than the M1 laptop with a harder memory cliff, at
+#: phone power budgets. Used by forward-looking sweeps, not by the paper's
+#: published tables.
+MOBILE = DeviceProfile(
+    name="mobile",
+    description="projected smartphone NPU: ~3x laptop step time, 8GB memory ceiling",
+    resolution_curve=_curve(
+        {
+            224 * 224: 1.0,
+            256 * 256: 1.30,
+            512 * 512: 4.2,
+            1024 * 1024: 110.0,
+        }
+    ),
+    image_power=PowerModel(power_w=4.5),
+    text_power=PowerModel(power_w=1.0),
+    text_speed_factor=6.0,
+    large_text_encoder=False,
+    attention_splitting=True,
+    idle_power_w=0.5,
+)
+
+#: The provider-side datacenter device that runs DALL·E-3-class models
+#: (Table 1 shows no local times for DALLE 3: it is server-run). Times are
+#: modelled as workstation-class; energy at datacenter GPU power.
+CLOUD = DeviceProfile(
+    name="cloud",
+    description="datacenter inference service (server-run models, e.g. DALLE 3)",
+    resolution_curve=WORKSTATION.resolution_curve,
+    image_power=PowerModel(power_w=350.0, fixed_wh=0.0033),
+    text_power=PowerModel(power_w=350.0),
+    text_speed_factor=0.8,
+    large_text_encoder=True,
+    attention_splitting=False,
+    idle_power_w=150.0,
+)
+
+DEVICES: dict[str, DeviceProfile] = {d.name: d for d in (LAPTOP, WORKSTATION, MOBILE, CLOUD)}
+
+
+def get_device(name: str) -> DeviceProfile:
+    """Look up a device profile by name."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(f"unknown device {name!r}; available: {sorted(DEVICES)}") from None

@@ -1,0 +1,55 @@
+"""Simulated generative models.
+
+Real Stable Diffusion / Ollama models are hardware- and network-gated in
+this environment, so this subpackage provides deterministic synthetic
+equivalents that exercise the same code paths the paper's prototype uses
+(DESIGN.md §2 documents the substitution argument):
+
+* :mod:`repro.genai.embeddings` — deterministic text/image feature vectors;
+  the shared latent space that makes CLIP/SBERT-style similarity measurable.
+* :mod:`repro.genai.image` — a latent-diffusion *simulator*: prompt →
+  (noisy) content embedding → procedurally rendered pixels → real PNG
+  bytes, with per-model fidelity and per-device step timing.
+* :mod:`repro.genai.text` — bullet-points → prose expansion with per-model
+  semantic drift, length-control error and generation-time profiles.
+* :mod:`repro.genai.registry` — the model zoo (SD 2.1/3/3.5, DALL·E 3,
+  Llama 3.2, DeepSeek-R1 1.5B/8B/14B) with calibrated quality profiles.
+* :mod:`repro.genai.pipeline` — the preloaded generation pipeline object
+  the paper's §4.1 describes as a performance optimisation.
+* :mod:`repro.genai.ollama_api` — an Ollama-shaped local HTTP API wrapper,
+  mirroring how the prototype reached its text models.
+"""
+
+from repro.genai.embeddings import text_embedding, image_embedding, cosine_similarity
+from repro.genai.image import ImageModel, ImageResult, random_image
+from repro.genai.text import TextModel, TextResult
+from repro.genai.registry import (
+    IMAGE_MODELS,
+    TEXT_MODELS,
+    get_image_model,
+    get_text_model,
+)
+from repro.genai.pipeline import GenerationPipeline, PipelineLoadCost
+from repro.genai.upscale import UpscaleModel, UpscaleResult, upscale_image, ONE_STEP_SR, FAST_SCALER
+
+__all__ = [
+    "text_embedding",
+    "image_embedding",
+    "cosine_similarity",
+    "ImageModel",
+    "ImageResult",
+    "random_image",
+    "TextModel",
+    "TextResult",
+    "IMAGE_MODELS",
+    "TEXT_MODELS",
+    "get_image_model",
+    "get_text_model",
+    "GenerationPipeline",
+    "PipelineLoadCost",
+    "UpscaleModel",
+    "UpscaleResult",
+    "upscale_image",
+    "ONE_STEP_SR",
+    "FAST_SCALER",
+]

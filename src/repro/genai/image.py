@@ -1,0 +1,219 @@
+"""The latent-diffusion simulator.
+
+What the real pipeline does: encode the prompt, run N denoising steps in a
+latent space, decode to pixels. What this simulator preserves:
+
+* **prompt → content**: the prompt's embedding, perturbed by
+  model-dependent noise, becomes the image's *content vector*, rendered
+  into the pixels so that a CLIP-style metric can recover it
+  (:mod:`repro.genai.embeddings`). Higher-fidelity models add less noise,
+  which is what separates SD 2.1 from SD 3/3.5 from DALL·E 3 in Table 1.
+* **steps → time and quality**: generation time is
+  ``steps × step_time(model, device, resolution)``; more steps slightly
+  reduce residual noise (the paper: "only minor changes to CLIP score" as
+  steps scale from 10 to 60).
+* **resolution → time**: per-device resolution curves from
+  :mod:`repro.devices.profiles`, including the laptop's 1024² blow-up.
+* **device → energy**: power draw integrated over simulated time.
+
+Every output is a real image: an (H, W, 3) uint8 array encodable to PNG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util.hashing import stable_hash, stable_u64
+from repro.devices.profiles import DeviceProfile
+from repro.genai.embeddings import (
+    EMBED_DIM,
+    GRID,
+    embed_vector_to_blocks,
+    text_embedding,
+)
+from repro.media.png import encode_png
+
+DEFAULT_STEPS = 15  # Table 1 evaluates at 15 inference steps
+
+
+@dataclass(frozen=True)
+class ImageModel:
+    """A text-to-image model profile.
+
+    ``fidelity`` is the target cosine alignment between the prompt
+    embedding and the generated content vector at the reference step count;
+    it is calibrated so the CLIP-sim scores land on Table 1 (DESIGN.md §5).
+    ``arena_quality`` is the latent strength used by the simulated
+    preference arena that produces ELO ratings.
+    """
+
+    name: str
+    fidelity: float
+    arena_quality: float
+    #: Seconds per denoising step at 224×224, keyed by device name (Table 1).
+    step_time_224: dict[str, float] = field(default_factory=dict)
+    #: Models run provider-side (DALL·E 3) have no on-device step times.
+    server_only: bool = False
+    default_steps: int = DEFAULT_STEPS
+
+    def step_time(self, device: DeviceProfile, width: int, height: int) -> float:
+        """Seconds per step on ``device`` at the given resolution."""
+        reference = self.step_time_224.get(device.name)
+        if reference is None and "-" in device.name:
+            # Projected future devices (repro.devices.future) keep their
+            # base device's timing profile key: "laptop-future" → "laptop".
+            reference = self.step_time_224.get(device.name.split("-")[0])
+        if reference is None:
+            raise ValueError(
+                f"model {self.name!r} has no timing profile for device {device.name!r}"
+                + (" (server-only model)" if self.server_only else "")
+            )
+        return device.image_step_time(reference, width, height)
+
+    def effective_fidelity(self, steps: int) -> float:
+        """Fidelity after ``steps`` denoising steps.
+
+        Converges quickly: below ~8 steps quality degrades noticeably, and
+        past the reference count the gain is marginal (the paper's §6.3.1
+        observation).
+        """
+        if steps <= 0:
+            raise ValueError("steps must be positive")
+        ramp = 1.0 - 0.5 * np.exp(-steps / 5.0)
+        return float(np.clip(self.fidelity * ramp / (1.0 - 0.5 * np.exp(-DEFAULT_STEPS / 5.0)), 0.0, 0.99))
+
+
+@dataclass
+class ImageResult:
+    """Output of a simulated generation."""
+
+    pixels: np.ndarray
+    prompt: str
+    model: str
+    device: str
+    steps: int
+    width: int
+    height: int
+    sim_time_s: float
+    energy_wh: float
+
+    _png_cache: bytes | None = None
+
+    def png_bytes(self) -> bytes:
+        """Encode (and cache) the pixels as real PNG bytes."""
+        if self._png_cache is None:
+            self._png_cache = encode_png(self.pixels)
+        return self._png_cache
+
+
+def _content_vector(prompt: str, fidelity: float, seed: int) -> np.ndarray:
+    """Mix the prompt embedding with model noise at the target cosine.
+
+    For unit vectors e (prompt) and n (orthogonalised noise), the mixture
+    ``f·e + sqrt(1-f²)·n`` has cosine exactly ``f`` with ``e``.
+    """
+    prompt_vec = text_embedding(prompt)
+    rng = np.random.default_rng(seed)
+    noise = rng.standard_normal(EMBED_DIM)
+    if np.linalg.norm(prompt_vec) == 0:
+        out = noise
+    else:
+        noise -= np.dot(noise, prompt_vec) * prompt_vec  # orthogonalise
+        noise /= np.linalg.norm(noise)
+        out = fidelity * prompt_vec + np.sqrt(max(0.0, 1.0 - fidelity**2)) * noise
+    norm = np.linalg.norm(out)
+    return out / norm if norm else out
+
+
+def render_content(vector: np.ndarray, width: int, height: int, seed: int) -> np.ndarray:
+    """Render a content vector into an (H, W, 3) image.
+
+    The red channel carries the vector as per-block means (recoverable by
+    :func:`repro.genai.embeddings.image_embedding`); green and blue carry
+    decorative gradients and mean-preserving texture so the output looks
+    like an image rather than a barcode.
+    """
+    plane = embed_vector_to_blocks(vector)  # (GRID, GRID) uint8
+    bh = max(1, height // GRID)
+    bw = max(1, width // GRID)
+    red = np.repeat(np.repeat(plane, bh, axis=0), bw, axis=1)
+    red = red[:height, :width]
+    # Pad if the size is not divisible by GRID (repeat edge blocks).
+    if red.shape[0] < height or red.shape[1] < width:
+        red = np.pad(
+            red,
+            ((0, height - red.shape[0]), (0, width - red.shape[1])),
+            mode="edge",
+        )
+
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    ys = np.linspace(0, 2 * np.pi, height)[:, None]
+    xs = np.linspace(0, 2 * np.pi, width)[None, :]
+    phase_y, phase_x = rng.uniform(0, 2 * np.pi, 2)
+    # Smooth low-frequency washes: cheap to compress, decorative to look at.
+    green = (127.5 * (1 + np.sin(ys * rng.integers(1, 4) + phase_y)) * np.ones((1, width))).astype(np.uint8)
+    blue = (127.5 * (1 + np.sin(xs * rng.integers(1, 3) + phase_x)) * np.ones((height, 1))).astype(np.uint8)
+
+    # Mean-preserving per-block texture on the red channel: visual variety
+    # without disturbing the block means the metric recovers.
+    if bh >= 2 and bw >= 2:
+        texture = rng.integers(-3, 4, size=(height, width)).astype(np.int16)
+        gh, gw = (height // GRID) * GRID, (width // GRID) * GRID
+        sub = texture[:gh, :gw].reshape(GRID, gh // GRID, GRID, gw // GRID)
+        sub -= sub.mean(axis=(1, 3), keepdims=True).astype(np.int16)
+        texture[:gh, :gw] = sub.reshape(gh, gw)
+        texture[gh:, :] = 0
+        texture[:, gw:] = 0
+        red = np.clip(red.astype(np.int16) + texture, 0, 255).astype(np.uint8)
+
+    return np.stack([red, green, blue], axis=2)
+
+
+def generate_image(
+    model: ImageModel,
+    device: DeviceProfile,
+    prompt: str,
+    width: int = 256,
+    height: int = 256,
+    steps: int | None = None,
+    seed: int | None = None,
+) -> ImageResult:
+    """Run the simulated diffusion pipeline end to end."""
+    if width < GRID or height < GRID:
+        raise ValueError(f"minimum generatable size is {GRID}x{GRID}")
+    steps = steps if steps is not None else model.default_steps
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+    if seed is None:
+        seed = stable_u64("image-seed", model.name, prompt, width, height, steps) % 2**32
+
+    fidelity = model.effective_fidelity(steps)
+    # Per-generation quality jitter: real diffusion output quality varies
+    # draw to draw; the model's fidelity profile is the mean, not a
+    # constant. Deterministic in the seed, so results stay reproducible.
+    rng = np.random.default_rng((seed ^ 0xF1DE11) % 2**32)
+    fidelity = float(np.clip(fidelity + rng.normal(0.0, 0.04), 0.05, 0.98))
+    vector = _content_vector(prompt, fidelity, seed)
+    pixels = render_content(vector, width, height, seed)
+
+    seconds = steps * model.step_time(device, width, height)
+    energy = device.image_energy_wh(seconds)
+    return ImageResult(
+        pixels=pixels,
+        prompt=prompt,
+        model=model.name,
+        device=device.name,
+        steps=steps,
+        width=width,
+        height=height,
+        sim_time_s=seconds,
+        energy_wh=energy,
+    )
+
+
+def random_image(width: int = 224, height: int = 224, seed: int = 0) -> np.ndarray:
+    """An unprompted image — the paper's CLIP-floor baseline (§6.3.1)."""
+    rng = np.random.default_rng(stable_u64("random-image", seed) % 2**32)
+    return rng.integers(0, 256, size=(height, width, 3), dtype=np.uint8)

@@ -1,0 +1,112 @@
+"""The model zoo with calibrated quality/performance profiles.
+
+Image fidelities are calibrated so the CLIP-sim metric lands on Table 1:
+with ``clip = 0.09 + 0.26·cosine`` (see :mod:`repro.metrics.clip`), the
+targets 0.19 / 0.27 / 0.27 / 0.32 require cosines ≈ 0.385 / 0.69 / 0.695 /
+0.885. Arena qualities are the Table 1 ELO values themselves — the
+simulated preference arena (:mod:`repro.metrics.elo`) uses them as latent
+strengths and *measures* ratings from simulated pairwise battles.
+
+Text model base times are workstation seconds at 250 words, anchored on
+Table 2 (DeepSeek-R1 8B = 13.0 s) with the others placed to reproduce the
+§6.3.2 ranges (6.98-14.33 s workstation, 16.06-34.04 s laptop at 2.5×).
+"""
+
+from __future__ import annotations
+
+from repro.genai.image import ImageModel
+from repro.genai.text import TextModel
+
+SD21 = ImageModel(
+    name="sd-2.1-base",
+    fidelity=0.385,
+    arena_quality=688.0,
+    step_time_224={"laptop": 0.18, "workstation": 0.02, "mobile": 0.54, "cloud": 0.016},
+)
+
+SD3_MEDIUM = ImageModel(
+    name="sd-3-medium",
+    fidelity=0.690,
+    arena_quality=895.0,
+    step_time_224={"laptop": 0.38, "workstation": 0.05, "mobile": 1.14, "cloud": 0.04},
+)
+
+SD35_MEDIUM = ImageModel(
+    name="sd-3.5-medium",
+    fidelity=0.695,
+    arena_quality=927.0,
+    step_time_224={"laptop": 0.59, "workstation": 0.06, "mobile": 1.77, "cloud": 0.048},
+)
+
+DALLE3 = ImageModel(
+    name="dalle-3",
+    fidelity=0.885,
+    arena_quality=923.0,
+    step_time_224={"cloud": 0.04},
+    server_only=True,
+)
+
+#: Reference entry the paper mentions as the arena leader (not evaluated
+#: on-device): GPT-4o with ELO 1166.
+GPT4O_IMAGE = ImageModel(
+    name="gpt-4o-image",
+    fidelity=0.92,
+    arena_quality=1166.0,
+    step_time_224={"cloud": 0.05},
+    server_only=True,
+)
+
+IMAGE_MODELS: dict[str, ImageModel] = {
+    m.name: m for m in (SD21, SD3_MEDIUM, SD35_MEDIUM, DALLE3, GPT4O_IMAGE)
+}
+
+LLAMA32 = TextModel(
+    name="llama-3.2",
+    base_time_s=9.0,
+    drift=0.30,
+    length_error_scale=0.10,
+    reasoning=False,
+)
+
+DEEPSEEK_R1_1_5B = TextModel(
+    name="deepseek-r1-1.5b",
+    base_time_s=8.7,
+    drift=0.34,
+    length_error_scale=0.13,
+)
+
+DEEPSEEK_R1_8B = TextModel(
+    name="deepseek-r1-8b",
+    base_time_s=13.0,  # Table 2: 250-word block, workstation
+    drift=0.12,
+    length_error_scale=0.04,
+)
+
+DEEPSEEK_R1_14B = TextModel(
+    name="deepseek-r1-14b",
+    base_time_s=11.5,
+    drift=0.15,
+    length_error_scale=0.06,
+)
+
+TEXT_MODELS: dict[str, TextModel] = {
+    m.name: m for m in (LLAMA32, DEEPSEEK_R1_1_5B, DEEPSEEK_R1_8B, DEEPSEEK_R1_14B)
+}
+
+#: The prototype's models of choice (§6.3.1, §6.3.2, Table 2).
+DEFAULT_IMAGE_MODEL = SD3_MEDIUM
+DEFAULT_TEXT_MODEL = DEEPSEEK_R1_8B
+
+
+def get_image_model(name: str) -> ImageModel:
+    try:
+        return IMAGE_MODELS[name]
+    except KeyError:
+        raise KeyError(f"unknown image model {name!r}; available: {sorted(IMAGE_MODELS)}") from None
+
+
+def get_text_model(name: str) -> TextModel:
+    try:
+        return TEXT_MODELS[name]
+    except KeyError:
+        raise KeyError(f"unknown text model {name!r}; available: {sorted(TEXT_MODELS)}") from None

@@ -1,0 +1,93 @@
+"""Topic vocabularies and connective phrases for the text simulator.
+
+The text-expansion engine builds prose from the source bullet points'
+content words plus topical vocabulary; the drift mechanism injects generic
+filler drawn from :data:`GENERIC_FILLER`. The workload corpus generators
+(:mod:`repro.workloads.corpus`) share these banks so that prompts, pages
+and generated text inhabit one consistent lexicon.
+"""
+
+from __future__ import annotations
+
+TOPIC_BANKS: dict[str, tuple[str, ...]] = {
+    "travel": (
+        "trail", "summit", "valley", "ridge", "vista", "meadow", "alpine",
+        "wilderness", "backpack", "itinerary", "scenic", "panorama",
+        "elevation", "switchback", "campsite", "waterfall", "gorge",
+        "trailhead", "compass", "expedition", "journey", "horizon",
+        "pass", "lodge", "ascent", "descent", "terrain", "route",
+    ),
+    "landscape": (
+        "mountain", "lake", "forest", "river", "cloud", "sunset", "sunrise",
+        "glacier", "fjord", "coastline", "prairie", "dune", "canyon",
+        "volcano", "rainbow", "reflection", "mist", "snowcap", "pasture",
+        "shoreline", "cliff", "island", "waterfall", "meadow", "sky",
+    ),
+    "food": (
+        "menu", "delivery", "cuisine", "flavor", "recipe", "ingredient",
+        "appetizer", "entree", "dessert", "seasonal", "organic", "roasted",
+        "grilled", "savory", "chef", "kitchen", "portion", "platter",
+        "garnish", "sauce", "tasting", "pairing", "artisanal", "fresh",
+    ),
+    "news": (
+        "report", "official", "statement", "announcement", "investigation",
+        "policy", "economy", "market", "government", "parliament",
+        "minister", "spokesperson", "analysis", "development", "response",
+        "measure", "proposal", "impact", "sector", "infrastructure",
+        "regulation", "budget", "negotiation", "agreement", "summit",
+    ),
+    "technology": (
+        "network", "protocol", "bandwidth", "latency", "server", "client",
+        "browser", "inference", "model", "accelerator", "generation",
+        "prompt", "diffusion", "rendering", "pipeline", "storage",
+        "compression", "sustainability", "energy", "datacenter", "edge",
+        "cache", "throughput", "deployment", "hardware", "silicon",
+    ),
+    "nature": (
+        "wildlife", "habitat", "species", "ecosystem", "conservation",
+        "migration", "canopy", "undergrowth", "riverbank", "wetland",
+        "grassland", "predator", "songbird", "pollinator", "bloom",
+        "foliage", "seedling", "biodiversity", "watershed", "estuary",
+    ),
+}
+
+CONNECTIVES: tuple[str, ...] = (
+    "in addition", "meanwhile", "as a result", "for this reason",
+    "beyond that", "at the same time", "in practice", "more broadly",
+    "taken together", "in contrast", "on balance", "looking ahead",
+)
+
+SENTENCE_OPENERS: tuple[str, ...] = (
+    "The", "Along the way, the", "Visitors find that the", "Notably, the",
+    "Many agree the", "Here the", "Throughout, the", "Nearby, the",
+    "Each year the", "Historically, the",
+)
+
+VERBS: tuple[str, ...] = (
+    "reveals", "offers", "frames", "captures", "presents", "showcases",
+    "suggests", "supports", "shapes", "defines", "anchors", "highlights",
+    "surrounds", "complements", "extends", "rewards",
+)
+
+ADJECTIVES: tuple[str, ...] = (
+    "remarkable", "quiet", "sweeping", "gentle", "dramatic", "vivid",
+    "understated", "generous", "memorable", "layered", "expansive",
+    "distinct", "familiar", "striking", "unhurried", "luminous",
+)
+
+#: Off-topic filler the drifting models inject (generic web boilerplate).
+GENERIC_FILLER: tuple[str, ...] = (
+    "readers everywhere appreciate dependable guidance and friendly advice",
+    "countless options await anyone willing to explore something new today",
+    "experts recommend planning carefully and keeping expectations flexible",
+    "a little preparation goes a long way toward a satisfying experience",
+    "community feedback continues to shape improvements season after season",
+    "newcomers and veterans alike discover different perspectives all the time",
+)
+
+ALL_TOPICS: tuple[str, ...] = tuple(sorted(TOPIC_BANKS))
+
+
+def topic_words(topic: str) -> tuple[str, ...]:
+    """Vocabulary for a topic, defaulting to the technology bank."""
+    return TOPIC_BANKS.get(topic, TOPIC_BANKS["technology"])

@@ -1,0 +1,31 @@
+"""A small from-scratch HTML engine.
+
+The SWW prototype needs to parse received pages, find ``generated-content``
+divisions, and rewrite them with generated media (paper §4.1). This
+subpackage provides the pieces: a tokenizer, a DOM, a tree-building parser
+and a serializer. It is not a full WHATWG implementation — it covers the
+constructs that appear in real page markup (elements, attributes, text,
+comments, doctype, void elements, raw-text elements like ``<script>``)
+with well-defined recovery for mismatched tags.
+"""
+
+from repro.html.dom import Element, Text, Comment, Document, Node
+from repro.html.parser import parse_html
+from repro.html.serializer import serialize
+from repro.html.tokenizer import tokenize, Token, TagToken, TextToken, CommentToken, DoctypeToken
+
+__all__ = [
+    "Element",
+    "Text",
+    "Comment",
+    "Document",
+    "Node",
+    "parse_html",
+    "serialize",
+    "tokenize",
+    "Token",
+    "TagToken",
+    "TextToken",
+    "CommentToken",
+    "DoctypeToken",
+]

@@ -1,0 +1,52 @@
+"""DOM → HTML text."""
+
+from __future__ import annotations
+
+from repro.html.dom import Comment, Document, Element, Node, Text
+from repro.html.tokenizer import RAW_TEXT_ELEMENTS, VOID_ELEMENTS
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {"&": "&amp;", '"': "&quot;", "<": "&lt;"}
+
+
+def _escape(text: str, table: dict[str, str]) -> str:
+    for char, entity in table.items():
+        text = text.replace(char, entity)
+    return text
+
+
+def serialize(node: Node | Document) -> str:
+    """Serialize a node (or whole document) back to HTML text.
+
+    Round-trips everything the parser understands; text is entity-escaped
+    except inside raw-text elements (``script``/``style``).
+    """
+    parts: list[str] = []
+    _serialize_into(node, parts, raw_text=False)
+    return "".join(parts)
+
+
+def _serialize_into(node: Node | Document, parts: list[str], raw_text: bool) -> None:
+    if isinstance(node, Document):
+        if node.doctype is not None:
+            parts.append(f"<!{node.doctype}>")
+        for child in node.children:
+            _serialize_into(child, parts, raw_text=False)
+        return
+    if isinstance(node, Text):
+        parts.append(node.text if raw_text else _escape(node.text, _TEXT_ESCAPES))
+        return
+    if isinstance(node, Comment):
+        parts.append(f"<!--{node.text}-->")
+        return
+    if isinstance(node, Element):
+        attrs = "".join(f' {name}="{_escape(value, _ATTR_ESCAPES)}"' for name, value in node.attributes.items())
+        parts.append(f"<{node.tag}{attrs}>")
+        if node.tag in VOID_ELEMENTS:
+            return
+        inner_raw = node.tag in RAW_TEXT_ELEMENTS
+        for child in node.children:
+            _serialize_into(child, parts, raw_text=inner_raw)
+        parts.append(f"</{node.tag}>")
+        return
+    raise TypeError(f"cannot serialize {type(node).__name__}")

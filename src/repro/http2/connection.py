@@ -1,0 +1,595 @@
+"""A sans-io HTTP/2 connection engine (client and server roles).
+
+The engine follows the "sans-io" pattern: callers feed received bytes in via
+:meth:`H2Connection.receive_data` and get protocol events out; outbound
+bytes accumulate in an internal buffer drained with
+:meth:`H2Connection.data_to_send`. This keeps the protocol logic fully
+testable without sockets, and lets the same engine run over asyncio TCP or
+the in-memory transports in :mod:`repro.http2.transport`.
+
+The SWW extension surfaces here in three places:
+
+* :meth:`initiate_connection` includes ``SETTINGS_GEN_ABILITY`` in the
+  initial SETTINGS frame when the local endpoint supports generation;
+* incoming SETTINGS update :attr:`peer_settings`, after which
+  :attr:`gen_ability_negotiated` reports whether *both* peers advertised
+  support (paper §3: "In any case other than both server and client having
+  SETTINGS_GEN_ABILITY set to 1, default behavior will be assumed.");
+* the :class:`GenAbilityNegotiated` event fires exactly once per connection
+  when the peer's first SETTINGS frame arrives, carrying the verdict.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.http2 import frames
+from repro.http2.errors import (
+    CompressionError,
+    ErrorCode,
+    FrameError,
+    H2Error,
+    ProtocolError,
+    StreamError,
+)
+from repro.http2.flow_control import FlowControlWindow
+from repro.http2.frames import (
+    ContinuationFrame,
+    DataFrame,
+    Frame,
+    GoAwayFrame,
+    HeadersFrame,
+    PingFrame,
+    PriorityFrame,
+    PushPromiseFrame,
+    RstStreamFrame,
+    SettingsFrame,
+    WindowUpdateFrame,
+)
+from repro.http2.hpack import HpackDecoder, HpackEncoder
+from repro.http2.settings import Setting, Settings
+from repro.http2.streams import H2Stream, StreamEvent, StreamState
+
+#: The client connection preface (RFC 9113 §3.4).
+CONNECTION_PREFACE = b"PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n"
+
+HeaderList = list[tuple[bytes, bytes]]
+
+
+class Role(enum.Enum):
+    CLIENT = "client"
+    SERVER = "server"
+
+
+@dataclass
+class Event:
+    """Base class for protocol events returned by ``receive_data``."""
+
+    stream_id: int = 0
+
+
+@dataclass
+class RemoteSettingsChanged(Event):
+    changes: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass
+class SettingsAcknowledged(Event):
+    pass
+
+
+@dataclass
+class GenAbilityNegotiated(Event):
+    """Fired when the peer's first SETTINGS frame reveals its capability."""
+
+    local: bool = False
+    peer: bool = False
+
+    @property
+    def negotiated(self) -> bool:
+        return self.local and self.peer
+
+
+@dataclass
+class RequestReceived(Event):
+    headers: HeaderList = field(default_factory=list)
+    end_stream: bool = False
+
+
+@dataclass
+class ResponseReceived(Event):
+    headers: HeaderList = field(default_factory=list)
+    end_stream: bool = False
+
+
+@dataclass
+class TrailersReceived(Event):
+    headers: HeaderList = field(default_factory=list)
+
+
+@dataclass
+class DataReceived(Event):
+    data: bytes = b""
+    flow_controlled_length: int = 0
+    end_stream: bool = False
+
+
+@dataclass
+class StreamEnded(Event):
+    pass
+
+
+@dataclass
+class StreamReset(Event):
+    error_code: ErrorCode = ErrorCode.NO_ERROR
+
+
+@dataclass
+class PushPromiseReceived(Event):
+    promised_stream_id: int = 0
+    headers: HeaderList = field(default_factory=list)
+
+
+@dataclass
+class PingReceived(Event):
+    data: bytes = b""
+
+
+@dataclass
+class PingAcknowledged(Event):
+    data: bytes = b""
+
+
+@dataclass
+class WindowUpdated(Event):
+    delta: int = 0
+
+
+@dataclass
+class ConnectionTerminated(Event):
+    error_code: ErrorCode = ErrorCode.NO_ERROR
+    last_stream_id: int = 0
+    debug_data: bytes = b""
+
+
+class H2Connection:
+    """One endpoint of an HTTP/2 connection.
+
+    Parameters
+    ----------
+    role:
+        CLIENT sends the connection preface and uses odd stream ids;
+        SERVER expects the preface and uses even ids for pushes.
+    gen_ability:
+        Whether this endpoint advertises ``SETTINGS_GEN_ABILITY`` (the SWW
+        capability). ``gen_ability_value`` allows richer 32-bit encodings.
+    """
+
+    def __init__(
+        self,
+        role: Role,
+        gen_ability: bool = False,
+        gen_ability_value: int | None = None,
+        header_table_size: int = 4096,
+        use_huffman: bool = True,
+        use_indexing: bool = True,
+        initial_window_size: int = 1 << 24,
+    ) -> None:
+        self.role = role
+        self.local_gen_ability = gen_ability
+        self._gen_ability_value = gen_ability_value if gen_ability_value is not None else (1 if gen_ability else 0)
+        self.local_settings = Settings(
+            {
+                Setting.GEN_ABILITY: self._gen_ability_value,
+                Setting.INITIAL_WINDOW_SIZE: initial_window_size,
+            }
+        )
+        self.peer_settings = Settings()
+        self._peer_settings_received = False
+        self.encoder = HpackEncoder(header_table_size, use_huffman=use_huffman, use_indexing=use_indexing)
+        self.decoder = HpackDecoder(header_table_size)
+        self.streams: dict[int, H2Stream] = {}
+        self.outbound_window = FlowControlWindow()
+        self.inbound_window = FlowControlWindow()
+        self._send_buffer = bytearray()
+        self._recv_buffer = b""
+        self._preface_pending = role == Role.SERVER
+        self._next_stream_id = 1 if role == Role.CLIENT else 2
+        self._highest_peer_stream = 0
+        self._expect_continuation: tuple[int, bytearray, bool] | None = None
+        self._goaway_sent = False
+        self._goaway_received = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        #: Per-frame-type byte accounting, for the protocol-overhead benches.
+        self.sent_frame_bytes: dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Outbound API
+    # ------------------------------------------------------------------ #
+
+    def initiate_connection(self) -> None:
+        """Send the preface (clients) and the initial SETTINGS frame."""
+        if self.role == Role.CLIENT:
+            self._emit_raw(CONNECTION_PREFACE)
+        settings: dict[int, int] = {
+            Setting.HEADER_TABLE_SIZE: self.local_settings.header_table_size,
+            Setting.INITIAL_WINDOW_SIZE: self.local_settings.initial_window_size,
+            Setting.MAX_FRAME_SIZE: self.local_settings.max_frame_size,
+        }
+        if self._gen_ability_value:
+            settings[Setting.GEN_ABILITY] = self._gen_ability_value
+        self._emit_frame(SettingsFrame(settings=settings))
+        # Raise the connection-level receive window to match the advertised
+        # stream window (the connection window is not covered by SETTINGS —
+        # RFC 9113 §6.9.2 — so it needs an explicit WINDOW_UPDATE).
+        grant = self.local_settings.initial_window_size - self.inbound_window.available
+        if grant > 0:
+            self.inbound_window.replenish(grant)
+            self._emit_frame(WindowUpdateFrame(stream_id=0, increment=grant))
+
+    def get_next_available_stream_id(self) -> int:
+        stream_id = self._next_stream_id
+        self._next_stream_id += 2
+        return stream_id
+
+    def send_headers(
+        self,
+        stream_id: int,
+        headers: HeaderList,
+        end_stream: bool = False,
+        max_fragment: int | None = None,
+    ) -> None:
+        """Send HEADERS (+CONTINUATIONs when the block exceeds a frame)."""
+        self._assert_open_for_sending()
+        stream = self._get_or_create_stream(stream_id)
+        stream.process(StreamEvent.SEND_HEADERS)
+        if end_stream:
+            stream.process(StreamEvent.SEND_END_STREAM)
+        block = self.encoder.encode(headers)
+        limit = max_fragment or self.peer_settings.max_frame_size
+        first, rest = block[:limit], block[limit:]
+        self._emit_frame(
+            HeadersFrame(
+                stream_id=stream_id,
+                header_block=first,
+                end_stream=end_stream,
+                end_headers=not rest,
+            )
+        )
+        while rest:
+            fragment, rest = rest[:limit], rest[limit:]
+            self._emit_frame(
+                ContinuationFrame(stream_id=stream_id, header_block=fragment, end_headers=not rest)
+            )
+
+    def send_data(self, stream_id: int, data: bytes, end_stream: bool = False) -> None:
+        """Send DATA, chunked to the peer's MAX_FRAME_SIZE, consuming windows."""
+        self._assert_open_for_sending()
+        stream = self.streams.get(stream_id)
+        if stream is None or not stream.can_send_data:
+            raise ProtocolError(f"cannot send DATA on stream {stream_id}")
+        limit = self.peer_settings.max_frame_size
+        view = memoryview(data)
+        offset = 0
+        while True:
+            chunk = bytes(view[offset : offset + limit])
+            offset += len(chunk)
+            last = offset >= len(data)
+            self.outbound_window.consume(len(chunk))
+            stream.outbound_window.consume(len(chunk))
+            self._emit_frame(DataFrame(stream_id=stream_id, data=chunk, end_stream=end_stream and last))
+            if last:
+                break
+        if end_stream:
+            stream.process(StreamEvent.SEND_END_STREAM)
+
+    def send_ping(self, data: bytes = b"\x00" * 8) -> None:
+        self._emit_frame(PingFrame(data=data))
+
+    def push_stream(
+        self,
+        request_stream_id: int,
+        request_headers: HeaderList,
+        response_headers: HeaderList,
+        data: bytes,
+    ) -> int:
+        """Server push: promise and immediately fulfil a pushed response.
+
+        Emits PUSH_PROMISE on ``request_stream_id`` (RFC 9113 §8.4),
+        reserving a new even-numbered stream, then sends the response
+        headers and body on the promised stream. Returns the promised
+        stream id. Requires the peer to have left ENABLE_PUSH on.
+        """
+        if self.role != Role.SERVER:
+            raise ProtocolError("only servers may push")
+        if not self.peer_settings.enable_push:
+            raise ProtocolError("peer disabled server push")
+        parent = self.streams.get(request_stream_id)
+        if parent is None or parent.closed:
+            raise ProtocolError(f"cannot push against stream {request_stream_id}")
+        promised_id = self.get_next_available_stream_id()
+        promised = self._get_or_create_stream(promised_id)
+        promised.process(StreamEvent.SEND_PUSH_PROMISE)
+        block = self.encoder.encode(request_headers)
+        self._emit_frame(
+            PushPromiseFrame(
+                stream_id=request_stream_id,
+                promised_stream_id=promised_id,
+                header_block=block,
+            )
+        )
+        promised.process(StreamEvent.SEND_HEADERS)
+        response_block = self.encoder.encode(response_headers)
+        self._emit_frame(HeadersFrame(stream_id=promised_id, header_block=response_block))
+        self.send_data(promised_id, data, end_stream=True)
+        return promised_id
+
+    def reset_stream(self, stream_id: int, error_code: ErrorCode = ErrorCode.CANCEL) -> None:
+        stream = self._get_or_create_stream(stream_id)
+        stream.process(StreamEvent.SEND_RST)
+        self._emit_frame(RstStreamFrame(stream_id=stream_id, error_code=error_code))
+
+    def close_connection(self, error_code: ErrorCode = ErrorCode.NO_ERROR, debug: bytes = b"") -> None:
+        self._emit_frame(
+            GoAwayFrame(last_stream_id=self._highest_peer_stream, error_code=error_code, debug_data=debug)
+        )
+        self._goaway_sent = True
+
+    def increment_flow_control_window(self, increment: int, stream_id: int = 0) -> None:
+        """Grant the peer more credit (connection when stream_id == 0)."""
+        if stream_id == 0:
+            self.inbound_window.replenish(increment)
+        else:
+            stream = self.streams.get(stream_id)
+            if stream is None:
+                raise ProtocolError(f"unknown stream {stream_id}")
+            stream.inbound_window.replenish(increment)
+        self._emit_frame(WindowUpdateFrame(stream_id=stream_id, increment=increment))
+
+    def acknowledge_settings(self) -> None:
+        self._emit_frame(SettingsFrame(ack=True))
+
+    def update_settings(self, changes: dict[int, int]) -> None:
+        """Send a mid-connection SETTINGS frame."""
+        self._emit_frame(SettingsFrame(settings=dict(changes)))
+        self.local_settings.update(changes)
+
+    def data_to_send(self) -> bytes:
+        """Drain the outbound byte buffer."""
+        out = bytes(self._send_buffer)
+        self._send_buffer.clear()
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Inbound API
+    # ------------------------------------------------------------------ #
+
+    def receive_data(self, data: bytes) -> list[Event]:
+        """Feed received bytes; returns the protocol events they produced."""
+        self.bytes_received += len(data)
+        self._recv_buffer += data
+        events: list[Event] = []
+        if self._preface_pending:
+            if len(self._recv_buffer) < len(CONNECTION_PREFACE):
+                if not CONNECTION_PREFACE.startswith(self._recv_buffer):
+                    raise ProtocolError("invalid connection preface")
+                return events
+            if not self._recv_buffer.startswith(CONNECTION_PREFACE):
+                raise ProtocolError("invalid connection preface")
+            self._recv_buffer = self._recv_buffer[len(CONNECTION_PREFACE) :]
+            self._preface_pending = False
+        parsed, self._recv_buffer = frames.parse_frames(
+            self._recv_buffer, self.local_settings.max_frame_size
+        )
+        for frame in parsed:
+            events.extend(self._handle_frame(frame))
+        return events
+
+    # ------------------------------------------------------------------ #
+    # Negotiation status
+    # ------------------------------------------------------------------ #
+
+    @property
+    def peer_gen_ability(self) -> bool:
+        return self.peer_settings.gen_ability
+
+    @property
+    def gen_ability_negotiated(self) -> bool:
+        """True only when *both* endpoints advertised GEN_ABILITY (§3)."""
+        return self.local_gen_ability and self.peer_settings.gen_ability
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _assert_open_for_sending(self) -> None:
+        if self._goaway_sent:
+            raise ProtocolError("connection is shutting down (GOAWAY sent)")
+
+    def _get_or_create_stream(self, stream_id: int) -> H2Stream:
+        stream = self.streams.get(stream_id)
+        if stream is None:
+            stream = H2Stream(
+                stream_id,
+                outbound_window=FlowControlWindow(self.peer_settings.initial_window_size),
+                inbound_window=FlowControlWindow(self.local_settings.initial_window_size),
+            )
+            self.streams[stream_id] = stream
+        return stream
+
+    def _emit_frame(self, frame: Frame) -> None:
+        wire = frame.serialize()
+        self._send_buffer += wire
+        self.bytes_sent += len(wire)
+        self.sent_frame_bytes[frame.TYPE] = self.sent_frame_bytes.get(frame.TYPE, 0) + len(wire)
+
+    def _emit_raw(self, data: bytes) -> None:
+        self._send_buffer += data
+        self.bytes_sent += len(data)
+
+    def _handle_frame(self, frame: Frame) -> list[Event]:
+        if self._expect_continuation is not None and not isinstance(frame, ContinuationFrame):
+            raise ProtocolError("expected CONTINUATION frame")
+        if isinstance(frame, SettingsFrame):
+            return self._handle_settings(frame)
+        if isinstance(frame, HeadersFrame):
+            return self._handle_headers(frame)
+        if isinstance(frame, ContinuationFrame):
+            return self._handle_continuation(frame)
+        if isinstance(frame, DataFrame):
+            return self._handle_data(frame)
+        if isinstance(frame, PingFrame):
+            return self._handle_ping(frame)
+        if isinstance(frame, WindowUpdateFrame):
+            return self._handle_window_update(frame)
+        if isinstance(frame, RstStreamFrame):
+            return self._handle_rst(frame)
+        if isinstance(frame, GoAwayFrame):
+            self._goaway_received = True
+            return [
+                ConnectionTerminated(
+                    error_code=frame.error_code,
+                    last_stream_id=frame.last_stream_id,
+                    debug_data=frame.debug_data,
+                )
+            ]
+        if isinstance(frame, PushPromiseFrame):
+            return self._handle_push_promise(frame)
+        if isinstance(frame, PriorityFrame):
+            return []  # deprecated prioritisation scheme: parsed, ignored
+        return []
+
+    def _handle_settings(self, frame: SettingsFrame) -> list[Event]:
+        if frame.ack:
+            return [SettingsAcknowledged()]
+        old_window = self.peer_settings.initial_window_size
+        applied = self.peer_settings.update(frame.settings)
+        if Setting.HEADER_TABLE_SIZE in applied:
+            self.encoder.set_max_table_size(applied[Setting.HEADER_TABLE_SIZE])
+        if Setting.INITIAL_WINDOW_SIZE in applied:
+            delta = applied[Setting.INITIAL_WINDOW_SIZE] - old_window
+            for stream in self.streams.values():
+                if not stream.closed:
+                    stream.outbound_window.adjust(delta)
+        self.acknowledge_settings()
+        events: list[Event] = [RemoteSettingsChanged(changes=applied)]
+        if not self._peer_settings_received:
+            self._peer_settings_received = True
+            events.append(
+                GenAbilityNegotiated(local=self.local_gen_ability, peer=self.peer_settings.gen_ability)
+            )
+        return events
+
+    def _header_events(self, stream_id: int, headers: HeaderList, end_stream: bool) -> list[Event]:
+        stream = self._get_or_create_stream(stream_id)
+        is_trailers = bool(stream.received_headers) and stream.state in (
+            StreamState.OPEN,
+            StreamState.HALF_CLOSED_LOCAL,
+        )
+        stream.process(StreamEvent.RECV_HEADERS)
+        stream.received_headers.append(headers)
+        events: list[Event]
+        if is_trailers:
+            events = [TrailersReceived(stream_id=stream_id, headers=headers)]
+        elif self.role == Role.SERVER:
+            events = [RequestReceived(stream_id=stream_id, headers=headers, end_stream=end_stream)]
+        else:
+            events = [ResponseReceived(stream_id=stream_id, headers=headers, end_stream=end_stream)]
+        if end_stream:
+            stream.process(StreamEvent.RECV_END_STREAM)
+            events.append(StreamEnded(stream_id=stream_id))
+        self._highest_peer_stream = max(self._highest_peer_stream, stream_id)
+        return events
+
+    def _handle_headers(self, frame: HeadersFrame) -> list[Event]:
+        if frame.stream_id == 0:
+            raise ProtocolError("HEADERS on stream 0")
+        if not frame.end_headers:
+            self._expect_continuation = (frame.stream_id, bytearray(frame.header_block), frame.end_stream)
+            return []
+        try:
+            headers = self.decoder.decode(frame.header_block)
+        except CompressionError:
+            raise
+        return self._header_events(frame.stream_id, headers, frame.end_stream)
+
+    def _handle_continuation(self, frame: ContinuationFrame) -> list[Event]:
+        if self._expect_continuation is None:
+            raise ProtocolError("CONTINUATION without preceding HEADERS")
+        stream_id, buffer, end_stream = self._expect_continuation
+        if frame.stream_id != stream_id:
+            raise ProtocolError("CONTINUATION on wrong stream")
+        buffer += frame.header_block
+        if not frame.end_headers:
+            self._expect_continuation = (stream_id, buffer, end_stream)
+            return []
+        self._expect_continuation = None
+        headers = self.decoder.decode(bytes(buffer))
+        return self._header_events(stream_id, headers, end_stream)
+
+    def _handle_data(self, frame: DataFrame) -> list[Event]:
+        if frame.stream_id == 0:
+            raise ProtocolError("DATA on stream 0")
+        stream = self.streams.get(frame.stream_id)
+        if stream is None or not stream.can_receive_data:
+            raise StreamError(
+                f"DATA on unusable stream {frame.stream_id}", frame.stream_id, ErrorCode.STREAM_CLOSED
+            )
+        flow_length = frame.flow_controlled_length()
+        self.inbound_window.consume(flow_length)
+        stream.inbound_window.consume(flow_length)
+        stream.received_data += frame.data
+        events: list[Event] = [
+            DataReceived(
+                stream_id=frame.stream_id,
+                data=frame.data,
+                flow_controlled_length=flow_length,
+                end_stream=frame.end_stream,
+            )
+        ]
+        if frame.end_stream:
+            stream.process(StreamEvent.RECV_END_STREAM)
+            events.append(StreamEnded(stream_id=frame.stream_id))
+        return events
+
+    def _handle_ping(self, frame: PingFrame) -> list[Event]:
+        if frame.ack:
+            return [PingAcknowledged(data=frame.data)]
+        self._emit_frame(PingFrame(data=frame.data, ack=True))
+        return [PingReceived(data=frame.data)]
+
+    def _handle_window_update(self, frame: WindowUpdateFrame) -> list[Event]:
+        if frame.increment == 0:
+            raise ProtocolError("WINDOW_UPDATE with zero increment")
+        if frame.stream_id == 0:
+            self.outbound_window.replenish(frame.increment)
+        else:
+            stream = self.streams.get(frame.stream_id)
+            if stream is not None and not stream.closed:
+                stream.outbound_window.replenish(frame.increment)
+        return [WindowUpdated(stream_id=frame.stream_id, delta=frame.increment)]
+
+    def _handle_rst(self, frame: RstStreamFrame) -> list[Event]:
+        stream = self.streams.get(frame.stream_id)
+        if stream is None:
+            raise ProtocolError(f"RST_STREAM for idle stream {frame.stream_id}")
+        stream.process(StreamEvent.RECV_RST)
+        return [StreamReset(stream_id=frame.stream_id, error_code=frame.error_code)]
+
+    def _handle_push_promise(self, frame: PushPromiseFrame) -> list[Event]:
+        if self.role == Role.SERVER:
+            raise ProtocolError("client sent PUSH_PROMISE")
+        if not self.local_settings.enable_push:
+            raise ProtocolError("PUSH_PROMISE with push disabled")
+        headers = self.decoder.decode(frame.header_block)
+        promised = self._get_or_create_stream(frame.promised_stream_id)
+        promised.process(StreamEvent.RECV_PUSH_PROMISE)
+        return [
+            PushPromiseReceived(
+                stream_id=frame.stream_id,
+                promised_stream_id=frame.promised_stream_id,
+                headers=headers,
+            )
+        ]

@@ -1,0 +1,69 @@
+"""HTTP/2 error codes and exceptions (RFC 9113 §7)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ErrorCode(enum.IntEnum):
+    """The error codes registered by RFC 9113 §7."""
+
+    NO_ERROR = 0x0
+    PROTOCOL_ERROR = 0x1
+    INTERNAL_ERROR = 0x2
+    FLOW_CONTROL_ERROR = 0x3
+    SETTINGS_TIMEOUT = 0x4
+    STREAM_CLOSED = 0x5
+    FRAME_SIZE_ERROR = 0x6
+    REFUSED_STREAM = 0x7
+    CANCEL = 0x8
+    COMPRESSION_ERROR = 0x9
+    CONNECT_ERROR = 0xA
+    ENHANCE_YOUR_CALM = 0xB
+    INADEQUATE_SECURITY = 0xC
+    HTTP_1_1_REQUIRED = 0xD
+
+
+class H2Error(Exception):
+    """Base class for HTTP/2 protocol failures.
+
+    ``code`` carries the RFC 9113 error code that should be reported to the
+    peer (in a GOAWAY or RST_STREAM frame).
+    """
+
+    def __init__(self, message: str, code: ErrorCode = ErrorCode.PROTOCOL_ERROR) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ProtocolError(H2Error):
+    """A connection-level violation; the connection must be torn down."""
+
+
+class StreamError(H2Error):
+    """A stream-level violation; only the stream is reset."""
+
+    def __init__(self, message: str, stream_id: int, code: ErrorCode = ErrorCode.PROTOCOL_ERROR) -> None:
+        super().__init__(message, code)
+        self.stream_id = stream_id
+
+
+class FrameError(H2Error):
+    """A malformed frame (bad length, bad padding, reserved bits misuse)."""
+
+    def __init__(self, message: str, code: ErrorCode = ErrorCode.FRAME_SIZE_ERROR) -> None:
+        super().__init__(message, code)
+
+
+class FlowControlError(H2Error):
+    """A flow-control window violation (RFC 9113 §5.2)."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, ErrorCode.FLOW_CONTROL_ERROR)
+
+
+class CompressionError(H2Error):
+    """An HPACK decoding failure; fatal for the whole connection."""
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, ErrorCode.COMPRESSION_ERROR)

@@ -1,0 +1,346 @@
+"""HPACK header compression (RFC 7541).
+
+Implements primitive integer coding (§5.1), string literals with optional
+Huffman coding (§5.2), the full static table (Appendix A), an evicting
+dynamic table (§2.3.2, §4), and all six binary representations (§6):
+indexed, literal with incremental indexing, literal without indexing,
+literal never-indexed, and dynamic table size update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.http2.errors import CompressionError
+from repro.http2.huffman import huffman_decode, huffman_encode, huffman_encoded_length
+
+#: RFC 7541 Appendix A static table, 1-indexed.
+STATIC_TABLE: tuple[tuple[bytes, bytes], ...] = (
+    (b":authority", b""),
+    (b":method", b"GET"),
+    (b":method", b"POST"),
+    (b":path", b"/"),
+    (b":path", b"/index.html"),
+    (b":scheme", b"http"),
+    (b":scheme", b"https"),
+    (b":status", b"200"),
+    (b":status", b"204"),
+    (b":status", b"206"),
+    (b":status", b"304"),
+    (b":status", b"400"),
+    (b":status", b"404"),
+    (b":status", b"500"),
+    (b"accept-charset", b""),
+    (b"accept-encoding", b"gzip, deflate"),
+    (b"accept-language", b""),
+    (b"accept-ranges", b""),
+    (b"accept", b""),
+    (b"access-control-allow-origin", b""),
+    (b"age", b""),
+    (b"allow", b""),
+    (b"authorization", b""),
+    (b"cache-control", b""),
+    (b"content-disposition", b""),
+    (b"content-encoding", b""),
+    (b"content-language", b""),
+    (b"content-length", b""),
+    (b"content-location", b""),
+    (b"content-range", b""),
+    (b"content-type", b""),
+    (b"cookie", b""),
+    (b"date", b""),
+    (b"etag", b""),
+    (b"expect", b""),
+    (b"expires", b""),
+    (b"from", b""),
+    (b"host", b""),
+    (b"if-match", b""),
+    (b"if-modified-since", b""),
+    (b"if-none-match", b""),
+    (b"if-range", b""),
+    (b"if-unmodified-since", b""),
+    (b"last-modified", b""),
+    (b"link", b""),
+    (b"location", b""),
+    (b"max-forwards", b""),
+    (b"proxy-authenticate", b""),
+    (b"proxy-authorization", b""),
+    (b"range", b""),
+    (b"referer", b""),
+    (b"refresh", b""),
+    (b"retry-after", b""),
+    (b"server", b""),
+    (b"set-cookie", b""),
+    (b"strict-transport-security", b""),
+    (b"transfer-encoding", b""),
+    (b"user-agent", b""),
+    (b"vary", b""),
+    (b"via", b""),
+    (b"www-authenticate", b""),
+)
+
+_STATIC_FULL_INDEX = {entry: i + 1 for i, entry in enumerate(STATIC_TABLE)}
+_STATIC_NAME_INDEX: dict[bytes, int] = {}
+for _i, (_name, _value) in enumerate(STATIC_TABLE):
+    _STATIC_NAME_INDEX.setdefault(_name, _i + 1)
+
+#: Per-entry accounting overhead (RFC 7541 §4.1).
+ENTRY_OVERHEAD = 32
+
+DEFAULT_TABLE_SIZE = 4096
+
+
+def encode_integer(value: int, prefix_bits: int, flags: int = 0) -> bytes:
+    """Encode an integer with an N-bit prefix (RFC 7541 §5.1).
+
+    ``flags`` holds the representation's pattern bits, already shifted into
+    the high bits of the first octet.
+    """
+    if value < 0:
+        raise ValueError("HPACK integers are unsigned")
+    limit = (1 << prefix_bits) - 1
+    if value < limit:
+        return bytes([flags | value])
+    out = bytearray([flags | limit])
+    value -= limit
+    while value >= 128:
+        out.append((value % 128) | 0x80)
+        value //= 128
+    out.append(value)
+    return bytes(out)
+
+
+def decode_integer(data: bytes, offset: int, prefix_bits: int) -> tuple[int, int]:
+    """Decode an N-bit-prefix integer; returns (value, new_offset)."""
+    if offset >= len(data):
+        raise CompressionError("truncated integer")
+    limit = (1 << prefix_bits) - 1
+    value = data[offset] & limit
+    offset += 1
+    if value < limit:
+        return value, offset
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise CompressionError("truncated varint continuation")
+        byte = data[offset]
+        offset += 1
+        value += (byte & 0x7F) << shift
+        shift += 7
+        if shift > 62:
+            raise CompressionError("HPACK integer too large")
+        if not byte & 0x80:
+            return value, offset
+
+
+def encode_string(data: bytes, huffman: bool = True) -> bytes:
+    """Encode a string literal, using Huffman only when it shrinks."""
+    if huffman and huffman_encoded_length(data) < len(data):
+        encoded = huffman_encode(data)
+        return encode_integer(len(encoded), 7, 0x80) + encoded
+    return encode_integer(len(data), 7, 0x00) + data
+
+
+def decode_string(data: bytes, offset: int) -> tuple[bytes, int]:
+    """Decode a string literal; returns (value, new_offset)."""
+    if offset >= len(data):
+        raise CompressionError("truncated string header")
+    is_huffman = bool(data[offset] & 0x80)
+    length, offset = decode_integer(data, offset, 7)
+    if offset + length > len(data):
+        raise CompressionError("truncated string body")
+    raw = data[offset : offset + length]
+    offset += length
+    if is_huffman:
+        raw = huffman_decode(raw)
+    return raw, offset
+
+
+@dataclass
+class DynamicTable:
+    """The HPACK dynamic table with size-based eviction (RFC 7541 §4)."""
+
+    max_size: int = DEFAULT_TABLE_SIZE
+    _entries: list[tuple[bytes, bytes]] = field(default_factory=list)
+    _size: int = 0
+
+    @staticmethod
+    def entry_size(name: bytes, value: bytes) -> int:
+        return len(name) + len(value) + ENTRY_OVERHEAD
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, name: bytes, value: bytes) -> None:
+        """Insert at the head, evicting from the tail as needed."""
+        needed = self.entry_size(name, value)
+        self._evict_to(self.max_size - needed)
+        if needed <= self.max_size:
+            self._entries.insert(0, (name, value))
+            self._size += needed
+        # An entry larger than the table empties it (already done) and is
+        # simply not stored (RFC 7541 §4.4).
+
+    def resize(self, new_max: int) -> None:
+        self.max_size = new_max
+        self._evict_to(new_max)
+
+    def _evict_to(self, budget: int) -> None:
+        while self._entries and self._size > max(budget, 0):
+            name, value = self._entries.pop()
+            self._size -= self.entry_size(name, value)
+
+    def lookup(self, relative_index: int) -> tuple[bytes, bytes]:
+        """0-based index into the dynamic table (0 = most recent)."""
+        try:
+            return self._entries[relative_index]
+        except IndexError:
+            raise CompressionError(f"dynamic table index {relative_index} out of range") from None
+
+    def find(self, name: bytes, value: bytes) -> tuple[int | None, int | None]:
+        """Return (full_match_index, name_match_index), both 0-based."""
+        name_match: int | None = None
+        for i, (n, v) in enumerate(self._entries):
+            if n == name:
+                if v == value:
+                    return i, name_match if name_match is not None else i
+                if name_match is None:
+                    name_match = i
+        return None, name_match
+
+
+class HpackEncoder:
+    """Stateful HPACK encoder.
+
+    ``use_huffman`` and ``use_indexing`` exist so the A1 ablation benchmark
+    can quantify what each compression mechanism contributes to the
+    SETTINGS/headers overhead of the SWW handshake.
+    """
+
+    #: Header names that must never enter a compression context.
+    NEVER_INDEXED = frozenset({b"authorization", b"cookie", b"set-cookie"})
+
+    def __init__(
+        self,
+        max_table_size: int = DEFAULT_TABLE_SIZE,
+        use_huffman: bool = True,
+        use_indexing: bool = True,
+    ) -> None:
+        self.table = DynamicTable(max_table_size)
+        self.use_huffman = use_huffman
+        self.use_indexing = use_indexing
+        self._pending_resize: int | None = None
+
+    def set_max_table_size(self, size: int) -> None:
+        """Schedule a dynamic table size update (emitted in the next block)."""
+        self.table.resize(size)
+        self._pending_resize = size
+
+    def encode(self, headers: list[tuple[bytes, bytes]]) -> bytes:
+        """Encode a header list into an HPACK header block fragment."""
+        out = bytearray()
+        if self._pending_resize is not None:
+            out += encode_integer(self._pending_resize, 5, 0x20)
+            self._pending_resize = None
+        for name, value in headers:
+            name = bytes(name).lower()
+            value = bytes(value)
+            out += self._encode_one(name, value)
+        return bytes(out)
+
+    def _encode_one(self, name: bytes, value: bytes) -> bytes:
+        if name in self.NEVER_INDEXED:
+            return self._literal(name, value, pattern=0x10, prefix=4, index_name=False)
+        static_full = _STATIC_FULL_INDEX.get((name, value))
+        if static_full is not None:
+            return encode_integer(static_full, 7, 0x80)
+        dyn_full, dyn_name = self.table.find(name, value)
+        if dyn_full is not None:
+            return encode_integer(len(STATIC_TABLE) + 1 + dyn_full, 7, 0x80)
+        if not self.use_indexing:
+            return self._literal(name, value, pattern=0x00, prefix=4, index_name=True)
+        name_index = _STATIC_NAME_INDEX.get(name)
+        if name_index is None and dyn_name is not None:
+            name_index = len(STATIC_TABLE) + 1 + dyn_name
+        self.table.add(name, value)
+        out = bytearray()
+        if name_index is not None:
+            out += encode_integer(name_index, 6, 0x40)
+        else:
+            out += encode_integer(0, 6, 0x40)
+            out += encode_string(name, self.use_huffman)
+        out += encode_string(value, self.use_huffman)
+        return bytes(out)
+
+    def _literal(self, name: bytes, value: bytes, pattern: int, prefix: int, index_name: bool) -> bytes:
+        out = bytearray()
+        name_index = _STATIC_NAME_INDEX.get(name) if index_name else None
+        if name_index is None:
+            dyn_full, dyn_name = self.table.find(name, value) if index_name else (None, None)
+            if dyn_name is not None:
+                name_index = len(STATIC_TABLE) + 1 + dyn_name
+        if name_index is not None:
+            out += encode_integer(name_index, prefix, pattern)
+        else:
+            out += encode_integer(0, prefix, pattern)
+            out += encode_string(name, self.use_huffman)
+        out += encode_string(value, self.use_huffman)
+        return bytes(out)
+
+
+class HpackDecoder:
+    """Stateful HPACK decoder."""
+
+    def __init__(self, max_table_size: int = DEFAULT_TABLE_SIZE) -> None:
+        self.table = DynamicTable(max_table_size)
+        #: Upper bound the decoder allows via size updates (SETTINGS value).
+        self.max_allowed_table_size = max_table_size
+
+    def decode(self, data: bytes) -> list[tuple[bytes, bytes]]:
+        """Decode a header block fragment into a header list."""
+        headers: list[tuple[bytes, bytes]] = []
+        offset = 0
+        seen_header = False
+        while offset < len(data):
+            byte = data[offset]
+            if byte & 0x80:  # indexed header field
+                index, offset = decode_integer(data, offset, 7)
+                headers.append(self._lookup(index))
+                seen_header = True
+            elif byte & 0x40:  # literal with incremental indexing
+                name, value, offset = self._read_literal(data, offset, prefix=6)
+                self.table.add(name, value)
+                headers.append((name, value))
+                seen_header = True
+            elif byte & 0x20:  # dynamic table size update
+                if seen_header:
+                    raise CompressionError("table size update after header fields")
+                new_size, offset = decode_integer(data, offset, 5)
+                if new_size > self.max_allowed_table_size:
+                    raise CompressionError("table size update exceeds SETTINGS bound")
+                self.table.resize(new_size)
+            else:  # literal without indexing (0x00) or never indexed (0x10)
+                name, value, offset = self._read_literal(data, offset, prefix=4)
+                headers.append((name, value))
+                seen_header = True
+        return headers
+
+    def _lookup(self, index: int) -> tuple[bytes, bytes]:
+        if index == 0:
+            raise CompressionError("HPACK index 0 is invalid")
+        if index <= len(STATIC_TABLE):
+            return STATIC_TABLE[index - 1]
+        return self.table.lookup(index - len(STATIC_TABLE) - 1)
+
+    def _read_literal(self, data: bytes, offset: int, prefix: int) -> tuple[bytes, bytes, int]:
+        name_index, offset = decode_integer(data, offset, prefix)
+        if name_index:
+            name = self._lookup(name_index)[0]
+        else:
+            name, offset = decode_string(data, offset)
+        value, offset = decode_string(data, offset)
+        return name, value, offset

@@ -1,0 +1,26 @@
+"""Media containers and size models.
+
+* :mod:`repro.media.png` — a real PNG encoder/decoder (RGB8, zlib, all five
+  scanline filters on decode, heuristic filter selection on encode). The
+  simulated diffusion models emit genuine PNG bytes through this codec.
+* :mod:`repro.media.jpeg_model` — a calibrated size model for the JPEG
+  files the paper's pages would have served (Table 2 uses 8 kB / 32 kB /
+  128 kB for 256²/512²/1024² images).
+* :mod:`repro.media.video` — streaming bitrate ladders for the §3.2
+  video-negotiation experiment.
+"""
+
+from repro.media.png import encode_png, decode_png, png_dimensions
+from repro.media.jpeg_model import jpeg_size, JPEG_BYTES_PER_PIXEL
+from repro.media.video import VideoLadder, VideoVariant, STANDARD_LADDER
+
+__all__ = [
+    "encode_png",
+    "decode_png",
+    "png_dimensions",
+    "jpeg_size",
+    "JPEG_BYTES_PER_PIXEL",
+    "VideoLadder",
+    "VideoVariant",
+    "STANDARD_LADDER",
+]

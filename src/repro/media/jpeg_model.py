@@ -1,0 +1,48 @@
+"""Size model for the JPEG media the original web pages would serve.
+
+The paper's Table 2 uses representative sizes for "typical" web JPEGs:
+8,192 B at 256×256, 32,768 B at 512×512 and 131,072 B at 1024×1024 — i.e.
+exactly 1 bit per pixel, a common operating point for web-quality JPEG.
+The model keeps that anchor and lets quality scale it, so experiments can
+sweep the media-size axis.
+"""
+
+from __future__ import annotations
+
+#: Bytes per pixel at the paper's reference quality (1 bit/pixel).
+JPEG_BYTES_PER_PIXEL = 0.125
+
+#: Fixed container overhead (headers, quantisation/huffman tables) in bytes.
+JPEG_CONTAINER_OVERHEAD = 0
+
+#: Typical quality→bits-per-pixel multipliers relative to the reference.
+QUALITY_MULTIPLIERS = {
+    "thumbnail": 0.5,
+    "web": 1.0,  # paper's operating point
+    "high": 2.0,
+    "archival": 4.0,
+}
+
+
+def jpeg_size(width: int, height: int, quality: str = "web") -> int:
+    """Return the modelled JPEG file size in bytes.
+
+    >>> jpeg_size(256, 256)
+    8192
+    >>> jpeg_size(1024, 1024)
+    131072
+    """
+    if width <= 0 or height <= 0:
+        raise ValueError(f"invalid dimensions {width}x{height}")
+    try:
+        multiplier = QUALITY_MULTIPLIERS[quality]
+    except KeyError:
+        raise ValueError(f"unknown quality {quality!r}; choose from {sorted(QUALITY_MULTIPLIERS)}") from None
+    return int(width * height * JPEG_BYTES_PER_PIXEL * multiplier) + JPEG_CONTAINER_OVERHEAD
+
+
+def text_block_size(words: int, bytes_per_word: float = 5.0) -> int:
+    """Size of a plain-text block (Table 2 uses 250 words → 1,250 B)."""
+    if words < 0:
+        raise ValueError("word count cannot be negative")
+    return int(words * bytes_per_word)

@@ -1,0 +1,36 @@
+"""Evaluation metrics used by the paper's §6.
+
+* :mod:`repro.metrics.clip` — CLIPScore-style prompt↔image similarity.
+* :mod:`repro.metrics.sbert` — SBERT-style text↔text semantic similarity.
+* :mod:`repro.metrics.elo` — an ELO rating engine plus a simulated
+  preference arena (the Artificial Analysis leaderboard stand-in).
+* :mod:`repro.metrics.overshoot` — word-length overshoot statistics.
+* :mod:`repro.metrics.compression` — compression-ratio accounting for
+  pages, media and metadata.
+"""
+
+from repro.metrics.clip import clip_score, CLIP_FLOOR, CLIP_CEILING
+from repro.metrics.sbert import sbert_similarity
+from repro.metrics.elo import EloRating, EloLadder, PreferenceArena, ArenaResult
+from repro.metrics.overshoot import overshoot_stats, OvershootStats
+from repro.metrics.compression import (
+    compression_ratio,
+    SizeAccount,
+    prompt_metadata_size,
+)
+
+__all__ = [
+    "clip_score",
+    "CLIP_FLOOR",
+    "CLIP_CEILING",
+    "sbert_similarity",
+    "EloRating",
+    "EloLadder",
+    "PreferenceArena",
+    "ArenaResult",
+    "overshoot_stats",
+    "OvershootStats",
+    "compression_ratio",
+    "SizeAccount",
+    "prompt_metadata_size",
+]

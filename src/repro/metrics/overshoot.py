@@ -1,0 +1,40 @@
+"""Word-length overshoot statistics (paper §6.3.2).
+
+"Word Length Overshoot represents the percentage of words above or below
+the requested number of words." The paper reports per-model means near
+1.3% with 25th/75th percentiles over 10% for most models and a maximum
+reaching 20%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OvershootStats:
+    """Summary of signed relative word-count deviations."""
+
+    mean: float
+    mean_abs: float
+    p25: float
+    p75: float
+    max_abs: float
+    count: int
+
+
+def overshoot_stats(overshoots: list[float]) -> OvershootStats:
+    """Summarise a list of signed relative deviations (e.g. +0.08 = 8% over)."""
+    if not overshoots:
+        raise ValueError("no overshoot samples")
+    arr = np.asarray(overshoots, dtype=np.float64)
+    return OvershootStats(
+        mean=float(arr.mean()),
+        mean_abs=float(np.abs(arr).mean()),
+        p25=float(np.percentile(arr, 25)),
+        p75=float(np.percentile(arr, 75)),
+        max_abs=float(np.abs(arr).max()),
+        count=len(overshoots),
+    )

@@ -1,0 +1,111 @@
+"""Programmatic experiment summary (the data behind EXPERIMENTS.md).
+
+:func:`run_headline_experiments` executes the paper's headline
+measurements in-process and returns structured rows, so the CLI
+(``sww report``) and any downstream tooling can regenerate the
+paper-vs-measured comparison without going through pytest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices import LAPTOP, WORKSTATION
+from repro.devices.energy import transmission_energy_wh, transmission_time_s
+from repro.genai.image import generate_image
+from repro.genai.registry import DEEPSEEK_R1_8B, SD3_MEDIUM
+from repro.genai.text import expand_text
+from repro.media.jpeg_model import jpeg_size
+from repro.metrics.compression import WORST_CASE_IMAGE_METADATA
+from repro.sww.client import GenerativeClient, connect_in_memory
+from repro.sww.server import GenerativeServer, PageResource, SiteStore
+from repro.workloads import build_news_article, build_wikimedia_landscape_page
+
+
+@dataclass(frozen=True)
+class ReportRow:
+    """One paper-vs-measured line."""
+
+    experiment: str
+    metric: str
+    paper: str
+    measured: str
+
+    def formatted(self, widths: tuple[int, int, int, int] = (8, 34, 18, 18)) -> str:
+        cells = (self.experiment, self.metric, self.paper, self.measured)
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+
+def _fetch(page, device):
+    store = SiteStore()
+    store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+    client = GenerativeClient(device=device)
+    pair = connect_in_memory(client, GenerativeServer(store))
+    return client.fetch_via_pair(pair, page.path)
+
+
+def run_headline_experiments() -> list[ReportRow]:
+    """The Fig. 2 / E3 / Table 2 / §6.4 headline numbers, measured live."""
+    rows: list[ReportRow] = []
+
+    page = build_wikimedia_landscape_page()
+    account = page.account
+    rows.append(ReportRow("Fig.2", "original media", "1400 kB", f"{account.original_media / 1000:.0f} kB"))
+    rows.append(ReportRow("Fig.2", "prompt metadata", "8.92 kB", f"{account.metadata / 1000:.2f} kB"))
+    rows.append(ReportRow("Fig.2", "compression", "157x", f"{account.ratio:.0f}x"))
+    worst = account.items * WORST_CASE_IMAGE_METADATA
+    rows.append(ReportRow("Fig.2", "worst-case compression", "68x", f"{account.original_media / worst:.0f}x"))
+
+    laptop_fetch = _fetch(page, LAPTOP)
+    rows.append(ReportRow("Fig.2", "laptop generation", "~310 s", f"{laptop_fetch.generation_time_s:.0f} s"))
+    rows.append(
+        ReportRow("Fig.2", "per image (laptop)", "6.32 s", f"{laptop_fetch.generation_time_s / 49:.2f} s")
+    )
+    wk_fetch = _fetch(page, WORKSTATION)
+    rows.append(ReportRow("Fig.2", "workstation generation", "~49 s", f"{wk_fetch.generation_time_s:.0f} s"))
+
+    news = build_news_article()
+    rows.append(
+        ReportRow(
+            "E3",
+            "article compression",
+            "3.1x (2400->778 B)",
+            f"{news.account.ratio:.2f}x ({news.account.original_text}->{news.account.metadata} B)",
+        )
+    )
+    news_fetch = _fetch(news, LAPTOP)
+    rows.append(ReportRow("E3", "laptop generation", "41.9 s", f"{news_fetch.generation_time_s:.1f} s"))
+
+    for label, side, paper_l, paper_w in (
+        ("small", 256, "7 s", "1.0 s"),
+        ("medium", 512, "19 s", "1.7 s"),
+        ("large", 1024, "310 s", "6.2 s"),
+    ):
+        lt = generate_image(SD3_MEDIUM, LAPTOP, "x", side, side, 15).sim_time_s
+        wt = generate_image(SD3_MEDIUM, WORKSTATION, "x", side, side, 15).sim_time_s
+        rows.append(
+            ReportRow("Table2", f"{label} image gen (laptop/wk)", f"{paper_l} / {paper_w}", f"{lt:.1f} s / {wt:.2f} s")
+        )
+    text = expand_text(DEEPSEEK_R1_8B, LAPTOP, "- a\n- b", 250)
+    rows.append(ReportRow("Table2", "250-word text (laptop)", "32 s / 0.01 Wh", f"{text.sim_time_s:.1f} s / {text.energy_wh:.3f} Wh"))
+
+    large = jpeg_size(1024, 1024)
+    rows.append(
+        ReportRow(
+            "E8",
+            "send vs generate (energy)",
+            "2.5%",
+            f"{transmission_energy_wh(large) / 0.21:.1%}",
+        )
+    )
+    rows.append(
+        ReportRow("E8", "send large image @100Mbps", "~10 ms", f"{transmission_time_s(large) * 1000:.1f} ms")
+    )
+    return rows
+
+
+def format_report(rows: list[ReportRow]) -> str:
+    header = ReportRow("exp", "metric", "paper", "measured").formatted()
+    lines = [header, "-" * len(header)]
+    lines.extend(row.formatted() for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""SWW: the paper's contribution — prompt-based web content delivery.
+
+The pieces map one-to-one onto the paper's sections:
+
+* :mod:`repro.sww.content` — the ``generated-content`` class with its
+  content-type and metadata fields (§4.1).
+* :mod:`repro.sww.media_generator` — parses metadata and invokes
+  generation through a preloaded pipeline (§4.1).
+* :mod:`repro.sww.page_processor` — the HTML-parser side: replaces
+  generated-content divisions with image paths or expanded text (Fig. 1).
+* :mod:`repro.sww.conversion` — webpage creation & conversion: turning
+  existing media into prompts, with prompt-inversion fidelity loss (§4.2).
+* :mod:`repro.sww.cms` — CMS tagging of generatable vs unique content
+  (§4.2).
+* :mod:`repro.sww.capability` — negotiation outcomes and server policy
+  (§3, §5.1).
+* :mod:`repro.sww.server` / :mod:`repro.sww.client` — the generative
+  server and client over the from-scratch HTTP/2 stack (§5).
+* :mod:`repro.sww.renderer` — the stand-in for the PyQt GUI: a
+  deterministic text-mode renderer (§5.2, DESIGN.md §6).
+"""
+
+from repro.sww.content import GeneratedContent, ContentType
+from repro.sww.media_generator import MediaGenerator, GenerationOutput
+from repro.sww.page_processor import PageProcessor, ProcessReport
+from repro.sww.capability import NegotiationOutcome, ServePolicy, ServeMode, decide_serve_mode
+from repro.sww.conversion import PageConverter, PromptInverter, ConversionReport
+from repro.sww.cms import ContentManagementSystem, ContentTag
+from repro.sww.server import GenerativeServer, SiteStore, PageResource, AssetResource
+from repro.sww.client import GenerativeClient, FetchResult
+from repro.sww.renderer import render_text
+from repro.sww.personalization import (
+    UserProfile,
+    PromptPersonalizer,
+    EchoChamberGuard,
+    engagement_score,
+    topic_diversity,
+)
+from repro.sww.trust import TrustAuthority, ContentVerifier, ProvenanceManifest
+from repro.sww.proxy import SwwEdgeProxy
+from repro.sww.stock_prompts import StockPromptLibrary, StockPrompt
+from repro.sww.model_negotiation import negotiate_models, ModelNegotiationReport
+
+__all__ = [
+    "GeneratedContent",
+    "ContentType",
+    "MediaGenerator",
+    "GenerationOutput",
+    "PageProcessor",
+    "ProcessReport",
+    "NegotiationOutcome",
+    "ServePolicy",
+    "ServeMode",
+    "decide_serve_mode",
+    "PageConverter",
+    "PromptInverter",
+    "ConversionReport",
+    "ContentManagementSystem",
+    "ContentTag",
+    "GenerativeServer",
+    "SiteStore",
+    "PageResource",
+    "AssetResource",
+    "GenerativeClient",
+    "FetchResult",
+    "render_text",
+    "UserProfile",
+    "PromptPersonalizer",
+    "EchoChamberGuard",
+    "engagement_score",
+    "topic_diversity",
+    "TrustAuthority",
+    "ContentVerifier",
+    "ProvenanceManifest",
+    "SwwEdgeProxy",
+    "StockPromptLibrary",
+    "StockPrompt",
+    "negotiate_models",
+    "ModelNegotiationReport",
+]

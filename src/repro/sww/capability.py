@@ -1,0 +1,92 @@
+"""Capability negotiation outcomes and server policy (paper §3, §5.1).
+
+The rule (§3): *both* sides must advertise ``SETTINGS_GEN_ABILITY == 1``
+for generative serving; any other combination falls back to vanilla
+HTTP/2, with the participating side aware of the fallback and the naive
+side none the wiser.
+
+§5.1 adds a server-side policy hook: "A server can choose to serve
+traditional content even if the client supports generative ability, for
+example to provide higher performance or based on the availability of
+renewable energy." :class:`ServePolicy` captures that decision.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ServeMode(enum.Enum):
+    """How the server delivers a page for one request."""
+
+    #: Ship prompts; the client generates (the SWW fast path).
+    GENERATIVE = "generative"
+    #: Server generates from its stored prompts, ships media (naive client).
+    SERVER_GENERATED = "server-generated"
+    #: Ship stored traditional media untouched.
+    TRADITIONAL = "traditional"
+
+
+@dataclass(frozen=True)
+class NegotiationOutcome:
+    """The four cells of the §6.2 functionality matrix."""
+
+    client_supports: bool
+    server_supports: bool
+
+    @property
+    def negotiated(self) -> bool:
+        return self.client_supports and self.server_supports
+
+    @property
+    def label(self) -> str:
+        c = "gen" if self.client_supports else "naive"
+        s = "gen" if self.server_supports else "naive"
+        return f"client={c}/server={s}"
+
+
+@dataclass
+class ServePolicy:
+    """Server-side serving decision inputs (§5.1).
+
+    ``prefer_performance`` forces traditional serving even to capable
+    clients (e.g. latency-sensitive pages); ``renewable_energy_available``
+    lets a green-powered server keep generation on its own side.
+    """
+
+    prefer_performance: bool = False
+    renewable_energy_available: bool = False
+
+    def allows_generative(self) -> bool:
+        return not (self.prefer_performance or self.renewable_energy_available)
+
+
+def decide_serve_mode(
+    outcome: NegotiationOutcome,
+    policy: ServePolicy | None = None,
+    has_prompts: bool = True,
+) -> ServeMode:
+    """The serving decision table.
+
+    ======================  =====================  ====================
+    negotiated?             policy allows?         result
+    ======================  =====================  ====================
+    yes                     yes                    GENERATIVE
+    yes                     no                     SERVER_GENERATED*
+    no (server supports)    —                      SERVER_GENERATED*
+    no (server naive)       —                      TRADITIONAL
+    ======================  =====================  ====================
+
+    ``*`` — only when the server actually stores prompts; a server holding
+    only traditional media serves it as-is.
+    """
+    policy = policy or ServePolicy()
+    if not has_prompts or not outcome.server_supports:
+        return ServeMode.TRADITIONAL
+    if outcome.negotiated and policy.allows_generative():
+        return ServeMode.GENERATIVE
+    # Server stores prompts but must materialise media itself (§6.2:
+    # "When the client does not support generative content, the server
+    # uses the prompt to generate the content before sending it").
+    return ServeMode.SERVER_GENERATED

@@ -1,0 +1,358 @@
+"""The generative client (paper §5.2).
+
+    "the generative client begins by establishing a connection to the
+    server, followed by exchanging settings, advertising its generation
+    ability and logging the server's ability. After this, the client can
+    send a webpage request. As the client receives the HTML file, it
+    parses it and generates content. Once parsing and generation are
+    complete, the site is rendered in the GUI."
+
+:class:`GenerativeClient` drives the full flow over either the in-memory
+transport pair (tests/benchmarks — see :meth:`fetch_via_pair`) or asyncio
+TCP (:meth:`fetch_tcp`). Rendering goes through the text-mode renderer;
+the PyQt GUI is out of scope in this headless environment (DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.devices.profiles import DeviceProfile, LAPTOP
+from repro.genai.pipeline import GenerationPipeline
+from repro.html import parse_html, serialize
+from repro.html.dom import Document
+from repro.http2.connection import (
+    DataReceived,
+    H2Connection,
+    PushPromiseReceived,
+    ResponseReceived,
+    Role,
+    StreamEnded,
+)
+from repro.http2.transport import AsyncH2Transport, InMemoryTransportPair
+from repro.sww.media_generator import MediaGenerator
+from repro.sww.page_processor import PageProcessor, ProcessReport
+from repro.sww.renderer import render_text
+
+HeaderList = list[tuple[bytes, bytes]]
+
+
+@dataclass
+class FetchResult:
+    """Everything one page fetch produced."""
+
+    path: str
+    status: int
+    #: Raw HTML exactly as received from the server.
+    received_html: str
+    #: Bytes of the page body on the wire.
+    wire_bytes: int
+    #: Whether the server shipped prompts (x-sww-content: prompts).
+    sww_mode: bool
+    #: The document after client-side generation (== received when naive).
+    document: Document = field(default_factory=Document)
+    report: ProcessReport | None = None
+    rendered: str = ""
+    #: Assets the server pushed alongside the page (path → bytes).
+    pushed_assets: dict[str, bytes] = field(default_factory=dict)
+    #: §7 trust: per-item verification outcomes (item name → result),
+    #: populated when the client was built with a trust authority and the
+    #: server attached provenance manifests.
+    verifications: dict = field(default_factory=dict)
+
+    @property
+    def untrusted_items(self) -> list[str]:
+        return [name for name, result in self.verifications.items() if not result.trusted]
+
+    @property
+    def final_html(self) -> str:
+        return serialize(self.document)
+
+    @property
+    def generation_time_s(self) -> float:
+        return self.report.sim_time_s if self.report else 0.0
+
+    @property
+    def generation_energy_wh(self) -> float:
+        return self.report.energy_wh if self.report else 0.0
+
+
+class GenerativeClient:
+    """Connects, negotiates, fetches, generates and renders."""
+
+    def __init__(
+        self,
+        device: DeviceProfile = LAPTOP,
+        gen_ability: bool = True,
+        pipeline: GenerationPipeline | None = None,
+        installed_models: list[str] | None = None,
+        trust_authority=None,
+    ) -> None:
+        self.device = device
+        self.gen_ability = gen_ability
+        #: §4.1: the image pipeline is preloaded once, not per invocation.
+        self.pipeline = pipeline or GenerationPipeline(device)
+        self.generator = MediaGenerator(self.pipeline)
+        self.processor = PageProcessor(self.generator)
+        self.server_gen_ability: bool | None = None
+        #: §7 model negotiation: what this client advertises via the
+        #: sww-models header. Defaults to the pipeline's loaded models.
+        if installed_models is None:
+            installed_models = [self.pipeline.image_model.name, self.pipeline.text_model.name]
+        self.installed_models = installed_models
+        #: §7 trust: when set (and the server attaches manifests), every
+        #: generated image is verified post-generation.
+        self.trust_authority = trust_authority
+
+    def new_connection(self) -> H2Connection:
+        return H2Connection(Role.CLIENT, gen_ability=self.gen_ability)
+
+    # ------------------------------------------------------------------ #
+    # Shared post-receive path
+    # ------------------------------------------------------------------ #
+
+    def _finish(self, path: str, status: int, headers: HeaderList, body: bytes) -> FetchResult:
+        header_map = {name: value for name, value in headers}
+        sww_mode = header_map.get(b"x-sww-content") == b"prompts"
+        html = body.decode("utf-8", "replace")
+        result = FetchResult(
+            path=path,
+            status=status,
+            received_html=html,
+            wire_bytes=len(body),
+            sww_mode=sww_mode,
+        )
+        result.document = parse_html(html)
+        if status == 200 and sww_mode and self.gen_ability:
+            # Parse → generate → rewrite (§5.2).
+            result.report = self.processor.process(result.document)
+            raw_manifests = header_map.get(b"x-sww-manifests")
+            if raw_manifests and self.trust_authority is not None:
+                self._verify_outputs(result, raw_manifests)
+        result.rendered = render_text(result.document)
+        return result
+
+    def _verify_outputs(self, result: FetchResult, raw_manifests: bytes) -> None:
+        """Check every generated image against the server's manifests."""
+        import json
+
+        from repro.media.png import decode_png
+        from repro.sww.content import ContentType
+        from repro.sww.trust import ContentVerifier, ProvenanceManifest, TrustError
+
+        try:
+            entries = json.loads(raw_manifests.decode("utf-8"))
+            manifests = {
+                entry["name"]: ProvenanceManifest.from_json(json.dumps(entry["manifest"]))
+                for entry in entries
+            }
+        except (json.JSONDecodeError, KeyError, TypeError, TrustError):
+            return  # malformed manifest header: nothing verifiable
+        verifier = ContentVerifier(self.trust_authority)
+        for output in result.report.outputs if result.report else []:
+            if output.item.content_type != ContentType.IMAGE:
+                continue
+            manifest = manifests.get(output.item.name)
+            if manifest is None:
+                continue
+            pixels = decode_png(output.payload)
+            result.verifications[output.item.name] = verifier.verify_image(
+                manifest, output.item, pixels
+            )
+
+    def request_headers(self, path: str, authority: str = "sww.example") -> HeaderList:
+        headers: HeaderList = [
+            (b":method", b"GET"),
+            (b":path", path.encode("utf-8")),
+            (b":scheme", b"https"),
+            (b":authority", authority.encode("utf-8")),
+            (b"user-agent", b"sww-generative-client/1.0"),
+        ]
+        if self.gen_ability and self.installed_models:
+            from repro.sww.model_negotiation import MODELS_HEADER, encode_models_header
+
+            headers.append((MODELS_HEADER, encode_models_header(self.installed_models)))
+        return headers
+
+    # ------------------------------------------------------------------ #
+    # In-memory transport (deterministic; tests and benchmarks)
+    # ------------------------------------------------------------------ #
+
+    def fetch_via_pair(self, pair: InMemoryTransportPair, path: str) -> FetchResult:
+        """Fetch one page over an already-handshaken transport pair.
+
+        The server side of ``pair`` must be driven by a
+        :class:`~repro.sww.server.ServerSession` attached to the same
+        engine; see :func:`connect_in_memory`.
+        """
+        conn = pair.client.conn
+        self.server_gen_ability = conn.peer_gen_ability
+        stream_id = conn.get_next_available_stream_id()
+        conn.send_headers(stream_id, self.request_headers(path), end_stream=True)
+        pair.pump()
+        status = 0
+        headers: HeaderList = []
+        body = bytearray()
+        promised_paths: dict[int, str] = {}
+        pushed_bodies: dict[int, bytearray] = {}
+        for event in pair.client.take_events():
+            if isinstance(event, ResponseReceived) and event.stream_id == stream_id:
+                headers = event.headers
+                status = int(dict(headers).get(b":status", b"0"))
+            elif isinstance(event, DataReceived) and event.stream_id == stream_id:
+                body += event.data
+            elif isinstance(event, PushPromiseReceived):
+                promised_path = dict(event.headers).get(b":path", b"").decode("utf-8", "replace")
+                promised_paths[event.promised_stream_id] = promised_path
+                pushed_bodies[event.promised_stream_id] = bytearray()
+            elif isinstance(event, DataReceived) and event.stream_id in pushed_bodies:
+                pushed_bodies[event.stream_id] += event.data
+        pushed = {
+            promised_paths[promised_id]: bytes(data) for promised_id, data in pushed_bodies.items()
+        }
+        # §2.2 upscale items reference small stored originals: fetch any
+        # that were not pushed, before generation runs.
+        header_map = dict(headers)
+        if status == 200 and header_map.get(b"x-sww-content") == b"prompts" and self.gen_ability:
+            self.generator.provide_assets(pushed)
+            for src in self._upscale_sources(bytes(body)):
+                if src in self.generator.asset_sources:
+                    continue
+                fetched = self._fetch_raw(pair, src)
+                if fetched is not None:
+                    self.generator.provide_assets({src: fetched})
+        result = self._finish(path, status, headers, bytes(body))
+        result.pushed_assets.update(pushed)
+        return result
+
+    @staticmethod
+    def _upscale_sources(body: bytes) -> list[str]:
+        """Paths of small originals referenced by upscale items on a page."""
+        from repro.sww.content import CSS_CLASS, ContentError, GeneratedContent
+
+        document = parse_html(body.decode("utf-8", "replace"))
+        sources = []
+        for element in document.find_by_class(CSS_CLASS):
+            try:
+                item = GeneratedContent.from_element(element)
+            except ContentError:
+                continue
+            if item.upscale_src is not None:
+                sources.append(item.upscale_src)
+        return sources
+
+    def _fetch_raw(self, pair: InMemoryTransportPair, path: str) -> bytes | None:
+        """One plain GET over the shared connection; returns body or None."""
+        conn = pair.client.conn
+        stream_id = conn.get_next_available_stream_id()
+        conn.send_headers(stream_id, self.request_headers(path), end_stream=True)
+        pair.pump()
+        status = 0
+        body = bytearray()
+        for event in pair.client.take_events():
+            if isinstance(event, ResponseReceived) and event.stream_id == stream_id:
+                status = int(dict(event.headers).get(b":status", b"0"))
+            elif isinstance(event, DataReceived) and event.stream_id == stream_id:
+                body += event.data
+        return bytes(body) if status == 200 else None
+
+    def fetch_assets_via_pair(self, pair: InMemoryTransportPair, result: FetchResult) -> dict[str, bytes]:
+        """Fetch every ``<img src>`` the (possibly rewritten) page references.
+
+        This is the traditional-web tail of the flow: a naive client (or a
+        capable client that received a traditional page) pulls each image
+        as its own GET, exactly like a browser. Generated assets produced
+        locally are *not* fetched — that is the point of SWW — so only
+        sources outside ``/generated/`` go to the server.
+        """
+        assets: dict[str, bytes] = {}
+        local = result.report.assets if result.report else {}
+        for img in result.document.find_by_tag("img"):
+            src = img.get("src")
+            if not src or src in assets or src in local or src in result.pushed_assets:
+                continue
+            conn = pair.client.conn
+            stream_id = conn.get_next_available_stream_id()
+            conn.send_headers(stream_id, self.request_headers(src), end_stream=True)
+            pair.pump()
+            body = bytearray()
+            status = 0
+            for event in pair.client.take_events():
+                if isinstance(event, ResponseReceived) and event.stream_id == stream_id:
+                    status = int(dict(event.headers).get(b":status", b"0"))
+                elif isinstance(event, DataReceived) and event.stream_id == stream_id:
+                    body += event.data
+            if status == 200:
+                assets[src] = bytes(body)
+        return assets
+
+    # ------------------------------------------------------------------ #
+    # asyncio TCP transport
+    # ------------------------------------------------------------------ #
+
+    async def fetch_tcp(self, host: str, port: int, path: str) -> FetchResult:
+        """Full §5.2 flow over a real socket: connect, settle settings,
+        request, receive, generate, render."""
+        conn = self.new_connection()
+        reader, writer = await asyncio.open_connection(host, port)
+        transport = AsyncH2Transport(conn, reader, writer)
+        conn.initiate_connection()
+        await transport.flush()
+
+        status = 0
+        headers: HeaderList = []
+        body = bytearray()
+        done = asyncio.Event()
+
+        async def handler(event) -> None:
+            nonlocal status, headers
+            if isinstance(event, ResponseReceived):
+                headers = event.headers
+                status = int(dict(headers).get(b":status", b"0"))
+            elif isinstance(event, DataReceived):
+                body.extend(event.data)
+            if isinstance(event, (StreamEnded,)):
+                done.set()
+
+        run_task = asyncio.create_task(transport.run(handler))
+        # Wait a beat for the settings exchange so negotiation state is
+        # logged before the request goes out (§5.2 ordering).
+        await asyncio.sleep(0)
+        stream_id = conn.get_next_available_stream_id()
+        conn.send_headers(stream_id, self.request_headers(path, host), end_stream=True)
+        await transport.flush()
+        await done.wait()
+        self.server_gen_ability = conn.peer_gen_ability
+        await transport.close()
+        run_task.cancel()
+        try:
+            await run_task
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        return self._finish(path, status, headers, bytes(body))
+
+
+def connect_in_memory(client: GenerativeClient, server) -> InMemoryTransportPair:
+    """Wire a client and a :class:`~repro.sww.server.GenerativeServer`
+    through the in-memory transport and run the settings handshake."""
+    client_conn = client.new_connection()
+    server_conn = H2Connection(Role.SERVER, gen_ability=server.gen_ability)
+    session = server.attach(server_conn)
+    pair = InMemoryTransportPair(client_conn, server_conn)
+
+    original_pump = pair.pump
+
+    def pump_with_dispatch(max_rounds: int = 100) -> None:
+        for _ in range(max_rounds):
+            original_pump()
+            events = pair.server.take_events()
+            if not events:
+                return
+            for event in events:
+                session.handle_event(event)
+        raise RuntimeError("in-memory dispatch did not quiesce")
+
+    pair.pump = pump_with_dispatch  # type: ignore[method-assign]
+    pair.handshake()
+    return pair

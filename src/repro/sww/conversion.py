@@ -1,0 +1,188 @@
+"""Webpage creation and conversion (paper §4.2).
+
+    "A simple script that goes over a webpage can identify content, call
+    a media converter to turn the object into a prompt, and replace the
+    existing object with a generated content object."
+
+Two pieces:
+
+* :class:`PromptInverter` — the media converter. The paper's prototype
+  used a GPT-4V-based image-to-text model producing prompts of 120-262
+  characters; the simulator recovers a textual prompt from an image's
+  descriptor with a tunable fidelity loss (prompt inversion is lossy —
+  re-generated images preserve semantics, not pixels).
+* :class:`PageConverter` — the page walker: finds ``<img>`` elements and
+  tagged text blocks, consults the CMS tags (generatable vs unique,
+  §4.2), swaps generatable content for generated-content divisions, and
+  reports the size accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.rng import DeterministicRNG
+from repro.genai.embeddings import tokenize_words
+from repro.html.dom import Document, Element, Text
+from repro.media.jpeg_model import jpeg_size
+from repro.metrics.compression import SizeAccount
+from repro.sww.cms import ContentManagementSystem, ContentTag
+from repro.sww.content import GeneratedContent
+
+#: Observed prompt lengths from the paper's GPT-4V conversion (§6.2).
+MIN_PROMPT_CHARS = 120
+MAX_PROMPT_CHARS = 262
+
+
+@dataclass
+class InvertedPrompt:
+    """A prompt recovered from existing media."""
+
+    prompt: str
+    #: Fraction of the source's semantic content the prompt retains.
+    fidelity: float
+
+
+class PromptInverter:
+    """Image/text → prompt conversion with fidelity loss.
+
+    ``fidelity`` is the fraction of source descriptor words the recovered
+    prompt keeps; the rest are replaced by plausible-but-generic wording
+    (what a captioning model hallucinates). The A3 ablation sweeps this.
+    """
+
+    _GENERIC = (
+        "detailed", "natural light", "high resolution", "wide angle",
+        "soft focus", "outdoor scene", "rich color", "professional photo",
+    )
+
+    def __init__(self, fidelity: float = 0.85) -> None:
+        if not 0.0 < fidelity <= 1.0:
+            raise ValueError("fidelity must be in (0, 1]")
+        self.fidelity = fidelity
+
+    def invert_image(self, descriptor: str, seed: str = "") -> InvertedPrompt:
+        """Recover a generation prompt from an image's description.
+
+        ``descriptor`` stands in for the image's true semantic content
+        (for stored corpus images we track it as alt-text, the same signal
+        AlDahoul et al. use). The output is clamped to the 120-262
+        character range the paper measured.
+        """
+        words = tokenize_words(descriptor)
+        if not words:
+            raise ValueError("cannot invert an image with no semantic descriptor")
+        rng = DeterministicRNG("prompt-invert", descriptor, seed, self.fidelity)
+        kept: list[str] = []
+        for word in words:
+            if rng.random() < self.fidelity:
+                kept.append(word)
+            elif rng.random() < 0.5:
+                kept.append(rng.choice(self._GENERIC))
+        if not kept:
+            kept = [words[0]]
+        prompt = "a photograph of " + " ".join(kept)
+        while len(prompt) < MIN_PROMPT_CHARS:
+            prompt += ", " + rng.choice(self._GENERIC)
+        if len(prompt) > MAX_PROMPT_CHARS:
+            prompt = prompt[:MAX_PROMPT_CHARS].rsplit(" ", 1)[0]
+        return InvertedPrompt(prompt=prompt, fidelity=self.fidelity)
+
+    def summarise_text(self, text: str, max_bullets: int = 5) -> str:
+        """Turn a paragraph into bullet points (§2.1: "turned into bullet
+        points that can be used in a prompt ... without loss of
+        information")."""
+        sentences = [s.strip() for s in text.replace("\n", " ").split(".") if s.strip()]
+        if not sentences:
+            raise ValueError("no sentences to summarise")
+        bullets = []
+        for sentence in sentences[:max_bullets]:
+            content = [w for w in tokenize_words(sentence) if len(w) > 3][:6]
+            if content:
+                bullets.append("- " + " ".join(content))
+        return "\n".join(bullets) if bullets else "- " + sentences[0][:60]
+
+
+@dataclass
+class ConversionReport:
+    """Outcome of converting one page to SWW form."""
+
+    converted_images: int = 0
+    converted_texts: int = 0
+    kept_unique: int = 0
+    account: SizeAccount = field(default_factory=SizeAccount)
+
+
+class PageConverter:
+    """Walks a page and swaps generatable content for prompts (§4.2)."""
+
+    def __init__(
+        self,
+        inverter: PromptInverter | None = None,
+        cms: ContentManagementSystem | None = None,
+        default_image_size: tuple[int, int] = (256, 256),
+        text_words: int = 150,
+        stock_library=None,
+    ) -> None:
+        self.inverter = inverter or PromptInverter()
+        self.cms = cms or ContentManagementSystem()
+        self.default_image_size = default_image_size
+        self.text_words = text_words
+        #: Optional §7 stock-prompt library: a matching catalog prompt is
+        #: reused instead of running lossy inversion.
+        self.stock_library = stock_library
+        self.stock_reuses = 0
+
+    def convert(self, document: Document, topic: str = "technology") -> ConversionReport:
+        """Convert in place; returns the size accounting."""
+        report = ConversionReport()
+        self._convert_images(document, report)
+        self._convert_texts(document, report, topic)
+        return report
+
+    def _convert_images(self, document: Document, report: ConversionReport) -> None:
+        for img in document.find_by_tag("img"):
+            source = img.get("src")
+            tag = self.cms.tag_for(source)
+            descriptor = img.get("alt") or img.get("data-description")
+            if tag == ContentTag.UNIQUE or not descriptor:
+                # §4.2: unique content (or content we cannot describe)
+                # remains untouched.
+                report.kept_unique += 1
+                width = int(img.get("width") or self.default_image_size[0])
+                height = int(img.get("height") or self.default_image_size[1])
+                report.account.add_unique(jpeg_size(width, height))
+                continue
+            width = int(img.get("width") or self.default_image_size[0])
+            height = int(img.get("height") or self.default_image_size[1])
+            stock = self.stock_library.best_match(descriptor) if self.stock_library else None
+            if stock is not None:
+                prompt = stock.prompt
+                self.stock_reuses += 1
+            else:
+                prompt = self.inverter.invert_image(descriptor, seed=source).prompt
+            name = (source.rsplit("/", 1)[-1].rsplit(".", 1)[0] or "image")[:20]
+            item = GeneratedContent.image(prompt, name=name, width=width, height=height)
+            img.replace_with(item.to_element())
+            original = jpeg_size(width, height)
+            report.account.add_item(name, original, item.wire_size_bytes(), kind="media")
+            report.converted_images += 1
+
+    def _convert_texts(self, document: Document, report: ConversionReport, topic: str) -> None:
+        for paragraph in document.find_by_tag("p"):
+            if paragraph.get("data-sww") == "unique" or self.cms.tag_for(paragraph.id) == ContentTag.UNIQUE:
+                text = paragraph.text_content()
+                report.kept_unique += 1
+                report.account.add_unique(len(text.encode("utf-8")))
+                continue
+            if paragraph.get("data-sww") != "generatable":
+                continue  # untagged text is left alone by default
+            text = paragraph.text_content()
+            words = len(text.split())
+            if words < 20:
+                continue  # too short to be worth converting
+            bullets = self.inverter.summarise_text(text)
+            item = GeneratedContent.text(bullets, words=words, topic=topic)
+            paragraph.replace_with(item.to_element())
+            report.account.add_item(f"text-{report.converted_texts}", len(text.encode("utf-8")), item.wire_size_bytes(), kind="text")
+            report.converted_texts += 1

@@ -1,0 +1,153 @@
+"""The media generator (paper §4.1).
+
+    "The media generator has two roles: parsing the passed metadata and
+    invoking content generation using the parsed information. The media
+    generator has two generation subroutines, one to generate text and
+    the other to generate images."
+
+It receives :class:`~repro.sww.content.GeneratedContent` items from the
+HTML parser alongside a preloaded generation pipeline, dispatches to the
+image or text subroutine, and returns the produced artifact with its
+simulated cost. Text models are reached through the Ollama-shaped API
+(mirroring the prototype's ``requests``-based access), images through the
+pipeline's diffusion entry point (the Diffusers stand-in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.profiles import DeviceProfile
+from repro.genai.ollama_api import OllamaClient, OllamaEndpoint
+from repro.genai.pipeline import GenerationPipeline
+from repro.genai.registry import get_image_model, get_text_model
+from repro.sww.content import ContentType, GeneratedContent
+
+
+@dataclass
+class GenerationOutput:
+    """One generated artifact plus its simulated cost."""
+
+    item: GeneratedContent
+    #: PNG bytes for images; UTF-8 text bytes for text.
+    payload: bytes
+    #: For text items, the expanded string; empty for images.
+    text: str
+    sim_time_s: float
+    energy_wh: float
+    #: Suggested asset path for images (what the rewritten div points at).
+    asset_path: str = ""
+
+
+class MediaGenerator:
+    """Dispatches generated-content items to the generation subroutines."""
+
+    def __init__(self, pipeline: GenerationPipeline, ollama: OllamaClient | None = None) -> None:
+        self.pipeline = pipeline
+        # The prototype talks to Ollama over its local API; default to an
+        # endpoint running on the same simulated device as the pipeline.
+        self.ollama = ollama or OllamaClient(OllamaEndpoint(pipeline.device))
+        self.generated_count = 0
+        self.total_time_s = 0.0
+        self.total_energy_wh = 0.0
+        #: Fetched small originals for §2.2 upscale items (path → PNG
+        #: bytes); the client provides these before page processing.
+        self.asset_sources: dict[str, bytes] = {}
+
+    def provide_assets(self, assets: dict[str, bytes]) -> None:
+        """Register fetched bytes that upscale items may reference."""
+        self.asset_sources.update(assets)
+
+    @property
+    def device(self) -> DeviceProfile:
+        return self.pipeline.device
+
+    def generate(self, item: GeneratedContent) -> GenerationOutput:
+        """Parse the item's metadata and invoke the right subroutine."""
+        if item.content_type == ContentType.IMAGE:
+            output = self._generate_image(item)
+        else:
+            output = self._generate_text(item)
+        self.generated_count += 1
+        self.total_time_s += output.sim_time_s
+        self.total_energy_wh += output.energy_wh
+        return output
+
+    def _generate_image(self, item: GeneratedContent) -> GenerationOutput:
+        if item.upscale_src is not None:
+            return self._upscale_image(item)
+        model = get_image_model(item.model) if item.model else self.pipeline.image_model
+        if model is not self.pipeline.image_model:
+            # Honour a per-item model override by generating directly; the
+            # pipeline still provides device context and load accounting.
+            from repro.genai.image import generate_image
+
+            self.pipeline._maybe_reload()
+            self.pipeline.invocations += 1
+            result = generate_image(
+                model,
+                self.device,
+                item.prompt,
+                item.width,
+                item.height,
+                item.metadata.get("steps"),
+                item.metadata.get("seed"),
+            )
+        else:
+            result = self.pipeline.generate_image(
+                item.prompt,
+                item.width,
+                item.height,
+                item.metadata.get("steps"),
+                item.metadata.get("seed"),
+            )
+        png = result.png_bytes()
+        return GenerationOutput(
+            item=item,
+            payload=png,
+            text="",
+            sim_time_s=result.sim_time_s,
+            energy_wh=result.energy_wh,
+            asset_path=f"/generated/{item.name}.png",
+        )
+
+    def _upscale_image(self, item: GeneratedContent) -> GenerationOutput:
+        """§2.2 upscale path: small stored original → large local image."""
+        from repro.genai.upscale import ONE_STEP_SR, upscale_image
+        from repro.media.png import decode_png, encode_png
+
+        source = self.asset_sources.get(item.upscale_src)
+        if source is None:
+            raise KeyError(
+                f"upscale item {item.name!r} references unfetched asset {item.upscale_src!r}"
+            )
+        pixels = decode_png(source)
+        result = upscale_image(ONE_STEP_SR, self.device, pixels, item.scale)
+        return GenerationOutput(
+            item=item,
+            payload=encode_png(result.pixels),
+            text="",
+            sim_time_s=result.sim_time_s,
+            energy_wh=result.energy_wh,
+            asset_path=f"/generated/{item.name}.png",
+        )
+
+    def _generate_text(self, item: GeneratedContent) -> GenerationOutput:
+        model_name = item.model or self.pipeline.text_model.name
+        get_text_model(model_name)  # validate before the API round-trip
+        prompt = f"{item.prompt}\nExpand the points above into {item.words} words."
+        response = self.ollama.post_generate(
+            model=model_name,
+            prompt=prompt,
+            options={"topic": item.topic},
+        )
+        text = response["response"]
+        seconds = response["total_duration"] / 1e9
+        energy = self.ollama.endpoint.last_energy_wh
+        return GenerationOutput(
+            item=item,
+            payload=text.encode("utf-8"),
+            text=text,
+            sim_time_s=seconds,
+            energy_wh=energy,
+        )

@@ -1,0 +1,99 @@
+"""A deterministic text-mode page renderer.
+
+Stands in for the prototype's PyQt GUI (§5.2) in this headless
+environment: same position in the flow (parse → generate → **render**),
+same input (the rewritten DOM), but the output is a plain-text layout —
+headings underlined, paragraphs wrapped, images shown as placeholders with
+their dimensions — which tests can assert on byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.html.dom import Comment, Document, Element, Node, Text
+
+DEFAULT_WIDTH = 78
+
+_HEADING_TAGS = {"h1": "=", "h2": "-", "h3": "~"}
+_BLOCK_TAGS = frozenset(
+    {"p", "div", "section", "article", "header", "footer", "ul", "ol", "li", "blockquote", "figure", "table", "tr"}
+)
+_SKIP_TAGS = frozenset({"script", "style", "head", "title", "meta", "link"})
+
+
+def render_text(document: Document | Element, width: int = DEFAULT_WIDTH) -> str:
+    """Render a document (or subtree) as wrapped plain text."""
+    blocks: list[str] = []
+    if isinstance(document, Document):
+        root: Node = document.body or document
+    else:
+        root = document
+    _render_node(root, blocks, width)
+    rendered = "\n\n".join(block for block in blocks if block.strip())
+    return rendered + "\n" if rendered else ""
+
+
+def _inline_text(node: Node) -> str:
+    if isinstance(node, Text):
+        return node.text
+    if isinstance(node, Comment):
+        return ""
+    if isinstance(node, Element):
+        if node.tag in _SKIP_TAGS:
+            return ""
+        if node.tag == "img":
+            alt = node.get("alt") or node.get("src", "image")
+            size = ""
+            if node.get("width") and node.get("height"):
+                size = f" {node.get('width')}x{node.get('height')}"
+            return f"[img{size}: {alt}]"
+        if node.tag == "br":
+            return "\n"
+        if node.tag == "a":
+            inner = "".join(_inline_text(child) for child in node.children)
+            href = node.get("href")
+            return f"{inner} <{href}>" if href else inner
+        return "".join(_inline_text(child) for child in node.children)
+    return ""
+
+
+def _render_node(node: Node, blocks: list[str], width: int) -> None:
+    if isinstance(node, (Text, Comment)):
+        text = _inline_text(node).strip()
+        if text:
+            blocks.append(textwrap.fill(text, width))
+        return
+    if not isinstance(node, (Element, Document)):
+        return
+    if isinstance(node, Element):
+        if node.tag in _SKIP_TAGS:
+            return
+        underline = _HEADING_TAGS.get(node.tag)
+        if underline is not None:
+            title = " ".join(_inline_text(node).split())
+            if title:
+                blocks.append(f"{title}\n{underline * min(len(title), width)}")
+            return
+        if node.tag == "li":
+            text = " ".join(_inline_text(node).split())
+            if text:
+                blocks.append(textwrap.fill(f"* {text}", width, subsequent_indent="  "))
+            return
+        if node.tag == "img":
+            blocks.append(_inline_text(node))
+            return
+        if node.tag == "p":
+            text = " ".join(_inline_text(node).split())
+            if text:
+                blocks.append(textwrap.fill(text, width))
+            return
+        if node.tag not in _BLOCK_TAGS:
+            # Inline container at block level: flatten its text.
+            text = " ".join(_inline_text(node).split())
+            if text:
+                blocks.append(textwrap.fill(text, width))
+            return
+    # Block container (or Document): recurse into children.
+    for child in node.children:
+        _render_node(child, blocks, width)

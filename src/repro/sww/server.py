@@ -1,0 +1,353 @@
+"""The generative server (paper §5.1).
+
+    "A simple generative server was designed using the Python3 asyncio
+    library to handle asynchronous requests from clients. [...] When
+    clients connect, the server negotiates the generative ability using
+    the modified HTTP/2. If the client's generative ability is confirmed,
+    the server can serve the content in its generative form as indicated
+    by the client. If the ability is not confirmed it will serve
+    traditional content with no client-side generation expected."
+
+The server is layered: :class:`SiteStore` holds resources (SWW pages with
+prompts, unique assets, optional traditional variants);
+:class:`GenerativeServer` contains the transport-independent request
+logic (usable over the in-memory transport for tests/benchmarks); and
+:meth:`GenerativeServer.serve_forever` binds it to asyncio TCP through the
+HTTP/2 engine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.devices.profiles import DeviceProfile, WORKSTATION
+from repro.genai.pipeline import GenerationPipeline
+from repro.html import parse_html, serialize
+from repro.http2.connection import (
+    Event,
+    H2Connection,
+    RequestReceived,
+    Role,
+)
+from repro.http2.transport import AsyncH2Transport
+from repro.sww.capability import NegotiationOutcome, ServeMode, ServePolicy, decide_serve_mode
+from repro.sww.media_generator import MediaGenerator
+from repro.sww.page_processor import PageProcessor
+
+HeaderList = list[tuple[bytes, bytes]]
+
+
+@dataclass
+class PageResource:
+    """A stored page: the SWW (prompt-carrying) HTML and optional variants."""
+
+    path: str
+    sww_html: str
+    #: Pre-rendered traditional HTML (for servers without prompts, or the
+    #: §6.2 "serve traditional even to capable clients" policy path).
+    traditional_html: str | None = None
+
+    @property
+    def has_prompts(self) -> bool:
+        return 'class="generated-content"' in self.sww_html or "generated-content" in self.sww_html
+
+
+@dataclass
+class AssetResource:
+    """A stored binary asset (unique content, or server-generated media)."""
+
+    path: str
+    data: bytes
+    content_type: str = "application/octet-stream"
+
+
+@dataclass
+class SiteStore:
+    """The server's content store, with storage accounting."""
+
+    pages: dict[str, PageResource] = field(default_factory=dict)
+    assets: dict[str, AssetResource] = field(default_factory=dict)
+
+    def add_page(self, page: PageResource) -> None:
+        self.pages[page.path] = page
+
+    def add_asset(self, asset: AssetResource) -> None:
+        self.assets[asset.path] = asset
+
+    def storage_bytes(self, include_traditional: bool = True) -> int:
+        """Total stored bytes; the SWW storage-saving claims compare this
+        with and without traditional variants."""
+        total = 0
+        for page in self.pages.values():
+            total += len(page.sww_html.encode("utf-8"))
+            if include_traditional and page.traditional_html is not None:
+                total += len(page.traditional_html.encode("utf-8"))
+        for asset in self.assets.values():
+            total += len(asset.data)
+        return total
+
+
+@dataclass
+class ServedResponse:
+    """What the request logic produced (before framing)."""
+
+    status: int
+    headers: HeaderList
+    body: bytes
+    mode: ServeMode | None = None
+    #: Simulated server-side generation cost, when mode == SERVER_GENERATED.
+    sim_time_s: float = 0.0
+    energy_wh: float = 0.0
+
+
+def _content_type_for(path: str) -> str:
+    if path.endswith((".html", "/")):
+        return "text/html; charset=utf-8"
+    if path.endswith(".png"):
+        return "image/png"
+    if path.endswith((".jpg", ".jpeg")):
+        return "image/jpeg"
+    if path.endswith(".json"):
+        return "application/json"
+    return "application/octet-stream"
+
+
+class GenerativeServer:
+    """Transport-independent SWW request handling plus asyncio serving."""
+
+    def __init__(
+        self,
+        store: SiteStore,
+        device: DeviceProfile = WORKSTATION,
+        policy: ServePolicy | None = None,
+        gen_ability: bool = True,
+        pipeline: GenerationPipeline | None = None,
+        push_assets: bool = False,
+        trust_authority=None,
+    ) -> None:
+        self.store = store
+        self.device = device
+        self.policy = policy or ServePolicy()
+        self.gen_ability = gen_ability
+        #: When serving a server-generated page, push the freshly
+        #: generated media over HTTP/2 server push (RFC 9113 §8.4) instead
+        #: of waiting for the naive client's follow-up GETs.
+        self.push_assets = push_assets
+        #: §7 trust: when set, generative responses carry signed
+        #: provenance manifests in an x-sww-manifests header.
+        self.trust_authority = trust_authority
+        #: Server-side pipeline, used when it must generate for naive clients.
+        self.pipeline = pipeline or GenerationPipeline(device)
+        self._generator = MediaGenerator(self.pipeline)
+        self._processor = PageProcessor(self._generator)
+        #: Cache of server-side generated traditional pages (path → html,
+        #: assets), so repeat naive clients don't re-pay generation.
+        self._server_generated: dict[str, tuple[str, dict[str, bytes], float, float]] = {}
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------ #
+    # Request logic (sans-io)
+    # ------------------------------------------------------------------ #
+
+    def handle_request(
+        self,
+        path: str,
+        client_gen_ability: bool,
+        client_models: list[str] | None = None,
+    ) -> ServedResponse:
+        """Produce the response for one GET, honouring negotiation state.
+
+        ``client_models`` is the parsed ``sww-models`` header (§7 model
+        negotiation): when present, generative pages are rewritten to the
+        client's installed models, and pages the client cannot generate
+        fall back to server-side generation.
+        """
+        self.requests_served += 1
+        asset = self.store.assets.get(path)
+        if asset is not None:
+            return ServedResponse(
+                status=200,
+                headers=self._headers(asset.content_type, len(asset.data)),
+                body=asset.data,
+            )
+        page = self.store.pages.get(path)
+        if page is None:
+            body = b"not found"
+            return ServedResponse(404, self._headers("text/plain", len(body), status=404), body)
+
+        outcome = NegotiationOutcome(client_supports=client_gen_ability, server_supports=self.gen_ability)
+        mode = decide_serve_mode(outcome, self.policy, has_prompts=page.has_prompts)
+        if mode == ServeMode.GENERATIVE:
+            html = page.sww_html
+            if client_models is not None:
+                from repro.sww.model_negotiation import negotiate_models
+
+                html, negotiation = negotiate_models(html, client_models)
+                if not negotiation.compatible:
+                    # The client can generate, but not this page's
+                    # modalities: materialise server-side instead.
+                    mode = ServeMode.SERVER_GENERATED
+            if mode == ServeMode.GENERATIVE:
+                body = html.encode("utf-8")
+                headers = self._headers("text/html; charset=utf-8", len(body), sww=True)
+                if self.trust_authority is not None:
+                    manifests = self._sign_page(html)
+                    if manifests:
+                        headers.append((b"x-sww-manifests", manifests))
+                return ServedResponse(200, headers, body, mode)
+        if mode == ServeMode.SERVER_GENERATED:
+            html, _assets, gen_time, gen_energy = self._materialise(page)
+            body = html.encode("utf-8")
+            return ServedResponse(
+                200,
+                self._headers("text/html; charset=utf-8", len(body)),
+                body,
+                mode,
+                sim_time_s=gen_time,
+                energy_wh=gen_energy,
+            )
+        html = page.traditional_html if page.traditional_html is not None else page.sww_html
+        body = html.encode("utf-8")
+        return ServedResponse(200, self._headers("text/html; charset=utf-8", len(body)), body, mode)
+
+    def _materialise(self, page: PageResource) -> tuple[str, dict[str, bytes], float, float]:
+        """Server-side generation: prompts → media, cached per page.
+
+        §6.2: "This saves storage space, and avoids saving two copies of
+        content (prompts and original files)" — the server stores prompts
+        only and renders on demand for naive clients; generated assets are
+        registered in the store so follow-up asset GETs resolve.
+        """
+        cached = self._server_generated.get(page.path)
+        if cached is not None:
+            html, assets, _time, _energy = cached
+            # Cache hits cost no additional generation time.
+            return html, assets, 0.0, 0.0
+        document = parse_html(page.sww_html)
+        # Upscale items reference stored small originals; the server's own
+        # generator reads them straight from the store.
+        self._generator.provide_assets(
+            {path: asset.data for path, asset in self.store.assets.items()}
+        )
+        report = self._processor.process(document)
+        html = serialize(document)
+        for asset_path, data in report.assets.items():
+            self.store.add_asset(AssetResource(asset_path, data, "image/png"))
+        entry = (html, dict(report.assets), report.sim_time_s, report.energy_wh)
+        self._server_generated[page.path] = entry
+        return entry
+
+    def _sign_page(self, html: str) -> bytes:
+        """Sign every well-formed generated-content item on a page.
+
+        Returns a JSON array (name → manifest) for the x-sww-manifests
+        header, signed over the page's *final* metadata — i.e. after any
+        model-negotiation rewrite, so the client verifies exactly what it
+        will generate from.
+        """
+        import json as _json
+
+        from repro.sww.content import CSS_CLASS, ContentError, GeneratedContent
+
+        document = parse_html(html)
+        entries = []
+        for element in document.find_by_class(CSS_CLASS):
+            try:
+                item = GeneratedContent.from_element(element)
+            except ContentError:
+                continue
+            manifest = self.trust_authority.sign(item)
+            entries.append({"name": item.name, "manifest": _json.loads(manifest.to_json())})
+        if not entries:
+            return b""
+        return _json.dumps(entries, separators=(",", ":")).encode("utf-8")
+
+    @staticmethod
+    def _headers(content_type: str, length: int, sww: bool = False, status: int = 200) -> HeaderList:
+        headers: HeaderList = [
+            (b":status", str(status).encode()),
+            (b"content-type", content_type.encode()),
+            (b"content-length", str(length).encode()),
+            (b"server", b"sww-generative-server/1.0"),
+        ]
+        if sww:
+            headers.append((b"x-sww-content", b"prompts"))
+        return headers
+
+    # ------------------------------------------------------------------ #
+    # HTTP/2 plumbing
+    # ------------------------------------------------------------------ #
+
+    def attach(self, conn: H2Connection) -> "ServerSession":
+        """Bind the request logic to one HTTP/2 connection engine."""
+        return ServerSession(self, conn)
+
+    async def serve_forever(self, host: str = "127.0.0.1", port: int = 0) -> asyncio.AbstractServer:
+        """Listen on TCP; each connection gets its own engine + session."""
+
+        async def on_connect(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+            conn = H2Connection(Role.SERVER, gen_ability=self.gen_ability)
+            session = self.attach(conn)
+            transport = AsyncH2Transport(conn, reader, writer)
+            conn.initiate_connection()
+            await transport.flush()
+
+            async def handler(event: Event) -> None:
+                session.handle_event(event)
+
+            await transport.run(handler)
+
+        return await asyncio.start_server(on_connect, host, port)
+
+
+class ServerSession:
+    """Per-connection state: applies request events to the engine."""
+
+    def __init__(self, server: GenerativeServer, conn: H2Connection) -> None:
+        self.server = server
+        self.conn = conn
+        self.responses: list[ServedResponse] = []
+
+    def handle_event(self, event: Event) -> None:
+        if isinstance(event, RequestReceived):
+            from repro.sww.model_negotiation import MODELS_HEADER, parse_models_header
+
+            headers = dict(event.headers)
+            path = headers.get(b":path", b"/").decode("utf-8", "replace")
+            authority = headers.get(b":authority", b"sww.example")
+            raw_models = headers.get(MODELS_HEADER)
+            client_models = parse_models_header(raw_models) if raw_models is not None else None
+            response = self.server.handle_request(
+                path, self.conn.gen_ability_negotiated, client_models
+            )
+            self.responses.append(response)
+            self.conn.send_headers(event.stream_id, response.headers)
+            if (
+                self.server.push_assets
+                and response.mode == ServeMode.SERVER_GENERATED
+                and self.conn.peer_settings.enable_push
+            ):
+                # Push the freshly generated media before closing the page
+                # stream, so the naive client never issues follow-up GETs.
+                self._push_generated_assets(event.stream_id, path, authority)
+            self.conn.send_data(event.stream_id, response.body, end_stream=True)
+
+    def _push_generated_assets(self, stream_id: int, page_path: str, authority: bytes) -> None:
+        cached = self.server._server_generated.get(page_path)
+        if cached is None:
+            return
+        _html, assets, _time, _energy = cached
+        for asset_path, data in assets.items():
+            request_headers = [
+                (b":method", b"GET"),
+                (b":path", asset_path.encode("utf-8")),
+                (b":scheme", b"https"),
+                (b":authority", authority),
+            ]
+            response_headers = [
+                (b":status", b"200"),
+                (b"content-type", b"image/png"),
+                (b"content-length", str(len(data)).encode()),
+            ]
+            self.conn.push_stream(stream_id, request_headers, response_headers, data)

@@ -1,0 +1,28 @@
+"""Synthetic workloads standing in for the paper's test content.
+
+* :mod:`repro.workloads.corpus` — page builders: the Wikimedia-Commons
+  "Landscape" search-results page (49 images, ≈1.4 MB of JPEG), the §2.1
+  travel blog (generic text + stock images + unique hike content), and
+  the §6.2 newspaper article (≈2,400 B of text).
+* :mod:`repro.workloads.traffic` — Internet-scale traffic projection for
+  the §7 "2-3 EB/month → tens of PB/month" argument.
+"""
+
+from repro.workloads.corpus import (
+    CorpusPage,
+    build_wikimedia_landscape_page,
+    build_travel_blog,
+    build_news_article,
+    landscape_prompts,
+)
+from repro.workloads.traffic import TrafficModel, MOBILE_WEB_EB_PER_MONTH
+
+__all__ = [
+    "CorpusPage",
+    "build_wikimedia_landscape_page",
+    "build_travel_blog",
+    "build_news_article",
+    "landscape_prompts",
+    "TrafficModel",
+    "MOBILE_WEB_EB_PER_MONTH",
+]

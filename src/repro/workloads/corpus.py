@@ -1,0 +1,307 @@
+"""Deterministic page builders matching the paper's test content.
+
+Each builder returns a :class:`CorpusPage` carrying both delivery forms of
+the same page — the SWW form (prompt-carrying ``generated-content`` divs)
+and the traditional form (``<img>`` tags / full text) — plus the byte
+accounting, so experiments can compare the two ends of the wire without
+re-deriving sizes.
+
+Size calibration:
+
+* Wikimedia thumbnails: the paper's page moved 1.4 MB in 49 images
+  (≈28.6 kB each). Commons search thumbnails are small but high-quality
+  JPEGs (≈0.5 B/pixel); at ≈240×240 that is ≈28.8 kB, which also matches
+  the measured 6.32 s/image laptop generation time (SD 3 Medium, 15
+  steps). Prompts are 120-262 characters (§6.2), totalling ≈8.9 kB of
+  metadata.
+* News article: 2,400 B of text (≈480 words) summarised to bullet-point
+  metadata of ≈778 B — the paper's 3.1× text compression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util.rng import DeterministicRNG
+from repro.genai import vocab
+from repro.media.jpeg_model import jpeg_size
+from repro.metrics.compression import SizeAccount
+from repro.sww.content import GeneratedContent
+
+#: Commons-style search thumbnails: high-quality small JPEG, ≈0.5 B/pixel.
+THUMBNAIL_QUALITY = "archival"  # 4× the 0.125 B/px web reference = 0.5 B/px
+
+WIKIMEDIA_IMAGE_COUNT = 49
+NEWS_ARTICLE_BYTES = 2400
+
+
+@dataclass
+class CorpusPage:
+    """One synthetic page in both delivery forms."""
+
+    path: str
+    title: str
+    sww_html: str
+    traditional_html: str
+    account: SizeAccount = field(default_factory=SizeAccount)
+    #: Per-image generation prompts (for quality measurements).
+    prompts: list[str] = field(default_factory=list)
+    #: (width, height) per image.
+    image_sizes: list[tuple[int, int]] = field(default_factory=list)
+    #: Text items: (bullet prompt, target words).
+    text_items: list[tuple[str, int]] = field(default_factory=list)
+
+
+_SCENES = (
+    "snowcapped range above an alpine lake",
+    "green pasture with wildflowers at dawn",
+    "volcanic ridge under storm clouds",
+    "quiet fjord with still water and mist",
+    "golden prairie under a wide horizon",
+    "rocky coastline with breaking waves",
+    "forest canopy cut by a winding river",
+    "glacier tongue above a gravel valley",
+    "terraced hillside in afternoon light",
+    "wind sculpted dunes under a blue sky",
+    "waterfall in a mossy basalt gorge",
+    "rainbow over a stone bridge and river",
+)
+
+_DETAILS = (
+    "in soft morning light with long shadows",
+    "under a vivid orange and violet sunset",
+    "with crisp foreground and hazy depth",
+    "framed by dark evergreens on both sides",
+    "reflected in calm shallow water",
+    "with a lone trail in the middle distance",
+    "seen from a high vantage down the valley",
+    "beneath towering cumulus drifting east",
+    "dusted with fresh snow on upper slopes",
+    "ringed by autumn foliage in deep reds",
+)
+
+
+def landscape_prompts(count: int = WIKIMEDIA_IMAGE_COUNT, seed: str = "wikimedia") -> list[str]:
+    """Generate ``count`` landscape prompts of 120-262 characters (§6.2)."""
+    rng = DeterministicRNG("landscape-prompts", seed, count)
+    prompts: list[str] = []
+    for index in range(count):
+        scene = rng.choice(_SCENES)
+        detail = rng.choice(_DETAILS)
+        prompt = f"a landscape photograph of a {scene}, {detail}"
+        # A small minority of prompts get a second clause, pushing toward
+        # the paper's 262-character upper end (most sit near the 120 floor).
+        if rng.random() < 0.08:
+            extra = rng.choice(_DETAILS)
+            bank = vocab.topic_words("landscape")
+            prompt += f", {extra}, with a distant {rng.choice(bank)} and a {rng.choice(bank)} visible near the {rng.choice(bank)}"
+        while len(prompt) < 120:
+            prompt += ", fine detail"
+        prompts.append(prompt[:262])
+    return prompts
+
+
+def _thumbnail_size(rng: DeterministicRNG) -> tuple[int, int]:
+    """Commons-style thumbnail dimensions, averaging ≈240×240."""
+    shapes = ((256, 224), (240, 240), (224, 256), (256, 240), (240, 224), (224, 224), (256, 256))
+    return rng.choice(shapes)
+
+
+def build_wikimedia_landscape_page(
+    count: int = WIKIMEDIA_IMAGE_COUNT, seed: str = "wikimedia"
+) -> CorpusPage:
+    """The Fig. 2 workload: a Commons search-results page for "Landscape"."""
+    rng = DeterministicRNG("wikimedia-page", seed, count)
+    prompts = landscape_prompts(count, seed)
+    page = CorpusPage(
+        path="/wiki/search/landscape",
+        title="Wikimedia search results: Landscape",
+        sww_html="",
+        traditional_html="",
+        prompts=prompts,
+    )
+    sww_items: list[str] = []
+    trad_items: list[str] = []
+    for index, prompt in enumerate(prompts):
+        width, height = _thumbnail_size(rng)
+        page.image_sizes.append((width, height))
+        name = f"landscape-{index:02d}"
+        item = GeneratedContent.image(prompt, name=name, width=width, height=height)
+        sww_items.append(f'<figure class="result">{_element_html(item)}</figure>')
+        trad_items.append(
+            f'<figure class="result"><img src="/thumbs/{name}.jpg" alt="{prompt}" '
+            f'width="{width}" height="{height}"></figure>'
+        )
+        original = jpeg_size(width, height, THUMBNAIL_QUALITY)
+        page.account.add_item(name, original, item.wire_size_bytes(), kind="media")
+
+    header = (
+        "<!DOCTYPE html><html><head><title>Search results for "
+        '"Landscape" - Wikimedia Commons</title></head><body>'
+        "<h1>Search results</h1><div class=\"search-results\">"
+    )
+    footer = "</div></body></html>"
+    page.sww_html = header + "".join(sww_items) + footer
+    page.traditional_html = header + "".join(trad_items) + footer
+    return page
+
+
+def populate_traditional_assets(store, page: CorpusPage) -> int:
+    """Install the traditional form's media files into a server store.
+
+    The bytes are synthetic (deterministic noise of the modelled JPEG
+    size); what matters to every experiment is their size on the wire.
+    Returns the number of assets added.
+    """
+    from repro.html import parse_html
+    from repro.sww.server import AssetResource
+
+    rng = DeterministicRNG("traditional-assets", page.path)
+    document = parse_html(page.traditional_html)
+    added = 0
+    for index, img in enumerate(document.find_by_tag("img")):
+        src = img.get("src")
+        if not src or src in store.assets:
+            continue
+        width = int(img.get("width") or 256)
+        height = int(img.get("height") or 256)
+        quality = THUMBNAIL_QUALITY if src.startswith("/thumbs/") else "web"
+        size = jpeg_size(width, height, quality)
+        store.add_asset(AssetResource(src, rng.bytes(size), "image/jpeg"))
+        added += 1
+    return added
+
+
+def _element_html(item: GeneratedContent) -> str:
+    from repro.html.serializer import serialize
+
+    return serialize(item.to_element())
+
+
+_NEWS_SENTENCES = (
+    "Regional officials confirmed on Tuesday that the long delayed transit corridor will enter its final planning phase before the end of the quarter",
+    "The announcement follows months of negotiation between the transport ministry and a consortium of municipal governments along the proposed route",
+    "Independent analysts estimate the project could reduce commuting times by up to forty minutes for residents of the outer districts",
+    "Funding remains the central question, with the finance committee still reviewing a blended proposal of public bonds and private investment",
+    "A spokesperson for the ministry said the environmental assessment had cleared its second review without significant objections",
+    "Local business groups welcomed the decision, arguing that reliable infrastructure is the single biggest constraint on regional growth",
+    "Opposition members cautioned that previous phases of the programme had overrun their budgets by considerable margins",
+    "Construction of the first segment is expected to begin next spring, pending a final vote scheduled for late January",
+    "The ministry also committed to quarterly public reporting on costs, timelines and contractor performance for the duration of the build",
+    "Residents near the planned depot sites will be invited to consultation sessions starting next month, officials said",
+)
+
+
+def build_news_article(seed: str = "news") -> CorpusPage:
+    """The §6.2 text experiment: a ≈2,400-byte newspaper article.
+
+    The SWW form carries the article as bullet points (the paper: "turned
+    into bullet points that can be used in a prompt to generate the
+    relevant text without loss of information"), sized so the metadata is
+    ≈778 B — the measured 3.1× text compression.
+    """
+    body = ". ".join(_NEWS_SENTENCES) + "."
+    encoded = body.encode("utf-8")
+    if len(encoded) > NEWS_ARTICLE_BYTES:
+        body = body[:NEWS_ARTICLE_BYTES].rsplit(" ", 1)[0]
+    else:
+        filler = " Officials did not offer further comment."
+        while len(body.encode("utf-8")) + len(filler) <= NEWS_ARTICLE_BYTES:
+            body += filler
+    words = len(body.split())
+
+    # Bullet summary: the key content of each sentence.
+    bullets = []
+    for sentence in _NEWS_SENTENCES:
+        content = [w for w in sentence.lower().split() if len(w) > 4][:8]
+        bullets.append("- " + " ".join(content))
+    bullet_text = "\n".join(bullets)
+    item = GeneratedContent.text(bullet_text, words=words, topic="news", model="deepseek-r1-8b")
+
+    page = CorpusPage(
+        path="/news/transit-corridor",
+        title="Transit corridor enters final planning phase",
+        sww_html="",
+        traditional_html="",
+        text_items=[(bullet_text, words)],
+    )
+    header = (
+        "<!DOCTYPE html><html><head><title>Transit corridor enters final "
+        "planning phase</title></head><body><article>"
+        "<h1>Transit corridor enters final planning phase</h1>"
+    )
+    footer = "</article></body></html>"
+    page.sww_html = header + _element_html(item) + footer
+    page.traditional_html = header + f"<p>{body}</p>" + footer
+    page.account.add_item("article", len(body.encode("utf-8")), item.wire_size_bytes(), kind="text")
+    return page
+
+
+def build_travel_blog(seed: str = "travel-blog") -> CorpusPage:
+    """The §2.1 motivating example: a travel blog about a hiking route.
+
+    Generic text and stock landscape images become prompts; the unique
+    content — the specific route description and the author's own photos —
+    is kept as-is and fetched the traditional way.
+    """
+    rng = DeterministicRNG("travel-blog", seed)
+    page = CorpusPage(
+        path="/blog/ridgeline-hike",
+        title="Walking the Ridgeline: a three day traverse",
+        sww_html="",
+        traditional_html="",
+    )
+    sww_parts: list[str] = []
+    trad_parts: list[str] = []
+
+    # Generic intro text → bullet prompt (150 words).
+    intro = (
+        "There is something restorative about a long walk in the mountains. "
+        "Good preparation, sturdy boots and a flexible plan turn a demanding "
+        "trail into a rewarding journey. This guide covers what to pack, how "
+        "to pace the ascent, and where the views repay the effort."
+    )
+    intro_words = 150
+    intro_bullets = "- restorative mountain walking\n- preparation boots flexible plan\n- pacing ascent rewarding views"
+    intro_item = GeneratedContent.text(intro_bullets, words=intro_words, topic="travel")
+    sww_parts.append(_element_html(intro_item))
+    trad_parts.append(f"<p>{intro}</p>")
+    page.text_items.append((intro_bullets, intro_words))
+    page.account.add_item("intro", intro_words * 5, intro_item.wire_size_bytes(), kind="text")
+
+    # Three stock landscape images → prompts (512×512 hero images).
+    stock_prompts = landscape_prompts(3, seed + "-stock")
+    for index, prompt in enumerate(stock_prompts):
+        name = f"stock-{index}"
+        item = GeneratedContent.image(prompt, name=name, width=512, height=512)
+        sww_parts.append(_element_html(item))
+        trad_parts.append(f'<img src="/stock/{name}.jpg" alt="{prompt}" width="512" height="512">')
+        page.prompts.append(prompt)
+        page.image_sizes.append((512, 512))
+        page.account.add_item(name, jpeg_size(512, 512), item.wire_size_bytes(), kind="media")
+
+    # Unique content: the specific route text and two of the author's own
+    # photos (§2.1: fetched "same as today").
+    route = (
+        "Day one climbs 900 m from the Elmsfjord trailhead to the Kestrel "
+        "Saddle bothy; fill water at the second stream crossing, the last "
+        "reliable source before the ridge. Day two follows the exposed "
+        "ridgeline east for 14 km - do not attempt in high wind."
+    )
+    sww_parts.append(f'<p data-sww="unique">{route}</p>')
+    trad_parts.append(f"<p>{route}</p>")
+    page.account.add_unique(len(route.encode("utf-8")))
+    for index in range(2):
+        tag = f'<img src="/photos/hike-{index}.jpg" alt="photo from the hike" width="512" height="384">'
+        sww_parts.append(tag)
+        trad_parts.append(tag)
+        page.account.add_unique(jpeg_size(512, 384))
+
+    header = (
+        "<!DOCTYPE html><html><head><title>Walking the Ridgeline</title></head>"
+        "<body><article><h1>Walking the Ridgeline: a three day traverse</h1>"
+    )
+    footer = "</article></body></html>"
+    page.sww_html = header + "".join(sww_parts) + footer
+    page.traditional_html = header + "".join(trad_parts) + footer
+    return page

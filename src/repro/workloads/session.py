@@ -1,0 +1,142 @@
+"""Browsing-session simulation: SWW economics across a whole visit.
+
+Single-page numbers (Fig. 2, Table 2) understate two session-level
+effects the system design cares about:
+
+* the §4.1 preloaded pipeline is paid once per client, then amortised
+  over every page of the session;
+* the HTTP/2 connection (and its SETTINGS negotiation) is reused, so the
+  SWW handshake cost is per-session, not per-page.
+
+:class:`BrowsingSession` drives a generative client through a sequence of
+page views over one connection and aggregates wire bytes, generation
+time/energy, and the traditional-delivery counterfactual.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devices.energy import transmission_energy_wh
+from repro.devices.profiles import DeviceProfile, LAPTOP
+from repro.sww.client import GenerativeClient, connect_in_memory
+from repro.sww.server import GenerativeServer, PageResource, SiteStore
+from repro.workloads.corpus import (
+    CorpusPage,
+    build_news_article,
+    build_travel_blog,
+    build_wikimedia_landscape_page,
+    populate_traditional_assets,
+)
+
+
+@dataclass
+class PageView:
+    """One page view's accounting."""
+
+    path: str
+    sww_wire_bytes: int
+    traditional_bytes: int
+    generation_s: float
+    generation_wh: float
+
+
+@dataclass
+class SessionStats:
+    """Aggregates for one browsing session."""
+
+    views: list[PageView] = field(default_factory=list)
+    pipeline_load_s: float = 0.0
+    pipeline_load_wh: float = 0.0
+
+    @property
+    def pages(self) -> int:
+        return len(self.views)
+
+    @property
+    def sww_bytes(self) -> int:
+        return sum(v.sww_wire_bytes for v in self.views)
+
+    @property
+    def traditional_bytes(self) -> int:
+        return sum(v.traditional_bytes for v in self.views)
+
+    @property
+    def wire_saving(self) -> float:
+        return self.traditional_bytes / self.sww_bytes if self.sww_bytes else float("inf")
+
+    @property
+    def generation_s(self) -> float:
+        return sum(v.generation_s for v in self.views)
+
+    @property
+    def generation_wh(self) -> float:
+        return sum(v.generation_wh for v in self.views)
+
+    @property
+    def total_time_s(self) -> float:
+        """Generation plus the one-time pipeline load."""
+        return self.generation_s + self.pipeline_load_s
+
+    def transmission_energy_saved_wh(self) -> float:
+        """Network energy avoided by shipping prompts instead of media."""
+        return transmission_energy_wh(self.traditional_bytes - self.sww_bytes)
+
+    def net_energy_wh(self) -> float:
+        """Client generation energy minus transmission energy avoided.
+
+        Positive = the session cost more energy under SWW (the paper's
+        present-day verdict); negative = SWW saved energy overall.
+        """
+        return (self.generation_wh + self.pipeline_load_wh) - self.transmission_energy_saved_wh()
+
+
+def default_session_pages() -> list[CorpusPage]:
+    """A representative visit: search results → blog post → news article."""
+    return [build_wikimedia_landscape_page(), build_travel_blog(), build_news_article()]
+
+
+class BrowsingSession:
+    """Drives one client through a page sequence on a shared connection."""
+
+    def __init__(
+        self,
+        pages: list[CorpusPage] | None = None,
+        device: DeviceProfile = LAPTOP,
+        server: GenerativeServer | None = None,
+    ) -> None:
+        self.pages = pages if pages is not None else default_session_pages()
+        if not self.pages:
+            raise ValueError("a session needs at least one page")
+        if server is None:
+            store = SiteStore()
+            for page in self.pages:
+                store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+                populate_traditional_assets(store, page)
+            server = GenerativeServer(store)
+        self.server = server
+        self.client = GenerativeClient(device=device)
+
+    def run(self) -> SessionStats:
+        """Fetch every page once over a single negotiated connection."""
+        stats = SessionStats(
+            pipeline_load_s=self.client.pipeline.overhead_time_s,
+            pipeline_load_wh=self.client.pipeline.overhead_energy_wh,
+        )
+        pair = connect_in_memory(self.client, self.server)
+        by_path = {page.path: page for page in self.pages}
+        for page in self.pages:
+            result = self.client.fetch_via_pair(pair, page.path)
+            traditional = by_path[page.path].account.original_total + len(
+                by_path[page.path].traditional_html.encode("utf-8")
+            )
+            stats.views.append(
+                PageView(
+                    path=page.path,
+                    sww_wire_bytes=result.wire_bytes,
+                    traditional_bytes=traditional,
+                    generation_s=result.generation_time_s,
+                    generation_wh=result.generation_energy_wh,
+                )
+            )
+        return stats

@@ -1,0 +1,78 @@
+"""Internet-scale traffic projection (paper §7).
+
+    "Web browsing from mobile devices alone amounts for 2-3
+    Exabytes/month. Reducing this number by approximately two orders of
+    magnitude, as indicated in §6, will lower this number to tens of
+    Petabytes/month."
+
+:class:`TrafficModel` applies a measured page-level compression factor to
+an aggregate traffic volume, splitting traffic into a compressible share
+(media and generic text) and an incompressible remainder (unique content,
+already-compressed streams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.energy import EB, PB, transmission_energy_wh
+
+#: Telefónica / Tridens figures the paper cites (§7).
+MOBILE_WEB_EB_PER_MONTH = (2.0, 3.0)
+
+
+@dataclass(frozen=True)
+class TrafficProjection:
+    """Result of applying SWW compression to an aggregate volume."""
+
+    original_bytes: float
+    compressed_bytes: float
+    compressible_share: float
+    compression_factor: float
+
+    @property
+    def reduction_factor(self) -> float:
+        return self.original_bytes / self.compressed_bytes if self.compressed_bytes else float("inf")
+
+    @property
+    def compressed_pb(self) -> float:
+        return self.compressed_bytes / PB
+
+    @property
+    def original_eb(self) -> float:
+        return self.original_bytes / EB
+
+    @property
+    def monthly_energy_savings_mwh(self) -> float:
+        """Transmission energy avoided per month at the 38 MWh/PB rate."""
+        return transmission_energy_wh(self.original_bytes - self.compressed_bytes) / 1e6
+
+
+class TrafficModel:
+    """Aggregate web-traffic model with an SWW what-if operator."""
+
+    def __init__(self, monthly_volume_eb: float = 2.5, compressible_share: float = 1.0) -> None:
+        if monthly_volume_eb <= 0:
+            raise ValueError("traffic volume must be positive")
+        if not 0.0 <= compressible_share <= 1.0:
+            raise ValueError("compressible share must be in [0, 1]")
+        self.monthly_volume_eb = monthly_volume_eb
+        self.compressible_share = compressible_share
+
+    def project(self, compression_factor: float) -> TrafficProjection:
+        """Apply a measured page compression factor to the monthly volume.
+
+        The incompressible share (1 - compressible_share) travels
+        unchanged; the rest shrinks by ``compression_factor``.
+        """
+        if compression_factor < 1.0:
+            raise ValueError("compression factor below 1 would inflate traffic")
+        original = self.monthly_volume_eb * EB
+        compressible = original * self.compressible_share
+        compressed = compressible / compression_factor + (original - compressible)
+        return TrafficProjection(
+            original_bytes=original,
+            compressed_bytes=compressed,
+            compressible_share=self.compressible_share,
+            compression_factor=compression_factor,
+        )

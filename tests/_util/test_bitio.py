@@ -1,0 +1,75 @@
+"""Tests for bit-level I/O."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util.bitio import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_single_byte(self):
+        writer = BitWriter()
+        writer.write(0b10101010, 8)
+        assert writer.getvalue() == b"\xaa"
+
+    def test_partial_byte_padded_with_ones(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        assert writer.getvalue() == bytes([0b10111111])
+
+    def test_partial_byte_unpadded(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        assert writer.getvalue(pad_with_ones=False) == bytes([0b10100000])
+
+    def test_code_too_wide_raises(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(0b111, 2)
+
+    def test_bit_length_tracks_written_bits(self):
+        writer = BitWriter()
+        writer.write(0b1, 1)
+        writer.write(0b1010, 4)
+        assert writer.bit_length == 5
+
+    def test_multibyte_code(self):
+        writer = BitWriter()
+        writer.write(0x1FF8, 13)
+        value = writer.getvalue()
+        assert value[0] == 0xFF and len(value) == 2
+
+
+class TestBitReader:
+    def test_reads_msb_first(self):
+        reader = BitReader(b"\x80")
+        assert reader.read_bit() == 1
+        assert reader.read_bit() == 0
+
+    def test_exhaustion_raises(self):
+        reader = BitReader(b"\xff")
+        for _ in range(8):
+            reader.read_bit()
+        with pytest.raises(EOFError):
+            reader.read_bit()
+
+    def test_remaining_bits(self):
+        reader = BitReader(b"\x00\x00")
+        assert reader.remaining_bits == 16
+        reader.read_bit()
+        assert reader.remaining_bits == 15
+
+
+class TestRoundTrip:
+    @given(st.lists(st.tuples(st.integers(0, 2**20 - 1), st.integers(1, 20)), min_size=1, max_size=50))
+    def test_write_read_roundtrip(self, codes):
+        # Clamp codes to fit in their bit widths.
+        codes = [(code & ((1 << bits) - 1), bits) for code, bits in codes]
+        writer = BitWriter()
+        for code, bits in codes:
+            writer.write(code, bits)
+        reader = BitReader(writer.getvalue(pad_with_ones=False))
+        for code, bits in codes:
+            value = 0
+            for _ in range(bits):
+                value = (value << 1) | reader.read_bit()
+            assert value == code

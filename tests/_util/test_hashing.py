@@ -1,0 +1,46 @@
+"""Tests for stable hashing."""
+
+from repro._util.hashing import stable_hash, stable_u64, stable_unit
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("a", 1) == stable_hash("a", 1)
+
+    def test_distinct_inputs_distinct_digests(self):
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_part_boundaries_matter(self):
+        # ("ab", "c") must not collide with ("a", "bc").
+        assert stable_hash("ab", "c") != stable_hash("a", "bc")
+
+    def test_bytes_and_str_disjoint(self):
+        assert stable_hash(b"x") != stable_hash("x")
+
+    def test_digest_length(self):
+        assert len(stable_hash("anything")) == 32
+
+    def test_numeric_parts(self):
+        assert stable_hash(1, 2.5) == stable_hash("1", "2.5")
+
+
+class TestStableU64:
+    def test_range(self):
+        for i in range(50):
+            value = stable_u64("seed", i)
+            assert 0 <= value < 2**64
+
+    def test_spread(self):
+        values = {stable_u64("spread", i) for i in range(100)}
+        assert len(values) == 100
+
+
+class TestStableUnit:
+    def test_in_unit_interval(self):
+        for i in range(100):
+            assert 0.0 <= stable_unit("u", i) < 1.0
+
+    def test_roughly_uniform(self):
+        values = [stable_unit("uniform", i) for i in range(2000)]
+        mean = sum(values) / len(values)
+        assert 0.45 < mean < 0.55

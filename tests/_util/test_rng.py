@@ -1,0 +1,80 @@
+"""Tests for the deterministic RNG."""
+
+import math
+
+import pytest
+
+from repro._util.rng import DeterministicRNG
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG("seed", 1)
+        b = DeterministicRNG("seed", 1)
+        assert [a.u64() for _ in range(10)] == [b.u64() for _ in range(10)]
+
+    def test_different_seed_different_stream(self):
+        a = DeterministicRNG("seed", 1)
+        b = DeterministicRNG("seed", 2)
+        assert [a.u64() for _ in range(5)] != [b.u64() for _ in range(5)]
+
+
+class TestDistributions:
+    def test_random_unit_interval(self):
+        rng = DeterministicRNG("r")
+        for _ in range(200):
+            assert 0.0 <= rng.random() < 1.0
+
+    def test_uniform_bounds(self):
+        rng = DeterministicRNG("u")
+        for _ in range(200):
+            assert 3.0 <= rng.uniform(3.0, 7.0) < 7.0
+
+    def test_randint_inclusive(self):
+        rng = DeterministicRNG("i")
+        seen = {rng.randint(1, 3) for _ in range(100)}
+        assert seen == {1, 2, 3}
+
+    def test_randint_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG("x").randint(5, 4)
+
+    def test_gauss_moments(self):
+        rng = DeterministicRNG("g")
+        samples = [rng.gauss(10.0, 2.0) for _ in range(4000)]
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert abs(mean - 10.0) < 0.15
+        assert abs(math.sqrt(var) - 2.0) < 0.15
+
+
+class TestCollections:
+    def test_choice_covers_elements(self):
+        rng = DeterministicRNG("c")
+        seen = {rng.choice("abc") for _ in range(100)}
+        assert seen == {"a", "b", "c"}
+
+    def test_choice_empty_raises(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG("c").choice([])
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRNG("s")
+        items = list(range(20))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # vanishingly unlikely to be identity
+
+    def test_sample_distinct(self):
+        rng = DeterministicRNG("sm")
+        result = rng.sample(range(10), 5)
+        assert len(result) == len(set(result)) == 5
+
+    def test_sample_too_large_raises(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG("sm").sample([1, 2], 3)
+
+    def test_bytes_length_and_determinism(self):
+        assert len(DeterministicRNG("b").bytes(100)) == 100
+        assert DeterministicRNG("b").bytes(64) == DeterministicRNG("b").bytes(64)

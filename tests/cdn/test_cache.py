@@ -1,0 +1,97 @@
+"""Tests for the LRU edge cache."""
+
+import pytest
+
+from repro.cdn.cache import CacheEntry, EdgeCache
+
+
+class TestBasics:
+    def test_put_get(self):
+        cache = EdgeCache(1000)
+        cache.put(CacheEntry("a", 100))
+        assert cache.get("a").size_bytes == 100
+
+    def test_miss_returns_none(self):
+        cache = EdgeCache(1000)
+        assert cache.get("nope") is None
+
+    def test_contains(self):
+        cache = EdgeCache(1000)
+        cache.put(CacheEntry("a", 10))
+        assert "a" in cache and "b" not in cache
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EdgeCache(0)
+
+    def test_oversized_entry_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeCache(10).put(CacheEntry("big", 11))
+
+    def test_replace_updates_bytes(self):
+        cache = EdgeCache(1000)
+        cache.put(CacheEntry("a", 100))
+        cache.put(CacheEntry("a", 300))
+        assert cache.used_bytes == 300
+        assert cache.entry_count == 1
+
+
+class TestLru:
+    def test_evicts_least_recently_used(self):
+        cache = EdgeCache(300)
+        cache.put(CacheEntry("a", 100))
+        cache.put(CacheEntry("b", 100))
+        cache.put(CacheEntry("c", 100))
+        cache.get("a")  # touch a
+        cache.put(CacheEntry("d", 100))  # must evict b
+        assert "a" in cache and "b" not in cache and "c" in cache and "d" in cache
+
+    def test_eviction_count(self):
+        cache = EdgeCache(200)
+        for key in "abcd":
+            cache.put(CacheEntry(key, 100))
+        assert cache.stats.evictions == 2
+
+    def test_used_never_exceeds_capacity(self):
+        cache = EdgeCache(250)
+        for i in range(20):
+            cache.put(CacheEntry(f"k{i}", 60 + i))
+            assert cache.used_bytes <= 250
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = EdgeCache(1000)
+        cache.put(CacheEntry("a", 1))
+        cache.get("a")
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats.hits == 2 and cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_hit_rate_zero(self):
+        assert EdgeCache(10).stats.hit_rate == 0.0
+
+    def test_clear(self):
+        cache = EdgeCache(100)
+        cache.put(CacheEntry("a", 50))
+        cache.clear()
+        assert cache.used_bytes == 0 and cache.entry_count == 0
+
+
+class TestPromptVsBlobCapacity:
+    def test_prompt_entries_two_orders_denser(self):
+        """The §2.2 storage claim at cache level: the same capacity holds
+        ~100x more prompt entries than media entries."""
+        capacity = 1_000_000
+        blob_cache, prompt_cache = EdgeCache(capacity), EdgeCache(capacity)
+        blob_size, prompt_size = 32_768, 300
+        i = 0
+        while blob_cache.used_bytes + blob_size <= capacity:
+            blob_cache.put(CacheEntry(f"b{i}", blob_size))
+            i += 1
+        i = 0
+        while prompt_cache.used_bytes + prompt_size <= capacity:
+            prompt_cache.put(CacheEntry(f"p{i}", prompt_size, kind="prompt"))
+            i += 1
+        assert prompt_cache.entry_count > 80 * blob_cache.entry_count

@@ -1,0 +1,68 @@
+"""Tests for cache placement under backbone constraints (§7)."""
+
+import pytest
+
+from repro.cdn.placement import CandidateSite, PlacementProblem, PlacementResult, plan_placement
+
+
+def two_tier_sites(regions: int) -> list[CandidateSite]:
+    sites = []
+    for i in range(regions):
+        sites.append(CandidateSite(f"metro-{i}", f"r{i}", user_latency_ms=8, fill_cost_factor=3.0))
+        sites.append(CandidateSite(f"core-{i}", f"r{i}", user_latency_ms=40, fill_cost_factor=1.0))
+    return sites
+
+
+class TestPlanner:
+    def test_ample_budget_places_deep_everywhere(self):
+        problem = PlacementProblem(two_tier_sites(4), catalog_bytes=100, backbone_budget_bytes=10_000)
+        result = plan_placement(problem)
+        assert all(site.user_latency_ms == 8 for site in result.chosen.values())
+        assert result.mean_latency_ms == 8
+
+    def test_tight_budget_falls_back_to_core(self):
+        # Budget covers one metro fill (300) + three core fills (100 each).
+        problem = PlacementProblem(two_tier_sites(4), catalog_bytes=100, backbone_budget_bytes=600)
+        result = plan_placement(problem)
+        deep = [s for s in result.chosen.values() if s.user_latency_ms == 8]
+        assert len(deep) == 1
+        assert result.coverage == 1.0
+
+    def test_no_budget_leaves_regions_unserved(self):
+        problem = PlacementProblem(two_tier_sites(2), catalog_bytes=100, backbone_budget_bytes=50)
+        result = plan_placement(problem)
+        assert result.regions_unserved
+        assert result.coverage < 1.0
+
+    def test_budget_respected(self):
+        problem = PlacementProblem(two_tier_sites(6), catalog_bytes=100, backbone_budget_bytes=700)
+        result = plan_placement(problem)
+        assert result.backbone_bytes_used <= 700
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            plan_placement(PlacementProblem([], catalog_bytes=-1, backbone_budget_bytes=0))
+
+
+class TestSwwFlexibilityClaim:
+    def test_prompt_catalog_enables_deeper_placement(self):
+        """§7: smaller catalogs ⇒ more regions get deep caches within the
+        same backbone budget ⇒ lower mean latency."""
+        sites = two_tier_sites(8)
+        media_catalog = 80_000_000
+        prompt_catalog = 800_000  # 100x smaller
+        budget = 500_000_000
+
+        media = plan_placement(PlacementProblem(sites, media_catalog, budget))
+        prompts = plan_placement(PlacementProblem(sites, prompt_catalog, budget))
+        assert prompts.mean_latency_ms < media.mean_latency_ms
+        deep_media = sum(1 for s in media.chosen.values() if s.user_latency_ms == 8)
+        deep_prompts = sum(1 for s in prompts.chosen.values() if s.user_latency_ms == 8)
+        assert deep_prompts == 8 and deep_media < 8
+
+
+class TestResult:
+    def test_empty_result_latency_infinite(self):
+        result = PlacementResult(chosen={}, backbone_bytes_used=0, regions_unserved=["r0"])
+        assert result.mean_latency_ms == float("inf")
+        assert result.coverage == 0.0

@@ -1,0 +1,68 @@
+"""Tests for the virtual clock and energy meter."""
+
+import pytest
+
+from repro.devices.clock import EnergyMeter, SimClock, TaskRecord
+
+
+class TestSimClock:
+    def test_advances(self):
+        clock = SimClock()
+        clock.advance(1.5, "a")
+        clock.advance(2.5, "b")
+        assert clock.now == pytest.approx(4.0)
+
+    def test_records_kept(self):
+        clock = SimClock()
+        clock.advance(1.0, "gen:image", energy_wh=0.02, device="laptop")
+        record = clock.records[0]
+        assert record.label == "gen:image" and record.device == "laptop"
+
+    def test_elapsed_for_prefix(self):
+        clock = SimClock()
+        clock.advance(1.0, "gen:image")
+        clock.advance(2.0, "gen:text")
+        clock.advance(4.0, "net:send")
+        assert clock.elapsed_for("gen:") == pytest.approx(3.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(1.0)
+        clock.reset()
+        assert clock.now == 0.0 and clock.records == []
+
+
+class TestTaskRecord:
+    def test_average_power(self):
+        record = TaskRecord("x", seconds=3600.0, energy_wh=120.0)
+        assert record.average_power_w == pytest.approx(120.0)
+
+    def test_zero_duration_zero_power(self):
+        assert TaskRecord("x", 0.0, 1.0).average_power_w == 0.0
+
+
+class TestEnergyMeter:
+    def test_accumulates_by_category(self):
+        meter = EnergyMeter()
+        meter.add("generation", 0.2)
+        meter.add("generation", 0.3)
+        meter.add("transmission", 0.1)
+        assert meter.total("generation") == pytest.approx(0.5)
+        assert meter.total() == pytest.approx(0.6)
+
+    def test_missing_category_is_zero(self):
+        assert EnergyMeter().total("nothing") == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyMeter().add("x", -0.1)
+
+    def test_reset(self):
+        meter = EnergyMeter()
+        meter.add("x", 1.0)
+        meter.reset()
+        assert meter.total() == 0.0

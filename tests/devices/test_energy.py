@@ -1,0 +1,73 @@
+"""Tests for transmission/carbon models (§6.4 anchors)."""
+
+import pytest
+
+from repro.devices.energy import (
+    SSD_EMBODIED_KG_CO2E_PER_TB,
+    SSD_EMBODIED_RANGE,
+    TRANSMISSION_WH_PER_MB,
+    embodied_carbon_kg,
+    storage_carbon_savings_kg,
+    transmission_energy_wh,
+    transmission_time_s,
+)
+
+
+class TestTransmissionEnergy:
+    def test_rate_is_telefonica_2024(self):
+        """38 MWh/PB = 0.038 Wh/MB."""
+        assert TRANSMISSION_WH_PER_MB == pytest.approx(38e6 / 1e9)
+
+    def test_large_image_costs_0005_wh(self):
+        """§6.4: 'a large image would cost roughly 0.005Wh to transmit'."""
+        assert transmission_energy_wh(131_072) == pytest.approx(0.005, abs=0.0003)
+
+    def test_large_image_is_2_5_percent_of_generation(self):
+        """'2.5% of current workstation generation' (0.21 Wh)."""
+        ratio = transmission_energy_wh(131_072) / 0.21
+        assert ratio == pytest.approx(0.025, abs=0.004)
+
+    def test_petabyte_scales_to_38_mwh(self):
+        assert transmission_energy_wh(1e15) == pytest.approx(38e6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            transmission_energy_wh(-1)
+
+
+class TestTransmissionTime:
+    def test_large_image_about_ten_ms(self):
+        """§6.4: 'sending a large image on a typical 100Mbps link would
+        take about ten milliseconds'."""
+        assert transmission_time_s(131_072) == pytest.approx(0.0105, abs=0.001)
+
+    def test_generation_is_about_600x_transmission(self):
+        """'image generation on the workstation would take 620× longer'."""
+        ratio = 6.2 / transmission_time_s(131_072)
+        assert 550 < ratio < 650
+
+    def test_link_rate_validation(self):
+        with pytest.raises(ValueError):
+            transmission_time_s(100, link_bps=0)
+
+
+class TestEmbodiedCarbon:
+    def test_rate_in_cited_range(self):
+        lo, hi = SSD_EMBODIED_RANGE
+        assert lo <= SSD_EMBODIED_KG_CO2E_PER_TB <= hi
+
+    def test_terabyte_anchor(self):
+        assert embodied_carbon_kg(1e12) == pytest.approx(SSD_EMBODIED_KG_CO2E_PER_TB)
+
+    def test_exabyte_scale_saves_millions_of_kg(self):
+        """§6.4: 'With exabyte scale storage, even modest compression can
+        save millions of kg CO2e' — at 2× compression of 1 EB."""
+        saved = storage_carbon_savings_kg(1e18, 0.5e18)
+        assert saved > 1e6
+
+    def test_no_savings_when_larger(self):
+        assert storage_carbon_savings_kg(100, 200) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            embodied_carbon_kg(-5)

@@ -1,0 +1,101 @@
+"""Tests for the §7 forward-looking projections."""
+
+import pytest
+
+from repro.devices import LAPTOP, MOBILE, WORKSTATION
+from repro.devices.future import (
+    find_crossover,
+    generation_vs_transmission,
+    project_device,
+    project_model,
+)
+from repro.genai.image import generate_image
+from repro.genai.registry import SD3_MEDIUM
+
+
+class TestProjectDevice:
+    def test_speedup_scales_times(self):
+        fast = project_device(WORKSTATION, speedup=4.0)
+        base = generate_image(SD3_MEDIUM, WORKSTATION, "x", 512, 512, 15)
+        future = generate_image(SD3_MEDIUM, fast, "x", 512, 512, 15)
+        assert future.sim_time_s == pytest.approx(base.sim_time_s / 4)
+
+    def test_efficiency_scales_power(self):
+        efficient = project_device(WORKSTATION, efficiency_gain=2.0)
+        assert efficient.image_power.power_w == WORKSTATION.image_power.power_w / 2
+
+    def test_curve_shape_preserved(self):
+        """Architectural cliffs (the laptop's 1024² blow-up) survive a
+        clock-speed bump."""
+        fast = project_device(LAPTOP, speedup=10.0)
+        base_ratio = LAPTOP.resolution_factor(1024 * 1024) / LAPTOP.resolution_factor(512 * 512)
+        fast_ratio = fast.resolution_factor(1024 * 1024) / fast.resolution_factor(512 * 512)
+        assert fast_ratio == pytest.approx(base_ratio)
+
+    def test_name_suffixed(self):
+        assert project_device(LAPTOP, 2.0).name == "laptop-future"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            project_device(LAPTOP, speedup=0)
+        with pytest.raises(ValueError):
+            project_device(LAPTOP, efficiency_gain=-1)
+
+
+class TestProjectModel:
+    def test_step_times_divided(self):
+        fast = project_model(SD3_MEDIUM, 10.0)
+        assert fast.step_time_224["workstation"] == pytest.approx(0.005)
+        assert fast.fidelity == SD3_MEDIUM.fidelity  # quality unchanged
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            project_model(SD3_MEDIUM, 0)
+
+
+class TestTradeoffPoint:
+    def test_today_generation_loses(self):
+        """§7: 'currently, generating content at the edge takes too long
+        and does not save energy'."""
+        point = generation_vs_transmission(SD3_MEDIUM, WORKSTATION)
+        assert not point.sww_saves_energy
+        assert point.energy_ratio > 10
+        assert point.time_ratio > 100
+
+    def test_matches_table2_numbers(self):
+        point = generation_vs_transmission(SD3_MEDIUM, WORKSTATION, 1024, 1024, 15)
+        assert point.generation_s == pytest.approx(6.2, rel=0.02)
+        assert point.generation_wh == pytest.approx(0.21, abs=0.01)
+        assert point.transmission_wh == pytest.approx(0.005, abs=0.0005)
+
+
+class TestCrossover:
+    def test_workstation_crossover_single_digit(self):
+        """A ~7x combined speed+efficiency improvement flips the sign on
+        the workstation — the quantitative form of the paper's optimism."""
+        factor = find_crossover(SD3_MEDIUM, WORKSTATION)
+        assert 4 < factor < 10
+
+    def test_mobile_needs_more(self):
+        assert find_crossover(SD3_MEDIUM, MOBILE) > find_crossover(SD3_MEDIUM, LAPTOP)
+
+    def test_crossover_point_actually_crosses(self):
+        factor = find_crossover(SD3_MEDIUM, LAPTOP)
+        before = project_device(LAPTOP, factor * 0.9, factor * 0.9)
+        after = project_device(LAPTOP, factor * 1.1, factor * 1.1)
+        assert not generation_vs_transmission(SD3_MEDIUM, before).sww_saves_energy
+        assert generation_vs_transmission(SD3_MEDIUM, after).sww_saves_energy
+
+    def test_already_winning_returns_one(self):
+        very_fast = project_device(WORKSTATION, 1000.0, 1000.0, suffix="far")
+        # A projection of a projection keeps the base profile key.
+        assert find_crossover(SD3_MEDIUM, very_fast) == 1.0
+
+    def test_without_efficiency_tracking_takes_longer(self):
+        tracked = find_crossover(SD3_MEDIUM, WORKSTATION, efficiency_tracks_speed=True)
+        untracked = find_crossover(SD3_MEDIUM, WORKSTATION, efficiency_tracks_speed=False)
+        assert untracked > tracked
+
+    def test_faster_model_lowers_device_bar(self):
+        fast_model = project_model(SD3_MEDIUM, 10.0)
+        assert find_crossover(fast_model, WORKSTATION) < find_crossover(SD3_MEDIUM, WORKSTATION)

@@ -1,0 +1,111 @@
+"""Tests for the calibrated device models — the Table 1/2 timing anchors."""
+
+import pytest
+
+from repro.devices import CLOUD, DEVICES, LAPTOP, MOBILE, WORKSTATION, get_device
+from repro.devices.profiles import PowerModel
+
+
+class TestRegistry:
+    def test_four_devices(self):
+        assert set(DEVICES) == {"laptop", "workstation", "mobile", "cloud"}
+
+    def test_get_device(self):
+        assert get_device("laptop") is LAPTOP
+        with pytest.raises(KeyError):
+            get_device("mainframe")
+
+
+class TestResolutionCurves:
+    def test_reference_is_unity(self):
+        assert LAPTOP.resolution_factor(224 * 224) == pytest.approx(1.0)
+        assert WORKSTATION.resolution_factor(224 * 224) == pytest.approx(1.0)
+
+    def test_monotone_in_pixels(self):
+        for device in (LAPTOP, WORKSTATION, MOBILE):
+            factors = [device.resolution_factor(s * s) for s in (128, 224, 256, 512, 1024, 2048)]
+            assert factors == sorted(factors)
+
+    def test_laptop_blows_up_at_1024(self):
+        """§6.3.1: 'on the laptop it grows significantly beyond that for
+        images of 1024×1024' — super-linear vs pixels."""
+        pixel_ratio = (1024 * 1024) / (512 * 512)
+        time_ratio = LAPTOP.resolution_factor(1024 * 1024) / LAPTOP.resolution_factor(512 * 512)
+        assert time_ratio > 3 * pixel_ratio
+
+    def test_workstation_stays_subquadratic(self):
+        pixel_ratio = (1024 * 1024) / (512 * 512)
+        time_ratio = WORKSTATION.resolution_factor(1024 * 1024) / WORKSTATION.resolution_factor(512 * 512)
+        assert time_ratio < 1.2 * pixel_ratio
+
+    def test_below_smallest_anchor_scales_down(self):
+        assert LAPTOP.resolution_factor(100 * 100) < 1.0
+
+    def test_invalid_pixels_rejected(self):
+        with pytest.raises(ValueError):
+            LAPTOP.resolution_factor(0)
+
+
+class TestTable2TimingAnchors:
+    """SD 3 Medium at 15 steps must land on Table 2's generation times."""
+
+    @pytest.mark.parametrize(
+        "device, side, expected, tolerance",
+        [
+            (LAPTOP, 256, 7.0, 0.15),
+            (LAPTOP, 512, 19.0, 0.4),
+            (LAPTOP, 1024, 310.0, 5.0),
+            (WORKSTATION, 256, 1.0, 0.05),
+            (WORKSTATION, 512, 1.7, 0.05),
+            (WORKSTATION, 1024, 6.2, 0.1),
+        ],
+    )
+    def test_generation_time(self, device, side, expected, tolerance):
+        step = device.image_step_time(0.38 if device is LAPTOP else 0.05, side, side)
+        assert 15 * step == pytest.approx(expected, abs=tolerance)
+
+
+class TestEnergyModels:
+    def test_laptop_energy_anchors(self):
+        """Table 2: 0.02 / 0.05 / 0.90 Wh on the laptop."""
+        assert LAPTOP.image_energy_wh(7.0) == pytest.approx(0.02, abs=0.003)
+        assert LAPTOP.image_energy_wh(19.0) == pytest.approx(0.05, abs=0.01)
+        assert LAPTOP.image_energy_wh(310.0) == pytest.approx(0.90, abs=0.01)
+
+    def test_workstation_energy_anchors(self):
+        """Table 2: 0.04 / 0.06 / 0.21 Wh on the workstation."""
+        assert WORKSTATION.image_energy_wh(1.0) == pytest.approx(0.04, abs=0.005)
+        assert WORKSTATION.image_energy_wh(1.7) == pytest.approx(0.06, abs=0.005)
+        assert WORKSTATION.image_energy_wh(6.2) == pytest.approx(0.21, abs=0.01)
+
+    def test_text_energy_anchors(self):
+        """Table 2 text row: laptop 0.01 Wh / 32 s, workstation 0.51 Wh / 13 s."""
+        assert LAPTOP.text_energy_wh(32.0) == pytest.approx(0.01, abs=0.002)
+        assert WORKSTATION.text_energy_wh(13.0) == pytest.approx(0.51, abs=0.01)
+
+    def test_zero_duration_zero_energy(self):
+        assert WORKSTATION.image_energy_wh(0.0) == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            PowerModel(10.0).energy_wh(-1.0)
+
+
+class TestDeviceCharacter:
+    def test_laptop_needs_attention_splitting(self):
+        assert LAPTOP.attention_splitting and not LAPTOP.large_text_encoder
+
+    def test_workstation_has_large_encoder(self):
+        assert WORKSTATION.large_text_encoder and not WORKSTATION.attention_splitting
+
+    def test_workstation_text_speedup_is_2_5x(self):
+        """§6.3.2: 'The performance benefit of running on a workstation is
+        only 2.5×'."""
+        assert LAPTOP.text_speed_factor / WORKSTATION.text_speed_factor == pytest.approx(2.5)
+
+    def test_mobile_slower_than_laptop(self):
+        assert MOBILE.text_speed_factor > LAPTOP.text_speed_factor
+        assert MOBILE.resolution_factor(1024 * 1024) > LAPTOP.resolution_factor(1024 * 1024)
+
+    def test_cloud_mirrors_workstation_scaling(self):
+        assert CLOUD.resolution_curve == WORKSTATION.resolution_curve

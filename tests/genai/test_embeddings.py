@@ -1,0 +1,121 @@
+"""Tests for the deterministic embedding space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.genai.embeddings import (
+    EMBED_DIM,
+    GRID,
+    blocks_to_embed_vector,
+    cosine_similarity,
+    embed_vector_to_blocks,
+    image_embedding,
+    text_embedding,
+    tokenize_words,
+)
+
+
+class TestTokenizer:
+    def test_lowercases_and_splits(self):
+        assert tokenize_words("Hello World") == ["hello", "world"]
+
+    def test_stopwords_removed(self):
+        assert tokenize_words("the cat and the hat") == ["cat", "hat"]
+
+    def test_punctuation_ignored(self):
+        assert tokenize_words("fjord, glacier; mist!") == ["fjord", "glacier", "mist"]
+
+    def test_empty(self):
+        assert tokenize_words("") == []
+
+
+class TestTextEmbedding:
+    def test_unit_norm(self):
+        vec = text_embedding("a mountain lake at sunset")
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        assert np.array_equal(text_embedding("fjord mist"), text_embedding("fjord mist"))
+
+    def test_empty_text_zero_vector(self):
+        assert np.linalg.norm(text_embedding("the a of")) == 0.0
+
+    def test_same_words_similar(self):
+        a = text_embedding("snowy mountain ridge under clouds")
+        b = text_embedding("clouds over a snowy mountain ridge")
+        assert cosine_similarity(a, b) > 0.9
+
+    def test_unrelated_texts_near_orthogonal(self):
+        a = text_embedding("snowy mountain ridge glacier fjord")
+        b = text_embedding("database transaction commit rollback latency")
+        assert abs(cosine_similarity(a, b)) < 0.25
+
+    def test_partial_overlap_intermediate(self):
+        a = text_embedding("mountain lake sunset glacier")
+        b = text_embedding("mountain lake harbor boat")
+        sim = cosine_similarity(a, b)
+        assert 0.2 < sim < 0.9
+
+
+class TestCosine:
+    def test_self_similarity_is_one(self):
+        v = text_embedding("anything here")
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_zero_vector_gives_zero(self):
+        assert cosine_similarity(np.zeros(EMBED_DIM), text_embedding("x")) == 0.0
+
+
+class TestBlockCodec:
+    def test_roundtrip_small_values(self):
+        vec = text_embedding("a calm fjord in morning light")
+        recovered = blocks_to_embed_vector(embed_vector_to_blocks(vec).astype(np.float64))
+        recovered /= np.linalg.norm(recovered)
+        assert cosine_similarity(vec, recovered) > 0.99
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            embed_vector_to_blocks(np.zeros(10))
+        with pytest.raises(ValueError):
+            blocks_to_embed_vector(np.zeros((4, 4)))
+
+
+class TestImageEmbedding:
+    def test_recovers_content_vector(self):
+        from repro.genai.image import render_content
+
+        vec = text_embedding("a volcanic ridge under storm clouds")
+        pixels = render_content(vec, 256, 256, seed=7)
+        recovered = image_embedding(pixels)
+        assert cosine_similarity(vec, recovered) > 0.97
+
+    def test_recovery_works_at_odd_sizes(self):
+        from repro.genai.image import render_content
+
+        vec = text_embedding("terraced hillside in afternoon light")
+        pixels = render_content(vec, 250, 190, seed=3)
+        recovered = image_embedding(pixels)
+        assert cosine_similarity(vec, recovered) > 0.85
+
+    def test_random_image_incoherent(self):
+        from repro.genai.image import random_image
+
+        vec = text_embedding("a rainbow over a stone bridge")
+        recovered = image_embedding(random_image(224, 224, seed=1))
+        assert abs(cosine_similarity(vec, recovered)) < 0.2
+
+    def test_too_small_image_rejected(self):
+        with pytest.raises(ValueError):
+            image_embedding(np.zeros((GRID - 1, GRID, 3), dtype=np.uint8))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            image_embedding(np.zeros((32, 32), dtype=np.uint8))
+
+
+class TestProperty:
+    @given(st.text(alphabet="abcdefghij mnop", min_size=1, max_size=60))
+    def test_embedding_always_normalised_or_zero(self, text):
+        norm = np.linalg.norm(text_embedding(text))
+        assert norm == pytest.approx(1.0) or norm == 0.0

@@ -1,0 +1,70 @@
+"""Tests for the model registry."""
+
+import pytest
+
+from repro.genai.registry import (
+    DALLE3,
+    DEFAULT_IMAGE_MODEL,
+    DEFAULT_TEXT_MODEL,
+    GPT4O_IMAGE,
+    IMAGE_MODELS,
+    SD3_MEDIUM,
+    SD21,
+    SD35_MEDIUM,
+    TEXT_MODELS,
+    get_image_model,
+    get_text_model,
+)
+
+
+class TestImageZoo:
+    def test_table1_models_present(self):
+        for name in ("sd-2.1-base", "sd-3-medium", "sd-3.5-medium", "dalle-3"):
+            assert name in IMAGE_MODELS
+
+    def test_arena_qualities_match_table1(self):
+        assert SD21.arena_quality == 688
+        assert SD3_MEDIUM.arena_quality == 895
+        assert SD35_MEDIUM.arena_quality == 927
+        assert DALLE3.arena_quality == 923
+        assert GPT4O_IMAGE.arena_quality == 1166
+
+    def test_fidelity_ordering(self):
+        assert SD21.fidelity < SD3_MEDIUM.fidelity <= SD35_MEDIUM.fidelity < DALLE3.fidelity
+
+    def test_sd3_and_sd35_nearly_identical_clip(self):
+        """Table 1: 'The CLIP scores of SD 3 and SD 3.5 are almost
+        identical'."""
+        assert abs(SD3_MEDIUM.fidelity - SD35_MEDIUM.fidelity) < 0.02
+
+    def test_dalle3_is_server_only(self):
+        assert DALLE3.server_only
+        assert "laptop" not in DALLE3.step_time_224
+
+    def test_default_is_sd3_medium(self):
+        """§6.3.1: 'Our prototype uses Stable Diffusion 3 Medium'."""
+        assert DEFAULT_IMAGE_MODEL is SD3_MEDIUM
+
+    def test_lookup(self):
+        assert get_image_model("sd-3-medium") is SD3_MEDIUM
+        with pytest.raises(KeyError):
+            get_image_model("sd-9")
+
+
+class TestTextZoo:
+    def test_section632_models_present(self):
+        for name in ("llama-3.2", "deepseek-r1-1.5b", "deepseek-r1-8b", "deepseek-r1-14b"):
+            assert name in TEXT_MODELS
+
+    def test_default_is_deepseek_8b(self):
+        """§6.3.2: 'DeepSeek R1 8B, which is our model of choice'."""
+        assert DEFAULT_TEXT_MODEL.name == "deepseek-r1-8b"
+
+    def test_model_of_choice_has_lowest_drift(self):
+        drifts = {m.name: m.drift for m in TEXT_MODELS.values()}
+        assert min(drifts, key=drifts.get) == "deepseek-r1-8b"
+
+    def test_lookup(self):
+        assert get_text_model("llama-3.2").name == "llama-3.2"
+        with pytest.raises(KeyError):
+            get_text_model("gpt-9")

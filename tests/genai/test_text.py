@@ -1,0 +1,120 @@
+"""Tests for the text-expansion simulator."""
+
+import pytest
+
+from repro.devices import LAPTOP, WORKSTATION
+from repro.genai.registry import (
+    DEEPSEEK_R1_1_5B,
+    DEEPSEEK_R1_8B,
+    LLAMA32,
+    TEXT_MODELS,
+)
+from repro.genai.text import TextResult, expand_text
+
+BULLETS = "- hidden waterfall trail\n- steep switchback ascent\n- panoramic summit vista"
+
+
+class TestExpansion:
+    def test_produces_prose(self):
+        result = expand_text(DEEPSEEK_R1_8B, WORKSTATION, BULLETS, 120, "travel")
+        assert isinstance(result, TextResult)
+        assert result.actual_words > 80
+        assert result.text.endswith(".")
+
+    def test_deterministic(self):
+        a = expand_text(DEEPSEEK_R1_8B, WORKSTATION, BULLETS, 120, "travel")
+        b = expand_text(DEEPSEEK_R1_8B, WORKSTATION, BULLETS, 120, "travel")
+        assert a.text == b.text and a.sim_time_s == b.sim_time_s
+
+    def test_reuses_content_words(self):
+        result = expand_text(DEEPSEEK_R1_8B, WORKSTATION, BULLETS, 150, "travel")
+        lowered = result.text.lower()
+        present = sum(1 for w in ("waterfall", "switchback", "summit", "vista") if w in lowered)
+        assert present >= 3
+
+    def test_word_count_near_target(self):
+        result = expand_text(DEEPSEEK_R1_8B, WORKSTATION, BULLETS, 200, "travel")
+        assert abs(result.overshoot) <= 0.20
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            expand_text(DEEPSEEK_R1_8B, WORKSTATION, BULLETS, 0)
+
+
+class TestOvershoot:
+    def test_clipped_at_20_percent(self):
+        """§6.3.2: 'The overshoot in length reaches 20%'."""
+        for model in TEXT_MODELS.values():
+            for words in (50, 100, 150, 250):
+                for salt in range(5):
+                    error = model.length_error(BULLETS + str(salt), words)
+                    assert abs(error) <= 0.20
+
+    def test_good_model_tighter_than_small_model(self):
+        """DeepSeek-R1 8B has 'small length deviation ... compared to
+        smaller models like DeepSeek R1 1.5B'."""
+        def spread(model):
+            errs = [abs(model.length_error(f"prompt {i}", 150)) for i in range(40)]
+            return sum(errs) / len(errs)
+
+        assert spread(DEEPSEEK_R1_8B) < spread(DEEPSEEK_R1_1_5B) / 2
+
+    def test_overshoot_property_matches_result(self):
+        result = expand_text(LLAMA32, WORKSTATION, BULLETS, 100, "travel")
+        assert result.overshoot == pytest.approx(
+            (result.actual_words - 100) / 100
+        )
+
+
+class TestTiming:
+    def test_table2_anchor(self):
+        """Table 2: DeepSeek-R1 8B, 250 words: 32 s laptop / 13 s wk."""
+        laptop = expand_text(DEEPSEEK_R1_8B, LAPTOP, BULLETS, 250, "travel")
+        wk = expand_text(DEEPSEEK_R1_8B, WORKSTATION, BULLETS, 250, "travel")
+        assert laptop.sim_time_s == pytest.approx(32.0, rel=0.05)
+        assert wk.sim_time_s == pytest.approx(13.0, rel=0.05)
+
+    def test_workstation_speedup_is_2_5x(self):
+        laptop = expand_text(DEEPSEEK_R1_8B, LAPTOP, BULLETS, 150)
+        wk = expand_text(DEEPSEEK_R1_8B, WORKSTATION, BULLETS, 150)
+        assert laptop.sim_time_s / wk.sim_time_s == pytest.approx(2.5, rel=0.01)
+
+    def test_published_ranges(self):
+        """§6.3.2: 6.98-14.33 s workstation, 16.06-34.04 s laptop."""
+        wk_times, laptop_times = [], []
+        for model in TEXT_MODELS.values():
+            for words in (50, 100, 150):
+                wk_times.append(model.generation_time_s(WORKSTATION, words))
+                laptop_times.append(model.generation_time_s(LAPTOP, words))
+        assert 6.0 < min(wk_times) and max(wk_times) < 15.5
+        assert 15.0 < min(laptop_times) and max(laptop_times) < 38.0
+
+    def test_weak_nonmonotonic_length_dependence(self):
+        """'50 words text takes longer than 100 and 150 words text for
+        three of the models'."""
+        count = sum(
+            1
+            for model in TEXT_MODELS.values()
+            if model.generation_time_s(WORKSTATION, 50) > model.generation_time_s(WORKSTATION, 150)
+        )
+        assert count >= 3
+
+    def test_energy_follows_device_power(self):
+        laptop = expand_text(DEEPSEEK_R1_8B, LAPTOP, BULLETS, 250)
+        wk = expand_text(DEEPSEEK_R1_8B, WORKSTATION, BULLETS, 250)
+        # Table 2: laptop 0.01 Wh, workstation 0.51 Wh.
+        assert laptop.energy_wh == pytest.approx(0.01, abs=0.002)
+        assert wk.energy_wh == pytest.approx(0.51, abs=0.03)
+
+    def test_length_factor_validates(self):
+        with pytest.raises(ValueError):
+            DEEPSEEK_R1_8B.length_factor(0)
+
+
+class TestDrift:
+    def test_low_drift_model_stays_on_topic(self):
+        from repro.metrics.sbert import sbert_similarity
+
+        good = expand_text(DEEPSEEK_R1_8B, WORKSTATION, BULLETS, 150, "travel")
+        drifty = expand_text(DEEPSEEK_R1_1_5B, WORKSTATION, BULLETS, 150, "travel")
+        assert sbert_similarity(BULLETS, good.text) > sbert_similarity(BULLETS, drifty.text)

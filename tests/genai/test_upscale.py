@@ -1,0 +1,107 @@
+"""Tests for content upscaling (§2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.devices import LAPTOP, WORKSTATION
+from repro.genai.embeddings import cosine_similarity, image_embedding
+from repro.genai.image import generate_image
+from repro.genai.registry import SD3_MEDIUM
+from repro.genai.upscale import (
+    FAST_SCALER,
+    ONE_STEP_SR,
+    UPSCALE_MODELS,
+    storage_saving_factor,
+    upscale_image,
+)
+
+
+@pytest.fixture(scope="module")
+def base_image():
+    return generate_image(SD3_MEDIUM, WORKSTATION, "a misty fjord at dawn", 128, 128, 15).pixels
+
+
+class TestUpscaling:
+    def test_output_dimensions(self, base_image):
+        result = upscale_image(ONE_STEP_SR, WORKSTATION, base_image, 2)
+        assert result.pixels.shape == (256, 256, 3)
+
+    def test_semantics_preserved_exactly(self, base_image):
+        """Upscaling must not change WHAT the image shows: the content
+        embedding recovered from the output equals the input's."""
+        result = upscale_image(ONE_STEP_SR, WORKSTATION, base_image, 4)
+        similarity = cosine_similarity(image_embedding(base_image), image_embedding(result.pixels))
+        assert similarity > 0.999
+
+    def test_deterministic(self, base_image):
+        a = upscale_image(ONE_STEP_SR, WORKSTATION, base_image, 2)
+        b = upscale_image(ONE_STEP_SR, WORKSTATION, base_image, 2)
+        assert np.array_equal(a.pixels, b.pixels)
+
+    def test_detail_actually_added(self, base_image):
+        """The SR model hallucinates detail: output is not pure NN zoom."""
+        result = upscale_image(ONE_STEP_SR, WORKSTATION, base_image, 2)
+        plain_zoom = np.repeat(np.repeat(base_image, 2, axis=0), 2, axis=1)
+        assert not np.array_equal(result.pixels, plain_zoom)
+
+    def test_fast_scaler_adds_less_detail(self, base_image):
+        sr = upscale_image(ONE_STEP_SR, WORKSTATION, base_image, 2).pixels.astype(int)
+        fast = upscale_image(FAST_SCALER, WORKSTATION, base_image, 2).pixels.astype(int)
+        zoom = np.repeat(np.repeat(base_image, 2, axis=0), 2, axis=1).astype(int)
+        assert np.abs(fast - zoom).mean() < np.abs(sr - zoom).mean()
+
+    def test_scale_bounds_enforced(self, base_image):
+        with pytest.raises(ValueError):
+            upscale_image(ONE_STEP_SR, WORKSTATION, base_image, 1)
+        with pytest.raises(ValueError):
+            upscale_image(ONE_STEP_SR, WORKSTATION, base_image, 8)
+        with pytest.raises(ValueError):
+            upscale_image(FAST_SCALER, WORKSTATION, base_image, 4)  # max 2
+
+    def test_bad_input_rejected(self):
+        with pytest.raises(ValueError):
+            upscale_image(ONE_STEP_SR, WORKSTATION, np.zeros((8, 8), dtype=np.uint8), 2)
+
+
+class TestTiming:
+    def test_sub_second_on_workstation(self, base_image):
+        """§2.2: 'usually faster than content generation, with sub-second
+        inference' — at any output size the workstation handles."""
+        result = upscale_image(ONE_STEP_SR, WORKSTATION, base_image, 4)  # → 512²
+        assert result.sim_time_s < 1.0
+
+    def test_much_faster_than_generation(self, base_image):
+        up = upscale_image(ONE_STEP_SR, WORKSTATION, base_image, 4)
+        gen = generate_image(SD3_MEDIUM, WORKSTATION, "x", 512, 512, 15)
+        assert gen.sim_time_s / up.sim_time_s > 10
+
+    def test_laptop_slower_but_one_step(self, base_image):
+        up = upscale_image(ONE_STEP_SR, LAPTOP, base_image, 2)
+        gen = generate_image(SD3_MEDIUM, LAPTOP, "x", 256, 256, 15)
+        assert up.sim_time_s < gen.sim_time_s / 5
+
+    def test_energy_positive(self, base_image):
+        assert upscale_image(ONE_STEP_SR, WORKSTATION, base_image, 2).energy_wh > 0
+
+    def test_unknown_device_profile_rejected(self, base_image):
+        from dataclasses import replace
+
+        from repro.devices import WORKSTATION as WK
+
+        ghost = replace(WK, name="mainframe")
+        with pytest.raises(ValueError):
+            upscale_image(ONE_STEP_SR, ghost, base_image, 2)
+
+
+class TestStorageSavings:
+    def test_quadratic_in_scale(self):
+        """§2.2: storing the small original cuts unique-content storage."""
+        assert storage_saving_factor(1024, 1024, 4) == 16.0
+        assert storage_saving_factor(512, 512, 2) == 4.0
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            storage_saving_factor(100, 100, 0)
+
+    def test_registry(self):
+        assert set(UPSCALE_MODELS) == {"one-step-sr", "fast-scaler"}

@@ -1,0 +1,45 @@
+"""Tests for the shared vocabulary banks."""
+
+from repro.genai import vocab
+from repro.genai.embeddings import tokenize_words
+
+
+class TestTopicBanks:
+    def test_expected_topics_present(self):
+        for topic in ("travel", "landscape", "food", "news", "technology", "nature"):
+            assert topic in vocab.TOPIC_BANKS
+
+    def test_banks_nonempty_and_unique(self):
+        for topic, words in vocab.TOPIC_BANKS.items():
+            assert len(words) >= 15, topic
+            assert len(set(words)) == len(words), f"duplicates in {topic}"
+
+    def test_unknown_topic_falls_back_to_technology(self):
+        assert vocab.topic_words("astrology") == vocab.TOPIC_BANKS["technology"]
+
+    def test_all_topics_sorted_index(self):
+        assert list(vocab.ALL_TOPICS) == sorted(vocab.TOPIC_BANKS)
+
+    def test_bank_words_survive_tokenizer(self):
+        """Every vocabulary word must be embeddable (not a stopword and
+        tokenizable), or the drift/similarity machinery silently weakens."""
+        for topic, words in vocab.TOPIC_BANKS.items():
+            for word in words:
+                assert tokenize_words(word), f"{word!r} in {topic} vanishes in tokenization"
+
+
+class TestPhraseBanks:
+    def test_connectives_nonempty_lowercase(self):
+        assert vocab.CONNECTIVES
+        assert all(phrase == phrase.lower() for phrase in vocab.CONNECTIVES)
+
+    def test_fillers_are_generic(self):
+        """Filler sentences must not contain topical vocabulary, or drift
+        would not reduce similarity."""
+        topical = {w for words in vocab.TOPIC_BANKS.values() for w in words}
+        for filler in vocab.GENERIC_FILLER:
+            overlap = set(tokenize_words(filler)) & topical
+            assert not overlap, f"filler leaks topic words: {overlap}"
+
+    def test_sentence_parts_nonempty(self):
+        assert vocab.SENTENCE_OPENERS and vocab.VERBS and vocab.ADJECTIVES

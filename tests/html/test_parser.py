@@ -1,0 +1,101 @@
+"""Tests for the HTML tree builder."""
+
+from repro.html import parse_html
+from repro.html.dom import Element, Text
+
+
+class TestBasicStructure:
+    def test_nested_elements(self):
+        doc = parse_html("<html><body><div><p>x</p></div></body></html>")
+        assert doc.body.children[0].tag == "div"
+        assert doc.body.children[0].children[0].tag == "p"
+
+    def test_doctype_captured(self):
+        doc = parse_html("<!DOCTYPE html><html></html>")
+        assert doc.doctype == "DOCTYPE html"
+
+    def test_void_elements_do_not_nest(self):
+        doc = parse_html("<div><img src='a'><img src='b'></div>")
+        div = doc.find_by_tag("div")[0]
+        assert [c.get("src") for c in div.children] == ["a", "b"]
+
+    def test_self_closing_does_not_nest(self):
+        doc = parse_html("<div/><p>x</p>")
+        assert [e.tag for e in doc.children if isinstance(e, Element)] == ["div", "p"]
+
+    def test_text_outside_elements(self):
+        doc = parse_html("hello")
+        assert isinstance(doc.children[0], Text)
+
+
+class TestRecovery:
+    def test_unclosed_elements_closed_at_eof(self):
+        doc = parse_html("<div><p>text")
+        assert doc.find_by_tag("p")[0].text_content() == "text"
+
+    def test_unmatched_closing_tag_ignored(self):
+        doc = parse_html("<div>a</span>b</div>")
+        assert doc.find_by_tag("div")[0].text_content() == "ab"
+
+    def test_closing_outer_closes_inner(self):
+        doc = parse_html("<div><span>x</div><p>y</p>")
+        from repro.html.dom import Element
+
+        ps = doc.find_by_tag("p")
+        # <p> must be a sibling of <div>, not inside the unclosed <span>.
+        parent = ps[0].parent
+        assert not (isinstance(parent, Element) and parent.tag == "span")
+
+    def test_paragraph_auto_close(self):
+        doc = parse_html("<p>one<p>two")
+        paragraphs = doc.find_by_tag("p")
+        assert [p.text_content() for p in paragraphs] == ["one", "two"]
+        assert paragraphs[1].parent is not paragraphs[0]
+
+    def test_list_item_auto_close(self):
+        doc = parse_html("<ul><li>a<li>b</ul>")
+        items = doc.find_by_tag("li")
+        assert [li.text_content() for li in items] == ["a", "b"]
+
+    def test_nested_list_items_not_over_closed(self):
+        doc = parse_html("<ul><li>a<ul><li>a1</ul></li><li>b</li></ul>")
+        outer = [li for li in doc.find_by_tag("li") if li.parent.parent is None or True]
+        assert len(doc.find_by_tag("li")) == 3
+
+    def test_block_element_closes_paragraph(self):
+        doc = parse_html("<p>intro<ul><li>x</li></ul>")
+        from repro.html.dom import Element
+
+        ul = doc.find_by_tag("ul")[0]
+        parent = ul.parent
+        assert not (isinstance(parent, Element) and parent.tag == "p")
+
+
+class TestGeneratedContentMarkup:
+    """The exact markup shape from the paper's Fig. 1."""
+
+    def test_generated_content_div_parses(self):
+        source = (
+            '<div class="generated-content" content-type="img" '
+            'metadata=\'{"prompt": "a cartoon goldfish", "width": 256, "height": 256}\'></div>'
+        )
+        doc = parse_html(source)
+        div = doc.find_by_class("generated-content")[0]
+        assert div.get("content-type") == "img"
+        assert '"prompt"' in div.get("metadata")
+
+    def test_many_generated_divs(self):
+        source = "".join(
+            f'<div class="generated-content" content-type="img" metadata=\'{{"prompt": "p{i}"}}\'></div>'
+            for i in range(10)
+        )
+        doc = parse_html(f"<body>{source}</body>")
+        assert len(doc.find_by_class("generated-content")) == 10
+
+
+class TestScriptHandling:
+    def test_script_body_is_single_text_node(self):
+        doc = parse_html("<script>if (a<b) x()</script>")
+        script = doc.find_by_tag("script")[0]
+        assert len(script.children) == 1
+        assert script.children[0].text == "if (a<b) x()"

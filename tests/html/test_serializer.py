@@ -1,0 +1,72 @@
+"""Tests for the HTML serializer."""
+
+from hypothesis import given, strategies as st
+
+from repro.html import parse_html, serialize
+from repro.html.dom import Comment, Document, Element, Text
+
+
+class TestSerialization:
+    def test_simple_roundtrip(self):
+        source = '<!DOCTYPE html><html><body><p id="x">hi</p></body></html>'
+        assert serialize(parse_html(source)) == source
+
+    def test_text_escaped(self):
+        el = Element("p")
+        el.append(Text("a < b & c"))
+        assert serialize(el) == "<p>a &lt; b &amp; c</p>"
+
+    def test_attribute_quotes_escaped(self):
+        el = Element("div", {"title": 'say "hi"'})
+        assert serialize(el) == '<div title="say &quot;hi&quot;"></div>'
+
+    def test_void_element_no_closing_tag(self):
+        el = Element("img", {"src": "x"})
+        assert serialize(el) == '<img src="x">'
+
+    def test_comment(self):
+        assert serialize(Comment(" note ")) == "<!-- note -->"
+
+    def test_script_content_not_escaped(self):
+        doc = parse_html("<script>a<b && c>d</script>")
+        assert "<script>a<b && c>d</script>" in serialize(doc)
+
+    def test_metadata_json_attribute_roundtrip(self):
+        source = '<div metadata="{&quot;prompt&quot;:&quot;fish&quot;}"></div>'
+        doc = parse_html(source)
+        assert doc.find_by_tag("div")[0].get("metadata") == '{"prompt":"fish"}'
+        assert serialize(doc) == source
+
+
+class TestStability:
+    """Serialization must be a fixed point: parse∘serialize∘parse = parse."""
+
+    @given(
+        st.recursive(
+            st.sampled_from(["text &", "x < y", "plain", ""]),
+            lambda children: st.tuples(
+                st.sampled_from(["div", "p", "span", "section"]),
+                st.lists(children, max_size=3),
+            ),
+            max_leaves=15,
+        )
+    )
+    def test_parse_serialize_fixed_point(self, tree):
+        def build(node) -> str:
+            if isinstance(node, str):
+                return node.replace("&", "&amp;").replace("<", "&lt;")
+            tag, children = node
+            return f"<{tag}>" + "".join(build(c) for c in children) + f"</{tag}>"
+
+        source = build(tree)
+        once = serialize(parse_html(source))
+        twice = serialize(parse_html(once))
+        assert once == twice
+
+    def test_corpus_pages_are_fixed_points(self):
+        from repro.workloads import build_news_article, build_travel_blog, build_wikimedia_landscape_page
+
+        for page in (build_wikimedia_landscape_page(), build_travel_blog(), build_news_article()):
+            for html in (page.sww_html, page.traditional_html):
+                once = serialize(parse_html(html))
+                assert serialize(parse_html(once)) == once

@@ -1,0 +1,55 @@
+"""Parser coverage for table/option auto-closing and form-ish markup."""
+
+from repro.html import parse_html, serialize
+from repro.html.dom import Element
+
+
+class TestTables:
+    def test_td_auto_close(self):
+        doc = parse_html("<table><tr><td>a<td>b</tr></table>")
+        cells = doc.find_by_tag("td")
+        assert [c.text_content() for c in cells] == ["a", "b"]
+        assert all(c.parent.tag == "tr" for c in cells)
+
+    def test_tr_auto_close(self):
+        doc = parse_html("<table><tr><td>1</td><tr><td>2</td></table>")
+        rows = doc.find_by_tag("tr")
+        assert len(rows) == 2
+
+    def test_th_and_td_mix(self):
+        doc = parse_html("<table><tr><th>h<td>v</tr></table>")
+        assert len(doc.find_by_tag("th")) == 1
+        assert len(doc.find_by_tag("td")) == 1
+
+    def test_nested_table_isolated(self):
+        doc = parse_html("<table><tr><td><table><tr><td>inner</td></tr></table><td>outer2</table>")
+        assert len(doc.find_by_tag("table")) == 2
+        # td auto-close must not cross the inner table boundary.
+        inner = doc.find_by_tag("table")[1]
+        assert inner.text_content() == "inner"
+
+
+class TestDefinitionLists:
+    def test_dt_dd_auto_close(self):
+        doc = parse_html("<dl><dt>term<dd>definition<dt>term2<dd>def2</dl>")
+        assert len(doc.find_by_tag("dt")) == 2
+        assert len(doc.find_by_tag("dd")) == 2
+
+
+class TestOptions:
+    def test_option_auto_close(self):
+        doc = parse_html("<select><option>a<option>b</select>")
+        options = doc.find_by_tag("option")
+        assert [o.text_content() for o in options] == ["a", "b"]
+
+
+class TestFormsMarkup:
+    def test_inputs_are_void(self):
+        doc = parse_html('<form><input name="q"><input type="submit"></form>')
+        form = doc.find_by_tag("form")[0]
+        assert len(form.children) == 2
+        assert all(isinstance(c, Element) and not c.children for c in form.children)
+
+    def test_roundtrip(self):
+        source = '<form action="/s"><input name="q"><button>Go</button></form>'
+        assert serialize(parse_html(source)) == source

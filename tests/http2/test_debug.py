@@ -1,0 +1,76 @@
+"""Tests for the wire tracer."""
+
+from repro.http2.connection import H2Connection, Role
+from repro.http2.debug import describe_frame, frame_census, trace_wire
+from repro.http2.frames import DataFrame, GoAwayFrame, PingFrame, SettingsFrame
+from repro.http2.transport import InMemoryTransportPair
+
+
+class TestDescribeFrame:
+    def test_settings_with_gen_ability(self):
+        text = describe_frame(SettingsFrame(settings={0x7: 1, 0x1: 4096}))
+        assert "GEN_ABILITY=1" in text
+        assert "HEADER_TABLE_SIZE=4096" in text
+
+    def test_settings_ack(self):
+        assert "ACK" in describe_frame(SettingsFrame(ack=True))
+
+    def test_unknown_setting_hex(self):
+        assert "0x00ab=5" in describe_frame(SettingsFrame(settings={0xAB: 5}))
+
+    def test_data_preview(self):
+        text = describe_frame(DataFrame(stream_id=3, data=b"hello", end_stream=True))
+        assert "stream=3" in text and "END_STREAM" in text and "hello" in text
+
+    def test_ping_and_goaway(self):
+        assert "PING" in describe_frame(PingFrame(data=b"\x00" * 8))
+        assert "GOAWAY" in describe_frame(GoAwayFrame(last_stream_id=5))
+
+
+class TestTraceWire:
+    def test_handshake_trace(self):
+        client = H2Connection(Role.CLIENT, gen_ability=True)
+        client.initiate_connection()
+        trace = trace_wire(client.data_to_send(), label="c->s")
+        assert "PREFACE" in trace
+        assert "SETTINGS" in trace
+        assert "GEN_ABILITY=1" in trace
+        assert "WINDOW_UPDATE" in trace
+        assert all(line.startswith("c->s") for line in trace.splitlines())
+
+    def test_decode_first_header_block(self):
+        client = H2Connection(Role.CLIENT)
+        server = H2Connection(Role.SERVER)
+        pair = InMemoryTransportPair(client, server)
+        pair.handshake()
+        sid = client.get_next_available_stream_id()
+        client.send_headers(sid, [(b":method", b"GET"), (b":path", b"/traced")], end_stream=True)
+        trace = trace_wire(client.data_to_send(), decode_headers=True)
+        assert ":path: /traced" in trace
+
+    def test_trailing_bytes_reported(self):
+        trace = trace_wire(b"\x00\x00")
+        assert "TRAILING" in trace
+
+    def test_tracing_never_raises_on_junk(self):
+        trace_wire(b"\xff" * 50)  # must not raise
+
+
+class TestFrameCensus:
+    def test_census_counts(self):
+        client = H2Connection(Role.CLIENT, gen_ability=True)
+        client.initiate_connection()
+        census = frame_census(client.data_to_send())
+        assert census["SETTINGS"] == 1
+        assert census["WINDOWUPDATE"] == 1
+
+    def test_census_of_full_exchange(self):
+        client = H2Connection(Role.CLIENT, gen_ability=True)
+        server = H2Connection(Role.SERVER, gen_ability=True)
+        pair = InMemoryTransportPair(client, server)
+        pair.handshake()
+        sid = client.get_next_available_stream_id()
+        client.send_headers(sid, [(b":method", b"GET"), (b":path", b"/")], end_stream=True)
+        wire = client.data_to_send()
+        census = frame_census(wire)
+        assert census == {"HEADERS": 1}

@@ -1,0 +1,85 @@
+"""Tests for flow-control windows."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.http2.errors import FlowControlError
+from repro.http2.flow_control import DEFAULT_WINDOW, FlowControlWindow
+from repro.http2.settings import MAX_WINDOW
+
+
+class TestConsume:
+    def test_default_window(self):
+        assert FlowControlWindow().available == DEFAULT_WINDOW
+
+    def test_consume_reduces(self):
+        window = FlowControlWindow(100)
+        window.consume(40)
+        assert window.available == 60
+
+    def test_overrun_rejected(self):
+        window = FlowControlWindow(10)
+        with pytest.raises(FlowControlError):
+            window.consume(11)
+
+    def test_exact_drain_allowed(self):
+        window = FlowControlWindow(10)
+        window.consume(10)
+        assert window.available == 0
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            FlowControlWindow().consume(-1)
+
+
+class TestReplenish:
+    def test_replenish_adds(self):
+        window = FlowControlWindow(10)
+        window.replenish(5)
+        assert window.available == 15
+
+    def test_zero_increment_rejected(self):
+        with pytest.raises(FlowControlError):
+            FlowControlWindow().replenish(0)
+
+    def test_overflow_rejected(self):
+        window = FlowControlWindow(MAX_WINDOW)
+        with pytest.raises(FlowControlError):
+            window.replenish(1)
+
+
+class TestAdjust:
+    def test_settings_resize_can_go_negative(self):
+        """RFC 9113 §6.9.2: a SETTINGS decrease may leave windows negative."""
+        window = FlowControlWindow(100)
+        window.consume(100)
+        window.adjust(-50)
+        assert window.available == -50
+
+    def test_negative_window_recovers_via_replenish(self):
+        window = FlowControlWindow(0)
+        window.adjust(-10)
+        window.replenish(20)
+        assert window.available == 10
+
+    def test_adjust_overflow_rejected(self):
+        window = FlowControlWindow(MAX_WINDOW)
+        with pytest.raises(FlowControlError):
+            window.adjust(1)
+
+
+class TestInvariants:
+    @given(st.lists(st.integers(1, 1000), max_size=50))
+    def test_consume_never_exceeds_grants(self, amounts):
+        """Property: total consumed never exceeds initial + replenished."""
+        window = FlowControlWindow(5000)
+        consumed = 0
+        for amount in amounts:
+            if amount <= window.available:
+                window.consume(amount)
+                consumed += amount
+            else:
+                with pytest.raises(FlowControlError):
+                    window.consume(amount)
+        assert consumed <= 5000
+        assert window.available == 5000 - consumed

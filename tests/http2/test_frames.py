@@ -1,0 +1,214 @@
+"""Tests for the HTTP/2 frame codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.http2.errors import ErrorCode, FrameError
+from repro.http2.frames import (
+    FRAME_HEADER_LENGTH,
+    ContinuationFrame,
+    DataFrame,
+    GoAwayFrame,
+    HeadersFrame,
+    PingFrame,
+    PriorityFrame,
+    PushPromiseFrame,
+    RstStreamFrame,
+    SettingsFrame,
+    WindowUpdateFrame,
+    parse_frame,
+    parse_frames,
+)
+
+
+def roundtrip(frame):
+    parsed, offset = parse_frame(frame.serialize())
+    assert offset == len(frame.serialize())
+    return parsed
+
+
+class TestFrameHeader:
+    def test_header_is_nine_octets(self):
+        wire = DataFrame(stream_id=1, data=b"x").serialize()
+        assert len(wire) == FRAME_HEADER_LENGTH + 1
+
+    def test_length_field_encodes_payload_size(self):
+        wire = DataFrame(stream_id=1, data=b"abc").serialize()
+        assert wire[0] == 0 and wire[1] == 0 and wire[2] == 3
+
+    def test_type_and_stream_id(self):
+        wire = DataFrame(stream_id=5, data=b"").serialize()
+        assert wire[3] == 0x0  # DATA
+        assert int.from_bytes(wire[5:9], "big") == 5
+
+    def test_stream_id_out_of_range_rejected(self):
+        with pytest.raises(FrameError):
+            DataFrame(stream_id=2**31, data=b"").serialize()
+
+
+class TestDataFrame:
+    def test_roundtrip(self):
+        frame = roundtrip(DataFrame(stream_id=3, data=b"hello", end_stream=True))
+        assert frame.data == b"hello" and frame.end_stream and frame.stream_id == 3
+
+    def test_padding_roundtrip(self):
+        frame = roundtrip(DataFrame(stream_id=3, data=b"hi", pad_length=10))
+        assert frame.data == b"hi" and frame.pad_length == 10
+
+    def test_flow_controlled_length_includes_padding(self):
+        frame = DataFrame(stream_id=1, data=b"hi", pad_length=10)
+        assert frame.flow_controlled_length() == 1 + 2 + 10
+
+    def test_nonzero_padding_rejected(self):
+        wire = bytearray(DataFrame(stream_id=1, data=b"hi", pad_length=4).serialize())
+        wire[-1] = 0xFF
+        with pytest.raises(FrameError):
+            parse_frame(bytes(wire))
+
+    def test_padding_longer_than_payload_rejected(self):
+        # Hand-craft: PADDED flag, pad_length byte says 200 but payload short.
+        import struct
+
+        payload = bytes([200]) + b"xy"
+        header = struct.pack(">BHBBL", 0, len(payload), 0x0, 0x8, 1)
+        with pytest.raises(FrameError):
+            parse_frame(header + payload)
+
+
+class TestHeadersFrame:
+    def test_roundtrip(self):
+        frame = roundtrip(HeadersFrame(stream_id=1, header_block=b"\x82", end_stream=True))
+        assert frame.header_block == b"\x82" and frame.end_stream and frame.end_headers
+
+    def test_priority_fields_roundtrip(self):
+        frame = roundtrip(HeadersFrame(stream_id=5, header_block=b"x", priority=(3, 16, True)))
+        assert frame.priority == (3, 16, True)
+
+    def test_end_headers_false(self):
+        frame = roundtrip(HeadersFrame(stream_id=1, header_block=b"x", end_headers=False))
+        assert not frame.end_headers
+
+
+class TestSettingsFrame:
+    def test_roundtrip(self):
+        frame = roundtrip(SettingsFrame(settings={0x1: 4096, 0x7: 1}))
+        assert frame.settings == {0x1: 4096, 0x7: 1}
+
+    def test_ack_roundtrip(self):
+        frame = roundtrip(SettingsFrame(ack=True))
+        assert frame.ack and not frame.settings
+
+    def test_ack_with_payload_rejected_on_serialize(self):
+        with pytest.raises(FrameError):
+            SettingsFrame(ack=True, settings={1: 1}).serialize()
+
+    def test_nonzero_stream_rejected(self):
+        wire = bytearray(SettingsFrame(settings={1: 1}).serialize())
+        wire[8] = 3  # stream id 3
+        with pytest.raises(FrameError):
+            parse_frame(bytes(wire))
+
+    def test_partial_setting_rejected(self):
+        import struct
+
+        payload = b"\x00\x07\x00"  # 3 bytes, not a multiple of 6
+        header = struct.pack(">BHBBL", 0, len(payload), 0x4, 0, 0)
+        with pytest.raises(FrameError):
+            parse_frame(header + payload)
+
+    def test_gen_ability_setting_on_wire(self):
+        """The paper's extension: identifier 0x07, value 1, 6 bytes."""
+        wire = SettingsFrame(settings={0x7: 1}).serialize()
+        assert wire[9:11] == b"\x00\x07"
+        assert int.from_bytes(wire[11:15], "big") == 1
+
+
+class TestControlFrames:
+    def test_rst_stream_roundtrip(self):
+        frame = roundtrip(RstStreamFrame(stream_id=7, error_code=ErrorCode.CANCEL))
+        assert frame.error_code == ErrorCode.CANCEL
+
+    def test_ping_roundtrip(self):
+        frame = roundtrip(PingFrame(data=b"12345678", ack=True))
+        assert frame.data == b"12345678" and frame.ack
+
+    def test_ping_wrong_size_rejected(self):
+        with pytest.raises(FrameError):
+            PingFrame(data=b"123").serialize()
+
+    def test_goaway_roundtrip(self):
+        frame = roundtrip(GoAwayFrame(last_stream_id=9, error_code=ErrorCode.ENHANCE_YOUR_CALM, debug_data=b"bye"))
+        assert frame.last_stream_id == 9
+        assert frame.error_code == ErrorCode.ENHANCE_YOUR_CALM
+        assert frame.debug_data == b"bye"
+
+    def test_window_update_roundtrip(self):
+        frame = roundtrip(WindowUpdateFrame(stream_id=1, increment=12345))
+        assert frame.increment == 12345
+
+    def test_window_update_zero_rejected_on_serialize(self):
+        with pytest.raises(FrameError):
+            WindowUpdateFrame(stream_id=1, increment=0).serialize()
+
+    def test_priority_roundtrip(self):
+        frame = roundtrip(PriorityFrame(stream_id=3, dependency=1, weight=200, exclusive=True))
+        assert frame.dependency == 1 and frame.weight == 200 and frame.exclusive
+
+    def test_push_promise_roundtrip(self):
+        frame = roundtrip(PushPromiseFrame(stream_id=1, promised_stream_id=2, header_block=b"\x82"))
+        assert frame.promised_stream_id == 2 and frame.header_block == b"\x82"
+
+    def test_continuation_roundtrip(self):
+        frame = roundtrip(ContinuationFrame(stream_id=1, header_block=b"xyz", end_headers=True))
+        assert frame.header_block == b"xyz" and frame.end_headers
+
+    def test_fixed_size_frame_wrong_length_rejected(self):
+        import struct
+
+        header = struct.pack(">BHBBL", 0, 3, 0x3, 0, 1)  # RST_STREAM with 3B
+        with pytest.raises(FrameError):
+            parse_frame(header + b"\x00\x00\x00")
+
+
+class TestStreamParsing:
+    def test_incomplete_header_returns_none(self):
+        frame, offset = parse_frame(b"\x00\x00")
+        assert frame is None and offset == 0
+
+    def test_incomplete_payload_returns_none(self):
+        wire = DataFrame(stream_id=1, data=b"hello").serialize()
+        frame, offset = parse_frame(wire[:-1])
+        assert frame is None and offset == 0
+
+    def test_unknown_frame_type_skipped(self):
+        import struct
+
+        unknown = struct.pack(">BHBBL", 0, 2, 0xAB, 0, 1) + b"zz"
+        data = unknown + DataFrame(stream_id=1, data=b"ok").serialize()
+        frames, rest = parse_frames(data)
+        assert len(frames) == 1 and frames[0].data == b"ok" and rest == b""
+
+    def test_oversized_frame_rejected(self):
+        import struct
+
+        header = struct.pack(">BHBBL", 0xFF, 0xFFFF, 0x0, 0, 1)
+        with pytest.raises(FrameError):
+            parse_frame(header + b"x")
+
+    def test_multiple_frames_with_remainder(self):
+        a = DataFrame(stream_id=1, data=b"one").serialize()
+        b = DataFrame(stream_id=1, data=b"two").serialize()
+        frames, rest = parse_frames(a + b + b"\x00\x00")
+        assert [f.data for f in frames] == [b"one", b"two"]
+        assert rest == b"\x00\x00"
+
+    @given(st.lists(st.binary(max_size=50), min_size=1, max_size=10), st.integers(1, 99))
+    def test_arbitrary_split_reassembly(self, payloads, split_seed):
+        """Frames survive arbitrary re-chunking of the byte stream."""
+        wire = b"".join(DataFrame(stream_id=1, data=p).serialize() for p in payloads)
+        cut = split_seed % (len(wire) + 1)
+        first, rest1 = parse_frames(wire[:cut])
+        second, rest2 = parse_frames(rest1 + wire[cut:])
+        recovered = [f.data for f in first + second]
+        assert recovered == payloads
+        assert rest2 == b""

@@ -1,0 +1,242 @@
+"""Tests for HPACK (RFC 7541)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.http2.errors import CompressionError
+from repro.http2.hpack import (
+    DynamicTable,
+    HpackDecoder,
+    HpackEncoder,
+    STATIC_TABLE,
+    decode_integer,
+    decode_string,
+    encode_integer,
+    encode_string,
+)
+
+
+class TestIntegerCoding:
+    """RFC 7541 §C.1 examples."""
+
+    def test_small_value_in_prefix(self):
+        # C.1.1: encoding 10 with a 5-bit prefix.
+        assert encode_integer(10, 5) == bytes([0b01010])
+
+    def test_large_value_with_continuation(self):
+        # C.1.2: encoding 1337 with a 5-bit prefix.
+        assert encode_integer(1337, 5) == bytes([0b11111, 0b10011010, 0b00001010])
+
+    def test_value_at_prefix_boundary(self):
+        # C.1.3: encoding 42 with an 8-bit prefix fits directly.
+        assert encode_integer(42, 8) == bytes([42])
+
+    def test_flags_preserved(self):
+        assert encode_integer(10, 5, flags=0x80)[0] == 0x80 | 10
+
+    @given(st.integers(0, 2**30), st.integers(1, 8))
+    def test_roundtrip(self, value, prefix):
+        encoded = encode_integer(value, prefix)
+        decoded, offset = decode_integer(encoded, 0, prefix)
+        assert decoded == value
+        assert offset == len(encoded)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_integer(-1, 5)
+
+    def test_truncated_continuation_rejected(self):
+        data = encode_integer(1337, 5)[:-1]
+        with pytest.raises(CompressionError):
+            decode_integer(data, 0, 5)
+
+    def test_oversized_integer_rejected(self):
+        data = bytes([0x1F]) + b"\xff" * 12
+        with pytest.raises(CompressionError):
+            decode_integer(data, 0, 5)
+
+
+class TestStringCoding:
+    def test_huffman_used_when_smaller(self):
+        encoded = encode_string(b"www.example.com")
+        assert encoded[0] & 0x80  # Huffman flag
+        assert len(encoded) < 1 + 15
+
+    def test_raw_used_when_huffman_expands(self):
+        data = bytes([1, 2, 3, 4])
+        encoded = encode_string(data)
+        assert not encoded[0] & 0x80
+
+    def test_huffman_disabled(self):
+        encoded = encode_string(b"www.example.com", huffman=False)
+        assert not encoded[0] & 0x80
+
+    @given(st.binary(max_size=200), st.booleans())
+    def test_roundtrip(self, data, huffman):
+        encoded = encode_string(data, huffman)
+        decoded, offset = decode_string(encoded, 0)
+        assert decoded == data
+        assert offset == len(encoded)
+
+    def test_truncated_body_rejected(self):
+        encoded = encode_string(b"hello", huffman=False)
+        with pytest.raises(CompressionError):
+            decode_string(encoded[:-1], 0)
+
+
+class TestDynamicTable:
+    def test_insert_at_head(self):
+        table = DynamicTable()
+        table.add(b"a", b"1")
+        table.add(b"b", b"2")
+        assert table.lookup(0) == (b"b", b"2")
+        assert table.lookup(1) == (b"a", b"1")
+
+    def test_entry_size_includes_overhead(self):
+        assert DynamicTable.entry_size(b"ab", b"cd") == 4 + 32
+
+    def test_eviction_on_overflow(self):
+        table = DynamicTable(max_size=2 * (1 + 1 + 32))
+        table.add(b"a", b"1")
+        table.add(b"b", b"2")
+        table.add(b"c", b"3")
+        assert len(table) == 2
+        assert table.lookup(1) == (b"b", b"2")
+
+    def test_oversized_entry_empties_table(self):
+        table = DynamicTable(max_size=40)
+        table.add(b"a", b"1")
+        table.add(b"x" * 100, b"y")
+        assert len(table) == 0
+
+    def test_resize_evicts(self):
+        table = DynamicTable()
+        table.add(b"a", b"1")
+        table.add(b"b", b"2")
+        table.resize(35)
+        assert len(table) == 1
+
+    def test_out_of_range_lookup_raises(self):
+        with pytest.raises(CompressionError):
+            DynamicTable().lookup(0)
+
+    def test_find_full_and_name_match(self):
+        table = DynamicTable()
+        table.add(b"x", b"1")
+        table.add(b"x", b"2")
+        full, name = table.find(b"x", b"1")
+        assert full == 1
+        assert name == 0  # most recent name match first
+
+
+class TestEncoderDecoder:
+    def test_static_fully_indexed(self):
+        encoder = HpackEncoder()
+        block = encoder.encode([(b":method", b"GET")])
+        assert block == bytes([0x82])  # static index 2
+
+    def test_rfc_c2_1_literal_with_indexing(self):
+        # C.2.1: custom-key: custom-header (raw literals).
+        encoder = HpackEncoder(use_huffman=False)
+        block = encoder.encode([(b"custom-key", b"custom-header")])
+        assert block.hex() == "400a637573746f6d2d6b65790d637573746f6d2d686561646572"
+
+    def test_rfc_c3_request_sequence(self):
+        """RFC 7541 C.3: three requests sharing one encoder/decoder pair."""
+        encoder = HpackEncoder(use_huffman=False)
+        decoder = HpackDecoder()
+        first = [
+            (b":method", b"GET"),
+            (b":scheme", b"http"),
+            (b":path", b"/"),
+            (b":authority", b"www.example.com"),
+        ]
+        block = encoder.encode(first)
+        assert block.hex() == "828684410f7777772e6578616d706c652e636f6d"
+        assert decoder.decode(block) == first
+
+        second = first[:3] + [(b":authority", b"www.example.com"), (b"cache-control", b"no-cache")]
+        block2 = encoder.encode(second)
+        assert block2.hex() == "828684be58086e6f2d6361636865"
+        assert decoder.decode(block2) == second
+
+    def test_decoder_tracks_dynamic_entries(self):
+        encoder = HpackEncoder()
+        decoder = HpackDecoder()
+        headers = [(b"x-custom", b"value")]
+        decoder.decode(encoder.encode(headers))
+        # Second encoding uses the dynamic table; decode must still work.
+        block2 = encoder.encode(headers)
+        assert len(block2) == 1  # fully indexed now
+        assert decoder.decode(block2) == headers
+
+    def test_never_indexed_sensitive_headers(self):
+        encoder = HpackEncoder()
+        block = encoder.encode([(b"authorization", b"Bearer tok")])
+        assert block[0] & 0xF0 == 0x10  # never-indexed representation
+        assert len(encoder.table) == 0
+
+    def test_table_size_update_emitted_and_enforced(self):
+        encoder = HpackEncoder()
+        decoder = HpackDecoder()
+        encoder.set_max_table_size(100)
+        block = encoder.encode([(b":method", b"GET")])
+        assert block[0] & 0xE0 == 0x20  # size update prefix
+        assert decoder.decode(block) == [(b":method", b"GET")]
+        assert decoder.table.max_size == 100
+
+    def test_size_update_beyond_settings_rejected(self):
+        decoder = HpackDecoder(max_table_size=50)
+        from repro.http2.hpack import encode_integer
+
+        with pytest.raises(CompressionError):
+            decoder.decode(encode_integer(4096, 5, 0x20))
+
+    def test_size_update_after_headers_rejected(self):
+        decoder = HpackDecoder()
+        block = bytes([0x82]) + encode_integer(0, 5, 0x20)
+        with pytest.raises(CompressionError):
+            decoder.decode(block)
+
+    def test_index_zero_rejected(self):
+        with pytest.raises(CompressionError):
+            HpackDecoder().decode(bytes([0x80]))
+
+    def test_names_lowercased_on_encode(self):
+        encoder = HpackEncoder()
+        decoder = HpackDecoder()
+        decoded = decoder.decode(encoder.encode([(b"X-Custom", b"V")]))
+        assert decoded == [(b"x-custom", b"V")]
+
+    def test_no_indexing_mode_keeps_table_empty(self):
+        encoder = HpackEncoder(use_indexing=False)
+        encoder.encode([(b"x-a", b"1"), (b"x-b", b"2")])
+        assert len(encoder.table) == 0
+
+
+_header_name = st.sampled_from(
+    [name for name, _ in STATIC_TABLE[:20]] + [b"x-custom-a", b"x-custom-b", b"x-trace-id"]
+)
+_header_value = st.binary(min_size=0, max_size=40)
+
+
+class TestPropertyRoundTrip:
+    @given(
+        st.lists(st.tuples(_header_name, _header_value), min_size=0, max_size=20),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_encode_decode_identity(self, headers, huffman, indexing):
+        encoder = HpackEncoder(use_huffman=huffman, use_indexing=indexing)
+        decoder = HpackDecoder()
+        # Run the same header list twice to exercise the dynamic table.
+        for _ in range(2):
+            assert decoder.decode(encoder.encode(headers)) == headers
+
+    @given(st.lists(st.tuples(_header_name, _header_value), min_size=1, max_size=10))
+    def test_stateful_sequences(self, headers):
+        encoder = HpackEncoder()
+        decoder = HpackDecoder()
+        for i in range(3):
+            batch = headers[i % len(headers) :]
+            assert decoder.decode(encoder.encode(batch)) == batch

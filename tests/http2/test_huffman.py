@@ -1,0 +1,92 @@
+"""Tests for the RFC 7541 Huffman codec."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.http2.errors import CompressionError
+from repro.http2.huffman import (
+    HUFFMAN_TABLE,
+    huffman_decode,
+    huffman_encode,
+    huffman_encoded_length,
+)
+
+
+class TestTableStructure:
+    def test_has_257_symbols(self):
+        assert len(HUFFMAN_TABLE) == 257
+
+    def test_is_complete_prefix_code(self):
+        # Kraft equality: a complete prefix-free code sums to exactly 1.
+        assert sum(Fraction(1, 2**length) for _code, length in HUFFMAN_TABLE) == 1
+
+    def test_codes_fit_lengths(self):
+        for code, length in HUFFMAN_TABLE:
+            assert code < (1 << length)
+
+    def test_all_codes_unique(self):
+        assert len({(c, l) for c, l in HUFFMAN_TABLE}) == 257
+
+
+class TestRfc7541Vectors:
+    """The exact encodings from RFC 7541 Appendix C."""
+
+    @pytest.mark.parametrize(
+        "plain, encoded_hex",
+        [
+            (b"www.example.com", "f1e3c2e5f23a6ba0ab90f4ff"),
+            (b"no-cache", "a8eb10649cbf"),
+            (b"custom-key", "25a849e95ba97d7f"),
+            (b"custom-value", "25a849e95bb8e8b4bf"),
+            (b"private", "aec3771a4b"),
+            (b"Mon, 21 Oct 2013 20:13:21 GMT", "d07abe941054d444a8200595040b8166e082a62d1bff"),
+            (b"https://www.example.com", "9d29ad171863c78f0b97c8e9ae82ae43d3"),
+        ],
+    )
+    def test_known_encoding(self, plain, encoded_hex):
+        assert huffman_encode(plain).hex() == encoded_hex
+        assert huffman_decode(bytes.fromhex(encoded_hex)) == plain
+
+
+class TestDecodeErrors:
+    def test_eos_in_data_rejected(self):
+        # 30 bits of ones == EOS followed by 2 padding bits.
+        data = bytes([0xFF, 0xFF, 0xFF, 0xFF])
+        with pytest.raises(CompressionError):
+            huffman_decode(data)
+
+    def test_padding_with_zero_bit_rejected(self):
+        # 'w' = 0x78 (7 bits) + one 0 bit of "padding" = invalid.
+        data = bytes([0b11110000])
+        with pytest.raises(CompressionError):
+            huffman_decode(data)
+
+    def test_empty_input_decodes_to_empty(self):
+        assert huffman_decode(b"") == b""
+
+
+class TestEncodedLength:
+    def test_matches_actual_encoding(self):
+        for sample in (b"", b"a", b"hello world", bytes(range(256))):
+            assert huffman_encoded_length(sample) == len(huffman_encode(sample))
+
+    def test_ascii_text_compresses(self):
+        text = b"content-type: text/html; charset=utf-8"
+        assert huffman_encoded_length(text) < len(text)
+
+    def test_rare_bytes_expand(self):
+        data = bytes([0x01, 0x02, 0x03, 0x04]) * 4
+        assert huffman_encoded_length(data) > len(data)
+
+
+class TestRoundTrip:
+    @given(st.binary(min_size=0, max_size=300))
+    def test_arbitrary_bytes(self, data):
+        assert huffman_decode(huffman_encode(data)) == data
+
+    @given(st.text(max_size=200))
+    def test_arbitrary_text(self, text):
+        data = text.encode("utf-8")
+        assert huffman_decode(huffman_encode(data)) == data

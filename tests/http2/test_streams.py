@@ -1,0 +1,116 @@
+"""Tests for the stream state machine (RFC 9113 §5.1)."""
+
+import pytest
+
+from repro.http2.errors import ErrorCode, ProtocolError, StreamError
+from repro.http2.streams import H2Stream, StreamEvent, StreamState
+
+E = StreamEvent
+S = StreamState
+
+
+def stream(state=S.IDLE) -> H2Stream:
+    s = H2Stream(1)
+    s.state = state
+    return s
+
+
+class TestHappyPaths:
+    def test_request_response_lifecycle(self):
+        s = stream()
+        assert s.process(E.SEND_HEADERS) == S.OPEN
+        assert s.process(E.SEND_END_STREAM) == S.HALF_CLOSED_LOCAL
+        assert s.process(E.RECV_HEADERS) == S.HALF_CLOSED_LOCAL
+        assert s.process(E.RECV_END_STREAM) == S.CLOSED
+
+    def test_server_side_lifecycle(self):
+        s = stream()
+        assert s.process(E.RECV_HEADERS) == S.OPEN
+        assert s.process(E.RECV_END_STREAM) == S.HALF_CLOSED_REMOTE
+        assert s.process(E.SEND_HEADERS) == S.HALF_CLOSED_REMOTE
+        assert s.process(E.SEND_END_STREAM) == S.CLOSED
+
+    def test_push_promise_reserved_local(self):
+        s = stream()
+        assert s.process(E.SEND_PUSH_PROMISE) == S.RESERVED_LOCAL
+        assert s.process(E.SEND_HEADERS) == S.HALF_CLOSED_REMOTE
+
+    def test_push_promise_reserved_remote(self):
+        s = stream()
+        assert s.process(E.RECV_PUSH_PROMISE) == S.RESERVED_REMOTE
+        assert s.process(E.RECV_HEADERS) == S.HALF_CLOSED_LOCAL
+
+    def test_trailers_keep_stream_open(self):
+        s = stream(S.OPEN)
+        assert s.process(E.RECV_HEADERS) == S.OPEN
+
+
+class TestResets:
+    def test_rst_from_open(self):
+        s = stream(S.OPEN)
+        assert s.process(E.SEND_RST) == S.CLOSED
+
+    def test_rst_from_half_closed(self):
+        s = stream(S.HALF_CLOSED_LOCAL)
+        assert s.process(E.RECV_RST) == S.CLOSED
+
+    def test_rst_on_closed_tolerated(self):
+        s = stream(S.CLOSED)
+        assert s.process(E.RECV_RST) == S.CLOSED
+        assert s.process(E.SEND_RST) == S.CLOSED
+
+
+class TestViolations:
+    def test_data_events_for_closed_stream_is_stream_error(self):
+        s = stream(S.CLOSED)
+        with pytest.raises(StreamError) as exc_info:
+            s.process(E.RECV_HEADERS)
+        assert exc_info.value.code == ErrorCode.STREAM_CLOSED
+
+    def test_end_stream_in_idle_rejected(self):
+        with pytest.raises(ProtocolError):
+            stream().process(E.SEND_END_STREAM)
+
+    def test_send_after_local_close_rejected(self):
+        s = stream(S.HALF_CLOSED_LOCAL)
+        with pytest.raises(ProtocolError):
+            s.process(E.SEND_END_STREAM)
+
+    def test_recv_after_remote_close_rejected(self):
+        s = stream(S.HALF_CLOSED_REMOTE)
+        with pytest.raises(ProtocolError):
+            s.process(E.RECV_END_STREAM)
+
+
+class TestCapabilities:
+    def test_can_send_data_states(self):
+        assert stream(S.OPEN).can_send_data
+        assert stream(S.HALF_CLOSED_REMOTE).can_send_data
+        assert not stream(S.HALF_CLOSED_LOCAL).can_send_data
+        assert not stream(S.IDLE).can_send_data
+        assert not stream(S.CLOSED).can_send_data
+
+    def test_can_receive_data_states(self):
+        assert stream(S.OPEN).can_receive_data
+        assert stream(S.HALF_CLOSED_LOCAL).can_receive_data
+        assert not stream(S.HALF_CLOSED_REMOTE).can_receive_data
+
+    def test_closed_property(self):
+        assert stream(S.CLOSED).closed
+        assert not stream(S.OPEN).closed
+
+
+class TestExhaustiveReachability:
+    def test_every_state_reachable_from_idle(self):
+        """Walk the transition table: all seven states must be reachable."""
+        from repro.http2.streams import _TRANSITIONS
+
+        reachable = {S.IDLE}
+        frontier = [S.IDLE]
+        while frontier:
+            state = frontier.pop()
+            for (src, _event), dst in _TRANSITIONS.items():
+                if src == state and dst not in reachable:
+                    reachable.add(dst)
+                    frontier.append(dst)
+        assert reachable == set(S)

@@ -1,0 +1,121 @@
+"""Tests for the in-memory and asyncio transports."""
+
+import asyncio
+
+import pytest
+
+from repro.http2.connection import (
+    DataReceived,
+    H2Connection,
+    RequestReceived,
+    ResponseReceived,
+    Role,
+    StreamEnded,
+)
+from repro.http2.transport import (
+    AsyncH2Transport,
+    Endpoint,
+    InMemoryTransportPair,
+    open_tcp_pair,
+)
+
+
+class TestEndpoint:
+    def test_take_events_drains(self):
+        endpoint = Endpoint(H2Connection(Role.CLIENT))
+        endpoint.events = [DataReceived(stream_id=1), StreamEnded(stream_id=1)]
+        assert len(endpoint.take_events()) == 2
+        assert endpoint.take_events() == []
+
+    def test_take_events_filtered(self):
+        endpoint = Endpoint(H2Connection(Role.CLIENT))
+        endpoint.events = [DataReceived(stream_id=1), StreamEnded(stream_id=1)]
+        data = endpoint.take_events(DataReceived)
+        assert len(data) == 1
+        assert len(endpoint.events) == 1  # the StreamEnded remains
+
+
+class TestInMemoryPair:
+    def test_handshake_quiesces(self):
+        pair = InMemoryTransportPair(
+            H2Connection(Role.CLIENT, gen_ability=True),
+            H2Connection(Role.SERVER, gen_ability=True),
+        )
+        pair.handshake()
+        # After quiescing there must be nothing left to send.
+        assert pair.client.conn.data_to_send() == b""
+        assert pair.server.conn.data_to_send() == b""
+
+    def test_pump_detects_livelock(self):
+        pair = InMemoryTransportPair(H2Connection(Role.CLIENT), H2Connection(Role.SERVER))
+        pair.handshake()
+
+        class Chatterbox:
+            def data_to_send(self):
+                # A complete unknown-type frame: parsed, ignored, repeated
+                # forever — the transport must give up rather than spin.
+                return b"\x00\x00\x00\xee\x00\x00\x00\x00\x00"
+
+            def receive_data(self, data):
+                return []
+
+        pair.client.conn = Chatterbox()
+        with pytest.raises(RuntimeError):
+            pair.pump()
+
+
+class TestTcpTransport:
+    """End-to-end over a real asyncio TCP socket."""
+
+    def test_request_response_over_tcp(self):
+        async def scenario():
+            server_conn_holder = {}
+
+            async def on_connect(reader, writer):
+                conn = H2Connection(Role.SERVER, gen_ability=True)
+                server_conn_holder["conn"] = conn
+                transport = AsyncH2Transport(conn, reader, writer)
+                conn.initiate_connection()
+                await transport.flush()
+
+                async def handler(event):
+                    if isinstance(event, RequestReceived):
+                        conn.send_headers(event.stream_id, [(b":status", b"200")])
+                        conn.send_data(event.stream_id, b"tcp-works", end_stream=True)
+
+                await transport.run(handler)
+
+            server = await asyncio.start_server(on_connect, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+
+            client_conn = H2Connection(Role.CLIENT, gen_ability=True)
+            transport = await open_tcp_pair("127.0.0.1", port, client_conn)
+
+            body = bytearray()
+            done = asyncio.Event()
+
+            async def handler(event):
+                if isinstance(event, DataReceived):
+                    body.extend(event.data)
+                if isinstance(event, StreamEnded):
+                    done.set()
+
+            run_task = asyncio.create_task(transport.run(handler))
+            sid = client_conn.get_next_available_stream_id()
+            client_conn.send_headers(
+                sid,
+                [(b":method", b"GET"), (b":path", b"/"), (b":scheme", b"https"), (b":authority", b"t")],
+                end_stream=True,
+            )
+            await transport.flush()
+            await asyncio.wait_for(done.wait(), timeout=5)
+            negotiated = client_conn.gen_ability_negotiated
+            await transport.close()
+            run_task.cancel()
+            server.close()
+            await server.wait_closed()
+            return bytes(body), negotiated
+
+        body, negotiated = asyncio.run(scenario())
+        assert body == b"tcp-works"
+        assert negotiated

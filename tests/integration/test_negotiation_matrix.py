@@ -1,0 +1,93 @@
+"""The §6.2 functionality matrix, end to end over real HTTP/2 bytes.
+
+"Basic functionality testing covered scenarios where both client and
+server support generated content, only one side supports generated
+content, and no side supports it. Except for the first scenario, in all
+other cases the communication defaulted to standard HTTP/2."
+"""
+
+import pytest
+
+from repro import (
+    LAPTOP,
+    GenerativeClient,
+    GenerativeServer,
+    PageResource,
+    SiteStore,
+    build_wikimedia_landscape_page,
+    connect_in_memory,
+)
+from repro.workloads.corpus import populate_traditional_assets
+
+
+@pytest.fixture(scope="module")
+def page():
+    return build_wikimedia_landscape_page()
+
+
+def run_cell(page, client_gen: bool, server_gen: bool):
+    store = SiteStore()
+    store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+    populate_traditional_assets(store, page)
+    server = GenerativeServer(store, gen_ability=server_gen)
+    client = GenerativeClient(device=LAPTOP, gen_ability=client_gen)
+    pair = connect_in_memory(client, server)
+    result = client.fetch_via_pair(pair, page.path)
+    assets = client.fetch_assets_via_pair(pair, result)
+    return pair, result, assets
+
+
+class TestMatrix:
+    def test_both_capable_uses_sww(self, page):
+        pair, result, assets = run_cell(page, True, True)
+        assert pair.client.conn.gen_ability_negotiated
+        assert result.sww_mode
+        assert result.report.generated_images == 49
+        assert assets == {}  # nothing fetched: everything generated locally
+
+    def test_only_client_capable_defaults(self, page):
+        pair, result, assets = run_cell(page, True, False)
+        assert not pair.client.conn.gen_ability_negotiated
+        assert not result.sww_mode
+        assert result.report is None
+        assert len(assets) == 49  # traditional media fetched
+
+    def test_only_server_capable_generates_server_side(self, page):
+        pair, result, assets = run_cell(page, False, True)
+        assert not pair.client.conn.gen_ability_negotiated
+        assert not result.sww_mode
+        assert len(assets) == 49
+        assert all(b.startswith(b"\x89PNG") for b in assets.values())
+
+    def test_neither_capable_is_plain_http2(self, page):
+        pair, result, assets = run_cell(page, False, False)
+        assert not pair.client.conn.gen_ability_negotiated
+        assert not result.sww_mode
+        assert len(assets) == 49
+        assert all(not b.startswith(b"\x89PNG") for b in assets.values())
+
+
+class TestWireEconomics:
+    def test_sww_cell_moves_orders_of_magnitude_fewer_bytes(self, page):
+        _pair, sww_result, sww_assets = run_cell(page, True, True)
+        _pair2, trad_result, trad_assets = run_cell(page, False, False)
+        sww_total = sww_result.wire_bytes + sum(len(b) for b in sww_assets.values())
+        trad_total = trad_result.wire_bytes + sum(len(b) for b in trad_assets.values())
+        assert trad_total / sww_total > 50
+
+    def test_fallback_cells_all_media_scale(self, page):
+        for client_gen, server_gen in ((True, False), (False, True), (False, False)):
+            _pair, result, assets = run_cell(page, client_gen, server_gen)
+            total = result.wire_bytes + sum(len(b) for b in assets.values())
+            assert total > 1_000_000, f"cell ({client_gen},{server_gen})"
+
+
+class TestProtocolTransparency:
+    def test_naive_endpoints_never_see_the_extension_semantics(self, page):
+        """The non-participating entity 'will remain naive and continue to
+        communicate over normal HTTP/2' — its own advertised settings never
+        include GEN_ABILITY."""
+        from repro.http2.settings import Setting
+
+        pair, _result, _assets = run_cell(page, True, False)
+        assert pair.client.conn.peer_settings.get(Setting.GEN_ABILITY) == 0

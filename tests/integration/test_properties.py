@@ -1,0 +1,144 @@
+"""Cross-module property-based tests on system invariants."""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.html import parse_html, serialize
+from repro.metrics.compression import prompt_metadata_size
+from repro.sww.content import ContentType, GeneratedContent
+
+# Printable prompts without control characters.
+_prompt = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FFF, blacklist_characters="\x7f"),
+    min_size=1,
+    max_size=300,
+).filter(lambda s: s.strip())
+
+
+class TestGeneratedContentProperties:
+    @given(_prompt, st.integers(16, 2048), st.integers(16, 2048))
+    def test_image_item_roundtrips_through_html(self, prompt, width, height):
+        """Any well-formed item must survive serialize → parse → extract."""
+        item = GeneratedContent.image(prompt, width=width, height=height)
+        html = serialize(item.to_element())
+        doc = parse_html(html)
+        parsed = GeneratedContent.from_element(doc.find_by_class("generated-content")[0])
+        assert parsed.prompt == prompt
+        assert (parsed.width, parsed.height) == (width, height)
+
+    @given(_prompt, st.integers(1, 2000))
+    def test_text_item_roundtrips(self, prompt, words):
+        item = GeneratedContent.text(prompt, words=words)
+        doc = parse_html(serialize(item.to_element()))
+        parsed = GeneratedContent.from_element(doc.find_by_class("generated-content")[0])
+        assert parsed.content_type == ContentType.TEXT
+        assert parsed.words == words
+
+    @given(_prompt)
+    def test_wire_size_counts_utf8_json(self, prompt):
+        item = GeneratedContent.image(prompt)
+        assert item.wire_size_bytes() == len(item.metadata_json().encode("utf-8"))
+        json.loads(item.metadata_json())  # must be valid JSON
+
+    @given(_prompt, st.integers(16, 1024), st.integers(16, 1024))
+    def test_metadata_smaller_than_modelled_media(self, prompt, width, height):
+        """The compression premise: prompt metadata is smaller than the
+        media it replaces, for any realistic prompt length."""
+        from repro.media.jpeg_model import jpeg_size
+
+        item = GeneratedContent.image(prompt[:262], width=width, height=height)
+        if width * height >= 128 * 128:
+            assert item.wire_size_bytes() < jpeg_size(width, height)
+
+
+class TestHttp2Properties:
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None, max_examples=30)
+    @given(
+        st.lists(st.binary(min_size=0, max_size=5000), min_size=1, max_size=5),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_any_payload_crosses_intact(self, bodies, client_gen, server_gen):
+        """DATA payloads survive framing/chunking for any capability mix."""
+        from repro.http2.connection import DataReceived, H2Connection, Role
+        from repro.http2.transport import InMemoryTransportPair
+
+        client = H2Connection(Role.CLIENT, gen_ability=client_gen)
+        server = H2Connection(Role.SERVER, gen_ability=server_gen)
+        pair = InMemoryTransportPair(client, server)
+        pair.handshake()
+        for body in bodies:
+            sid = client.get_next_available_stream_id()
+            client.send_headers(sid, [(b":method", b"POST"), (b":path", b"/p")])
+            client.send_data(sid, body, end_stream=True)
+            pair.pump()
+            received = b"".join(
+                e.data for e in pair.server.take_events(DataReceived) if e.stream_id == sid
+            )
+            assert received == body
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.dictionaries(st.integers(0x8, 0xFF), st.integers(0, 2**32 - 1), max_size=8))
+    def test_unknown_settings_never_break_negotiation(self, extra_settings):
+        """Any unknown SETTINGS parameters must be ignored gracefully."""
+        from repro.http2.connection import H2Connection, Role
+        from repro.http2.frames import SettingsFrame
+        from repro.http2.transport import InMemoryTransportPair
+
+        client = H2Connection(Role.CLIENT, gen_ability=True)
+        server = H2Connection(Role.SERVER, gen_ability=True)
+        pair = InMemoryTransportPair(client, server)
+        pair.handshake()
+        client._emit_frame(SettingsFrame(settings=extra_settings))
+        pair.pump()
+        assert server.peer_settings.gen_ability  # negotiation unaffected
+
+
+class TestFullStackProperties:
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["img", "txt"]),
+                st.text(alphabet="abcdefghij klmnop", min_size=3, max_size=40).filter(str.strip),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_any_item_mix_serves_and_generates(self, specs):
+        """Any well-formed mix of generated-content items survives the
+        full serve → negotiate → fetch → generate → render path."""
+        from repro.devices import WORKSTATION
+        from repro.html.serializer import serialize as ser
+        from repro.sww.client import GenerativeClient, connect_in_memory
+        from repro.sww.server import GenerativeServer, PageResource, SiteStore
+
+        items = []
+        for index, (kind, prompt) in enumerate(specs):
+            if kind == "img":
+                items.append(GeneratedContent.image(prompt, name=f"i{index}", width=32, height=32))
+            else:
+                items.append(GeneratedContent.text(prompt, words=20))
+        html = "<body>" + "".join(ser(i.to_element()) for i in items) + "</body>"
+        store = SiteStore()
+        store.add_page(PageResource("/p", html))
+        client = GenerativeClient(device=WORKSTATION)
+        pair = connect_in_memory(client, GenerativeServer(store))
+        result = client.fetch_via_pair(pair, "/p")
+        assert result.status == 200 and result.sww_mode
+        expected_images = sum(1 for kind, _ in specs if kind == "img")
+        assert result.report.generated_images == expected_images
+        assert result.report.generated_texts == len(specs) - expected_images
+        assert result.document.find_by_class("generated-content") == []
+
+
+class TestMetadataSizeProperties:
+    @given(st.dictionaries(st.sampled_from(["prompt", "name", "topic"]), _prompt, min_size=1))
+    def test_prompt_metadata_size_monotone_in_content(self, metadata):
+        size = prompt_metadata_size(metadata)
+        bigger = dict(metadata)
+        bigger["prompt"] = metadata.get("prompt", "") + "xxxx"
+        assert prompt_metadata_size(bigger) > size or "prompt" not in metadata

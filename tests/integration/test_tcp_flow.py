@@ -1,0 +1,74 @@
+"""The full SWW flow over real asyncio TCP sockets (§5's architecture)."""
+
+import asyncio
+
+import pytest
+
+from repro import (
+    LAPTOP,
+    GenerativeClient,
+    GenerativeServer,
+    PageResource,
+    SiteStore,
+    build_travel_blog,
+)
+
+
+def run_tcp_fetch(client_gen: bool, server_gen: bool):
+    async def scenario():
+        page = build_travel_blog()
+        store = SiteStore()
+        store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+        server = GenerativeServer(store, gen_ability=server_gen)
+        listener = await server.serve_forever("127.0.0.1", 0)
+        port = listener.sockets[0].getsockname()[1]
+        try:
+            client = GenerativeClient(device=LAPTOP, gen_ability=client_gen)
+            result = await asyncio.wait_for(
+                client.fetch_tcp("127.0.0.1", port, page.path), timeout=10
+            )
+            return result, client
+        finally:
+            listener.close()
+            await listener.wait_closed()
+
+    return asyncio.run(scenario())
+
+
+class TestTcpFlows:
+    def test_generative_flow_over_tcp(self):
+        result, client = run_tcp_fetch(True, True)
+        assert result.status == 200
+        assert result.sww_mode
+        assert result.report.generated_images == 3
+        assert client.server_gen_ability is True
+        assert "[img" in result.rendered
+
+    def test_fallback_flow_over_tcp(self):
+        result, client = run_tcp_fetch(True, False)
+        assert result.status == 200
+        assert not result.sww_mode
+        assert result.report is None
+        assert client.server_gen_ability is False
+
+    def test_naive_client_over_tcp(self):
+        result, _client = run_tcp_fetch(False, True)
+        assert result.status == 200
+        assert not result.sww_mode
+        assert "/generated/" in result.received_html
+
+    def test_missing_page_over_tcp(self):
+        async def scenario():
+            store = SiteStore()
+            server = GenerativeServer(store)
+            listener = await server.serve_forever("127.0.0.1", 0)
+            port = listener.sockets[0].getsockname()[1]
+            try:
+                client = GenerativeClient(device=LAPTOP)
+                return await asyncio.wait_for(client.fetch_tcp("127.0.0.1", port, "/gone"), timeout=10)
+            finally:
+                listener.close()
+                await listener.wait_closed()
+
+        result = asyncio.run(scenario())
+        assert result.status == 404

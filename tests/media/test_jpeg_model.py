@@ -1,0 +1,46 @@
+"""Tests for the JPEG size model (Table 2 anchors)."""
+
+import pytest
+
+from repro.media.jpeg_model import jpeg_size, text_block_size
+
+
+class TestPaperAnchors:
+    """Table 2's media sizes must come out exactly."""
+
+    @pytest.mark.parametrize(
+        "side, expected",
+        [(256, 8_192), (512, 32_768), (1024, 131_072)],
+    )
+    def test_square_images(self, side, expected):
+        assert jpeg_size(side, side) == expected
+
+    def test_text_block_250_words(self):
+        assert text_block_size(250) == 1_250
+
+
+class TestScaling:
+    def test_linear_in_pixels(self):
+        assert jpeg_size(512, 512) == 4 * jpeg_size(256, 256)
+
+    def test_non_square(self):
+        assert jpeg_size(256, 128) == jpeg_size(128, 256)
+
+    def test_quality_multipliers_ordered(self):
+        sizes = [jpeg_size(256, 256, q) for q in ("thumbnail", "web", "high", "archival")]
+        assert sizes == sorted(sizes)
+        assert sizes[3] == 4 * sizes[1]
+
+
+class TestValidation:
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            jpeg_size(0, 100)
+
+    def test_unknown_quality_rejected(self):
+        with pytest.raises(ValueError):
+            jpeg_size(10, 10, "ultra")
+
+    def test_negative_words_rejected(self):
+        with pytest.raises(ValueError):
+            text_block_size(-1)

@@ -1,0 +1,80 @@
+"""Tests for the CLIP-sim metric — the Table 1 CLIP column."""
+
+import numpy as np
+import pytest
+
+from repro.devices import CLOUD, WORKSTATION
+from repro.genai.image import generate_image, random_image
+from repro.genai.registry import DALLE3, SD3_MEDIUM, SD21, SD35_MEDIUM
+from repro.metrics.clip import CLIP_CEILING, CLIP_FLOOR, clip_score, clip_score_from_cosine
+
+PROMPTS = [
+    "a landscape photograph of a snowcapped range above an alpine lake",
+    "a landscape photograph of a quiet fjord with still water and mist",
+    "a landscape photograph of a volcanic ridge under storm clouds",
+    "a landscape photograph of a waterfall in a mossy basalt gorge",
+    "a landscape photograph of wind sculpted dunes under a blue sky",
+    "a landscape photograph of a rainbow over a stone bridge and river",
+]
+
+
+def mean_score(model, device):
+    scores = [
+        clip_score(p, generate_image(model, device, p, 224, 224, 15).pixels) for p in PROMPTS
+    ]
+    return float(np.mean(scores))
+
+
+class TestMapping:
+    def test_floor_and_ceiling(self):
+        assert clip_score_from_cosine(0.0) == CLIP_FLOOR
+        assert clip_score_from_cosine(1.0) == pytest.approx(CLIP_CEILING)
+
+    def test_negative_cosine_clamped(self):
+        assert clip_score_from_cosine(-0.5) == CLIP_FLOOR
+
+    def test_monotone(self):
+        assert clip_score_from_cosine(0.3) < clip_score_from_cosine(0.6)
+
+
+class TestTable1Column:
+    """Measured CLIP-sim must land on Table 1 within a tolerance band."""
+
+    def test_sd21(self):
+        assert mean_score(SD21, WORKSTATION) == pytest.approx(0.19, abs=0.02)
+
+    def test_sd3_medium(self):
+        assert mean_score(SD3_MEDIUM, WORKSTATION) == pytest.approx(0.27, abs=0.02)
+
+    def test_sd35_medium(self):
+        assert mean_score(SD35_MEDIUM, WORKSTATION) == pytest.approx(0.27, abs=0.02)
+
+    def test_dalle3(self):
+        assert mean_score(DALLE3, CLOUD) == pytest.approx(0.32, abs=0.02)
+
+    def test_random_image_floor(self):
+        scores = [clip_score(p, random_image(224, 224, i)) for i, p in enumerate(PROMPTS)]
+        assert float(np.mean(scores)) == pytest.approx(0.09, abs=0.03)
+
+    def test_sd21_about_40_percent_below_dalle3(self):
+        """Table 1 discussion: SD 2.1 'about 40% worse' than DALLE 3."""
+        gap = 1 - mean_score(SD21, WORKSTATION) / mean_score(DALLE3, CLOUD)
+        assert gap == pytest.approx(0.40, abs=0.08)
+
+    def test_sd3_about_16_percent_below_dalle3(self):
+        gap = 1 - mean_score(SD3_MEDIUM, WORKSTATION) / mean_score(DALLE3, CLOUD)
+        assert gap == pytest.approx(0.16, abs=0.06)
+
+
+class TestDeviceIndependence:
+    def test_laptop_and_workstation_scores_match(self):
+        """§6.3.1: CLIP is 'almost identical ... when comparing laptop and
+        workstation-based results' — quality is device-independent."""
+        from repro.devices import LAPTOP
+
+        for prompt in PROMPTS[:2]:
+            wk = generate_image(SD3_MEDIUM, WORKSTATION, prompt, 224, 224, 15)
+            lp = generate_image(SD3_MEDIUM, LAPTOP, prompt, 224, 224, 15)
+            assert clip_score(prompt, wk.pixels) == pytest.approx(
+                clip_score(prompt, lp.pixels), abs=0.001
+            )

@@ -1,0 +1,63 @@
+"""Tests for the SBERT-sim metric."""
+
+import pytest
+
+from repro.devices import WORKSTATION
+from repro.genai.registry import TEXT_MODELS
+from repro.genai.text import expand_text
+from repro.metrics.sbert import sbert_similarity
+
+
+class TestBasicBehaviour:
+    def test_identity_scores_highest(self):
+        text = "the trail climbs through a quiet forest to a summit vista"
+        assert sbert_similarity(text, text) > 0.95
+
+    def test_symmetric(self):
+        a = "a glacier tongue above a gravel valley"
+        b = "morning mist over a quiet fjord with still water"
+        assert sbert_similarity(a, b) == pytest.approx(sbert_similarity(b, a))
+
+    def test_related_above_unrelated(self):
+        bullets = "- waterfall trail\n- summit vista\n- switchback ascent"
+        related = "The waterfall trail rewards the ascent with a summit vista."
+        unrelated = "Quarterly revenue exceeded guidance on strong cloud demand."
+        assert sbert_similarity(bullets, related) > sbert_similarity(bullets, unrelated)
+
+    def test_bounded(self):
+        assert 0.0 <= sbert_similarity("a", "completely different words here") <= 1.0
+
+
+class TestSection632Ranges:
+    def test_model_means_in_published_band(self):
+        """'All the models achieve SBERT mean scores ranging from 0.82 to
+        0.91' — measured over a prompt battery."""
+        bullets = [
+            "- hidden waterfall trail\n- steep switchback ascent\n- panoramic summit vista",
+            "- quiet fjord crossing\n- morning mist on water\n- seabird colonies",
+            "- glacier tongue viewpoint\n- gravel valley walk\n- marked moraine route",
+            "- terraced hillside paths\n- afternoon light\n- village rest stops",
+            "- volcanic ridge traverse\n- storm cloud watching\n- basalt gorge descent",
+            "- prairie horizon drive\n- golden hour photography\n- wildflower meadows",
+        ]
+        means = {}
+        for name, model in TEXT_MODELS.items():
+            scores = [
+                sbert_similarity(b, expand_text(model, WORKSTATION, b, 150, "travel").text)
+                for b in bullets
+            ]
+            means[name] = sum(scores) / len(scores)
+        for name, mean in means.items():
+            assert 0.80 <= mean <= 0.93, f"{name} mean {mean:.3f} outside band"
+        # DeepSeek-R1 8B 'has a consistently high SBERT score'.
+        assert means["deepseek-r1-8b"] == max(means.values())
+
+    def test_varies_with_word_count(self):
+        """The paper notes SBERT varies 'also with number of words'."""
+        bullets = "- alpine lake reflections\n- ridge walk\n- summit cairn"
+        model = TEXT_MODELS["deepseek-r1-8b"]
+        scores = {
+            words: sbert_similarity(bullets, expand_text(model, WORKSTATION, bullets, words, "travel").text)
+            for words in (50, 150, 250)
+        }
+        assert len(set(round(s, 3) for s in scores.values())) > 1

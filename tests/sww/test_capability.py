@@ -1,0 +1,67 @@
+"""Tests for negotiation outcomes and serve policy (§3, §5.1)."""
+
+import pytest
+
+from repro.sww.capability import (
+    NegotiationOutcome,
+    ServeMode,
+    ServePolicy,
+    decide_serve_mode,
+)
+
+
+class TestNegotiationOutcome:
+    @pytest.mark.parametrize(
+        "client, server, expected",
+        [(True, True, True), (True, False, False), (False, True, False), (False, False, False)],
+    )
+    def test_both_required(self, client, server, expected):
+        """§3: 'In any case other than both server and client having
+        SETTINGS_GEN_ABILITY set to 1, default behavior will be assumed'."""
+        assert NegotiationOutcome(client, server).negotiated is expected
+
+    def test_label(self):
+        assert NegotiationOutcome(True, False).label == "client=gen/server=naive"
+
+
+class TestDecisionTable:
+    def test_negotiated_serves_generative(self):
+        mode = decide_serve_mode(NegotiationOutcome(True, True))
+        assert mode == ServeMode.GENERATIVE
+
+    def test_naive_client_gets_server_generated(self):
+        """§6.2: the server uses the prompt to generate before sending."""
+        mode = decide_serve_mode(NegotiationOutcome(False, True))
+        assert mode == ServeMode.SERVER_GENERATED
+
+    def test_naive_server_serves_traditional(self):
+        mode = decide_serve_mode(NegotiationOutcome(True, False))
+        assert mode == ServeMode.TRADITIONAL
+
+    def test_no_prompts_forces_traditional(self):
+        mode = decide_serve_mode(NegotiationOutcome(True, True), has_prompts=False)
+        assert mode == ServeMode.TRADITIONAL
+
+
+class TestServePolicy:
+    def test_default_allows_generative(self):
+        assert ServePolicy().allows_generative()
+
+    def test_performance_preference_overrides(self):
+        """§5.1: 'A server can choose to serve traditional content even if
+        the client supports generative ability ... to provide higher
+        performance'."""
+        policy = ServePolicy(prefer_performance=True)
+        mode = decide_serve_mode(NegotiationOutcome(True, True), policy)
+        assert mode == ServeMode.SERVER_GENERATED
+
+    def test_renewable_energy_keeps_generation_serverside(self):
+        """'or based on the availability of renewable energy'."""
+        policy = ServePolicy(renewable_energy_available=True)
+        mode = decide_serve_mode(NegotiationOutcome(True, True), policy)
+        assert mode == ServeMode.SERVER_GENERATED
+
+    def test_policy_irrelevant_for_naive_server(self):
+        policy = ServePolicy(prefer_performance=True)
+        mode = decide_serve_mode(NegotiationOutcome(True, False), policy)
+        assert mode == ServeMode.TRADITIONAL

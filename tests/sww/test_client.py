@@ -1,0 +1,105 @@
+"""Tests for the generative client (§5.2)."""
+
+import pytest
+
+from repro.devices import LAPTOP, WORKSTATION
+from repro.sww.client import GenerativeClient, connect_in_memory
+from repro.sww.server import GenerativeServer, PageResource, SiteStore
+from repro.workloads import build_travel_blog
+from repro.workloads.corpus import populate_traditional_assets
+
+
+def make_server(gen_ability: bool = True, **kwargs) -> GenerativeServer:
+    page = build_travel_blog()
+    store = SiteStore()
+    store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+    populate_traditional_assets(store, page)
+    return GenerativeServer(store, gen_ability=gen_ability, **kwargs)
+
+
+class TestFetchFlow:
+    def test_full_generative_flow(self):
+        """§5.2: connect → settings → request → parse → generate → render."""
+        client = GenerativeClient(device=LAPTOP)
+        server = make_server()
+        pair = connect_in_memory(client, server)
+        result = client.fetch_via_pair(pair, "/blog/ridgeline-hike")
+        assert result.status == 200
+        assert result.sww_mode
+        assert result.report is not None
+        assert result.report.generated_images == 3
+        assert result.report.generated_texts == 1
+        assert result.rendered  # the page was rendered
+
+    def test_server_ability_logged(self):
+        """§5.2: the client logs the server's ability after settings."""
+        client = GenerativeClient(device=LAPTOP)
+        pair = connect_in_memory(client, make_server())
+        client.fetch_via_pair(pair, "/blog/ridgeline-hike")
+        assert client.server_gen_ability is True
+
+    def test_rewritten_document_has_no_prompt_divs(self):
+        client = GenerativeClient(device=LAPTOP)
+        pair = connect_in_memory(client, make_server())
+        result = client.fetch_via_pair(pair, "/blog/ridgeline-hike")
+        assert result.document.find_by_class("generated-content") == []
+        assert "generated-content" in result.received_html  # original kept
+
+    def test_generation_costs_exposed(self):
+        client = GenerativeClient(device=LAPTOP)
+        pair = connect_in_memory(client, make_server())
+        result = client.fetch_via_pair(pair, "/blog/ridgeline-hike")
+        assert result.generation_time_s > 0
+        assert result.generation_energy_wh > 0
+
+    def test_naive_client_does_not_generate(self):
+        client = GenerativeClient(device=LAPTOP, gen_ability=False)
+        pair = connect_in_memory(client, make_server())
+        result = client.fetch_via_pair(pair, "/blog/ridgeline-hike")
+        assert not result.sww_mode
+        assert result.report is None
+        assert result.generation_time_s == 0
+
+    def test_404_flow(self):
+        client = GenerativeClient(device=LAPTOP)
+        pair = connect_in_memory(client, make_server())
+        result = client.fetch_via_pair(pair, "/missing")
+        assert result.status == 404 and result.report is None
+
+    def test_multiple_fetches_share_connection(self):
+        client = GenerativeClient(device=LAPTOP)
+        pair = connect_in_memory(client, make_server())
+        first = client.fetch_via_pair(pair, "/blog/ridgeline-hike")
+        second = client.fetch_via_pair(pair, "/blog/ridgeline-hike")
+        assert first.status == second.status == 200
+
+
+class TestAssetFetching:
+    def test_naive_client_fetches_media(self):
+        client = GenerativeClient(device=LAPTOP, gen_ability=False)
+        server = make_server()
+        pair = connect_in_memory(client, server)
+        result = client.fetch_via_pair(pair, "/blog/ridgeline-hike")
+        assets = client.fetch_assets_via_pair(pair, result)
+        # Server-generated images + the two unique photos.
+        assert len(assets) == 5
+        assert sum(len(b) for b in assets.values()) > 100_000
+
+    def test_generative_client_skips_local_assets(self):
+        client = GenerativeClient(device=LAPTOP)
+        pair = connect_in_memory(client, make_server())
+        result = client.fetch_via_pair(pair, "/blog/ridgeline-hike")
+        assets = client.fetch_assets_via_pair(pair, result)
+        # Only the unique photos travel; generated ones are local.
+        assert set(assets) == {"/photos/hike-0.jpg", "/photos/hike-1.jpg"}
+
+
+class TestPreloadedPipeline:
+    def test_pipeline_shared_across_fetches(self):
+        """§4.1: the pipeline is preloaded once per client, not per page."""
+        client = GenerativeClient(device=WORKSTATION)
+        pair = connect_in_memory(client, make_server())
+        client.fetch_via_pair(pair, "/blog/ridgeline-hike")
+        reloads_after_first = client.pipeline.reloads
+        client.fetch_via_pair(pair, "/blog/ridgeline-hike")
+        assert client.pipeline.reloads == reloads_after_first == 1

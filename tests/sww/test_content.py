@@ -1,0 +1,121 @@
+"""Tests for the generated-content object (§4.1)."""
+
+import json
+
+import pytest
+
+from repro.html import parse_html, serialize
+from repro.sww.content import ContentError, ContentType, GeneratedContent
+
+
+class TestConstruction:
+    def test_image_factory(self):
+        item = GeneratedContent.image("a goldfish", name="fish", width=256, height=128)
+        assert item.content_type == ContentType.IMAGE
+        assert item.prompt == "a goldfish"
+        assert item.name == "fish"
+        assert (item.width, item.height) == (256, 128)
+
+    def test_text_factory(self):
+        item = GeneratedContent.text("- a point", words=200, topic="news")
+        assert item.content_type == ContentType.TEXT
+        assert item.words == 200
+        assert item.topic == "news"
+
+    def test_defaults(self):
+        item = GeneratedContent.image("p")
+        assert item.width == 256 and item.height == 256 and item.name == "generated"
+
+    def test_missing_prompt_rejected(self):
+        with pytest.raises(ContentError):
+            GeneratedContent(ContentType.IMAGE, {"width": 10})
+
+    def test_blank_prompt_rejected(self):
+        with pytest.raises(ContentError):
+            GeneratedContent(ContentType.IMAGE, {"prompt": "  "})
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ContentError):
+            GeneratedContent(ContentType.IMAGE, {"prompt": "p", "width": -5})
+        with pytest.raises(ContentError):
+            GeneratedContent(ContentType.IMAGE, {"prompt": "p", "height": "big"})
+
+    def test_bad_word_target_rejected(self):
+        with pytest.raises(ContentError):
+            GeneratedContent(ContentType.TEXT, {"prompt": "p", "words": 0})
+
+    def test_model_override_stored(self):
+        item = GeneratedContent.image("p", model="sd-2.1-base", steps=30)
+        assert item.model == "sd-2.1-base"
+        assert item.metadata["steps"] == 30
+
+
+class TestWireForm:
+    def test_element_shape_matches_fig1(self):
+        """Fig. 1 top: a div with class, content-type and metadata."""
+        item = GeneratedContent.image("a cartoon goldfish", name="goldfish")
+        element = item.to_element()
+        assert element.tag == "div"
+        assert element.has_class("generated-content")
+        assert element.get("content-type") == "img"
+        metadata = json.loads(element.get("metadata"))
+        assert metadata["prompt"] == "a cartoon goldfish"
+
+    def test_roundtrip_via_element(self):
+        item = GeneratedContent.text("- a\n- b", words=120)
+        parsed = GeneratedContent.from_element(item.to_element())
+        assert parsed.metadata == item.metadata
+        assert parsed.content_type == item.content_type
+
+    def test_roundtrip_via_html(self):
+        item = GeneratedContent.image("a 'quoted' prompt with <brackets>", name="tricky")
+        html = serialize(item.to_element())
+        doc = parse_html(html)
+        parsed = GeneratedContent.from_element(doc.find_by_class("generated-content")[0])
+        assert parsed.prompt == "a 'quoted' prompt with <brackets>"
+
+    def test_wire_size_is_compact_json(self):
+        item = GeneratedContent.image("p" * 100, name="n")
+        assert item.wire_size_bytes() == len(item.metadata_json().encode())
+        assert " " not in item.metadata_json().split('"prompt"')[0]
+
+    def test_metadata_json_sorted_and_stable(self):
+        item = GeneratedContent.image("p")
+        assert item.metadata_json() == item.metadata_json()
+        keys = list(json.loads(item.metadata_json()))
+        assert keys == sorted(keys)
+
+
+class TestParsingErrors:
+    def make_div(self, **attrs):
+        from repro.html.dom import Element
+
+        base = {"class": "generated-content"}
+        base.update(attrs)
+        return Element("div", base)
+
+    def test_wrong_class_rejected(self):
+        from repro.html.dom import Element
+
+        with pytest.raises(ContentError):
+            GeneratedContent.from_element(Element("div", {"class": "other"}))
+
+    def test_unsupported_content_type_rejected(self):
+        div = self.make_div(**{"content-type": "video", "metadata": '{"prompt":"x"}'})
+        with pytest.raises(ContentError):
+            GeneratedContent.from_element(div)
+
+    def test_missing_metadata_rejected(self):
+        div = self.make_div(**{"content-type": "img"})
+        with pytest.raises(ContentError):
+            GeneratedContent.from_element(div)
+
+    def test_invalid_json_rejected(self):
+        div = self.make_div(**{"content-type": "img", "metadata": "{not json"})
+        with pytest.raises(ContentError):
+            GeneratedContent.from_element(div)
+
+    def test_non_object_json_rejected(self):
+        div = self.make_div(**{"content-type": "img", "metadata": '["a", "b"]'})
+        with pytest.raises(ContentError):
+            GeneratedContent.from_element(div)

@@ -1,0 +1,137 @@
+"""Tests for page conversion and prompt inversion (§4.2)."""
+
+import pytest
+
+from repro.html import parse_html
+from repro.sww.cms import ContentManagementSystem, ContentTag
+from repro.sww.content import GeneratedContent
+from repro.sww.conversion import (
+    MAX_PROMPT_CHARS,
+    MIN_PROMPT_CHARS,
+    PageConverter,
+    PromptInverter,
+)
+
+
+class TestPromptInverter:
+    def test_prompt_length_in_measured_range(self):
+        """§6.2: recovered prompts were 120-262 characters."""
+        inverter = PromptInverter()
+        for i in range(20):
+            prompt = inverter.invert_image(f"a mountain lake with islands and mist variant {i}").prompt
+            assert MIN_PROMPT_CHARS <= len(prompt) <= MAX_PROMPT_CHARS
+
+    def test_high_fidelity_keeps_descriptor_words(self):
+        descriptor = "snowcapped mountain reflected in turquoise glacier lake"
+        prompt = PromptInverter(fidelity=1.0).invert_image(descriptor).prompt
+        for word in ("snowcapped", "mountain", "turquoise", "glacier"):
+            assert word in prompt
+
+    def test_low_fidelity_loses_words(self):
+        descriptor = "snowcapped mountain reflected in turquoise glacier lake basin"
+        high = PromptInverter(fidelity=1.0).invert_image(descriptor).prompt
+        low = PromptInverter(fidelity=0.3).invert_image(descriptor).prompt
+        source_words = set(descriptor.split())
+        kept_high = sum(1 for w in source_words if w in high)
+        kept_low = sum(1 for w in source_words if w in low)
+        assert kept_low < kept_high
+
+    def test_deterministic(self):
+        inverter = PromptInverter(fidelity=0.7)
+        assert inverter.invert_image("a fjord", seed="s").prompt == inverter.invert_image("a fjord", seed="s").prompt
+
+    def test_empty_descriptor_rejected(self):
+        with pytest.raises(ValueError):
+            PromptInverter().invert_image("")
+
+    def test_invalid_fidelity_rejected(self):
+        with pytest.raises(ValueError):
+            PromptInverter(fidelity=0.0)
+        with pytest.raises(ValueError):
+            PromptInverter(fidelity=1.5)
+
+    def test_summarise_text_produces_bullets(self):
+        text = (
+            "The committee approved the final budget on Tuesday. Construction "
+            "begins next spring along the northern corridor. Residents will be "
+            "consulted before the depot sites are confirmed."
+        )
+        bullets = PromptInverter().summarise_text(text)
+        lines = bullets.splitlines()
+        assert all(line.startswith("- ") for line in lines)
+        assert len(lines) == 3
+        assert "committee" in bullets or "budget" in bullets
+
+    def test_summarise_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PromptInverter().summarise_text("   ")
+
+
+PAGE = """
+<body>
+  <img src="/stock/a.jpg" alt="rolling green hills under morning fog" width="256" height="256">
+  <img src="/photos/me.jpg" alt="the author at the summit" width="256" height="256">
+  <img src="/stock/nodesc.jpg" width="256" height="256">
+  <p data-sww="generatable">{generic}</p>
+  <p data-sww="unique">Day one climbs nine hundred meters from the trailhead to the saddle bothy before the long ridge.</p>
+</body>
+""".format(
+    generic=" ".join(["generic travel advice about packing and pacing the long ascent"] * 4)
+)
+
+
+class TestPageConverter:
+    def make_cms(self):
+        cms = ContentManagementSystem()
+        cms.tag("/photos/me.jpg", ContentTag.UNIQUE)
+        return cms
+
+    def test_generatable_image_converted(self):
+        doc = parse_html(PAGE)
+        report = PageConverter(cms=self.make_cms()).convert(doc, topic="travel")
+        assert report.converted_images == 1
+        divs = doc.find_by_class("generated-content")
+        assert any(GeneratedContent.from_element(d).content_type.value == "img" for d in divs)
+
+    def test_unique_image_kept(self):
+        doc = parse_html(PAGE)
+        PageConverter(cms=self.make_cms()).convert(doc)
+        srcs = [img.get("src") for img in doc.find_by_tag("img")]
+        assert "/photos/me.jpg" in srcs
+
+    def test_image_without_descriptor_kept(self):
+        doc = parse_html(PAGE)
+        PageConverter(cms=self.make_cms()).convert(doc)
+        srcs = [img.get("src") for img in doc.find_by_tag("img")]
+        assert "/stock/nodesc.jpg" in srcs
+
+    def test_tagged_text_converted(self):
+        doc = parse_html(PAGE)
+        report = PageConverter(cms=self.make_cms()).convert(doc, topic="travel")
+        assert report.converted_texts == 1
+
+    def test_unique_text_kept(self):
+        doc = parse_html(PAGE)
+        PageConverter(cms=self.make_cms()).convert(doc)
+        assert "saddle bothy" in doc.text_content()
+
+    def test_accounting(self):
+        doc = parse_html(PAGE)
+        report = PageConverter(cms=self.make_cms()).convert(doc)
+        assert report.account.items == report.converted_images + report.converted_texts
+        assert report.account.ratio > 5  # image compression dominates
+        assert report.kept_unique >= 2
+
+    def test_converted_page_is_processable(self):
+        """Conversion output must round-trip through the client processor."""
+        from repro.devices import WORKSTATION
+        from repro.genai.pipeline import GenerationPipeline
+        from repro.sww.media_generator import MediaGenerator
+        from repro.sww.page_processor import PageProcessor
+
+        doc = parse_html(PAGE)
+        converter = PageConverter(cms=self.make_cms())
+        report = converter.convert(doc, topic="travel")
+        processor = PageProcessor(MediaGenerator(GenerationPipeline(WORKSTATION)))
+        regen = processor.process(doc)
+        assert regen.generated_total == report.converted_images + report.converted_texts

@@ -1,0 +1,91 @@
+"""Tests for the media generator (§4.1)."""
+
+import pytest
+
+from repro.devices import LAPTOP, WORKSTATION
+from repro.genai.pipeline import GenerationPipeline
+from repro.media.png import decode_png
+from repro.sww.content import GeneratedContent
+from repro.sww.media_generator import MediaGenerator
+
+
+@pytest.fixture
+def generator() -> MediaGenerator:
+    return MediaGenerator(GenerationPipeline(WORKSTATION))
+
+
+class TestImageSubroutine:
+    def test_produces_png(self, generator):
+        item = GeneratedContent.image("a cartoon goldfish", name="goldfish", width=64, height=64)
+        output = generator.generate(item)
+        assert output.payload.startswith(b"\x89PNG")
+        assert output.asset_path == "/generated/goldfish.png"
+        pixels = decode_png(output.payload)
+        assert pixels.shape == (64, 64, 3)
+
+    def test_costs_reported(self, generator):
+        item = GeneratedContent.image("a fjord", width=256, height=256)
+        output = generator.generate(item)
+        # SD 3 Medium, 15 steps, 256x256 on the workstation: 1.0 s.
+        assert output.sim_time_s == pytest.approx(1.0, abs=0.05)
+        assert output.energy_wh > 0
+
+    def test_model_override_honoured(self, generator):
+        fast = GeneratedContent.image("x", model="sd-2.1-base", width=224, height=224)
+        default = GeneratedContent.image("x", width=224, height=224)
+        assert generator.generate(fast).sim_time_s < generator.generate(default).sim_time_s
+
+    def test_steps_override_honoured(self, generator):
+        few = GeneratedContent.image("x", width=224, height=224, steps=10)
+        many = GeneratedContent.image("x", width=224, height=224, steps=40)
+        assert generator.generate(many).sim_time_s == pytest.approx(
+            4 * generator.generate(few).sim_time_s, rel=0.01
+        )
+
+    def test_unknown_model_rejected(self, generator):
+        item = GeneratedContent.image("x", model="sd-99")
+        with pytest.raises(KeyError):
+            generator.generate(item)
+
+
+class TestTextSubroutine:
+    def test_produces_text(self, generator):
+        item = GeneratedContent.text("- quiet fjord\n- morning mist", words=120, topic="landscape")
+        output = generator.generate(item)
+        assert output.text and output.payload == output.text.encode("utf-8")
+        assert output.asset_path == ""
+
+    def test_routed_through_ollama_api(self, generator):
+        item = GeneratedContent.text("- a point", words=100)
+        generator.generate(item)
+        assert generator.ollama.endpoint.requests_served == 1
+
+    def test_word_target_respected(self, generator):
+        item = GeneratedContent.text("- a point about networks", words=200)
+        output = generator.generate(item)
+        words = len(output.text.split())
+        assert abs(words - 200) / 200 <= 0.20
+
+    def test_text_model_override(self, generator):
+        item = GeneratedContent.text("- a point", words=100, model="llama-3.2")
+        generator.generate(item)
+        # The request reached the endpoint under the overridden name.
+        assert generator.ollama.endpoint.requests_served == 1
+
+    def test_unknown_text_model_rejected(self, generator):
+        item = GeneratedContent.text("- a point", model="mistral-99")
+        with pytest.raises(KeyError):
+            generator.generate(item)
+
+
+class TestAccounting:
+    def test_totals_accumulate(self, generator):
+        generator.generate(GeneratedContent.image("a", width=64, height=64))
+        generator.generate(GeneratedContent.text("- b", words=100))
+        assert generator.generated_count == 2
+        assert generator.total_time_s > 0
+        assert generator.total_energy_wh > 0
+
+    def test_device_exposed(self):
+        generator = MediaGenerator(GenerationPipeline(LAPTOP))
+        assert generator.device.name == "laptop"

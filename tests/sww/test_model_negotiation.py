@@ -1,0 +1,121 @@
+"""Tests for model negotiation (§7 Next Steps)."""
+
+import pytest
+
+from repro.devices import LAPTOP
+from repro.html import parse_html, serialize
+from repro.sww.client import GenerativeClient, connect_in_memory
+from repro.sww.content import GeneratedContent
+from repro.sww.model_negotiation import (
+    MODELS_HEADER,
+    encode_models_header,
+    negotiate_models,
+    parse_models_header,
+)
+from repro.sww.server import GenerativeServer, PageResource, SiteStore
+
+
+def page_html(*items: GeneratedContent) -> str:
+    body = "".join(serialize(item.to_element()) for item in items)
+    return f"<html><body>{body}</body></html>"
+
+
+class TestHeaderCodec:
+    def test_roundtrip(self):
+        models = ["sd-3-medium", "deepseek-r1-8b"]
+        assert parse_models_header(encode_models_header(models)) == models
+
+    def test_whitespace_tolerated(self):
+        assert parse_models_header(b" sd-2.1-base , llama-3.2 ") == ["sd-2.1-base", "llama-3.2"]
+
+    def test_empty(self):
+        assert parse_models_header(b"") == []
+
+
+class TestNegotiateModels:
+    def test_requested_model_installed_unchanged(self):
+        html = page_html(GeneratedContent.image("a fjord", model="sd-2.1-base"))
+        out, report = negotiate_models(html, ["sd-2.1-base"])
+        assert report.compatible and report.rewritten == 0
+        assert out == html
+
+    def test_missing_model_substituted_with_best(self):
+        html = page_html(GeneratedContent.image("a fjord", name="f", model="sd-3.5-medium"))
+        out, report = negotiate_models(html, ["sd-2.1-base", "sd-3-medium"])
+        assert report.compatible
+        assert report.substitutions == [("f", "sd-3.5-medium", "sd-3-medium")]
+        item = GeneratedContent.from_element(parse_html(out).find_by_class("generated-content")[0])
+        assert item.model == "sd-3-medium"
+
+    def test_quality_delta_tracked(self):
+        html = page_html(GeneratedContent.image("a fjord", model="dalle-3"))
+        _out, report = negotiate_models(html, ["sd-2.1-base"])
+        assert report.image_quality_delta == pytest.approx(0.885 - 0.385)
+
+    def test_unpinned_item_gets_pinned(self):
+        html = page_html(GeneratedContent.image("a fjord", name="f"))
+        out, report = negotiate_models(html, ["sd-2.1-base"])
+        assert report.rewritten == 1
+        item = GeneratedContent.from_element(parse_html(out).find_by_class("generated-content")[0])
+        assert item.model == "sd-2.1-base"
+
+    def test_no_model_of_modality_incompatible(self):
+        html = page_html(GeneratedContent.text("- a point", model="deepseek-r1-8b"))
+        out, report = negotiate_models(html, ["sd-3-medium"])  # images only
+        assert not report.compatible
+        assert out == html  # untouched
+
+    def test_best_image_model_by_fidelity(self):
+        html = page_html(GeneratedContent.image("a fjord", model="dalle-3"))
+        out, _report = negotiate_models(html, ["sd-2.1-base", "sd-3.5-medium", "sd-3-medium"])
+        item = GeneratedContent.from_element(parse_html(out).find_by_class("generated-content")[0])
+        assert item.model == "sd-3.5-medium"
+
+    def test_best_text_model_by_drift(self):
+        html = page_html(GeneratedContent.text("- a point", model="deepseek-r1-14b"))
+        out, _report = negotiate_models(html, ["llama-3.2", "deepseek-r1-8b"])
+        item = GeneratedContent.from_element(parse_html(out).find_by_class("generated-content")[0])
+        assert item.model == "deepseek-r1-8b"
+
+    def test_mixed_page(self):
+        html = page_html(
+            GeneratedContent.image("a fjord", name="i", model="sd-3.5-medium"),
+            GeneratedContent.text("- a point", model="llama-3.2"),
+        )
+        out, report = negotiate_models(html, ["sd-3-medium", "llama-3.2"])
+        assert report.compatible
+        assert report.rewritten == 1 and report.unchanged == 1
+
+
+class TestEndToEnd:
+    def make_store(self, item: GeneratedContent) -> SiteStore:
+        store = SiteStore()
+        store.add_page(PageResource("/p", page_html(item)))
+        return store
+
+    def test_server_rewrites_for_client_models(self):
+        item = GeneratedContent.image("a fjord", name="f", model="sd-3.5-medium")
+        server = GenerativeServer(self.make_store(item))
+        client = GenerativeClient(device=LAPTOP, installed_models=["sd-2.1-base"])
+        pair = connect_in_memory(client, server)
+        result = client.fetch_via_pair(pair, "/p")
+        assert result.sww_mode
+        # The client generated with ITS model, as negotiated.
+        assert result.report.outputs[0].item.model == "sd-2.1-base"
+        # And faster than SD 3.5 would have been (Table 1 step times).
+        assert result.generation_time_s < 4.0
+
+    def test_incompatible_modality_falls_back_to_server(self):
+        item = GeneratedContent.text("- a point about networks", model="deepseek-r1-8b")
+        server = GenerativeServer(self.make_store(item))
+        client = GenerativeClient(device=LAPTOP, installed_models=["sd-3-medium"])  # no text model
+        pair = connect_in_memory(client, server)
+        result = client.fetch_via_pair(pair, "/p")
+        assert not result.sww_mode  # server generated instead
+        assert "generated-content" not in result.received_html
+
+    def test_header_sent_only_by_capable_clients(self):
+        capable = GenerativeClient(device=LAPTOP)
+        naive = GenerativeClient(device=LAPTOP, gen_ability=False)
+        assert any(n == MODELS_HEADER for n, _v in capable.request_headers("/x"))
+        assert not any(n == MODELS_HEADER for n, _v in naive.request_headers("/x"))

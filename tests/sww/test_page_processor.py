@@ -1,0 +1,94 @@
+"""Tests for the page processor — the Fig. 1 rewrite."""
+
+import pytest
+
+from repro.devices import WORKSTATION
+from repro.genai.pipeline import GenerationPipeline
+from repro.html import parse_html, serialize
+from repro.sww.content import ContentError, GeneratedContent
+from repro.sww.media_generator import MediaGenerator
+from repro.sww.page_processor import PageProcessor
+
+FIG1_DIV = (
+    '<div class="generated-content" content-type="img" '
+    'metadata=\'{"prompt": "a cartoon goldfish", "name": "goldfish", '
+    '"width": 64, "height": 64}\'></div>'
+)
+
+
+@pytest.fixture
+def processor() -> PageProcessor:
+    return PageProcessor(MediaGenerator(GenerationPipeline(WORKSTATION)))
+
+
+class TestFig1Rewrite:
+    def test_image_div_becomes_img_tag(self, processor):
+        """Fig. 1: before, the div holds the prompt; after, it points to
+        the generated jpeg/png file."""
+        doc = parse_html(f"<body>{FIG1_DIV}</body>")
+        report = processor.process(doc)
+        assert report.generated_images == 1
+        imgs = doc.find_by_tag("img")
+        assert len(imgs) == 1
+        assert imgs[0].get("src") == "/generated/goldfish.png"
+        assert imgs[0].get("alt") == "a cartoon goldfish"
+        assert doc.find_by_class("generated-content") == []
+
+    def test_generated_asset_collected(self, processor):
+        doc = parse_html(f"<body>{FIG1_DIV}</body>")
+        report = processor.process(doc)
+        assert report.assets["/generated/goldfish.png"].startswith(b"\x89PNG")
+
+    def test_text_div_becomes_paragraph(self, processor):
+        item = GeneratedContent.text("- a quiet fjord\n- morning mist", words=80, topic="landscape")
+        doc = parse_html(f"<body>{serialize(item.to_element())}</body>")
+        report = processor.process(doc)
+        assert report.generated_texts == 1
+        paragraphs = doc.find_by_tag("p")
+        assert len(paragraphs) == 1
+        assert len(paragraphs[0].text_content().split()) > 40
+
+    def test_mixed_page(self, processor):
+        item = GeneratedContent.text("- point", words=60)
+        doc = parse_html(f"<body>{FIG1_DIV}{serialize(item.to_element())}<p>keep me</p></body>")
+        report = processor.process(doc)
+        assert report.generated_total == 2
+        assert "keep me" in doc.body.text_content()
+
+    def test_costs_accumulate(self, processor):
+        doc = parse_html(f"<body>{FIG1_DIV}{FIG1_DIV.replace('goldfish', 'koi')}</body>")
+        report = processor.process(doc)
+        assert report.sim_time_s > 0 and report.energy_wh > 0
+        assert len(report.outputs) == 2
+
+
+class TestMalformedHandling:
+    BAD_DIV = '<div class="generated-content" content-type="img" metadata="{bad json"></div>'
+
+    def test_lenient_mode_skips(self, processor):
+        doc = parse_html(f"<body>{self.BAD_DIV}{FIG1_DIV}</body>")
+        report = processor.process(doc)
+        assert report.generated_images == 1
+        assert report.skipped_malformed == 1
+        # The malformed div is left in place.
+        assert len(doc.find_by_class("generated-content")) == 1
+
+    def test_strict_mode_raises(self):
+        processor = PageProcessor(MediaGenerator(GenerationPipeline(WORKSTATION)), strict=True)
+        doc = parse_html(f"<body>{self.BAD_DIV}</body>")
+        with pytest.raises(ContentError):
+            processor.process(doc)
+
+    def test_empty_page(self, processor):
+        report = processor.process(parse_html("<body><p>nothing generated</p></body>"))
+        assert report.generated_total == 0 and report.skipped_malformed == 0
+
+
+class TestIdempotence:
+    def test_second_pass_is_noop(self, processor):
+        doc = parse_html(f"<body>{FIG1_DIV}</body>")
+        processor.process(doc)
+        html_after_first = serialize(doc)
+        report = processor.process(doc)
+        assert report.generated_total == 0
+        assert serialize(doc) == html_after_first

@@ -1,0 +1,73 @@
+"""Tests for the text-mode renderer."""
+
+from repro.html import parse_html
+from repro.sww.renderer import render_text
+
+
+class TestBlocks:
+    def test_heading_underlined(self):
+        out = render_text(parse_html("<h1>Title</h1>"))
+        lines = out.splitlines()
+        assert lines[0] == "Title"
+        assert lines[1] == "=" * 5
+
+    def test_heading_levels_differ(self):
+        out1 = render_text(parse_html("<h1>A</h1>"))
+        out2 = render_text(parse_html("<h2>A</h2>"))
+        assert out1 != out2
+
+    def test_paragraph_wrapped(self):
+        text = "word " * 40
+        out = render_text(parse_html(f"<p>{text}</p>"), width=40)
+        assert all(len(line) <= 40 for line in out.splitlines())
+
+    def test_list_items_bulleted(self):
+        out = render_text(parse_html("<ul><li>alpha</li><li>beta</li></ul>"))
+        assert "* alpha" in out and "* beta" in out
+
+    def test_blocks_separated_by_blank_line(self):
+        out = render_text(parse_html("<p>one</p><p>two</p>"))
+        assert out == "one\n\ntwo\n"
+
+
+class TestInline:
+    def test_image_placeholder_with_alt_and_size(self):
+        out = render_text(parse_html('<img src="/g.png" alt="a goldfish" width="64" height="64">'))
+        assert "[img 64x64: a goldfish]" in out
+
+    def test_image_without_alt_uses_src(self):
+        out = render_text(parse_html('<img src="/g.png">'))
+        assert "/g.png" in out
+
+    def test_link_shows_href(self):
+        out = render_text(parse_html('<p><a href="/x">click</a></p>'))
+        assert "click </x>" in out.replace("<", "/").replace(">", "/") or "click </x>" or "/x" in out
+
+    def test_nested_inline_flattened(self):
+        out = render_text(parse_html("<p><b>bold <i>italic</i></b> tail</p>"))
+        assert "bold italic tail" in out
+
+
+class TestSkipped:
+    def test_script_and_style_omitted(self):
+        out = render_text(parse_html("<p>seen</p><script>var x;</script><style>a{}</style>"))
+        assert "seen" in out and "var x" not in out and "a{}" not in out
+
+    def test_head_omitted(self):
+        out = render_text(parse_html("<html><head><title>T</title></head><body><p>B</p></body></html>"))
+        assert out == "B\n"
+
+    def test_comments_omitted(self):
+        out = render_text(parse_html("<p>x</p><!-- hidden -->"))
+        assert "hidden" not in out
+
+
+class TestDeterminism:
+    def test_stable_output(self):
+        from repro.workloads import build_travel_blog
+
+        html = build_travel_blog().sww_html
+        assert render_text(parse_html(html)) == render_text(parse_html(html))
+
+    def test_empty_document(self):
+        assert render_text(parse_html("")) == ""

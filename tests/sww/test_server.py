@@ -1,0 +1,127 @@
+"""Tests for the generative server (§5.1)."""
+
+import pytest
+
+from repro.devices import WORKSTATION
+from repro.sww.capability import ServeMode, ServePolicy
+from repro.sww.server import AssetResource, GenerativeServer, PageResource, SiteStore
+from repro.workloads import build_travel_blog, build_wikimedia_landscape_page
+
+
+@pytest.fixture
+def store() -> SiteStore:
+    page = build_travel_blog()
+    s = SiteStore()
+    s.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+    s.add_asset(AssetResource("/photos/hike-0.jpg", b"\xff\xd8fakejpeg", "image/jpeg"))
+    return s
+
+
+class TestSiteStore:
+    def test_storage_accounting(self, store):
+        with_traditional = store.storage_bytes(include_traditional=True)
+        prompts_only = store.storage_bytes(include_traditional=False)
+        assert prompts_only < with_traditional
+
+    def test_page_has_prompts_detection(self):
+        assert PageResource("/x", '<div class="generated-content"></div>').has_prompts
+        assert not PageResource("/y", "<p>plain</p>").has_prompts
+
+
+class TestRequestHandling:
+    def test_capable_client_gets_prompts(self, store):
+        server = GenerativeServer(store)
+        response = server.handle_request("/blog/ridgeline-hike", client_gen_ability=True)
+        assert response.status == 200
+        assert response.mode == ServeMode.GENERATIVE
+        assert b"generated-content" in response.body
+        assert (b"x-sww-content", b"prompts") in response.headers
+
+    def test_naive_client_gets_materialised_page(self, store):
+        server = GenerativeServer(store, device=WORKSTATION)
+        response = server.handle_request("/blog/ridgeline-hike", client_gen_ability=False)
+        assert response.mode == ServeMode.SERVER_GENERATED
+        assert b"generated-content" not in response.body
+        assert b"/generated/" in response.body  # rewritten img paths
+        assert response.sim_time_s > 0  # the server paid generation
+
+    def test_server_generated_assets_registered(self, store):
+        server = GenerativeServer(store)
+        server.handle_request("/blog/ridgeline-hike", client_gen_ability=False)
+        generated = [p for p in store.assets if p.startswith("/generated/")]
+        assert generated
+        asset = server.handle_request(generated[0], client_gen_ability=False)
+        assert asset.status == 200
+        assert asset.body.startswith(b"\x89PNG")
+
+    def test_server_side_generation_cached(self, store):
+        """Repeat naive requests must not re-pay generation (§6.2: the
+        server avoids 'saving two copies' but caches what it renders)."""
+        server = GenerativeServer(store)
+        first = server.handle_request("/blog/ridgeline-hike", client_gen_ability=False)
+        second = server.handle_request("/blog/ridgeline-hike", client_gen_ability=False)
+        assert first.sim_time_s > 0
+        assert second.sim_time_s == 0.0
+        assert first.body == second.body
+
+    def test_asset_fetch(self, store):
+        server = GenerativeServer(store)
+        response = server.handle_request("/photos/hike-0.jpg", client_gen_ability=True)
+        assert response.status == 200
+        assert response.body.startswith(b"\xff\xd8")
+
+    def test_missing_path_404(self, store):
+        assert GenerativeServer(store).handle_request("/nope", True).status == 404
+
+    def test_request_counter(self, store):
+        server = GenerativeServer(store)
+        server.handle_request("/blog/ridgeline-hike", True)
+        server.handle_request("/nope", True)
+        assert server.requests_served == 2
+
+
+class TestPolicy:
+    def test_performance_policy_serves_generated_media(self, store):
+        server = GenerativeServer(store, policy=ServePolicy(prefer_performance=True))
+        response = server.handle_request("/blog/ridgeline-hike", client_gen_ability=True)
+        assert response.mode == ServeMode.SERVER_GENERATED
+
+    def test_naive_server_serves_traditional(self, store):
+        server = GenerativeServer(store, gen_ability=False)
+        response = server.handle_request("/blog/ridgeline-hike", client_gen_ability=True)
+        assert response.mode == ServeMode.TRADITIONAL
+        assert b"generated-content" not in response.body
+        assert response.sim_time_s == 0.0
+
+    def test_traditional_falls_back_to_sww_html_when_no_variant(self):
+        store = SiteStore()
+        store.add_page(PageResource("/p", "<p>only form</p>", traditional_html=None))
+        server = GenerativeServer(store, gen_ability=False)
+        response = server.handle_request("/p", client_gen_ability=False)
+        assert response.body == b"<p>only form</p>"
+
+
+class TestContentTypes:
+    def test_html_content_type(self, store):
+        response = GenerativeServer(store).handle_request("/blog/ridgeline-hike", True)
+        assert dict(response.headers)[b"content-type"].startswith(b"text/html")
+
+    def test_jpeg_content_type(self, store):
+        response = GenerativeServer(store).handle_request("/photos/hike-0.jpg", True)
+        assert dict(response.headers)[b"content-type"] == b"image/jpeg"
+
+    def test_content_length_matches_body(self, store):
+        response = GenerativeServer(store).handle_request("/blog/ridgeline-hike", True)
+        assert int(dict(response.headers)[b"content-length"]) == len(response.body)
+
+
+class TestWikimediaWorkload:
+    def test_server_generation_time_matches_paper(self):
+        """§6.2: materialising the 49-image page on the workstation takes
+        ≈49 s ('roughly 1 second per image')."""
+        page = build_wikimedia_landscape_page()
+        store = SiteStore()
+        store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+        server = GenerativeServer(store, device=WORKSTATION)
+        response = server.handle_request(page.path, client_gen_ability=False)
+        assert 38 < response.sim_time_s < 55

@@ -1,0 +1,122 @@
+"""Tests for provenance manifests and content verification (§7 trust)."""
+
+import pytest
+
+from repro.devices import WORKSTATION
+from repro.genai.image import generate_image, random_image
+from repro.genai.registry import SD21, SD3_MEDIUM
+from repro.sww.content import GeneratedContent
+from repro.sww.trust import (
+    ContentVerifier,
+    ProvenanceManifest,
+    TrustAuthority,
+    TrustError,
+    semantic_anchor,
+)
+
+KEY = b"0123456789abcdef-test-key"
+PROMPT = "a misty fjord at dawn with steep cliffs"
+
+
+@pytest.fixture
+def authority() -> TrustAuthority:
+    return TrustAuthority(KEY)
+
+
+@pytest.fixture
+def item() -> GeneratedContent:
+    return GeneratedContent.image(PROMPT, width=256, height=256)
+
+
+@pytest.fixture
+def pixels():
+    return generate_image(SD3_MEDIUM, WORKSTATION, PROMPT, 256, 256, 15).pixels
+
+
+class TestAuthority:
+    def test_short_key_rejected(self):
+        with pytest.raises(ValueError):
+            TrustAuthority(b"short")
+
+    def test_sign_verify_roundtrip(self, authority, item):
+        manifest = authority.sign(item)
+        assert authority.check_signature(manifest)
+
+    def test_tampered_manifest_rejected(self, authority, item):
+        manifest = authority.sign(item)
+        forged = ProvenanceManifest(
+            metadata_json=manifest.metadata_json.replace("fjord", "casino"),
+            anchor=manifest.anchor,
+            min_clip=manifest.min_clip,
+            signature=manifest.signature,
+        )
+        assert not authority.check_signature(forged)
+
+    def test_different_key_rejects(self, item):
+        manifest = TrustAuthority(KEY).sign(item)
+        other = TrustAuthority(b"another-key-entirely-32b")
+        assert not other.check_signature(manifest)
+
+
+class TestManifestSerialization:
+    def test_json_roundtrip(self, authority, item):
+        manifest = authority.sign(item)
+        restored = ProvenanceManifest.from_json(manifest.to_json())
+        assert restored == manifest
+        assert authority.check_signature(restored)
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(TrustError):
+            ProvenanceManifest.from_json("{not json")
+        with pytest.raises(TrustError):
+            ProvenanceManifest.from_json('{"metadata": "x"}')
+
+    def test_anchor_is_compact(self):
+        anchor = semantic_anchor(PROMPT)
+        assert len(anchor) == 64
+        assert all(isinstance(v, float) for v in anchor)
+
+
+class TestVerification:
+    def test_faithful_generation_trusted(self, authority, item, pixels):
+        result = ContentVerifier(authority).verify_image(authority.sign(item), item, pixels)
+        assert result.signature_valid
+        assert result.anchor_consistent
+        assert result.semantically_faithful
+        assert result.trusted
+
+    def test_random_content_not_faithful(self, authority, item):
+        verifier = ContentVerifier(authority)
+        manifest = authority.sign(item)
+        accepted = sum(
+            verifier.verify_image(manifest, item, random_image(256, 256, seed)).trusted
+            for seed in range(10)
+        )
+        assert accepted == 0
+
+    def test_tampered_local_prompt_detected(self, authority, item, pixels):
+        """A local adversary swapping the prompt cannot pass the anchor
+        check even if it presents the original pixels."""
+        manifest = authority.sign(item)
+        tampered = GeneratedContent.image("incredible casino offers await", width=256, height=256)
+        result = ContentVerifier(authority).verify_image(manifest, tampered, pixels)
+        assert not result.anchor_consistent
+        assert not result.trusted
+
+    def test_low_quality_model_flagged_by_strict_floor(self, authority, item):
+        """A site can demand more fidelity than a weak model delivers."""
+        manifest = authority.sign(item, min_clip=0.30)
+        weak_pixels = generate_image(SD21, WORKSTATION, PROMPT, 256, 256, 15).pixels
+        result = ContentVerifier(authority).verify_image(manifest, item, weak_pixels)
+        assert result.signature_valid and result.anchor_consistent
+        assert not result.semantically_faithful
+
+    def test_quality_ordering_visible_in_scores(self, authority, item, pixels):
+        manifest = authority.sign(item)
+        verifier = ContentVerifier(authority)
+        good = verifier.verify_image(manifest, item, pixels).clip_sim
+        weak = verifier.verify_image(
+            manifest, item, generate_image(SD21, WORKSTATION, PROMPT, 256, 256, 15).pixels
+        ).clip_sim
+        noise = verifier.verify_image(manifest, item, random_image(256, 256, 1)).clip_sim
+        assert good > weak > noise

@@ -1,0 +1,51 @@
+"""Tests for the live experiment report."""
+
+import pytest
+
+from repro.cli import main
+from repro.report import ReportRow, format_report, run_headline_experiments
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_headline_experiments()
+
+
+class TestHeadlineExperiments:
+    def test_covers_all_headline_experiments(self, rows):
+        experiments = {row.experiment for row in rows}
+        assert experiments == {"Fig.2", "E3", "Table2", "E8"}
+
+    def test_every_row_has_both_columns(self, rows):
+        for row in rows:
+            assert row.paper and row.measured
+
+    def test_fig2_compression_row_in_band(self, rows):
+        row = next(r for r in rows if r.metric == "compression")
+        measured = float(row.measured.rstrip("x"))
+        assert 140 <= measured <= 170
+
+    def test_table2_large_row_exact(self, rows):
+        row = next(r for r in rows if "large image" in r.metric)
+        assert row.measured.startswith("310.0 s")
+
+    def test_deterministic(self, rows):
+        again = run_headline_experiments()
+        assert [r.measured for r in again] == [r.measured for r in rows]
+
+
+class TestFormatting:
+    def test_format_report_aligned(self, rows):
+        text = format_report(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("exp")
+        assert len(lines) == len(rows) + 2
+
+    def test_row_formatting(self):
+        row = ReportRow("X", "m", "p", "v")
+        assert row.formatted().startswith("X")
+
+    def test_cli_report_command(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig.2" in out and "157x" in out

@@ -1,0 +1,121 @@
+"""Tests for the synthetic corpus builders."""
+
+import pytest
+
+from repro.html import parse_html
+from repro.sww.content import GeneratedContent
+from repro.workloads.corpus import (
+    build_news_article,
+    build_travel_blog,
+    build_wikimedia_landscape_page,
+    landscape_prompts,
+)
+
+
+class TestLandscapePrompts:
+    def test_count(self):
+        assert len(landscape_prompts(49)) == 49
+
+    def test_lengths_in_measured_range(self):
+        """§6.2: 'detailed prompts ranging from 120 characters to 262
+        characters'."""
+        for prompt in landscape_prompts(100):
+            assert 120 <= len(prompt) <= 262
+
+    def test_deterministic(self):
+        assert landscape_prompts(10) == landscape_prompts(10)
+
+    def test_seed_varies(self):
+        assert landscape_prompts(10, "a") != landscape_prompts(10, "b")
+
+
+class TestWikimediaPage:
+    def test_49_images(self):
+        page = build_wikimedia_landscape_page()
+        assert page.account.items == 49
+        assert len(page.prompts) == 49
+
+    def test_original_close_to_1_4mb(self):
+        page = build_wikimedia_landscape_page()
+        assert page.account.original_media == pytest.approx(1_400_000, rel=0.07)
+
+    def test_metadata_close_to_8_92kb(self):
+        page = build_wikimedia_landscape_page()
+        assert page.account.metadata == pytest.approx(8_920, rel=0.08)
+
+    def test_compression_close_to_157x(self):
+        page = build_wikimedia_landscape_page()
+        assert 140 <= page.account.ratio <= 170
+
+    def test_both_forms_parse_consistently(self):
+        page = build_wikimedia_landscape_page()
+        sww_doc = parse_html(page.sww_html)
+        trad_doc = parse_html(page.traditional_html)
+        assert len(sww_doc.find_by_class("generated-content")) == 49
+        assert len(trad_doc.find_by_tag("img")) == 49
+
+    def test_sww_items_parse_as_generated_content(self):
+        page = build_wikimedia_landscape_page()
+        doc = parse_html(page.sww_html)
+        for div in doc.find_by_class("generated-content"):
+            item = GeneratedContent.from_element(div)
+            assert item.width >= 224 and item.height >= 224
+
+
+class TestNewsArticle:
+    def test_sizes_near_paper(self):
+        """§6.2: 3.1x compression, from 2400 B to 778 B."""
+        page = build_news_article()
+        assert page.account.original_text == pytest.approx(2_400, rel=0.03)
+        assert page.account.metadata == pytest.approx(778, rel=0.06)
+        assert 2.7 <= page.account.ratio <= 3.4
+
+    def test_text_item_model_is_deepseek(self):
+        page = build_news_article()
+        doc = parse_html(page.sww_html)
+        item = GeneratedContent.from_element(doc.find_by_class("generated-content")[0])
+        assert item.model == "deepseek-r1-8b"
+        assert item.words == page.text_items[0][1]
+
+    def test_traditional_form_carries_full_text(self):
+        page = build_news_article()
+        text = parse_html(page.traditional_html).body.text_content()
+        assert len(text.encode()) >= 2_300
+
+
+class TestTravelBlog:
+    def test_mixed_content(self):
+        page = build_travel_blog()
+        doc = parse_html(page.sww_html)
+        assert len(doc.find_by_class("generated-content")) == 4  # 1 text + 3 images
+        assert page.account.unique_content > 0
+
+    def test_unique_route_text_identical_in_both_forms(self):
+        page = build_travel_blog()
+        assert "Kestrel" in page.sww_html and "Kestrel" in page.traditional_html
+
+    def test_page_ratio_above_one(self):
+        page = build_travel_blog()
+        assert page.account.page_ratio > 1.5
+
+
+class TestPopulateAssets:
+    def test_assets_match_account(self):
+        from repro.sww.server import SiteStore
+        from repro.workloads.corpus import populate_traditional_assets
+
+        page = build_wikimedia_landscape_page()
+        store = SiteStore()
+        added = populate_traditional_assets(store, page)
+        assert added == 49
+        total = sum(len(a.data) for a in store.assets.values())
+        assert total == page.account.original_media
+
+    def test_idempotent(self):
+        from repro.sww.server import SiteStore
+        from repro.workloads.corpus import populate_traditional_assets
+
+        page = build_travel_blog()
+        store = SiteStore()
+        populate_traditional_assets(store, page)
+        assert populate_traditional_assets(store, page) == 0

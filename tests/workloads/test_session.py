@@ -1,0 +1,68 @@
+"""Tests for the browsing-session simulation."""
+
+import pytest
+
+from repro.devices import LAPTOP, WORKSTATION
+from repro.workloads.session import BrowsingSession, default_session_pages
+
+
+@pytest.fixture(scope="module")
+def laptop_stats():
+    return BrowsingSession(device=LAPTOP).run()
+
+
+class TestSessionFlow:
+    def test_all_pages_visited(self, laptop_stats):
+        assert laptop_stats.pages == 3
+        paths = [v.path for v in laptop_stats.views]
+        assert "/wiki/search/landscape" in paths
+        assert "/news/transit-corridor" in paths
+
+    def test_wire_savings_order_of_magnitude(self, laptop_stats):
+        assert laptop_stats.wire_saving > 20
+
+    def test_generation_dominated_by_image_page(self, laptop_stats):
+        by_path = {v.path: v for v in laptop_stats.views}
+        wiki = by_path["/wiki/search/landscape"]
+        assert wiki.generation_s > 0.6 * laptop_stats.generation_s
+
+    def test_pipeline_loaded_once(self, laptop_stats):
+        # The load cost appears once, not per page.
+        assert laptop_stats.pipeline_load_s > 0
+        session = BrowsingSession(device=LAPTOP)
+        session.run()
+        assert session.client.pipeline.reloads == 1
+
+    def test_empty_session_rejected(self):
+        with pytest.raises(ValueError):
+            BrowsingSession(pages=[])
+
+
+class TestEnergyVerdict:
+    def test_todays_laptop_session_costs_energy(self, laptop_stats):
+        """The paper's §7 verdict holds at session scale on today's
+        hardware: generation energy exceeds transmission energy avoided."""
+        assert laptop_stats.net_energy_wh() > 0
+
+    def test_transmission_savings_positive(self, laptop_stats):
+        assert laptop_stats.transmission_energy_saved_wh() > 0
+
+    def test_workstation_session_faster(self, laptop_stats):
+        wk = BrowsingSession(device=WORKSTATION).run()
+        assert wk.generation_s < laptop_stats.generation_s / 4
+
+    def test_future_device_flips_verdict(self):
+        """On a projected accelerator generation, the same session saves
+        energy — §7's optimism at session scale."""
+        from repro.devices.future import project_device
+
+        future = project_device(LAPTOP, speedup=16.0, efficiency_gain=16.0)
+        stats = BrowsingSession(device=future).run()
+        assert stats.net_energy_wh() < 0
+
+
+class TestDefaults:
+    def test_default_pages(self):
+        pages = default_session_pages()
+        assert len(pages) == 3
+        assert len({p.path for p in pages}) == 3

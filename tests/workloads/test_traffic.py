@@ -1,0 +1,54 @@
+"""Tests for the traffic projection (§7)."""
+
+import pytest
+
+from repro.devices.energy import EB, PB
+from repro.workloads.traffic import MOBILE_WEB_EB_PER_MONTH, TrafficModel
+
+
+class TestPaperProjection:
+    def test_cited_volume_range(self):
+        assert MOBILE_WEB_EB_PER_MONTH == (2.0, 3.0)
+
+    def test_two_orders_of_magnitude_gives_tens_of_pb(self):
+        """§7: 2-3 EB/month ÷ ~100 → tens of PB/month."""
+        for volume in MOBILE_WEB_EB_PER_MONTH:
+            projection = TrafficModel(volume).project(compression_factor=100)
+            assert 10 <= projection.compressed_pb < 100
+
+    def test_measured_page_factor_lands_in_tens_of_pb(self):
+        """Using the Fig. 2 measured ratio instead of a round 100."""
+        from repro.workloads import build_wikimedia_landscape_page
+
+        ratio = build_wikimedia_landscape_page().account.ratio
+        projection = TrafficModel(2.5).project(ratio)
+        assert 10 <= projection.compressed_pb < 100
+
+
+class TestModel:
+    def test_reduction_factor(self):
+        projection = TrafficModel(1.0).project(50)
+        assert projection.reduction_factor == pytest.approx(50)
+        assert projection.original_eb == pytest.approx(1.0)
+
+    def test_incompressible_share_limits_savings(self):
+        projection = TrafficModel(1.0, compressible_share=0.5).project(100)
+        # Half the traffic is untouched: reduction can't exceed 2x.
+        assert projection.reduction_factor < 2.1
+        assert projection.compressed_bytes > 0.5 * EB
+
+    def test_energy_savings_positive(self):
+        projection = TrafficModel(2.0).project(100)
+        # ~2 EB saved at 38 MWh/PB ≈ 75,000 MWh.
+        assert projection.monthly_energy_savings_mwh == pytest.approx(
+            38 * (projection.original_bytes - projection.compressed_bytes) / PB, rel=0.01
+        )
+        assert projection.monthly_energy_savings_mwh > 10_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficModel(0)
+        with pytest.raises(ValueError):
+            TrafficModel(1.0, compressible_share=1.5)
+        with pytest.raises(ValueError):
+            TrafficModel(1.0).project(0.5)
