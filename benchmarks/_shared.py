@@ -8,6 +8,8 @@ the substrate is a simulator, not the authors' testbed (DESIGN.md §4).
 
 from __future__ import annotations
 
+from pathlib import Path
+
 from repro import (
     GenerativeClient,
     GenerativeServer,
@@ -15,7 +17,22 @@ from repro import (
     SiteStore,
     connect_in_memory,
 )
+from repro.obs import MetricsRegistry, to_jsonl
 from repro.workloads.corpus import populate_traditional_assets
+
+#: Registry shared across the benchmark session; benchmarks that inject it
+#: contribute to the metrics snapshot the CI workflow uploads as an artifact.
+BENCH_REGISTRY = MetricsRegistry()
+
+ARTIFACT_DIR = Path(__file__).parent / "artifacts"
+
+
+def dump_metrics_snapshot(path: Path | None = None) -> Path:
+    """Write the shared benchmark registry as JSON lines and return the path."""
+    target = path or ARTIFACT_DIR / "metrics.jsonl"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(to_jsonl(BENCH_REGISTRY))
+    return target
 
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:

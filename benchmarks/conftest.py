@@ -10,5 +10,18 @@ Each file regenerates one table/figure (see DESIGN.md §4 for the index).
 import sys
 from pathlib import Path
 
+import pytest
+
 # Make `_shared` importable regardless of invocation directory.
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def metrics_snapshot():
+    """After the run, dump the shared registry as the benchmark artifact."""
+    yield
+    from _shared import BENCH_REGISTRY, dump_metrics_snapshot
+
+    if len(BENCH_REGISTRY):
+        path = dump_metrics_snapshot()
+        print(f"\nmetrics snapshot: {path} ({len(BENCH_REGISTRY)} instruments)")

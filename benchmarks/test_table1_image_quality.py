@@ -17,7 +17,7 @@ from _shared import print_table, within
 
 from repro.devices import CLOUD, LAPTOP, WORKSTATION
 from repro.genai.image import generate_image, random_image
-from repro.genai.registry import DALLE3, GPT4O_IMAGE, IMAGE_MODELS, SD3_MEDIUM, SD21, SD35_MEDIUM
+from repro.genai.registry import DALLE3, IMAGE_MODELS, SD3_MEDIUM, SD21, SD35_MEDIUM
 from repro.metrics.clip import clip_score
 from repro.metrics.elo import PreferenceArena
 from repro.workloads.corpus import landscape_prompts

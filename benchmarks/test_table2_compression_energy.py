@@ -10,7 +10,7 @@ Paper's Table 2 (SD 3 Medium + DeepSeek-R1 8B):
 """
 
 import pytest
-from _shared import print_table
+from _shared import BENCH_REGISTRY, print_table
 
 from repro.devices import LAPTOP, WORKSTATION
 from repro.genai.image import generate_image
@@ -36,13 +36,13 @@ def run_table2():
     for label, side in (("small", 256), ("medium", 512), ("large", 1024)):
         size = jpeg_size(side, side)
         ratio = compression_ratio(size, WORST_CASE_IMAGE_METADATA)
-        lt = generate_image(SD3_MEDIUM, LAPTOP, PROMPT, side, side, 15)
-        wt = generate_image(SD3_MEDIUM, WORKSTATION, PROMPT, side, side, 15)
+        lt = generate_image(SD3_MEDIUM, LAPTOP, PROMPT, side, side, 15, registry=BENCH_REGISTRY)
+        wt = generate_image(SD3_MEDIUM, WORKSTATION, PROMPT, side, side, 15, registry=BENCH_REGISTRY)
         rows[label] = (size, WORST_CASE_IMAGE_METADATA, ratio, lt.sim_time_s, lt.energy_wh, wt.sim_time_s, wt.energy_wh)
     size = text_block_size(250)
     ratio = compression_ratio(size, TEXT_METADATA_BYTES)
-    lt = expand_text(DEEPSEEK_R1_8B, LAPTOP, TEXT_PROMPT, 250, "news")
-    wt = expand_text(DEEPSEEK_R1_8B, WORKSTATION, TEXT_PROMPT, 250, "news")
+    lt = expand_text(DEEPSEEK_R1_8B, LAPTOP, TEXT_PROMPT, 250, "news", registry=BENCH_REGISTRY)
+    wt = expand_text(DEEPSEEK_R1_8B, WORKSTATION, TEXT_PROMPT, 250, "news", registry=BENCH_REGISTRY)
     rows["text"] = (size, TEXT_METADATA_BYTES, ratio, lt.sim_time_s, lt.energy_wh, wt.sim_time_s, wt.energy_wh)
     return rows
 
@@ -81,3 +81,73 @@ def test_table2(benchmark):
     # Shape: 'the bigger the image, the higher image compression ratio'.
     ratios = [rows[l][2] for l in ("small", "medium", "large")]
     assert ratios == sorted(ratios)
+
+
+def test_wire_bytes_from_registry_cross_check():
+    """The registry's wire-byte counters must agree with two independent
+    accountings: the engines' own byte counters, and a by-hand total
+    recomputed from the parsed frames (9-byte header + payload each)."""
+    from repro.http2.frames import parse_frames
+    from repro.obs import MetricsRegistry
+    from repro.sww.client import GenerativeClient, connect_in_memory
+    from repro.sww.server import GenerativeServer, PageResource, SiteStore
+    from repro.workloads import build_news_article
+
+    registry = MetricsRegistry()
+    page = build_news_article()
+    store = SiteStore()
+    store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+    server = GenerativeServer(store, registry=registry)
+    client = GenerativeClient(device=LAPTOP, registry=registry)
+    pair = connect_in_memory(client, server)
+
+    # Capture everything both engines emit after the handshake, so the
+    # request/response phase can be re-totalled frame by frame.
+    captured = {"client": bytearray(), "server": bytearray()}
+    for side in ("client", "server"):
+        conn = getattr(pair, side).conn
+        original = conn.data_to_send
+
+        def wrapped(original=original, sink=captured[side]):
+            data = original()
+            sink.extend(data)
+            return data
+
+        conn.data_to_send = wrapped
+
+    sent_before = registry.value("http2_wire_bytes_total", layer="http2", operation="sent")
+    received_before = registry.value("http2_wire_bytes_total", layer="http2", operation="received")
+    client.fetch_via_pair(pair, page.path)
+    sent_delta = registry.value("http2_wire_bytes_total", layer="http2", operation="sent") - sent_before
+    received_delta = (
+        registry.value("http2_wire_bytes_total", layer="http2", operation="received")
+        - received_before
+    )
+
+    # 1. Registry vs captured bytes vs a frame-by-frame hand total.
+    captured_total = sum(len(buf) for buf in captured.values())
+    hand_total = 0
+    frame_count = 0
+    for buf in captured.values():
+        frames, rest = parse_frames(bytes(buf))
+        assert rest == b""
+        frame_count += len(frames)
+        hand_total += sum(9 + len(frame.payload()) for frame in frames)
+    assert sent_delta == captured_total == hand_total
+    assert frame_count > 0
+
+    # 2. Duplex symmetry: every byte one engine sent, the other received.
+    assert sent_delta == received_delta
+
+    # 3. Registry totals (handshake included) vs the engines' own counters.
+    total_sent = registry.value("http2_wire_bytes_total", layer="http2", operation="sent")
+    assert total_sent == pair.client.conn.bytes_sent + pair.server.conn.bytes_sent
+    print_table(
+        "Wire bytes, three accountings",
+        ["source", "bytes"],
+        [
+            ["metrics registry (request phase)", int(sent_delta)],
+            ["captured stream", captured_total],
+            ["frame-by-frame hand total", hand_total],
+        ],
+    )

@@ -28,7 +28,8 @@ Subpackages: :mod:`repro.http2` (from-scratch HTTP/2 + HPACK),
 models), :mod:`repro.media` (PNG codec & size models), :mod:`repro.devices`
 (calibrated hardware/energy models), :mod:`repro.metrics` (CLIP/SBERT/ELO
 similes), :mod:`repro.sww` (the paper's system), :mod:`repro.cdn` (§2.2
-scenario), :mod:`repro.workloads` (synthetic corpora).
+scenario), :mod:`repro.workloads` (synthetic corpora), :mod:`repro.obs`
+(metrics, tracing and logging — see docs/OBSERVABILITY.md).
 """
 
 from repro.devices import LAPTOP, WORKSTATION, MOBILE, CLOUD, get_device
@@ -40,6 +41,7 @@ from repro.genai.registry import (
     get_text_model,
 )
 from repro.http2 import H2Connection, SETTINGS_GEN_ABILITY
+from repro.obs import MetricsRegistry, Tracer, configure, logging_setup
 from repro.sww import (
     AssetResource,
     ContentType,
@@ -77,6 +79,10 @@ __all__ = [
     "get_text_model",
     "H2Connection",
     "SETTINGS_GEN_ABILITY",
+    "MetricsRegistry",
+    "Tracer",
+    "configure",
+    "logging_setup",
     "GeneratedContent",
     "ContentType",
     "MediaGenerator",

@@ -21,6 +21,7 @@ from repro.genai.image import generate_image
 from repro.genai.registry import DEFAULT_IMAGE_MODEL, ImageModel
 from repro.cdn.cache import CacheEntry, EdgeCache
 from repro.metrics.compression import prompt_metadata_size
+from repro.obs import MetricsRegistry, Tracer, get_registry, get_tracer
 
 
 @dataclass(frozen=True)
@@ -95,6 +96,8 @@ class EdgeNode:
         device: DeviceProfile = WORKSTATION,
         model: ImageModel = DEFAULT_IMAGE_MODEL,
         steps: int = 15,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if mode not in ("blob", "prompt"):
             raise ValueError(f"mode must be 'blob' or 'prompt', got {mode!r}")
@@ -104,39 +107,86 @@ class EdgeNode:
         self.device = device
         self.model = model
         self.steps = steps
+        #: Observability sinks (no-ops unless injected or configured).
+        self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.results: list[EdgeServeResult] = []
 
     def serve(self, key: str) -> EdgeServeResult:
         """Serve one user request for ``key``."""
-        item = self.origin.get(key)
-        cached = self.cache.get(key)
-        hit = cached is not None
-        if self.mode == "blob":
-            backbone = 0 if hit else item.media_bytes
-            if not hit:
-                self.cache.put(CacheEntry(key, item.media_bytes, kind="blob"))
-            result = EdgeServeResult(
-                key=key, cache_hit=hit, backbone_bytes=backbone, egress_bytes=item.media_bytes
-            )
-        else:
-            backbone = 0 if hit else item.prompt_bytes()
-            if not hit:
-                self.cache.put(CacheEntry(key, item.prompt_bytes(), kind="prompt"))
-            # Every request regenerates at the edge (the paper's model; a
-            # short-lived materialisation cache would be an extension).
-            generation = generate_image(
-                self.model, self.device, item.prompt, item.width, item.height, self.steps
-            )
-            result = EdgeServeResult(
-                key=key,
-                cache_hit=hit,
-                backbone_bytes=backbone,
-                egress_bytes=item.media_bytes,
-                generation_time_s=generation.sim_time_s,
-                generation_energy_wh=generation.energy_wh,
-            )
+        with self.tracer.span("cdn.serve", key=key, mode=self.mode):
+            item = self.origin.get(key)
+            cached = self.cache.get(key)
+            hit = cached is not None
+            if self.mode == "blob":
+                backbone = 0 if hit else item.media_bytes
+                if not hit:
+                    self.cache.put(CacheEntry(key, item.media_bytes, kind="blob"))
+                result = EdgeServeResult(
+                    key=key, cache_hit=hit, backbone_bytes=backbone, egress_bytes=item.media_bytes
+                )
+            else:
+                backbone = 0 if hit else item.prompt_bytes()
+                if not hit:
+                    self.cache.put(CacheEntry(key, item.prompt_bytes(), kind="prompt"))
+                # Every request regenerates at the edge (the paper's model; a
+                # short-lived materialisation cache would be an extension).
+                generation = generate_image(
+                    self.model,
+                    self.device,
+                    item.prompt,
+                    item.width,
+                    item.height,
+                    self.steps,
+                    registry=self.registry,
+                    tracer=self.tracer,
+                )
+                result = EdgeServeResult(
+                    key=key,
+                    cache_hit=hit,
+                    backbone_bytes=backbone,
+                    egress_bytes=item.media_bytes,
+                    generation_time_s=generation.sim_time_s,
+                    generation_energy_wh=generation.energy_wh,
+                )
+        if self.registry.enabled:
+            self._count(result)
         self.results.append(result)
         return result
+
+    def _count(self, result: EdgeServeResult) -> None:
+        """Cache/byte/energy accounting for one served request."""
+        self.registry.counter(
+            "cdn_requests_total",
+            "Edge requests, by cache outcome",
+            layer="cdn",
+            operation="hit" if result.cache_hit else "miss",
+        ).inc()
+        self.registry.counter(
+            "cdn_bytes_total",
+            "Bytes moved by the edge, backbone (origin pull) vs egress (to user)",
+            layer="cdn",
+            operation="backbone",
+        ).inc(result.backbone_bytes)
+        self.registry.counter(
+            "cdn_bytes_total",
+            "Bytes moved by the edge, backbone (origin pull) vs egress (to user)",
+            layer="cdn",
+            operation="egress",
+        ).inc(result.egress_bytes)
+        if result.generation_energy_wh:
+            self.registry.counter(
+                "cdn_generation_energy_wh_total",
+                "On-edge generation energy (prompt mode)",
+                layer="cdn",
+                operation=self.mode,
+            ).inc(result.generation_energy_wh)
+            self.registry.histogram(
+                "cdn_generation_seconds",
+                "On-edge generation time per request (prompt mode)",
+                layer="cdn",
+                operation=self.mode,
+            ).observe(result.generation_time_s)
 
     # ------------------------------------------------------------------ #
     # Aggregates

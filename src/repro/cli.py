@@ -1,6 +1,6 @@
 """Command-line tools for the SWW reproduction.
 
-Four subcommands mirror the workflows a site operator or researcher runs:
+The subcommands mirror the workflows a site operator or researcher runs:
 
 * ``sww serve``   — start the generative server on TCP (§5.1).
 * ``sww fetch``   — run the generative client flow against a server and
@@ -11,9 +11,12 @@ Four subcommands mirror the workflows a site operator or researcher runs:
   print the experiment summary (no network needed).
 * ``sww report``  — measure the paper's headline numbers live and print a
   paper-vs-measured table.
+* ``sww stats``   — run a demo flow with metrics enabled and dump the
+  collected registry (Prometheus text, JSON lines, or a table).
 
-Installed as the ``sww`` console script; also runnable via
-``python -m repro.cli``.
+``fetch`` and ``demo`` accept ``--trace`` to print the nested span tree of
+the flow they ran. Installed as the ``sww`` console script; also runnable
+via ``python -m repro.cli``.
 """
 
 from __future__ import annotations
@@ -23,6 +26,15 @@ import asyncio
 import sys
 
 from repro.devices import DEVICES, get_device
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    logging_setup,
+    render_metrics_table,
+    render_span_tree,
+    to_jsonl,
+    to_prometheus,
+)
 from repro.sww.client import GenerativeClient, connect_in_memory
 from repro.sww.server import GenerativeServer, PageResource, SiteStore
 from repro.workloads import (
@@ -77,7 +89,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 
 def cmd_fetch(args: argparse.Namespace) -> int:
-    client = GenerativeClient(device=get_device(args.device), gen_ability=not args.no_gen_ability)
+    tracer = Tracer() if args.trace else None
+    client = GenerativeClient(
+        device=get_device(args.device), gen_ability=not args.no_gen_ability, tracer=tracer
+    )
 
     async def run():
         return await client.fetch_tcp(args.host, args.port, args.path)
@@ -91,6 +106,9 @@ def cmd_fetch(args: argparse.Namespace) -> int:
               f"{result.report.generated_texts} texts locally in "
               f"{result.generation_time_s:.1f} simulated s "
               f"({result.generation_energy_wh:.3f} Wh)")
+    if tracer is not None:
+        print()
+        print(render_span_tree(tracer))
     print()
     print(result.rendered)
     return 0 if result.status == 200 else 1
@@ -133,8 +151,9 @@ def cmd_demo(args: argparse.Namespace) -> int:
     store = SiteStore()
     store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
     populate_traditional_assets(store, page)
-    server = GenerativeServer(store)
-    client = GenerativeClient(device=get_device(args.device))
+    tracer = Tracer() if args.trace else None
+    server = GenerativeServer(store, tracer=tracer)
+    client = GenerativeClient(device=get_device(args.device), tracer=tracer)
     pair = connect_in_memory(client, server)
     result = client.fetch_via_pair(pair, page.path)
     account = page.account
@@ -148,9 +167,46 @@ def cmd_demo(args: argparse.Namespace) -> int:
               f"{result.report.generated_texts} texts on the {args.device}")
         print(f"generation cost  : {result.generation_time_s:.1f} simulated s, "
               f"{result.generation_energy_wh:.3f} Wh")
+    if tracer is not None:
+        print()
+        print(render_span_tree(tracer))
     if args.render:
         print()
         print(result.rendered)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Exercise one demo page with metrics enabled and dump the registry.
+
+    Runs a capable-client fetch and a naive-client fetch against the same
+    in-process server so the dump covers the negotiation, generation,
+    fallback and HTTP/2 framing metric families.
+    """
+    try:
+        page = PAGES[args.page]()
+    except KeyError:
+        raise SystemExit(f"unknown page {args.page!r}; available: {sorted(PAGES)}")
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    store = SiteStore()
+    store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+    populate_traditional_assets(store, page)
+    print(f"measuring one capable and one naive fetch of {page.path}...", file=sys.stderr)
+    server = GenerativeServer(store, registry=registry, tracer=tracer)
+    capable = GenerativeClient(device=get_device(args.device), registry=registry, tracer=tracer)
+    capable.fetch_via_pair(connect_in_memory(capable, server), page.path)
+    naive = GenerativeClient(
+        device=get_device(args.device), gen_ability=False, registry=registry, tracer=tracer
+    )
+    naive.fetch_via_pair(connect_in_memory(naive, server), page.path)
+    if args.format == "prom":
+        output = to_prometheus(registry)
+    elif args.format == "jsonl":
+        output = to_jsonl(registry)
+    else:
+        output = render_metrics_table(registry)
+    print(output.rstrip("\n"))
     return 0
 
 
@@ -164,6 +220,12 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="sww", description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        choices=["debug", "info", "warning", "error"],
+        help="threshold for the repro.* logger hierarchy",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     serve = sub.add_parser("serve", help="start the generative server on TCP")
@@ -181,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
     fetch.add_argument("--port", type=int, default=8443)
     fetch.add_argument("--device", default="laptop", choices=sorted(DEVICES))
     fetch.add_argument("--no-gen-ability", action="store_true", help="fetch as a naive client")
+    fetch.add_argument("--trace", action="store_true", help="print the span tree of the fetch")
     fetch.set_defaults(func=cmd_fetch)
 
     convert = sub.add_parser("convert", help="convert a traditional HTML file to SWW form")
@@ -195,16 +258,25 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--page", default="travel-blog", choices=sorted(PAGES))
     demo.add_argument("--device", default="laptop", choices=sorted(DEVICES))
     demo.add_argument("--render", action="store_true", help="print the rendered page")
+    demo.add_argument("--trace", action="store_true", help="print the span tree of the flow")
     demo.set_defaults(func=cmd_demo)
 
     report = sub.add_parser("report", help="measure the paper's headline numbers live")
     report.set_defaults(func=cmd_report)
+
+    stats = sub.add_parser("stats", help="run a demo flow with metrics on and dump the registry")
+    stats.add_argument("--page", default="travel-blog", choices=sorted(PAGES))
+    stats.add_argument("--device", default="laptop", choices=sorted(DEVICES))
+    stats.add_argument("--format", default="prom", choices=["prom", "jsonl", "table"],
+                       help="output format: Prometheus text, JSON lines, or aligned table")
+    stats.set_defaults(func=cmd_stats)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    logging_setup(args.log_level)
     return args.func(args)
 
 

@@ -9,7 +9,7 @@ harness compare "who is slower and by what factor" the way the paper does.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -32,7 +32,7 @@ text power         Table 2 text row: laptop 0.01 Wh/32 s ≈ 1.125 W,
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 REFERENCE_PIXELS = 224 * 224  # Table 1's CLIP-score evaluation resolution
 

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro._util.hashing import stable_hash, stable_u64
+from repro._util.hashing import stable_u64
 from repro.devices.profiles import DeviceProfile
 from repro.genai.embeddings import (
     EMBED_DIM,
@@ -34,6 +34,7 @@ from repro.genai.embeddings import (
     text_embedding,
 )
 from repro.media.png import encode_png
+from repro.obs import MetricsRegistry, Tracer, get_registry, get_tracer
 
 DEFAULT_STEPS = 15  # Table 1 evaluates at 15 inference steps
 
@@ -179,6 +180,8 @@ def generate_image(
     height: int = 256,
     steps: int | None = None,
     seed: int | None = None,
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
 ) -> ImageResult:
     """Run the simulated diffusion pipeline end to end."""
     if width < GRID or height < GRID:
@@ -188,18 +191,50 @@ def generate_image(
         raise ValueError("steps must be positive")
     if seed is None:
         seed = stable_u64("image-seed", model.name, prompt, width, height, steps) % 2**32
+    registry = registry if registry is not None else get_registry()
+    tracer = tracer if tracer is not None else get_tracer()
 
-    fidelity = model.effective_fidelity(steps)
-    # Per-generation quality jitter: real diffusion output quality varies
-    # draw to draw; the model's fidelity profile is the mean, not a
-    # constant. Deterministic in the seed, so results stay reproducible.
-    rng = np.random.default_rng((seed ^ 0xF1DE11) % 2**32)
-    fidelity = float(np.clip(fidelity + rng.normal(0.0, 0.04), 0.05, 0.98))
-    vector = _content_vector(prompt, fidelity, seed)
-    pixels = render_content(vector, width, height, seed)
+    with tracer.span("genai.image", model=model.name, size=f"{width}x{height}", steps=steps):
+        fidelity = model.effective_fidelity(steps)
+        # Per-generation quality jitter: real diffusion output quality varies
+        # draw to draw; the model's fidelity profile is the mean, not a
+        # constant. Deterministic in the seed, so results stay reproducible.
+        rng = np.random.default_rng((seed ^ 0xF1DE11) % 2**32)
+        fidelity = float(np.clip(fidelity + rng.normal(0.0, 0.04), 0.05, 0.98))
+        vector = _content_vector(prompt, fidelity, seed)
+        pixels = render_content(vector, width, height, seed)
 
-    seconds = steps * model.step_time(device, width, height)
-    energy = device.image_energy_wh(seconds)
+        seconds = steps * model.step_time(device, width, height)
+        energy = device.image_energy_wh(seconds)
+    if registry.enabled:
+        registry.counter(
+            "genai_generations_total",
+            "Simulated generations, by modality and model",
+            layer="genai",
+            operation="image",
+            model=model.name,
+        ).inc()
+        registry.counter(
+            "genai_steps_total",
+            "Denoising steps executed",
+            layer="genai",
+            operation="image",
+            model=model.name,
+        ).inc(steps)
+        registry.histogram(
+            "genai_generation_seconds",
+            "Simulated generation duration",
+            layer="genai",
+            operation="image",
+            model=model.name,
+        ).observe(seconds)
+        registry.counter(
+            "genai_energy_wh_total",
+            "Simulated generation energy",
+            layer="genai",
+            operation="image",
+            model=model.name,
+        ).inc(energy)
     return ImageResult(
         pixels=pixels,
         prompt=prompt,

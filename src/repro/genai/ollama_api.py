@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.devices.profiles import DeviceProfile, WORKSTATION
 from repro.genai.registry import TEXT_MODELS, get_text_model
 from repro.genai.text import expand_text
+from repro.obs import MetricsRegistry, Tracer, get_registry, get_tracer
 
 _WORDS_RE = re.compile(r"(\d+)\s*words?", re.IGNORECASE)
 DEFAULT_TARGET_WORDS = 150
@@ -48,8 +49,15 @@ class OllamaResponse:
 class OllamaEndpoint:
     """The server side: dispatches generate calls to the simulator."""
 
-    def __init__(self, device: DeviceProfile = WORKSTATION) -> None:
+    def __init__(
+        self,
+        device: DeviceProfile = WORKSTATION,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.device = device
+        self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.requests_served = 0
         self.last_energy_wh = 0.0
 
@@ -71,7 +79,9 @@ class OllamaEndpoint:
         match = _WORDS_RE.search(prompt)
         target = int(match.group(1)) if match else DEFAULT_TARGET_WORDS
         topic = payload.get("options", {}).get("topic", "technology")
-        result = expand_text(model, self.device, prompt, target, topic)
+        result = expand_text(
+            model, self.device, prompt, target, topic, registry=self.registry, tracer=self.tracer
+        )
         self.requests_served += 1
         self.last_energy_wh = result.energy_wh
         return OllamaResponse(

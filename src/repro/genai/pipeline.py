@@ -21,6 +21,7 @@ from repro.devices.profiles import DeviceProfile
 from repro.genai.image import ImageModel, ImageResult, generate_image
 from repro.genai.registry import DEFAULT_IMAGE_MODEL, DEFAULT_TEXT_MODEL
 from repro.genai.text import TextModel, TextResult, expand_text
+from repro.obs import MetricsRegistry, Tracer, get_registry, get_tracer
 
 
 @dataclass(frozen=True)
@@ -60,8 +61,13 @@ class GenerationPipeline:
         text_model: TextModel = DEFAULT_TEXT_MODEL,
         preloaded: bool = True,
         load_cost: PipelineLoadCost | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.device = device
+        #: Observability sinks, threaded into every generation call.
+        self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.image_model = image_model
         self.text_model = text_model
         self.preloaded = preloaded
@@ -93,13 +99,31 @@ class GenerationPipeline:
         """Generate an image; uses the held (or freshly loaded) weights."""
         self._maybe_reload()
         self.invocations += 1
-        return generate_image(self.image_model, self.device, prompt, width, height, steps, seed)
+        return generate_image(
+            self.image_model,
+            self.device,
+            prompt,
+            width,
+            height,
+            steps,
+            seed,
+            registry=self.registry,
+            tracer=self.tracer,
+        )
 
     def expand_text(self, prompt: str, target_words: int, topic: str = "technology") -> TextResult:
         """Expand bullet points to prose via the held text model."""
         self._maybe_reload()
         self.invocations += 1
-        return expand_text(self.text_model, self.device, prompt, target_words, topic)
+        return expand_text(
+            self.text_model,
+            self.device,
+            prompt,
+            target_words,
+            topic,
+            registry=self.registry,
+            tracer=self.tracer,
+        )
 
     @property
     def total_overhead(self) -> tuple[float, float]:

@@ -26,6 +26,7 @@ from repro._util.rng import DeterministicRNG
 from repro.devices.profiles import DeviceProfile
 from repro.genai import vocab
 from repro.genai.embeddings import tokenize_words
+from repro.obs import MetricsRegistry, Tracer, get_registry, get_tracer
 
 #: Word count at which a model's ``base_time_s`` is defined (Table 2 row).
 REFERENCE_WORDS = 250
@@ -121,35 +122,69 @@ def expand_text(
     prompt: str,
     target_words: int,
     topic: str = "technology",
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
 ) -> TextResult:
     """Expand bullet-point ``prompt`` text into a ~``target_words`` passage."""
     if target_words <= 0:
         raise ValueError("target word count must be positive")
+    registry = registry if registry is not None else get_registry()
+    tracer = tracer if tracer is not None else get_tracer()
     content_words = [w for w in tokenize_words(prompt) if len(w) > 3]
     rng = DeterministicRNG("text-expand", model.name, prompt, target_words)
 
     error = model.length_error(prompt, target_words)
     goal = max(8, round(target_words * (1.0 + error)))
 
-    sentences: list[str] = []
-    word_count = 0
-    while word_count < goal:
-        if rng.random() < model.drift:
-            sentence = _filler_sentence(rng)
-        else:
-            sentence = _sentence(rng, content_words, topic)
-        room = goal - word_count
-        words = sentence.split()
-        if len(words) > room and sentences:
-            # Trim the final sentence to land on the (erroneous) goal.
-            words = words[:room]
-            sentence = " ".join(words).rstrip(".,") + "."
-        sentences.append(sentence)
-        word_count += len(words)
+    with tracer.span("genai.text", model=model.name, words=target_words):
+        sentences: list[str] = []
+        word_count = 0
+        while word_count < goal:
+            if rng.random() < model.drift:
+                sentence = _filler_sentence(rng)
+            else:
+                sentence = _sentence(rng, content_words, topic)
+            room = goal - word_count
+            words = sentence.split()
+            if len(words) > room and sentences:
+                # Trim the final sentence to land on the (erroneous) goal.
+                words = words[:room]
+                sentence = " ".join(words).rstrip(".,") + "."
+            sentences.append(sentence)
+            word_count += len(words)
 
-    text = " ".join(sentences)
-    seconds = model.generation_time_s(device, target_words)
-    energy = device.text_energy_wh(seconds)
+        text = " ".join(sentences)
+        seconds = model.generation_time_s(device, target_words)
+        energy = device.text_energy_wh(seconds)
+    if registry.enabled:
+        registry.counter(
+            "genai_generations_total",
+            "Simulated generations, by modality and model",
+            layer="genai",
+            operation="text",
+            model=model.name,
+        ).inc()
+        registry.counter(
+            "genai_words_total",
+            "Words produced by text expansion",
+            layer="genai",
+            operation="text",
+            model=model.name,
+        ).inc(len(text.split()))
+        registry.histogram(
+            "genai_generation_seconds",
+            "Simulated generation duration",
+            layer="genai",
+            operation="text",
+            model=model.name,
+        ).observe(seconds)
+        registry.counter(
+            "genai_energy_wh_total",
+            "Simulated generation energy",
+            layer="genai",
+            operation="text",
+            model=model.name,
+        ).inc(energy)
     return TextResult(
         text=text,
         prompt=prompt,

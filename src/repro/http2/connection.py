@@ -28,8 +28,7 @@ from repro.http2 import frames
 from repro.http2.errors import (
     CompressionError,
     ErrorCode,
-    FrameError,
-    H2Error,
+    FlowControlError,
     ProtocolError,
     StreamError,
 )
@@ -50,11 +49,26 @@ from repro.http2.frames import (
 from repro.http2.hpack import HpackDecoder, HpackEncoder
 from repro.http2.settings import Setting, Settings
 from repro.http2.streams import H2Stream, StreamEvent, StreamState
+from repro.obs import MetricsRegistry, get_registry
 
 #: The client connection preface (RFC 9113 §3.4).
 CONNECTION_PREFACE = b"PRI * HTTP/2.0\r\n\r\nSM\r\n\r\n"
 
 HeaderList = list[tuple[bytes, bytes]]
+
+#: Frame type code → exported metric label.
+FRAME_TYPE_NAMES = {
+    frames.TYPE_DATA: "DATA",
+    frames.TYPE_HEADERS: "HEADERS",
+    frames.TYPE_PRIORITY: "PRIORITY",
+    frames.TYPE_RST_STREAM: "RST_STREAM",
+    frames.TYPE_SETTINGS: "SETTINGS",
+    frames.TYPE_PUSH_PROMISE: "PUSH_PROMISE",
+    frames.TYPE_PING: "PING",
+    frames.TYPE_GOAWAY: "GOAWAY",
+    frames.TYPE_WINDOW_UPDATE: "WINDOW_UPDATE",
+    frames.TYPE_CONTINUATION: "CONTINUATION",
+}
 
 
 class Role(enum.Enum):
@@ -175,8 +189,12 @@ class H2Connection:
         use_huffman: bool = True,
         use_indexing: bool = True,
         initial_window_size: int = 1 << 24,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.role = role
+        #: Observability sink; defaults to the process-wide registry
+        #: (a no-op unless :func:`repro.obs.configure` installed one).
+        self.registry = registry if registry is not None else get_registry()
         self.local_gen_ability = gen_ability
         self._gen_ability_value = gen_ability_value if gen_ability_value is not None else (1 if gen_ability else 0)
         self.local_settings = Settings(
@@ -220,6 +238,13 @@ class H2Connection:
         }
         if self._gen_ability_value:
             settings[Setting.GEN_ABILITY] = self._gen_ability_value
+            if self.registry.enabled:
+                self.registry.counter(
+                    "sww_negotiation_total",
+                    "GEN_ABILITY negotiation outcomes per endpoint",
+                    layer="http2",
+                    operation="advertised",
+                ).inc()
         self._emit_frame(SettingsFrame(settings=settings))
         # Raise the connection-level receive window to match the advertised
         # stream window (the connection window is not covered by SETTINGS —
@@ -248,6 +273,7 @@ class H2Connection:
         if end_stream:
             stream.process(StreamEvent.SEND_END_STREAM)
         block = self.encoder.encode(headers)
+        self._note_hpack()
         limit = max_fragment or self.peer_settings.max_frame_size
         first, rest = block[:limit], block[limit:]
         self._emit_frame(
@@ -277,8 +303,18 @@ class H2Connection:
             chunk = bytes(view[offset : offset + limit])
             offset += len(chunk)
             last = offset >= len(data)
-            self.outbound_window.consume(len(chunk))
-            stream.outbound_window.consume(len(chunk))
+            try:
+                self.outbound_window.consume(len(chunk))
+                stream.outbound_window.consume(len(chunk))
+            except FlowControlError:
+                if self.registry.enabled:
+                    self.registry.counter(
+                        "http2_flow_stalls_total",
+                        "Sends/receives blocked on an exhausted flow-control window",
+                        layer="http2",
+                        operation="send",
+                    ).inc()
+                raise
             self._emit_frame(DataFrame(stream_id=stream_id, data=chunk, end_stream=end_stream and last))
             if last:
                 break
@@ -369,6 +405,10 @@ class H2Connection:
     def receive_data(self, data: bytes) -> list[Event]:
         """Feed received bytes; returns the protocol events they produced."""
         self.bytes_received += len(data)
+        if self.registry.enabled:
+            self.registry.counter(
+                "http2_wire_bytes_total", "Bytes on the wire", layer="http2", operation="received"
+            ).inc(len(data))
         self._recv_buffer += data
         events: list[Event] = []
         if self._preface_pending:
@@ -408,6 +448,29 @@ class H2Connection:
         if self._goaway_sent:
             raise ProtocolError("connection is shutting down (GOAWAY sent)")
 
+    @property
+    def hpack_evictions(self) -> int:
+        """Dynamic-table evictions across both compression contexts."""
+        return self.encoder.table.evictions + self.decoder.table.evictions
+
+    def _note_hpack(self) -> None:
+        """Refresh the HPACK dynamic-table gauges after an encode/decode."""
+        if not self.registry.enabled:
+            return
+        for context, table in (("encoder", self.encoder.table), ("decoder", self.decoder.table)):
+            self.registry.gauge(
+                "http2_hpack_evictions",
+                "HPACK dynamic-table entries evicted so far",
+                layer="http2",
+                operation=context,
+            ).set(table.evictions)
+            self.registry.gauge(
+                "http2_hpack_table_bytes",
+                "HPACK dynamic-table occupancy",
+                layer="http2",
+                operation=context,
+            ).set(table.size)
+
     def _get_or_create_stream(self, stream_id: int) -> H2Stream:
         stream = self.streams.get(stream_id)
         if stream is None:
@@ -424,12 +487,31 @@ class H2Connection:
         self._send_buffer += wire
         self.bytes_sent += len(wire)
         self.sent_frame_bytes[frame.TYPE] = self.sent_frame_bytes.get(frame.TYPE, 0) + len(wire)
+        if self.registry.enabled:
+            name = FRAME_TYPE_NAMES.get(frame.TYPE, "UNKNOWN")
+            self.registry.counter(
+                "http2_frames_sent_total", "Frames emitted, by type", layer="http2", operation=name
+            ).inc()
+            self.registry.counter(
+                "http2_wire_bytes_total", "Bytes on the wire", layer="http2", operation="sent"
+            ).inc(len(wire))
 
     def _emit_raw(self, data: bytes) -> None:
         self._send_buffer += data
         self.bytes_sent += len(data)
+        if self.registry.enabled:
+            self.registry.counter(
+                "http2_wire_bytes_total", "Bytes on the wire", layer="http2", operation="sent"
+            ).inc(len(data))
 
     def _handle_frame(self, frame: Frame) -> list[Event]:
+        if self.registry.enabled:
+            self.registry.counter(
+                "http2_frames_received_total",
+                "Frames received, by type",
+                layer="http2",
+                operation=FRAME_TYPE_NAMES.get(frame.TYPE, "UNKNOWN"),
+            ).inc()
         if self._expect_continuation is not None and not isinstance(frame, ContinuationFrame):
             raise ProtocolError("expected CONTINUATION frame")
         if isinstance(frame, SettingsFrame):
@@ -477,12 +559,21 @@ class H2Connection:
         events: list[Event] = [RemoteSettingsChanged(changes=applied)]
         if not self._peer_settings_received:
             self._peer_settings_received = True
-            events.append(
-                GenAbilityNegotiated(local=self.local_gen_ability, peer=self.peer_settings.gen_ability)
+            negotiated = GenAbilityNegotiated(
+                local=self.local_gen_ability, peer=self.peer_settings.gen_ability
             )
+            if self.registry.enabled:
+                self.registry.counter(
+                    "sww_negotiation_total",
+                    "GEN_ABILITY negotiation outcomes per endpoint",
+                    layer="http2",
+                    operation="accepted" if negotiated.negotiated else "fallback",
+                ).inc()
+            events.append(negotiated)
         return events
 
     def _header_events(self, stream_id: int, headers: HeaderList, end_stream: bool) -> list[Event]:
+        self._note_hpack()
         stream = self._get_or_create_stream(stream_id)
         is_trailers = bool(stream.received_headers) and stream.state in (
             StreamState.OPEN,
@@ -538,8 +629,18 @@ class H2Connection:
                 f"DATA on unusable stream {frame.stream_id}", frame.stream_id, ErrorCode.STREAM_CLOSED
             )
         flow_length = frame.flow_controlled_length()
-        self.inbound_window.consume(flow_length)
-        stream.inbound_window.consume(flow_length)
+        try:
+            self.inbound_window.consume(flow_length)
+            stream.inbound_window.consume(flow_length)
+        except FlowControlError:
+            if self.registry.enabled:
+                self.registry.counter(
+                    "http2_flow_stalls_total",
+                    "Sends/receives blocked on an exhausted flow-control window",
+                    layer="http2",
+                    operation="receive",
+                ).inc()
+            raise
         stream.received_data += frame.data
         events: list[Event] = [
             DataReceived(

@@ -60,9 +60,8 @@ def describe_frame(frame: Frame) -> str:
             flags.append("END_HEADERS")
         kind, detail = "HEADERS", f"block={len(frame.header_block)}B {' '.join(flags)}"
     elif isinstance(frame, ContinuationFrame):
-        kind, detail = "CONTINUATION", f"block={len(frame.header_block)}B" + (
-            " END_HEADERS" if frame.end_headers else ""
-        )
+        flags = " END_HEADERS" if frame.end_headers else ""
+        kind, detail = "CONTINUATION", f"block={len(frame.header_block)}B{flags}"
     elif isinstance(frame, WindowUpdateFrame):
         kind, detail = "WINDOW_UPDATE", f"increment={frame.increment}"
     elif isinstance(frame, PingFrame):
@@ -72,7 +71,11 @@ def describe_frame(frame: Frame) -> str:
     elif isinstance(frame, GoAwayFrame):
         kind, detail = "GOAWAY", f"last={frame.last_stream_id} {frame.error_code.name} {frame.debug_data!r}"
     elif isinstance(frame, PushPromiseFrame):
-        kind, detail = "PUSH_PROMISE", f"promised={frame.promised_stream_id} block={len(frame.header_block)}B"
+        flags = " END_HEADERS" if frame.end_headers else ""
+        kind, detail = (
+            "PUSH_PROMISE",
+            f"promised={frame.promised_stream_id} block={len(frame.header_block)}B{flags}",
+        )
     elif isinstance(frame, PriorityFrame):
         kind, detail = "PRIORITY", f"dep={frame.dependency} weight={frame.weight}"
     else:

@@ -163,6 +163,8 @@ class DynamicTable:
     max_size: int = DEFAULT_TABLE_SIZE
     _entries: list[tuple[bytes, bytes]] = field(default_factory=list)
     _size: int = 0
+    #: Lifetime count of evicted entries (read by the obs layer).
+    evictions: int = 0
 
     @staticmethod
     def entry_size(name: bytes, value: bytes) -> int:
@@ -193,6 +195,7 @@ class DynamicTable:
         while self._entries and self._size > max(budget, 0):
             name, value = self._entries.pop()
             self._size -= self.entry_size(name, value)
+            self.evictions += 1
 
     def lookup(self, relative_index: int) -> tuple[bytes, bytes]:
         """0-based index into the dynamic table (0 = most recent)."""

@@ -48,19 +48,31 @@ class InMemoryTransportPair:
         ``max_rounds`` bounds pathological ping-pong (e.g. a bug that makes
         both sides ACK each other forever).
         """
-        for _ in range(max_rounds):
-            moved = False
-            out = self.client.conn.data_to_send()
-            if out:
-                self.server.events.extend(self.server.conn.receive_data(out))
-                moved = True
-            back = self.server.conn.data_to_send()
-            if back:
-                self.client.events.extend(self.client.conn.receive_data(back))
-                moved = True
-            if not moved:
-                return
-        raise RuntimeError("transport did not quiesce; possible ACK loop")
+        rounds = 0
+        try:
+            for _ in range(max_rounds):
+                moved = False
+                out = self.client.conn.data_to_send()
+                if out:
+                    self.server.events.extend(self.server.conn.receive_data(out))
+                    moved = True
+                back = self.server.conn.data_to_send()
+                if back:
+                    self.client.events.extend(self.client.conn.receive_data(back))
+                    moved = True
+                if not moved:
+                    return
+                rounds += 1
+            raise RuntimeError("transport did not quiesce; possible ACK loop")
+        finally:
+            registry = getattr(self.client.conn, "registry", None)
+            if registry is not None and registry.enabled and rounds:
+                registry.counter(
+                    "http2_transport_pump_rounds_total",
+                    "In-memory transport shuttle rounds",
+                    layer="http2",
+                    operation="pump",
+                ).inc(rounds)
 
     def handshake(self) -> None:
         """Run both endpoints' connection setup and settle the exchange."""
@@ -91,16 +103,32 @@ class AsyncH2Transport:
     async def flush(self) -> None:
         data = self.conn.data_to_send()
         if data:
+            registry = self.conn.registry
+            if registry.enabled:
+                registry.counter(
+                    "http2_transport_io_total",
+                    "Socket-level writes/reads performed by the async transport",
+                    layer="http2",
+                    operation="write",
+                ).inc()
             self.writer.write(data)
             await self.writer.drain()
 
     async def run(self, handler) -> None:
         """Read loop: feed bytes to the engine, dispatch events to handler."""
+        registry = self.conn.registry
         try:
             while not self.closed.is_set():
                 data = await self.reader.read(65536)
                 if not data:
                     break
+                if registry.enabled:
+                    registry.counter(
+                        "http2_transport_io_total",
+                        "Socket-level writes/reads performed by the async transport",
+                        layer="http2",
+                        operation="read",
+                    ).inc()
                 for event in self.conn.receive_data(data):
                     await handler(event)
                 await self.flush()

@@ -18,7 +18,7 @@ arithmetic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro._util.rng import DeterministicRNG
 from repro.http2.settings import GenAbility, GenCapability

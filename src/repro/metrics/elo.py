@@ -12,7 +12,7 @@ genuinely computed from the arena.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro._util.rng import DeterministicRNG
 

@@ -1,0 +1,120 @@
+"""repro.obs — metrics, tracing and logging for the SWW reproduction.
+
+The paper's evaluation is a measurement story; this package makes those
+measurements first-class instead of ad hoc per benchmark:
+
+* :class:`MetricsRegistry` — thread-safe counters / gauges / fixed-bucket
+  histograms, labeled by the ``{layer, operation, model}`` convention;
+* :class:`Tracer` — nested ``perf_counter`` spans with a ring buffer;
+* exporters — Prometheus text, JSON-lines, and terminal renderers;
+* :func:`logging_setup` — the unified ``repro.*`` logger hierarchy.
+
+Everything defaults to the no-op implementations (:data:`NULL_REGISTRY`,
+:data:`NULL_TRACER`), so instrumented hot paths cost one attribute check
+when observability is off. Components take ``registry=`` / ``tracer=``
+constructor arguments; when omitted they fall back to the process-wide
+defaults set with :func:`configure` (which the CLI uses).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+from repro.obs.export import (
+    render_metrics_table,
+    render_span_tree,
+    spans_to_jsonl,
+    to_jsonl,
+    to_prometheus,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
+
+#: Process-wide defaults, swapped by :func:`configure`.
+_default_registry: MetricsRegistry = NULL_REGISTRY
+_default_tracer: Tracer = NULL_TRACER
+
+
+def configure(registry: MetricsRegistry | None = None, tracer: Tracer | None = None) -> None:
+    """Install process-wide default observability sinks.
+
+    Passing ``None`` for either resets it to the no-op singleton.
+    Explicit constructor injection always wins over these defaults.
+    """
+    global _default_registry, _default_tracer
+    _default_registry = registry if registry is not None else NULL_REGISTRY
+    _default_tracer = tracer if tracer is not None else NULL_TRACER
+
+
+def get_registry() -> MetricsRegistry:
+    return _default_registry
+
+
+def get_tracer() -> Tracer:
+    return _default_tracer
+
+
+_HANDLER_MARK = "_repro_obs_handler"
+DEFAULT_LOG_FORMAT = "%(levelname)-7s %(name)s: %(message)s"
+
+
+def logging_setup(
+    level: int | str = logging.INFO,
+    fmt: str = DEFAULT_LOG_FORMAT,
+    stream=None,
+) -> logging.Logger:
+    """Configure the unified ``repro`` logger hierarchy.
+
+    Idempotent: repeat calls replace the handler this function installed
+    rather than stacking duplicates. Module loggers obtained with
+    ``logging.getLogger("repro.<module>")`` inherit the level/handler.
+    """
+    logger = logging.getLogger("repro")
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level {level!r}")
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_MARK, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(fmt))
+    setattr(handler, _HANDLER_MARK, True)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_LOG_FORMAT",
+    "configure",
+    "get_registry",
+    "get_tracer",
+    "logging_setup",
+    "to_prometheus",
+    "to_jsonl",
+    "render_metrics_table",
+    "render_span_tree",
+    "spans_to_jsonl",
+]

@@ -1,0 +1,135 @@
+"""Exporters: Prometheus text, JSON-lines, and human-readable renderers.
+
+Three consumers, three formats:
+
+* :func:`to_prometheus` — the text exposition format a scrape endpoint
+  would serve (``# HELP`` / ``# TYPE`` / samples, cumulative ``le``
+  buckets for histograms);
+* :func:`to_jsonl` — one JSON object per instrument, for benchmark
+  artifacts and offline diffing;
+* :func:`render_metrics_table` / :func:`render_span_tree` — terminal
+  renderings in the spirit of :func:`repro.http2.debug.trace_wire`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracing import Span, Tracer
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...], extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [*labels, *extra]
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, kind, help, instruments in registry.collect():
+        if help:
+            lines.append(f"# HELP {name} {help}")
+        lines.append(f"# TYPE {name} {kind}")
+        for inst in instruments:
+            if isinstance(inst, Histogram):
+                for bound, cumulative in inst.cumulative_counts():
+                    le = "+Inf" if math.isinf(bound) else _format_value(bound)
+                    labels = _format_labels(inst.labels, (("le", le),))
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                lines.append(f"{name}_sum{_format_labels(inst.labels)} {_format_value(inst.sum)}")
+                lines.append(f"{name}_count{_format_labels(inst.labels)} {inst.count}")
+            else:
+                lines.append(f"{name}{_format_labels(inst.labels)} {_format_value(inst.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_jsonl(registry: MetricsRegistry) -> str:
+    """One JSON object per instrument — the benchmark-artifact format."""
+    lines: list[str] = []
+    for name, kind, _help, instruments in registry.collect():
+        for inst in instruments:
+            record: dict = {"name": name, "type": kind, "labels": dict(inst.labels)}
+            if isinstance(inst, Histogram):
+                record["sum"] = inst.sum
+                record["count"] = inst.count
+                record["buckets"] = {
+                    ("+Inf" if math.isinf(bound) else _format_value(bound)): cumulative
+                    for bound, cumulative in inst.cumulative_counts()
+                }
+            else:
+                record["value"] = inst.value
+            lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_metrics_table(registry: MetricsRegistry) -> str:
+    """Aligned name/labels/value table for terminal reading."""
+    rows: list[tuple[str, str, str]] = []
+    for name, kind, _help, instruments in registry.collect():
+        for inst in instruments:
+            labels = " ".join(f"{k}={v}" for k, v in inst.labels) or "-"
+            if isinstance(inst, Histogram):
+                value = f"sum={_format_value(inst.sum)} count={inst.count}"
+            else:
+                value = _format_value(inst.value)
+            rows.append((name, labels, value))
+    if not rows:
+        return "(no metrics recorded)"
+    name_w = max(len(r[0]) for r in rows)
+    label_w = max(len(r[1]) for r in rows)
+    lines = [f"{'metric'.ljust(name_w)}  {'labels'.ljust(label_w)}  value"]
+    lines.append("-" * len(lines[0]))
+    lines.extend(f"{n.ljust(name_w)}  {l.ljust(label_w)}  {v}" for n, l, v in rows)
+    return "\n".join(lines)
+
+
+def _span_line(depth: int, span: Span, unit_scale: float, unit: str) -> str:
+    indent = "  " * depth
+    attrs = " ".join(f"{k}={v}" for k, v in sorted(span.attributes.items()))
+    timing = f"{span.duration_s * unit_scale:8.3f} {unit}"
+    base = f"{timing}  {indent}{span.name}"
+    return f"{base}  [{attrs}]" if attrs else base
+
+
+def render_span_tree(source: Tracer | list[Span], unit: str = "ms") -> str:
+    """Render completed spans as an indented tree, one line per span.
+
+    ``source`` is a tracer (all ring-buffered roots) or an explicit span
+    list. ``unit`` is ``"ms"`` (default) or ``"s"``.
+    """
+    roots = source.roots() if isinstance(source, Tracer) else list(source)
+    if not roots:
+        return "(no spans recorded)"
+    scale = 1000.0 if unit == "ms" else 1.0
+    lines: list[str] = []
+    for root in roots:
+        for depth, span in root.walk():
+            lines.append(_span_line(depth, span, scale, unit))
+    return "\n".join(lines)
+
+
+def spans_to_jsonl(source: Tracer | list[Span]) -> str:
+    """JSON-lines form of the span trees (one root per line)."""
+    roots = source.roots() if isinstance(source, Tracer) else list(source)
+    return "\n".join(
+        json.dumps(root.to_dict(), sort_keys=True, separators=(",", ":")) for root in roots
+    ) + ("\n" if roots else "")

@@ -1,0 +1,305 @@
+"""Counters, gauges and fixed-bucket histograms (the SWW metrics core).
+
+Design constraints (DESIGN.md-grade, enforced by tests):
+
+* **deterministic** — no wall-clock timestamps; histograms use fixed,
+  explicit bucket bounds so two identical runs export identical text;
+* **thread-safe** — every mutation takes the instrument's lock (the
+  asyncio server and the benchmark harness share registries across
+  threads);
+* **labeled** — instruments are keyed by ``(name, labels)``; the repo
+  convention is the ``{layer, operation, model}`` label set (see
+  docs/OBSERVABILITY.md), but arbitrary labels are accepted;
+* **near-zero overhead when disabled** — :data:`NULL_REGISTRY` returns
+  shared no-op instruments and accumulates nothing, so instrumented hot
+  paths cost one attribute check when observability is off.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Iterator
+
+#: Default histogram bucket upper bounds, in (simulated) seconds. Spans
+#: HPACK micro-operations through laptop-scale page generation (~310 s).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+    300.0,
+)
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (or be set outright)."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative export semantics.
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket always
+    exists. Export follows the Prometheus convention: each ``le`` bucket
+    reports the count of observations less than or equal to its bound.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "labels", "buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, name: str, labels: LabelKey, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(buckets)
+        self._counts = [0] * (len(self.buckets) + 1)  # last slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def value(self) -> float:
+        """For uniform registry arithmetic, a histogram's value is its sum."""
+        return self._sum
+
+    def cumulative_counts(self) -> list[tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, ending with +Inf."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self._counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self._counts[-1]))
+        return out
+
+
+Instrument = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Get-or-create store of labeled instruments.
+
+    A metric *family* (one name) has a fixed kind and help text; the first
+    caller wins and later mismatching kinds raise — mixing a counter and a
+    gauge under one name is always a bug.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, tuple[str, str]] = {}  # name -> (kind, help)
+        self._instruments: dict[tuple[str, LabelKey], Instrument] = {}
+
+    # ------------------------------------------------------------------ #
+    # Instrument accessors
+    # ------------------------------------------------------------------ #
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._register_family(name, "histogram", help)
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = Histogram(name, key[1], buckets)
+                self._instruments[key] = instrument
+            return instrument  # type: ignore[return-value]
+
+    def _get(self, cls: type, name: str, help: str, labels: dict[str, str]) -> Instrument:
+        key = (name, _label_key(labels))
+        with self._lock:
+            self._register_family(name, cls.kind, help)
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, key[1])
+                self._instruments[key] = instrument
+            return instrument
+
+    def _register_family(self, name: str, kind: str, help: str) -> None:
+        existing = self._families.get(name)
+        if existing is None:
+            self._families[name] = (kind, help)
+        elif existing[0] != kind:
+            raise ValueError(f"metric {name!r} already registered as {existing[0]}, not {kind}")
+        elif help and not existing[1]:
+            self._families[name] = (kind, help)
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+
+    def collect(self) -> Iterator[tuple[str, str, str, list[Instrument]]]:
+        """Yield ``(name, kind, help, instruments)`` sorted by name/labels."""
+        with self._lock:
+            families = sorted(self._families.items())
+            instruments = dict(self._instruments)
+        for name, (kind, help) in families:
+            members = [inst for (n, _), inst in sorted(instruments.items()) if n == name]
+            yield name, kind, help, members
+
+    def value(self, name: str, **labels: str) -> float:
+        """One instrument's value (histograms report their sum); 0 if absent."""
+        instrument = self._instruments.get((name, _label_key(labels)))
+        return instrument.value if instrument is not None else 0.0
+
+    def total(self, name: str) -> float:
+        """Sum a family's value across every label combination."""
+        return sum(inst.value for (n, _), inst in self._instruments.items() if n == name)
+
+    def count(self, name: str) -> int:
+        """Total histogram observation count across a family's label sets."""
+        return sum(
+            inst.count
+            for (n, _), inst in self._instruments.items()
+            if n == name and isinstance(inst, Histogram)
+        )
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._families.clear()
+            self._instruments.clear()
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument handed out by :class:`NullRegistry`."""
+
+    kind = "null"
+    name = ""
+    labels: LabelKey = ()
+    value = 0.0
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def cumulative_counts(self) -> list[tuple[float, int]]:
+        return []
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """The default registry: accepts every call, accumulates nothing."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, help: str = "", **labels: str):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", **labels: str):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "", buckets=DEFAULT_BUCKETS, **labels: str):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+
+#: Process-wide no-op singleton; safe to share between every component.
+NULL_REGISTRY = NullRegistry()

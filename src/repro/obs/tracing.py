@@ -1,0 +1,168 @@
+"""Span-based tracing with parent/child nesting and a ring buffer.
+
+A :class:`Tracer` hands out context-manager :class:`Span` objects::
+
+    with tracer.span("server.materialise", page=path) as sp:
+        ...
+        sp.annotate(assets=len(report.assets))
+
+Timing uses ``time.perf_counter``. Spans nest through a per-thread stack,
+so a span opened while another is active becomes its child; completed
+*root* spans land in a bounded ring buffer (old traces fall off rather
+than growing memory — the tracer can be left attached to a long-running
+server). The :data:`NULL_TRACER` default makes every ``with`` a no-op.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+
+class Span:
+    """One timed operation; context manager, may carry child spans."""
+
+    __slots__ = ("name", "attributes", "start", "end", "children", "_tracer", "_parent")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.start: float = 0.0
+        self.end: float | None = None
+        self.children: list[Span] = []
+        self._parent: Span | None = None
+
+    @property
+    def duration_s(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def annotate(self, **attributes) -> "Span":
+        """Attach extra attributes mid-span."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack()
+        self._parent = stack[-1] if stack else None
+        if self._parent is not None:
+            self._parent.children.append(self)
+        stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if self._parent is None:
+            self._tracer._record(self)
+
+    def walk(self, depth: int = 0):
+        """Yield ``(depth, span)`` pairs, pre-order."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (relative times only, keeps runs comparable)."""
+        return {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class Tracer:
+    """Factory for spans; owns the completed-root ring buffer."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self._ring: deque[Span] = deque(maxlen=capacity)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    def span(self, name: str, **attributes) -> Span:
+        return Span(self, name, attributes)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._ring.append(span)
+
+    def roots(self) -> list[Span]:
+        """Completed root spans, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._ring.clear()
+        self._local = threading.local()
+
+    @property
+    def current(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+
+class _NullSpan:
+    """Shared no-op span; supports the full Span surface."""
+
+    name = ""
+    attributes: dict = {}
+    children: list = []
+    duration_s = 0.0
+
+    def annotate(self, **attributes) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def walk(self, depth: int = 0):
+        return iter(())
+
+    def to_dict(self) -> dict:
+        return {}
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """Default tracer: every span is the shared no-op instance."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def span(self, name: str, **attributes):  # type: ignore[override]
+        return _NULL_SPAN
+
+    def roots(self) -> list[Span]:
+        return []
+
+
+#: Process-wide no-op singleton.
+NULL_TRACER = NullTracer()

@@ -16,6 +16,7 @@ the PyQt GUI is out of scope in this headless environment (DESIGN.md §6).
 from __future__ import annotations
 
 import asyncio
+import logging
 from dataclasses import dataclass, field
 
 from repro.devices.profiles import DeviceProfile, LAPTOP
@@ -31,9 +32,12 @@ from repro.http2.connection import (
     StreamEnded,
 )
 from repro.http2.transport import AsyncH2Transport, InMemoryTransportPair
+from repro.obs import MetricsRegistry, Tracer, get_registry, get_tracer
 from repro.sww.media_generator import MediaGenerator
 from repro.sww.page_processor import PageProcessor, ProcessReport
 from repro.sww.renderer import render_text
+
+logger = logging.getLogger("repro.sww.client")
 
 HeaderList = list[tuple[bytes, bytes]]
 
@@ -88,11 +92,18 @@ class GenerativeClient:
         pipeline: GenerationPipeline | None = None,
         installed_models: list[str] | None = None,
         trust_authority=None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.device = device
         self.gen_ability = gen_ability
+        #: Observability sinks (no-ops unless injected or configured).
+        self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
         #: §4.1: the image pipeline is preloaded once, not per invocation.
-        self.pipeline = pipeline or GenerationPipeline(device)
+        self.pipeline = pipeline or GenerationPipeline(
+            device, registry=self.registry, tracer=self.tracer
+        )
         self.generator = MediaGenerator(self.pipeline)
         self.processor = PageProcessor(self.generator)
         self.server_gen_ability: bool | None = None
@@ -106,7 +117,7 @@ class GenerativeClient:
         self.trust_authority = trust_authority
 
     def new_connection(self) -> H2Connection:
-        return H2Connection(Role.CLIENT, gen_ability=self.gen_ability)
+        return H2Connection(Role.CLIENT, gen_ability=self.gen_ability, registry=self.registry)
 
     # ------------------------------------------------------------------ #
     # Shared post-receive path
@@ -126,7 +137,8 @@ class GenerativeClient:
         result.document = parse_html(html)
         if status == 200 and sww_mode and self.gen_ability:
             # Parse → generate → rewrite (§5.2).
-            result.report = self.processor.process(result.document)
+            with self.tracer.span("client.generate", page=path):
+                result.report = self.processor.process(result.document)
             raw_manifests = header_map.get(b"x-sww-manifests")
             if raw_manifests and self.trust_authority is not None:
                 self._verify_outputs(result, raw_manifests)
@@ -157,9 +169,17 @@ class GenerativeClient:
             if manifest is None:
                 continue
             pixels = decode_png(output.payload)
-            result.verifications[output.item.name] = verifier.verify_image(
-                manifest, output.item, pixels
-            )
+            verification = verifier.verify_image(manifest, output.item, pixels)
+            result.verifications[output.item.name] = verification
+            if self.registry.enabled:
+                self.registry.counter(
+                    "sww_signature_verifications_total",
+                    "Provenance manifest checks on generated media",
+                    layer="sww",
+                    operation="trusted" if verification.trusted else "untrusted",
+                ).inc()
+            if not verification.trusted:
+                logger.warning("generated item %r failed verification", output.item.name)
 
     def request_headers(self, path: str, authority: str = "sww.example") -> HeaderList:
         headers: HeaderList = [
@@ -188,41 +208,45 @@ class GenerativeClient:
         """
         conn = pair.client.conn
         self.server_gen_ability = conn.peer_gen_ability
-        stream_id = conn.get_next_available_stream_id()
-        conn.send_headers(stream_id, self.request_headers(path), end_stream=True)
-        pair.pump()
-        status = 0
-        headers: HeaderList = []
-        body = bytearray()
-        promised_paths: dict[int, str] = {}
-        pushed_bodies: dict[int, bytearray] = {}
-        for event in pair.client.take_events():
-            if isinstance(event, ResponseReceived) and event.stream_id == stream_id:
-                headers = event.headers
-                status = int(dict(headers).get(b":status", b"0"))
-            elif isinstance(event, DataReceived) and event.stream_id == stream_id:
-                body += event.data
-            elif isinstance(event, PushPromiseReceived):
-                promised_path = dict(event.headers).get(b":path", b"").decode("utf-8", "replace")
-                promised_paths[event.promised_stream_id] = promised_path
-                pushed_bodies[event.promised_stream_id] = bytearray()
-            elif isinstance(event, DataReceived) and event.stream_id in pushed_bodies:
-                pushed_bodies[event.stream_id] += event.data
-        pushed = {
-            promised_paths[promised_id]: bytes(data) for promised_id, data in pushed_bodies.items()
-        }
-        # §2.2 upscale items reference small stored originals: fetch any
-        # that were not pushed, before generation runs.
-        header_map = dict(headers)
-        if status == 200 and header_map.get(b"x-sww-content") == b"prompts" and self.gen_ability:
-            self.generator.provide_assets(pushed)
-            for src in self._upscale_sources(bytes(body)):
-                if src in self.generator.asset_sources:
-                    continue
-                fetched = self._fetch_raw(pair, src)
-                if fetched is not None:
-                    self.generator.provide_assets({src: fetched})
-        result = self._finish(path, status, headers, bytes(body))
+        logger.debug("fetch %s (server gen-ability=%s)", path, self.server_gen_ability)
+        with self.tracer.span("client.fetch", page=path, transport="memory"):
+            with self.tracer.span("client.request", page=path):
+                stream_id = conn.get_next_available_stream_id()
+                conn.send_headers(stream_id, self.request_headers(path), end_stream=True)
+                pair.pump()
+            status = 0
+            headers: HeaderList = []
+            body = bytearray()
+            promised_paths: dict[int, str] = {}
+            pushed_bodies: dict[int, bytearray] = {}
+            for event in pair.client.take_events():
+                if isinstance(event, ResponseReceived) and event.stream_id == stream_id:
+                    headers = event.headers
+                    status = int(dict(headers).get(b":status", b"0"))
+                elif isinstance(event, DataReceived) and event.stream_id == stream_id:
+                    body += event.data
+                elif isinstance(event, PushPromiseReceived):
+                    promised_path = dict(event.headers).get(b":path", b"").decode("utf-8", "replace")
+                    promised_paths[event.promised_stream_id] = promised_path
+                    pushed_bodies[event.promised_stream_id] = bytearray()
+                elif isinstance(event, DataReceived) and event.stream_id in pushed_bodies:
+                    pushed_bodies[event.stream_id] += event.data
+            pushed = {
+                promised_paths[promised_id]: bytes(data)
+                for promised_id, data in pushed_bodies.items()
+            }
+            # §2.2 upscale items reference small stored originals: fetch any
+            # that were not pushed, before generation runs.
+            header_map = dict(headers)
+            if status == 200 and header_map.get(b"x-sww-content") == b"prompts" and self.gen_ability:
+                self.generator.provide_assets(pushed)
+                for src in self._upscale_sources(bytes(body)):
+                    if src in self.generator.asset_sources:
+                        continue
+                    fetched = self._fetch_raw(pair, src)
+                    if fetched is not None:
+                        self.generator.provide_assets({src: fetched})
+            result = self._finish(path, status, headers, bytes(body))
         result.pushed_assets.update(pushed)
         return result
 
@@ -294,50 +318,63 @@ class GenerativeClient:
     async def fetch_tcp(self, host: str, port: int, path: str) -> FetchResult:
         """Full §5.2 flow over a real socket: connect, settle settings,
         request, receive, generate, render."""
-        conn = self.new_connection()
-        reader, writer = await asyncio.open_connection(host, port)
-        transport = AsyncH2Transport(conn, reader, writer)
-        conn.initiate_connection()
-        await transport.flush()
+        with self.tracer.span("client.fetch", page=path, transport="tcp") as fetch_span:
+            with self.tracer.span("client.connect", host=host, port=port):
+                conn = self.new_connection()
+                reader, writer = await asyncio.open_connection(host, port)
+                transport = AsyncH2Transport(conn, reader, writer)
+                conn.initiate_connection()
+                await transport.flush()
 
-        status = 0
-        headers: HeaderList = []
-        body = bytearray()
-        done = asyncio.Event()
+            status = 0
+            headers: HeaderList = []
+            body = bytearray()
+            done = asyncio.Event()
 
-        async def handler(event) -> None:
-            nonlocal status, headers
-            if isinstance(event, ResponseReceived):
-                headers = event.headers
-                status = int(dict(headers).get(b":status", b"0"))
-            elif isinstance(event, DataReceived):
-                body.extend(event.data)
-            if isinstance(event, (StreamEnded,)):
-                done.set()
+            async def handler(event) -> None:
+                nonlocal status, headers
+                if isinstance(event, ResponseReceived):
+                    headers = event.headers
+                    status = int(dict(headers).get(b":status", b"0"))
+                elif isinstance(event, DataReceived):
+                    body.extend(event.data)
+                if isinstance(event, (StreamEnded,)):
+                    done.set()
 
-        run_task = asyncio.create_task(transport.run(handler))
-        # Wait a beat for the settings exchange so negotiation state is
-        # logged before the request goes out (§5.2 ordering).
-        await asyncio.sleep(0)
-        stream_id = conn.get_next_available_stream_id()
-        conn.send_headers(stream_id, self.request_headers(path, host), end_stream=True)
-        await transport.flush()
-        await done.wait()
-        self.server_gen_ability = conn.peer_gen_ability
-        await transport.close()
-        run_task.cancel()
-        try:
-            await run_task
-        except (asyncio.CancelledError, ConnectionError):
-            pass
-        return self._finish(path, status, headers, bytes(body))
+            run_task = asyncio.create_task(transport.run(handler))
+            with self.tracer.span("client.negotiate") as negotiate_span:
+                # Wait a beat for the settings exchange so negotiation state
+                # is logged before the request goes out (§5.2 ordering).
+                await asyncio.sleep(0)
+                negotiate_span.annotate(advertised=self.gen_ability)
+            with self.tracer.span("client.request", page=path):
+                stream_id = conn.get_next_available_stream_id()
+                conn.send_headers(stream_id, self.request_headers(path, host), end_stream=True)
+                await transport.flush()
+                await done.wait()
+            self.server_gen_ability = conn.peer_gen_ability
+            fetch_span.annotate(server_gen_ability=self.server_gen_ability)
+            logger.info(
+                "fetched %s from %s:%d (server gen-ability=%s)",
+                path,
+                host,
+                port,
+                self.server_gen_ability,
+            )
+            await transport.close()
+            run_task.cancel()
+            try:
+                await run_task
+            except (asyncio.CancelledError, ConnectionError):
+                pass
+            return self._finish(path, status, headers, bytes(body))
 
 
 def connect_in_memory(client: GenerativeClient, server) -> InMemoryTransportPair:
     """Wire a client and a :class:`~repro.sww.server.GenerativeServer`
     through the in-memory transport and run the settings handshake."""
     client_conn = client.new_connection()
-    server_conn = H2Connection(Role.SERVER, gen_ability=server.gen_ability)
+    server_conn = H2Connection(Role.SERVER, gen_ability=server.gen_ability, registry=server.registry)
     session = server.attach(server_conn)
     pair = InMemoryTransportPair(client_conn, server_conn)
 
@@ -354,5 +391,16 @@ def connect_in_memory(client: GenerativeClient, server) -> InMemoryTransportPair
         raise RuntimeError("in-memory dispatch did not quiesce")
 
     pair.pump = pump_with_dispatch  # type: ignore[method-assign]
-    pair.handshake()
+    with client.tracer.span("client.connect", transport="memory"):
+        with client.tracer.span("client.negotiate") as span:
+            pair.handshake()
+            span.annotate(
+                client_gen_ability=client.gen_ability,
+                server_gen_ability=client_conn.peer_gen_ability,
+            )
+    logger.info(
+        "in-memory connection negotiated: client=%s server=%s",
+        client.gen_ability,
+        client_conn.peer_gen_ability,
+    )
     return pair

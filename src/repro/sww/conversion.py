@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 from repro._util.rng import DeterministicRNG
 from repro.genai.embeddings import tokenize_words
-from repro.html.dom import Document, Element, Text
+from repro.html.dom import Document
 from repro.media.jpeg_model import jpeg_size
 from repro.metrics.compression import SizeAccount
 from repro.sww.cms import ContentManagementSystem, ContentTag

@@ -45,8 +45,11 @@ class MediaGenerator:
     def __init__(self, pipeline: GenerationPipeline, ollama: OllamaClient | None = None) -> None:
         self.pipeline = pipeline
         # The prototype talks to Ollama over its local API; default to an
-        # endpoint running on the same simulated device as the pipeline.
-        self.ollama = ollama or OllamaClient(OllamaEndpoint(pipeline.device))
+        # endpoint running on the same simulated device as the pipeline,
+        # reporting into the pipeline's observability sinks.
+        self.ollama = ollama or OllamaClient(
+            OllamaEndpoint(pipeline.device, registry=pipeline.registry, tracer=pipeline.tracer)
+        )
         self.generated_count = 0
         self.total_time_s = 0.0
         self.total_energy_wh = 0.0
@@ -92,6 +95,8 @@ class MediaGenerator:
                 item.height,
                 item.metadata.get("steps"),
                 item.metadata.get("seed"),
+                registry=self.pipeline.registry,
+                tracer=self.pipeline.tracer,
             )
         else:
             result = self.pipeline.generate_image(

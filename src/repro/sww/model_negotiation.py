@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.genai.registry import IMAGE_MODELS, TEXT_MODELS
 from repro.html import parse_html, serialize
-from repro.sww.content import CSS_CLASS, ContentError, ContentType, GeneratedContent
+from repro.sww.content import CSS_CLASS, ContentError, GeneratedContent
 
 #: The request header carrying the client's installed models.
 MODELS_HEADER = b"sww-models"

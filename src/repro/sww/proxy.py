@@ -21,7 +21,7 @@ last hop is naive.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.devices.profiles import DeviceProfile, WORKSTATION
 from repro.genai.pipeline import GenerationPipeline

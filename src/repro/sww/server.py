@@ -19,6 +19,7 @@ HTTP/2 engine.
 from __future__ import annotations
 
 import asyncio
+import logging
 from dataclasses import dataclass, field
 
 from repro.devices.profiles import DeviceProfile, WORKSTATION
@@ -31,9 +32,12 @@ from repro.http2.connection import (
     Role,
 )
 from repro.http2.transport import AsyncH2Transport
+from repro.obs import MetricsRegistry, Tracer, get_registry, get_tracer
 from repro.sww.capability import NegotiationOutcome, ServeMode, ServePolicy, decide_serve_mode
 from repro.sww.media_generator import MediaGenerator
 from repro.sww.page_processor import PageProcessor
+
+logger = logging.getLogger("repro.sww.server")
 
 HeaderList = list[tuple[bytes, bytes]]
 
@@ -125,11 +129,16 @@ class GenerativeServer:
         pipeline: GenerationPipeline | None = None,
         push_assets: bool = False,
         trust_authority=None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.store = store
         self.device = device
         self.policy = policy or ServePolicy()
         self.gen_ability = gen_ability
+        #: Observability sinks (no-ops unless injected or configured).
+        self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
         #: When serving a server-generated page, push the freshly
         #: generated media over HTTP/2 server push (RFC 9113 §8.4) instead
         #: of waiting for the naive client's follow-up GETs.
@@ -138,7 +147,9 @@ class GenerativeServer:
         #: provenance manifests in an x-sww-manifests header.
         self.trust_authority = trust_authority
         #: Server-side pipeline, used when it must generate for naive clients.
-        self.pipeline = pipeline or GenerationPipeline(device)
+        self.pipeline = pipeline or GenerationPipeline(
+            device, registry=self.registry, tracer=self.tracer
+        )
         self._generator = MediaGenerator(self.pipeline)
         self._processor = PageProcessor(self._generator)
         #: Cache of server-side generated traditional pages (path → html,
@@ -164,6 +175,18 @@ class GenerativeServer:
         fall back to server-side generation.
         """
         self.requests_served += 1
+        with self.tracer.span("server.request", page=path):
+            response = self._respond(path, client_gen_ability, client_models)
+        if self.registry.enabled:
+            self._count_response(path, response)
+        return response
+
+    def _respond(
+        self,
+        path: str,
+        client_gen_ability: bool,
+        client_models: list[str] | None,
+    ) -> ServedResponse:
         asset = self.store.assets.get(path)
         if asset is not None:
             return ServedResponse(
@@ -178,6 +201,13 @@ class GenerativeServer:
 
         outcome = NegotiationOutcome(client_supports=client_gen_ability, server_supports=self.gen_ability)
         mode = decide_serve_mode(outcome, self.policy, has_prompts=page.has_prompts)
+        if mode != ServeMode.GENERATIVE:
+            if not outcome.negotiated:
+                self._count_fallback("negotiation")
+            elif not page.has_prompts:
+                self._count_fallback("no-prompts")
+            else:
+                self._count_fallback("policy")
         if mode == ServeMode.GENERATIVE:
             html = page.sww_html
             if client_models is not None:
@@ -188,6 +218,10 @@ class GenerativeServer:
                     # The client can generate, but not this page's
                     # modalities: materialise server-side instead.
                     mode = ServeMode.SERVER_GENERATED
+                    self._count_fallback("models")
+                    logger.info(
+                        "page %s incompatible with client models; generating server-side", path
+                    )
             if mode == ServeMode.GENERATIVE:
                 body = html.encode("utf-8")
                 headers = self._headers("text/html; charset=utf-8", len(body), sww=True)
@@ -211,6 +245,34 @@ class GenerativeServer:
         body = html.encode("utf-8")
         return ServedResponse(200, self._headers("text/html; charset=utf-8", len(body)), body, mode)
 
+    def _count_fallback(self, reason: str) -> None:
+        if self.registry.enabled:
+            self.registry.counter(
+                "sww_fallbacks_total",
+                "Requests that could not be served generatively, by reason",
+                layer="sww",
+                operation=reason,
+            ).inc()
+
+    def _count_response(self, path: str, response: ServedResponse) -> None:
+        """Request/byte accounting for one served response."""
+        if response.status == 404:
+            operation = "not-found"
+        elif response.mode is None:
+            operation = "asset"
+        else:
+            operation = response.mode.value
+        self.registry.counter(
+            "sww_requests_total", "Requests served, by outcome", layer="sww", operation=operation
+        ).inc()
+        kind = "prompts" if response.mode == ServeMode.GENERATIVE else "media"
+        self.registry.counter(
+            "sww_body_bytes_total",
+            "Response body bytes, prompts vs materialised media",
+            layer="sww",
+            operation=kind,
+        ).inc(len(response.body))
+
     def _materialise(self, page: PageResource) -> tuple[str, dict[str, bytes], float, float]:
         """Server-side generation: prompts → media, cached per page.
 
@@ -221,19 +283,46 @@ class GenerativeServer:
         """
         cached = self._server_generated.get(page.path)
         if cached is not None:
+            if self.registry.enabled:
+                self.registry.counter(
+                    "sww_materialise_cache_total",
+                    "Server-side materialisation cache lookups",
+                    layer="sww",
+                    operation="hit",
+                ).inc()
             html, assets, _time, _energy = cached
             # Cache hits cost no additional generation time.
             return html, assets, 0.0, 0.0
-        document = parse_html(page.sww_html)
-        # Upscale items reference stored small originals; the server's own
-        # generator reads them straight from the store.
-        self._generator.provide_assets(
-            {path: asset.data for path, asset in self.store.assets.items()}
-        )
-        report = self._processor.process(document)
-        html = serialize(document)
+        with self.tracer.span("server.materialise", page=page.path):
+            document = parse_html(page.sww_html)
+            # Upscale items reference stored small originals; the server's own
+            # generator reads them straight from the store.
+            self._generator.provide_assets(
+                {path: asset.data for path, asset in self.store.assets.items()}
+            )
+            report = self._processor.process(document)
+            html = serialize(document)
         for asset_path, data in report.assets.items():
             self.store.add_asset(AssetResource(asset_path, data, "image/png"))
+        if self.registry.enabled:
+            self.registry.counter(
+                "sww_materialise_cache_total",
+                "Server-side materialisation cache lookups",
+                layer="sww",
+                operation="miss",
+            ).inc()
+            self.registry.histogram(
+                "sww_generation_seconds",
+                "Simulated server-side materialisation time per page",
+                layer="sww",
+                operation="materialise",
+            ).observe(report.sim_time_s)
+        logger.debug(
+            "materialised %s: %d assets, %.1f simulated s",
+            page.path,
+            len(report.assets),
+            report.sim_time_s,
+        )
         entry = (html, dict(report.assets), report.sim_time_s, report.energy_wh)
         self._server_generated[page.path] = entry
         return entry
@@ -259,6 +348,13 @@ class GenerativeServer:
                 continue
             manifest = self.trust_authority.sign(item)
             entries.append({"name": item.name, "manifest": _json.loads(manifest.to_json())})
+        if entries and self.registry.enabled:
+            self.registry.counter(
+                "sww_manifests_signed_total",
+                "Provenance manifests signed for generative responses",
+                layer="sww",
+                operation="sign",
+            ).inc(len(entries))
         if not entries:
             return b""
         return _json.dumps(entries, separators=(",", ":")).encode("utf-8")
@@ -287,7 +383,7 @@ class GenerativeServer:
         """Listen on TCP; each connection gets its own engine + session."""
 
         async def on_connect(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
-            conn = H2Connection(Role.SERVER, gen_ability=self.gen_ability)
+            conn = H2Connection(Role.SERVER, gen_ability=self.gen_ability, registry=self.registry)
             session = self.attach(conn)
             transport = AsyncH2Transport(conn, reader, writer)
             conn.initiate_connection()

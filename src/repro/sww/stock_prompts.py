@@ -14,7 +14,7 @@ reuse it (better fidelity, and the licence travels with the prompt).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

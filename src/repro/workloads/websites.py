@@ -15,7 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro._util.rng import DeterministicRNG
-from repro.genai import vocab
 from repro.media.jpeg_model import jpeg_size, text_block_size
 from repro.metrics.compression import prompt_metadata_size
 

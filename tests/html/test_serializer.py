@@ -3,7 +3,7 @@
 from hypothesis import given, strategies as st
 
 from repro.html import parse_html, serialize
-from repro.html.dom import Comment, Document, Element, Text
+from repro.html.dom import Comment, Element, Text
 
 
 class TestSerialization:

@@ -11,7 +11,6 @@ import struct
 import pytest
 
 from repro.http2.connection import (
-    CONNECTION_PREFACE,
     H2Connection,
     PingAcknowledged,
     RemoteSettingsChanged,

@@ -20,7 +20,7 @@ from repro.http2.connection import (
     TrailersReceived,
     WindowUpdated,
 )
-from repro.http2.errors import ErrorCode, H2Error, ProtocolError
+from repro.http2.errors import ErrorCode, ProtocolError
 from repro.http2.settings import Setting
 from repro.http2.transport import InMemoryTransportPair
 

@@ -2,7 +2,14 @@
 
 from repro.http2.connection import H2Connection, Role
 from repro.http2.debug import describe_frame, frame_census, trace_wire
-from repro.http2.frames import DataFrame, GoAwayFrame, PingFrame, SettingsFrame
+from repro.http2.frames import (
+    ContinuationFrame,
+    DataFrame,
+    GoAwayFrame,
+    PingFrame,
+    PushPromiseFrame,
+    SettingsFrame,
+)
 from repro.http2.transport import InMemoryTransportPair
 
 
@@ -26,6 +33,25 @@ class TestDescribeFrame:
         assert "PING" in describe_frame(PingFrame(data=b"\x00" * 8))
         assert "GOAWAY" in describe_frame(GoAwayFrame(last_stream_id=5))
 
+    def test_continuation_block_length_and_flag(self):
+        text = describe_frame(ContinuationFrame(stream_id=1, header_block=b"x" * 40))
+        assert "CONTINUATION" in text and "block=40B" in text and "END_HEADERS" not in text
+        final = describe_frame(
+            ContinuationFrame(stream_id=1, header_block=b"x" * 7, end_headers=True)
+        )
+        assert "block=7B END_HEADERS" in final
+
+    def test_push_promise_block_length_and_flag(self):
+        text = describe_frame(
+            PushPromiseFrame(stream_id=1, promised_stream_id=2, header_block=b"y" * 31)
+        )
+        assert "PUSH_PROMISE" in text
+        assert "promised=2" in text and "block=31B END_HEADERS" in text
+        partial = describe_frame(
+            PushPromiseFrame(stream_id=1, promised_stream_id=4, header_block=b"", end_headers=False)
+        )
+        assert "block=0B" in partial and "END_HEADERS" not in partial
+
 
 class TestTraceWire:
     def test_handshake_trace(self):
@@ -47,6 +73,22 @@ class TestTraceWire:
         client.send_headers(sid, [(b":method", b"GET"), (b":path", b"/traced")], end_stream=True)
         trace = trace_wire(client.data_to_send(), decode_headers=True)
         assert ":path: /traced" in trace
+
+    def test_split_header_block_on_the_wire(self):
+        # A HEADERS frame without END_HEADERS followed by its CONTINUATION,
+        # exactly as a peer with a small max-frame-size would emit them.
+        wire = (
+            PushPromiseFrame(
+                stream_id=1, promised_stream_id=2, header_block=b"a" * 16, end_headers=False
+            ).serialize()
+            + ContinuationFrame(stream_id=1, header_block=b"b" * 8, end_headers=True).serialize()
+        )
+        trace = trace_wire(wire, label="s->c")
+        lines = trace.splitlines()
+        assert len(lines) == 2
+        assert "PUSH_PROMISE" in lines[0] and "block=16B" in lines[0]
+        assert "END_HEADERS" not in lines[0]
+        assert "CONTINUATION" in lines[1] and "block=8B END_HEADERS" in lines[1]
 
     def test_trailing_bytes_reported(self):
         trace = trace_wire(b"\x00\x00")

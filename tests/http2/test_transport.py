@@ -8,7 +8,6 @@ from repro.http2.connection import (
     DataReceived,
     H2Connection,
     RequestReceived,
-    ResponseReceived,
     Role,
     StreamEnded,
 )

@@ -1,0 +1,59 @@
+"""GEN_ABILITY negotiation counters across the §6.2 capability matrix.
+
+Both endpoints of each in-memory connection share one registry, so
+``sww_negotiation_total`` aggregates the two sides: every endpoint that
+advertises GEN_ABILITY counts one ``advertised``, and on the first peer
+SETTINGS each endpoint records either ``accepted`` or ``fallback``.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.sww.client import GenerativeClient, connect_in_memory
+from repro.sww.server import GenerativeServer, PageResource, SiteStore
+
+
+def negotiate(client_gen: bool, server_gen: bool) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    store = SiteStore()
+    store.add_page(PageResource("/p", "<html><body>hi</body></html>"))
+    server = GenerativeServer(store, gen_ability=server_gen, registry=registry)
+    client = GenerativeClient(gen_ability=client_gen, registry=registry)
+    connect_in_memory(client, server)
+    return registry
+
+
+def counts(registry: MetricsRegistry) -> dict[str, float]:
+    return {
+        op: registry.value("sww_negotiation_total", layer="http2", operation=op)
+        for op in ("advertised", "accepted", "fallback")
+    }
+
+
+class TestNegotiationCounters:
+    def test_both_capable(self):
+        assert counts(negotiate(True, True)) == {"advertised": 2, "accepted": 2, "fallback": 0}
+
+    def test_only_client_capable(self):
+        assert counts(negotiate(True, False)) == {"advertised": 1, "accepted": 0, "fallback": 2}
+
+    def test_only_server_capable(self):
+        assert counts(negotiate(False, True)) == {"advertised": 1, "accepted": 0, "fallback": 2}
+
+    def test_neither_capable(self):
+        assert counts(negotiate(False, False)) == {"advertised": 0, "accepted": 0, "fallback": 2}
+
+    @pytest.mark.parametrize("client_gen,server_gen", [(True, True), (True, False)])
+    def test_every_endpoint_votes_exactly_once(self, client_gen, server_gen):
+        registry = negotiate(client_gen, server_gen)
+        totals = counts(registry)
+        assert totals["accepted"] + totals["fallback"] == 2
+
+    def test_counters_accumulate_across_connections(self):
+        registry = MetricsRegistry()
+        store = SiteStore()
+        server = GenerativeServer(store, gen_ability=True, registry=registry)
+        for _ in range(3):
+            client = GenerativeClient(gen_ability=True, registry=registry)
+            connect_in_memory(client, server)
+        assert registry.value("sww_negotiation_total", layer="http2", operation="accepted") == 6

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.html import parse_html, serialize

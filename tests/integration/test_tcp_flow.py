@@ -2,8 +2,6 @@
 
 import asyncio
 
-import pytest
-
 from repro import (
     LAPTOP,
     GenerativeClient,

@@ -1,7 +1,5 @@
 """End-to-end trust: manifests over the wire, verification on-device."""
 
-import pytest
-
 from repro.devices import WORKSTATION
 from repro.sww.client import GenerativeClient, connect_in_memory
 from repro.sww.server import GenerativeServer, PageResource, SiteStore

@@ -1,0 +1,110 @@
+"""The disabled-by-default contract and the logging helper.
+
+The acceptance-critical property: constructing and exercising the full
+client/server stack WITHOUT injecting sinks must leave no measurable
+observability state behind — everything routes through the shared no-op
+singletons.
+"""
+
+import io
+import logging
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    NULL_REGISTRY,
+    NULL_TRACER,
+    MetricsRegistry,
+    Tracer,
+    configure,
+    get_registry,
+    get_tracer,
+    logging_setup,
+)
+from repro.sww.client import GenerativeClient, connect_in_memory
+from repro.sww.server import GenerativeServer, PageResource, SiteStore
+
+
+@pytest.fixture(autouse=True)
+def reset_defaults():
+    configure()
+    yield
+    configure()
+
+
+class TestProcessDefaults:
+    def test_null_singletons_by_default(self):
+        assert get_registry() is NULL_REGISTRY
+        assert get_tracer() is NULL_TRACER
+
+    def test_configure_installs_and_resets(self):
+        reg, tracer = MetricsRegistry(), Tracer()
+        configure(registry=reg, tracer=tracer)
+        assert get_registry() is reg and get_tracer() is tracer
+        configure()
+        assert get_registry() is NULL_REGISTRY and get_tracer() is NULL_TRACER
+
+    def test_components_pick_up_configured_defaults(self):
+        reg = MetricsRegistry()
+        configure(registry=reg)
+        server = GenerativeServer(SiteStore())
+        assert server.registry is reg
+
+
+class TestNoOpEndToEnd:
+    def test_full_fetch_accumulates_no_observable_state(self):
+        """A stack built without sinks must leave the null singletons empty."""
+        store = SiteStore()
+        store.add_page(
+            PageResource(
+                "/p",
+                '<html><body><div class="generated-content" data-name="pic"'
+                ' data-type="image" data-prompt="a tree" data-width="32"'
+                ' data-height="32"></div></body></html>',
+            )
+        )
+        server = GenerativeServer(store)
+        client = GenerativeClient()
+        pair = connect_in_memory(client, server)
+        result = client.fetch_via_pair(pair, "/p")
+        assert result.status == 200
+        assert server.registry is NULL_REGISTRY
+        assert client.registry is NULL_REGISTRY
+        assert pair.client.conn.registry is NULL_REGISTRY
+        assert len(NULL_REGISTRY) == 0
+        assert list(NULL_REGISTRY.collect()) == []
+        assert NULL_TRACER.roots() == []
+
+
+class TestLoggingSetup:
+    def test_configures_repro_hierarchy(self):
+        stream = io.StringIO()
+        logger = logging_setup("debug", stream=stream)
+        assert logger.name == "repro"
+        logging.getLogger("repro.sww.client").debug("hello from the client")
+        assert "repro.sww.client" in stream.getvalue()
+        assert "hello from the client" in stream.getvalue()
+
+    def test_idempotent_no_duplicate_handlers(self):
+        stream = io.StringIO()
+        logging_setup("info", stream=stream)
+        logging_setup("info", stream=stream)
+        logging.getLogger("repro.test").info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_level_threshold(self):
+        stream = io.StringIO()
+        logging_setup("warning", stream=stream)
+        logging.getLogger("repro.test").info("quiet")
+        logging.getLogger("repro.test").warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            logging_setup("shout")
+
+    def test_obs_module_reexports(self):
+        for name in obs.__all__:
+            assert hasattr(obs, name)

@@ -1,0 +1,108 @@
+"""Exporter tests: Prometheus text, JSON lines, terminal renderers."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    render_metrics_table,
+    render_span_tree,
+    spans_to_jsonl,
+    to_jsonl,
+    to_prometheus,
+)
+
+
+def sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("sww_requests_total", "Requests served", layer="sww", operation="generative").inc(3)
+    reg.gauge("http2_hpack_table_bytes", "Table size", layer="http2", operation="encoder").set(181)
+    h = reg.histogram("sww_generation_seconds", "Gen time", buckets=(1.0, 10.0), layer="sww")
+    h.observe(0.5)
+    h.observe(5.0)
+    return reg
+
+
+class TestPrometheus:
+    def test_help_type_and_samples(self):
+        text = to_prometheus(sample_registry())
+        assert "# HELP sww_requests_total Requests served" in text
+        assert "# TYPE sww_requests_total counter" in text
+        assert 'sww_requests_total{layer="sww",operation="generative"} 3' in text
+        assert "# TYPE http2_hpack_table_bytes gauge" in text
+
+    def test_histogram_cumulative_buckets(self):
+        text = to_prometheus(sample_registry())
+        assert 'sww_generation_seconds_bucket{layer="sww",le="1"} 1' in text
+        assert 'sww_generation_seconds_bucket{layer="sww",le="10"} 2' in text
+        assert 'sww_generation_seconds_bucket{layer="sww",le="+Inf"} 2' in text
+        assert 'sww_generation_seconds_sum{layer="sww"} 5.5' in text
+        assert 'sww_generation_seconds_count{layer="sww"} 2' in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", page='say "hi"\n').inc()
+        text = to_prometheus(reg)
+        assert 'page="say \\"hi\\"\\n"' in text
+
+    def test_deterministic_output(self):
+        assert to_prometheus(sample_registry()) == to_prometheus(sample_registry())
+
+    def test_empty_registry(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestJsonl:
+    def test_one_valid_object_per_instrument(self):
+        lines = to_jsonl(sample_registry()).strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 3
+        by_name = {r["name"]: r for r in records}
+        assert by_name["sww_requests_total"]["value"] == 3
+        assert by_name["sww_requests_total"]["labels"] == {
+            "layer": "sww",
+            "operation": "generative",
+        }
+        hist = by_name["sww_generation_seconds"]
+        assert hist["count"] == 2 and hist["sum"] == 5.5
+        assert hist["buckets"] == {"1": 1, "10": 2, "+Inf": 2}
+
+
+class TestTableRenderer:
+    def test_rows_and_alignment(self):
+        table = render_metrics_table(sample_registry())
+        lines = table.splitlines()
+        assert lines[0].startswith("metric")
+        assert any("sww_requests_total" in line and "3" in line for line in lines)
+        assert any("sum=5.5 count=2" in line for line in lines)
+
+    def test_empty_message(self):
+        assert render_metrics_table(MetricsRegistry()) == "(no metrics recorded)"
+
+
+class TestSpanTreeRenderer:
+    def make_tracer(self) -> Tracer:
+        tracer = Tracer()
+        with tracer.span("client.fetch", page="/p"):
+            with tracer.span("client.generate"):
+                pass
+        return tracer
+
+    def test_indented_tree(self):
+        out = render_span_tree(self.make_tracer())
+        lines = out.splitlines()
+        assert "client.fetch" in lines[0] and "[page=/p]" in lines[0]
+        assert "  client.generate" in lines[1]
+        assert "ms" in lines[0]
+
+    def test_seconds_unit(self):
+        assert " s  " in render_span_tree(self.make_tracer(), unit="s")
+
+    def test_empty_message(self):
+        assert render_span_tree(Tracer()) == "(no spans recorded)"
+
+    def test_spans_to_jsonl(self):
+        out = spans_to_jsonl(self.make_tracer())
+        (record,) = [json.loads(line) for line in out.strip().splitlines()]
+        assert record["name"] == "client.fetch"
+        assert record["children"][0]["name"] == "client.generate"

@@ -1,0 +1,141 @@
+"""Unit tests for the metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.obs import NULL_REGISTRY, MetricsRegistry, NullRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests_total", layer="sww")
+        assert c.value == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x_total").inc(-1)
+
+    def test_same_labels_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", layer="sww", operation="hit")
+        b = reg.counter("x_total", operation="hit", layer="sww")  # order-insensitive
+        assert a is b
+
+    def test_distinct_labels_distinct_instruments(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", operation="hit")
+        b = reg.counter("x_total", operation="miss")
+        assert a is not b
+        a.inc(3)
+        assert b.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(7)
+        g.inc(-2)
+        g.dec(1)
+        assert g.value == 4
+
+
+class TestHistogram:
+    def test_observations_and_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(55.55)
+        cumulative = dict(h.cumulative_counts())
+        assert cumulative[0.1] == 1
+        assert cumulative[1.0] == 2
+        assert cumulative[10.0] == 3
+        assert cumulative[float("inf")] == 4
+
+    def test_value_is_sum(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("t_seconds")
+        h.observe(2.0)
+        h.observe(3.0)
+        assert h.value == pytest.approx(5.0)
+
+
+class TestRegistry:
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("thing_total")
+        with pytest.raises(ValueError):
+            reg.gauge("thing_total")
+
+    def test_value_and_total_and_count(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", operation="a").inc(2)
+        reg.counter("x_total", operation="b").inc(3)
+        assert reg.value("x_total", operation="a") == 2
+        assert reg.total("x_total") == 5
+        reg.histogram("h_seconds", operation="a").observe(1.5)
+        reg.histogram("h_seconds", operation="b").observe(2.5)
+        assert reg.count("h_seconds") == 2
+        assert reg.total("h_seconds") == pytest.approx(4.0)
+
+    def test_value_of_missing_metric_is_zero(self):
+        reg = MetricsRegistry()
+        assert reg.value("never_recorded") == 0.0
+
+    def test_collect_is_sorted_and_complete(self):
+        reg = MetricsRegistry()
+        reg.counter("z_total").inc()
+        reg.gauge("a_depth").set(1)
+        names = [name for name, _kind, _help, _instruments in reg.collect()]
+        assert names == sorted(names)
+        assert set(names) == {"a_depth", "z_total"}
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total").inc()
+        assert len(reg)
+        reg.reset()
+        assert len(reg) == 0
+
+    def test_thread_safety_of_increments(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total")
+
+        def work():
+            for _ in range(10_000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 40_000
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NULL_REGISTRY.enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_accumulates_nothing(self):
+        reg = NullRegistry()
+        reg.counter("x_total", layer="sww").inc(5)
+        reg.gauge("g").set(3)
+        reg.histogram("h_seconds").observe(1.0)
+        assert len(reg) == 0
+        assert list(reg.collect()) == []
+        assert reg.value("x_total", layer="sww") == 0.0
+        assert reg.total("x_total") == 0.0
+
+    def test_shared_instrument_singleton(self):
+        reg = NullRegistry()
+        assert reg.counter("a_total") is reg.histogram("b_seconds")

@@ -1,0 +1,125 @@
+"""Unit tests for the span tracer."""
+
+import threading
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer
+
+
+class TestSpanNesting:
+    def test_parent_child_linking(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert tracer.roots() == [outer]
+        assert outer.children == [inner]
+        assert inner.children == []
+
+    def test_walk_preorder_with_depths(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        (root,) = tracer.roots()
+        assert [(d, s.name) for d, s in root.walk()] == [(0, "a"), (1, "b"), (2, "c"), (1, "d")]
+
+    def test_sequential_roots_both_recorded(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots()] == ["first", "second"]
+
+    def test_duration_positive_and_contains_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(1000))
+        (root,) = tracer.roots()
+        assert root.duration_s > 0
+        assert root.duration_s >= root.children[0].duration_s
+
+
+class TestSpanAttributes:
+    def test_constructor_and_annotate(self):
+        tracer = Tracer()
+        with tracer.span("op", page="/x") as sp:
+            sp.annotate(items=3)
+        assert sp.attributes == {"page": "/x", "items": 3}
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("no")
+        (root,) = tracer.roots()
+        assert root.attributes["error"] == "RuntimeError"
+
+    def test_to_dict_round_trips_structure(self):
+        tracer = Tracer()
+        with tracer.span("outer", k="v"):
+            with tracer.span("inner"):
+                pass
+        data = tracer.roots()[0].to_dict()
+        assert data["name"] == "outer"
+        assert data["attributes"] == {"k": "v"}
+        assert data["children"][0]["name"] == "inner"
+
+
+class TestRingBuffer:
+    def test_old_roots_fall_off(self):
+        tracer = Tracer(capacity=2)
+        for i in range(4):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.roots()] == ["s2", "s3"]
+
+    def test_reset_clears(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.roots() == []
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestThreadIsolation:
+    def test_stacks_are_per_thread(self):
+        tracer = Tracer()
+        seen = []
+
+        def work(name):
+            with tracer.span(name):
+                seen.append(tracer.current.name)
+
+        with tracer.span("main-root"):
+            t = threading.Thread(target=work, args=("thread-root",))
+            t.start()
+            t.join()
+        # The thread's span must be its own root, not a child of main-root.
+        names = {s.name for s in tracer.roots()}
+        assert names == {"main-root", "thread-root"}
+        assert seen == ["thread-root"]
+        main = next(s for s in tracer.roots() if s.name == "main-root")
+        assert main.children == []
+
+
+class TestNullTracer:
+    def test_disabled_and_recordless(self):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", k=1) as sp:
+            sp.annotate(more=2)
+        assert NULL_TRACER.roots() == []
+
+    def test_shared_span_singleton(self):
+        t = NullTracer()
+        assert t.span("a") is t.span("b")

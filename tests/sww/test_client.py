@@ -1,7 +1,5 @@
 """Tests for the generative client (§5.2)."""
 
-import pytest
-
 from repro.devices import LAPTOP, WORKSTATION
 from repro.sww.client import GenerativeClient, connect_in_memory
 from repro.sww.server import GenerativeServer, PageResource, SiteStore

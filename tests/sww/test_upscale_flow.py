@@ -1,6 +1,5 @@
 """End-to-end tests for §2.2 upscale-mode content in the page flow."""
 
-import numpy as np
 import pytest
 
 from repro.devices import WORKSTATION

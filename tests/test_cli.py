@@ -14,11 +14,20 @@ class TestParser:
         parser = build_parser()
         actions = {a.dest: a for a in parser._actions}
         choices = actions["command"].choices
-        assert set(choices) == {"serve", "fetch", "convert", "demo", "report"}
+        assert set(choices) == {"serve", "fetch", "convert", "demo", "report", "stats"}
 
     def test_demo_defaults(self):
         args = build_parser().parse_args(["demo"])
         assert args.page == "travel-blog" and args.device == "laptop"
+        assert args.trace is False
+
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.page == "travel-blog" and args.format == "prom"
+
+    def test_log_level_flag(self):
+        args = build_parser().parse_args(["--log-level", "debug", "demo"])
+        assert args.log_level == "debug"
 
     def test_unknown_subcommand_exits(self):
         with pytest.raises(SystemExit):
@@ -41,6 +50,48 @@ class TestDemo:
     def test_demo_unknown_page_exits(self):
         with pytest.raises(SystemExit):
             main(["demo", "--page", "nope"])
+
+    def test_demo_trace_prints_span_tree(self, capsys):
+        assert main(["demo", "--page", "news", "--device", "workstation", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "client.connect" in out
+        assert "client.negotiate" in out
+        assert "client.fetch" in out
+        assert "client.request" in out
+        assert "  server.request" in out  # server span nested under the client's
+        assert "client.generate" in out
+
+
+class TestStats:
+    def test_prometheus_output_is_valid(self, capsys):
+        assert main(["stats", "--page", "news", "--device", "workstation"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE sww_requests_total counter" in out
+        assert "# TYPE genai_generation_seconds histogram" in out
+        # Every sample line must be NAME{LABELS} VALUE with parseable value.
+        for line in out.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_and_labels, _, value = line.rpartition(" ")
+            assert name_and_labels, line
+            float(value.replace("+Inf", "inf"))
+        # The flow covers negotiation, generation, fallback and framing.
+        assert 'sww_negotiation_total{layer="http2",operation="accepted"}' in out
+        assert 'sww_fallbacks_total{layer="sww",operation="negotiation"}' in out
+        assert 'http2_frames_sent_total{layer="http2",operation="SETTINGS"}' in out
+
+    def test_jsonl_output(self, capsys):
+        import json
+
+        assert main(["stats", "--page", "news", "--device", "workstation", "--format", "jsonl"]) == 0
+        out = capsys.readouterr().out
+        records = [json.loads(line) for line in out.strip().splitlines()]
+        assert any(r["name"] == "sww_requests_total" for r in records)
+
+    def test_table_output(self, capsys):
+        assert main(["stats", "--page", "news", "--device", "workstation", "--format", "table"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("metric")
 
 
 class TestConvert:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.workloads.websites import (
     TEMPLATE_PROFILES,
-    AdoptionSnapshot,
     adoption_sweep,
     build_web_corpus,
     typical_image_metadata_bytes,
