@@ -8,6 +8,7 @@ the substrate is a simulator, not the authors' testbed (DESIGN.md §4).
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from repro import (
@@ -26,6 +27,12 @@ BENCH_REGISTRY = MetricsRegistry()
 
 ARTIFACT_DIR = Path(__file__).parent / "artifacts"
 
+#: Repo root, where the per-table perf-trajectory files land.
+REPO_ROOT = Path(__file__).parent.parent
+
+#: table → scenario → measurements, accumulated by :func:`record_bench`.
+BENCH_TRAJECTORY: dict[str, dict[str, dict]] = {}
+
 
 def dump_metrics_snapshot(path: Path | None = None) -> Path:
     """Write the shared benchmark registry as JSON lines and return the path."""
@@ -33,6 +40,46 @@ def dump_metrics_snapshot(path: Path | None = None) -> Path:
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(to_jsonl(BENCH_REGISTRY))
     return target
+
+
+def record_bench(
+    table: str,
+    scenario: str,
+    *,
+    wall_time_s: float | None = None,
+    wire_bytes: int | None = None,
+    compression_ratio: float | None = None,
+    **extra,
+) -> None:
+    """Record one scenario's headline numbers for the perf trajectory.
+
+    Each benchmark table that calls this gets a top-level
+    ``BENCH_<table>.json`` written after the session (see
+    :func:`dump_bench_trajectories`); CI uploads the files, so successive
+    PRs can be diffed measurement by measurement.
+    """
+    entry: dict = {}
+    if wall_time_s is not None:
+        entry["wall_time_s"] = round(float(wall_time_s), 6)
+    if wire_bytes is not None:
+        entry["wire_bytes"] = int(wire_bytes)
+    if compression_ratio is not None:
+        entry["compression_ratio"] = round(float(compression_ratio), 4)
+    entry.update(extra)
+    BENCH_TRAJECTORY.setdefault(table, {})[scenario] = entry
+
+
+def dump_bench_trajectories(root: Path | None = None) -> list[Path]:
+    """Write one ``BENCH_<table>.json`` per recorded table; return the paths."""
+    base = root or REPO_ROOT
+    paths: list[Path] = []
+    for table, scenarios in sorted(BENCH_TRAJECTORY.items()):
+        target = base / f"BENCH_{table}.json"
+        target.write_text(
+            json.dumps({"table": table, "scenarios": scenarios}, indent=2, sort_keys=True) + "\n"
+        )
+        paths.append(target)
+    return paths
 
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:

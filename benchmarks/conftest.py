@@ -18,10 +18,18 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 @pytest.fixture(scope="session", autouse=True)
 def metrics_snapshot():
-    """After the run, dump the shared registry as the benchmark artifact."""
+    """After the run, dump the shared registry and the perf trajectory."""
     yield
-    from _shared import BENCH_REGISTRY, dump_metrics_snapshot
+    from _shared import (
+        BENCH_REGISTRY,
+        BENCH_TRAJECTORY,
+        dump_bench_trajectories,
+        dump_metrics_snapshot,
+    )
 
     if len(BENCH_REGISTRY):
         path = dump_metrics_snapshot()
         print(f"\nmetrics snapshot: {path} ({len(BENCH_REGISTRY)} instruments)")
+    if BENCH_TRAJECTORY:
+        for path in dump_bench_trajectories():
+            print(f"perf trajectory: {path}")

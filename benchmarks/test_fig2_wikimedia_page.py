@@ -9,8 +9,10 @@ Paper numbers reproduced here:
 * Semantic meaning conserved: CLIP-sim well above the 0.09 random floor.
 """
 
+import time
+
 import numpy as np
-from _shared import print_table, serve_page, within
+from _shared import BENCH_REGISTRY, print_table, record_bench, serve_page, within
 
 from repro import GenerativeClient, LAPTOP, WORKSTATION, build_wikimedia_landscape_page
 from repro.media.png import decode_png
@@ -20,8 +22,16 @@ from repro.metrics.compression import WORST_CASE_IMAGE_METADATA
 
 def fetch_on(device):
     page = build_wikimedia_landscape_page()
-    client, _server, pair = serve_page(page, client=GenerativeClient(device=device))
+    client, _server, pair = serve_page(
+        page,
+        client=GenerativeClient(device=device, registry=BENCH_REGISTRY),
+        registry=BENCH_REGISTRY,
+    )
     return page, client.fetch_via_pair(pair, page.path)
+
+
+def _wire_bytes_sent() -> float:
+    return BENCH_REGISTRY.value("http2_wire_bytes_total", layer="http2", operation="sent")
 
 
 def test_fig2_compression(benchmark):
@@ -47,10 +57,26 @@ def test_fig2_compression(benchmark):
     within(account.metadata, 8_200, 9_700, "metadata bytes")
     within(account.ratio, 140, 170, "compression factor")
     within(account.original_media / worst_case, 62, 74, "worst-case factor")
+    record_bench(
+        "fig2",
+        "compression",
+        compression_ratio=account.ratio,
+        original_media_bytes=account.original_media,
+        metadata_bytes=account.metadata,
+    )
 
 
 def test_fig2_laptop_generation(benchmark):
+    sent_before = _wire_bytes_sent()
+    start = time.perf_counter()
     page, result = benchmark.pedantic(lambda: fetch_on(LAPTOP), rounds=1, iterations=1)
+    record_bench(
+        "fig2",
+        "laptop",
+        wall_time_s=time.perf_counter() - start,
+        wire_bytes=_wire_bytes_sent() - sent_before,
+        generation_sim_s=round(result.generation_time_s, 3),
+    )
     per_image = result.generation_time_s / page.account.items
 
     print_table(
@@ -67,7 +93,16 @@ def test_fig2_laptop_generation(benchmark):
 
 
 def test_fig2_workstation_generation(benchmark):
+    sent_before = _wire_bytes_sent()
+    start = time.perf_counter()
     page, result = benchmark.pedantic(lambda: fetch_on(WORKSTATION), rounds=1, iterations=1)
+    record_bench(
+        "fig2",
+        "workstation",
+        wall_time_s=time.perf_counter() - start,
+        wire_bytes=_wire_bytes_sent() - sent_before,
+        generation_sim_s=round(result.generation_time_s, 3),
+    )
     per_image = result.generation_time_s / page.account.items
 
     print_table(

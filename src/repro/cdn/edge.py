@@ -21,7 +21,15 @@ from repro.genai.image import generate_image
 from repro.genai.registry import DEFAULT_IMAGE_MODEL, ImageModel
 from repro.cdn.cache import CacheEntry, EdgeCache
 from repro.metrics.compression import prompt_metadata_size
-from repro.obs import MetricsRegistry, Tracer, get_registry, get_tracer
+from repro.obs import (
+    MetricsRegistry,
+    TraceContext,
+    Tracer,
+    encode_traceparent,
+    get_registry,
+    get_tracer,
+    parse_traceparent,
+)
 
 
 @dataclass(frozen=True)
@@ -42,9 +50,15 @@ class CatalogItem:
 
 @dataclass
 class OriginCatalog:
-    """The content provider's object catalog."""
+    """The content provider's object catalog.
+
+    The origin is its own process in the CDN scenario; give it a
+    ``tracer`` and edge cache misses show up as ``origin.fetch`` remote
+    children of the edge's span (via the re-injected ``traceparent``).
+    """
 
     items: dict[str, CatalogItem] = field(default_factory=dict)
+    tracer: Tracer | None = None
 
     def add(self, item: CatalogItem) -> None:
         self.items[item.key] = item
@@ -54,6 +68,13 @@ class OriginCatalog:
             return self.items[key]
         except KeyError:
             raise KeyError(f"no catalog item {key!r}") from None
+
+    def fetch(self, key: str, traceparent: bytes | str | None = None) -> CatalogItem:
+        """One edge→origin pull, joining the propagated trace if any."""
+        tracer = self.tracer if self.tracer is not None else get_tracer()
+        ctx = parse_traceparent(traceparent)
+        with tracer.span("origin.fetch", remote=ctx, key=key):
+            return self.get(key)
 
     def total_media_bytes(self) -> int:
         return sum(item.media_bytes for item in self.items.values())
@@ -112,12 +133,22 @@ class EdgeNode:
         self.tracer = tracer if tracer is not None else get_tracer()
         self.results: list[EdgeServeResult] = []
 
-    def serve(self, key: str) -> EdgeServeResult:
-        """Serve one user request for ``key``."""
-        with self.tracer.span("cdn.serve", key=key, mode=self.mode):
-            item = self.origin.get(key)
+    def serve(self, key: str, traceparent: bytes | str | TraceContext | None = None) -> EdgeServeResult:
+        """Serve one user request for ``key``.
+
+        ``traceparent`` is the requesting client's propagated trace
+        context (raw header bytes/str, an already-parsed
+        :class:`~repro.obs.TraceContext`, or None): the edge's span joins
+        that trace as a remote child, and cache misses re-inject the
+        edge's own context on the edge→origin hop so the whole
+        client→edge→origin chain stitches into one trace.
+        """
+        ctx = traceparent if isinstance(traceparent, (TraceContext, type(None))) else parse_traceparent(traceparent)
+        with self.tracer.span("cdn.serve", remote=ctx, key=key, mode=self.mode) as edge_span:
             cached = self.cache.get(key)
             hit = cached is not None
+            item = self.origin.get(key) if hit else self._origin_pull(key, edge_span)
+            edge_span.annotate(hit=hit)
             if self.mode == "blob":
                 backbone = 0 if hit else item.media_bytes
                 if not hit:
@@ -150,11 +181,17 @@ class EdgeNode:
                     generation_energy_wh=generation.energy_wh,
                 )
         if self.registry.enabled:
-            self._count(result)
+            trace_id = edge_span.trace_id if edge_span.sampled else None
+            self._count(result, trace_id or None)
         self.results.append(result)
         return result
 
-    def _count(self, result: EdgeServeResult) -> None:
+    def _origin_pull(self, key: str, edge_span) -> CatalogItem:
+        """The edge→origin hop on a cache miss, trace context re-injected."""
+        header = encode_traceparent(edge_span.context) if edge_span.trace_id else None
+        return self.origin.fetch(key, traceparent=header)
+
+    def _count(self, result: EdgeServeResult, trace_id: str | None = None) -> None:
         """Cache/byte/energy accounting for one served request."""
         self.registry.counter(
             "cdn_requests_total",
@@ -186,7 +223,7 @@ class EdgeNode:
                 "On-edge generation time per request (prompt mode)",
                 layer="cdn",
                 operation=self.mode,
-            ).observe(result.generation_time_s)
+            ).observe(result.generation_time_s, trace_id=trace_id)
 
     # ------------------------------------------------------------------ #
     # Aggregates

@@ -12,7 +12,11 @@ The subcommands mirror the workflows a site operator or researcher runs:
 * ``sww report``  — measure the paper's headline numbers live and print a
   paper-vs-measured table.
 * ``sww stats``   — run a demo flow with metrics enabled and dump the
-  collected registry (Prometheus text, JSON lines, or a table).
+  collected registry (Prometheus/OpenMetrics text, JSON lines, or a table).
+* ``sww trace``   — run one fetch with per-process tracers (client, server
+  and optionally CDN edge + origin), stitch the ``traceparent``-linked
+  fragments into one distributed trace, and print/export it
+  (``--export`` writes Chrome trace-event JSON for Perfetto).
 
 ``fetch`` and ``demo`` accept ``--trace`` to print the nested span tree of
 the flow they ran. Installed as the ``sww`` console script; also runnable
@@ -27,12 +31,16 @@ import sys
 
 from repro.devices import DEVICES, get_device
 from repro.obs import (
+    IdSource,
     MetricsRegistry,
     Tracer,
     logging_setup,
     render_metrics_table,
     render_span_tree,
+    stitch_spans,
+    to_chrome_trace,
     to_jsonl,
+    to_openmetrics,
     to_prometheus,
 )
 from repro.sww.client import GenerativeClient, connect_in_memory
@@ -202,11 +210,107 @@ def cmd_stats(args: argparse.Namespace) -> int:
     naive.fetch_via_pair(connect_in_memory(naive, server), page.path)
     if args.format == "prom":
         output = to_prometheus(registry)
+    elif args.format == "openmetrics":
+        output = to_openmetrics(registry)
     elif args.format == "jsonl":
         output = to_jsonl(registry)
     else:
         output = render_metrics_table(registry)
     print(output.rstrip("\n"))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """One fetch, traced across simulated process boundaries.
+
+    Client and server (and, with ``--cdn``, edge and origin) each get
+    their *own* tracer — four ring buffers standing in for four
+    processes. Causality crosses the wire only through the
+    ``traceparent`` request header, so the stitched output demonstrates
+    the propagation path end to end. Seeded id sources keep trace/span
+    ids identical run to run.
+    """
+    try:
+        page = PAGES[args.page]()
+    except KeyError:
+        raise SystemExit(f"unknown page {args.page!r}; available: {sorted(PAGES)}")
+    path = args.path or page.path
+    registry = MetricsRegistry()
+    client_tracer = Tracer(ids=IdSource(args.seed), sample_rate=args.sample_rate, registry=registry)
+    server_tracer = Tracer(ids=IdSource(args.seed + 1), registry=registry)
+
+    store = SiteStore()
+    store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+    populate_traditional_assets(store, page)
+    server = GenerativeServer(store, registry=registry, tracer=server_tracer, push_assets=True)
+
+    print(f"tracing a generative and a naive fetch of {path}...", file=sys.stderr)
+    capable = GenerativeClient(device=get_device(args.device), registry=registry, tracer=client_tracer)
+    capable.fetch_via_pair(connect_in_memory(capable, server), path)
+    # The naive fetch exercises the negotiation-fallback and server-push
+    # paths: the server materialises the page (genai spans land server-side)
+    # and pushes the generated media.
+    naive = GenerativeClient(
+        device=get_device(args.device), gen_ability=False, registry=registry, tracer=client_tracer
+    )
+    naive.fetch_via_pair(connect_in_memory(naive, server), path)
+
+    tracers = [client_tracer, server_tracer]
+    if args.cdn:
+        from repro.cdn.edge import CatalogItem, EdgeNode, OriginCatalog
+        from repro.media.jpeg_model import jpeg_size
+        from repro.obs import encode_traceparent
+
+        edge_tracer = Tracer(ids=IdSource(args.seed + 2), registry=registry)
+        origin_tracer = Tracer(ids=IdSource(args.seed + 3), registry=registry)
+        catalog = OriginCatalog(tracer=origin_tracer)
+        key = "/media/alpine-meadow-512.jpg"
+        catalog.add(
+            CatalogItem(
+                key=key,
+                prompt="a sunlit alpine meadow below a glacier tongue",
+                width=512,
+                height=512,
+                media_bytes=jpeg_size(512, 512),
+            )
+        )
+        edge = EdgeNode(
+            catalog,
+            cache_capacity_bytes=1 << 20,
+            mode="prompt",
+            registry=registry,
+            tracer=edge_tracer,
+        )
+        # Two user requests: the first misses (edge→origin hop with the
+        # re-injected traceparent, then on-edge generation), the second hits.
+        for _ in range(2):
+            with client_tracer.span("client.fetch", key=key, transport="cdn") as span:
+                edge.serve(key, traceparent=encode_traceparent(span.context))
+        tracers += [edge_tracer, origin_tracer]
+
+    stitched = stitch_spans([root for tracer in tracers for root in tracer.roots()])
+    for root in stitched:
+        print(f"\ntrace {root.trace_id}")
+        print(render_span_tree([root]))
+
+    exemplars = [
+        (name, inst, exemplar)
+        for name, kind, _help, instruments in registry.collect()
+        if kind == "histogram"
+        for inst in instruments
+        for exemplar in inst.exemplars()
+    ]
+    if exemplars:
+        print("\nexemplars (histogram bucket -> trace):")
+        for name, inst, (bound, trace_id, value) in exemplars:
+            labels = " ".join(f"{k}={v}" for k, v in inst.labels)
+            print(f"  {name}{{{labels}}} le={bound:g}: {value:.3f} @ trace {trace_id}")
+
+    if args.export:
+        with open(args.export, "w", encoding="utf-8") as handle:
+            handle.write(to_chrome_trace(stitched))
+        print(f"\nwrote Chrome trace-event JSON to {args.export} "
+              "(open at https://ui.perfetto.dev or chrome://tracing)", file=sys.stderr)
     return 0
 
 
@@ -267,9 +371,27 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="run a demo flow with metrics on and dump the registry")
     stats.add_argument("--page", default="travel-blog", choices=sorted(PAGES))
     stats.add_argument("--device", default="laptop", choices=sorted(DEVICES))
-    stats.add_argument("--format", default="prom", choices=["prom", "jsonl", "table"],
-                       help="output format: Prometheus text, JSON lines, or aligned table")
+    stats.add_argument("--format", default="prom", choices=["prom", "openmetrics", "jsonl", "table"],
+                       help="output format: Prometheus text, OpenMetrics text (with "
+                            "exemplars), JSON lines, or aligned table")
     stats.set_defaults(func=cmd_stats)
+
+    trace = sub.add_parser(
+        "trace", help="run a traced fetch and print the stitched cross-process trace"
+    )
+    trace.add_argument("path", nargs="?", default=None,
+                       help="page path to fetch (default: the --page demo page's path)")
+    trace.add_argument("--page", default="travel-blog", choices=sorted(PAGES))
+    trace.add_argument("--device", default="laptop", choices=sorted(DEVICES))
+    trace.add_argument("--cdn", action="store_true",
+                       help="also trace a client->edge->origin CDN flow (prompt-mode edge)")
+    trace.add_argument("--seed", type=int, default=0,
+                       help="id-source seed; trace/span ids are deterministic per seed")
+    trace.add_argument("--sample-rate", type=float, default=1.0,
+                       help="head-based sampling probability for client-started traces")
+    trace.add_argument("--export", metavar="FILE", default=None,
+                       help="write the stitched trace as Chrome trace-event JSON (Perfetto-loadable)")
+    trace.set_defaults(func=cmd_trace)
     return parser
 
 

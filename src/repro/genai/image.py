@@ -194,7 +194,7 @@ def generate_image(
     registry = registry if registry is not None else get_registry()
     tracer = tracer if tracer is not None else get_tracer()
 
-    with tracer.span("genai.image", model=model.name, size=f"{width}x{height}", steps=steps):
+    with tracer.span("genai.image", model=model.name, size=f"{width}x{height}", steps=steps) as gen_span:
         fidelity = model.effective_fidelity(steps)
         # Per-generation quality jitter: real diffusion output quality varies
         # draw to draw; the model's fidelity profile is the mean, not a
@@ -206,6 +206,9 @@ def generate_image(
 
         seconds = steps * model.step_time(device, width, height)
         energy = device.image_energy_wh(seconds)
+        # Simulated cost on the span itself, so stitched distributed traces
+        # can be cross-checked against the metrics registry (report.py).
+        gen_span.annotate(sim_s=round(seconds, 6))
     if registry.enabled:
         registry.counter(
             "genai_generations_total",
@@ -227,7 +230,7 @@ def generate_image(
             layer="genai",
             operation="image",
             model=model.name,
-        ).observe(seconds)
+        ).observe(seconds, trace_id=tracer.current_trace_id())
         registry.counter(
             "genai_energy_wh_total",
             "Simulated generation energy",

@@ -136,7 +136,7 @@ def expand_text(
     error = model.length_error(prompt, target_words)
     goal = max(8, round(target_words * (1.0 + error)))
 
-    with tracer.span("genai.text", model=model.name, words=target_words):
+    with tracer.span("genai.text", model=model.name, words=target_words) as gen_span:
         sentences: list[str] = []
         word_count = 0
         while word_count < goal:
@@ -156,6 +156,7 @@ def expand_text(
         text = " ".join(sentences)
         seconds = model.generation_time_s(device, target_words)
         energy = device.text_energy_wh(seconds)
+        gen_span.annotate(sim_s=round(seconds, 6))
     if registry.enabled:
         registry.counter(
             "genai_generations_total",
@@ -177,7 +178,7 @@ def expand_text(
             layer="genai",
             operation="text",
             model=model.name,
-        ).observe(seconds)
+        ).observe(seconds, trace_id=tracer.current_trace_id())
         registry.counter(
             "genai_energy_wh_total",
             "Simulated generation energy",

@@ -25,7 +25,9 @@ from repro.obs.export import (
     render_metrics_table,
     render_span_tree,
     spans_to_jsonl,
+    to_chrome_trace,
     to_jsonl,
+    to_openmetrics,
     to_prometheus,
 )
 from repro.obs.metrics import (
@@ -37,7 +39,15 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
     NullRegistry,
 )
-from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.propagation import (
+    TRACEPARENT_HEADER,
+    IdSource,
+    TraceContext,
+    encode_traceparent,
+    format_traceparent,
+    parse_traceparent,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer, stitch_spans
 
 #: Process-wide defaults, swapped by :func:`configure`.
 _default_registry: MetricsRegistry = NULL_REGISTRY
@@ -113,8 +123,17 @@ __all__ = [
     "get_tracer",
     "logging_setup",
     "to_prometheus",
+    "to_openmetrics",
     "to_jsonl",
+    "to_chrome_trace",
     "render_metrics_table",
     "render_span_tree",
     "spans_to_jsonl",
+    "stitch_spans",
+    "IdSource",
+    "TraceContext",
+    "TRACEPARENT_HEADER",
+    "format_traceparent",
+    "encode_traceparent",
+    "parse_traceparent",
 ]

@@ -1,12 +1,17 @@
-"""Exporters: Prometheus text, JSON-lines, and human-readable renderers.
-
-Three consumers, three formats:
+"""Exporters: Prometheus/OpenMetrics text, JSON-lines, Chrome trace JSON,
+and human-readable renderers.
 
 * :func:`to_prometheus` — the text exposition format a scrape endpoint
   would serve (``# HELP`` / ``# TYPE`` / samples, cumulative ``le``
   buckets for histograms);
+* :func:`to_openmetrics` — the OpenMetrics superset: same samples plus
+  per-bucket exemplars (``# {trace_id="…"} value``) and the ``# EOF``
+  terminator;
 * :func:`to_jsonl` — one JSON object per instrument, for benchmark
   artifacts and offline diffing;
+* :func:`to_chrome_trace` — Trace Event Format JSON loadable in Perfetto
+  / ``chrome://tracing``, with client/server/edge/genai spans laid out on
+  separate named tracks;
 * :func:`render_metrics_table` / :func:`render_span_tree` — terminal
   renderings in the spirit of :func:`repro.http2.debug.trace_wire`.
 """
@@ -39,27 +44,71 @@ def _format_labels(labels: tuple[tuple[str, str], ...], extra: tuple[tuple[str, 
 
 
 def _escape_label(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    """Escape a label value per the exposition format: backslash first,
+    then double-quote and both newline flavours (a hostile value must not
+    be able to terminate the quoted string or inject sample lines)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\r", "\\n")
+    )
 
 
-def to_prometheus(registry: MetricsRegistry) -> str:
-    """Render the registry in the Prometheus text exposition format."""
+def _escape_help(text: str) -> str:
+    """HELP text escaping: backslash and line feed only (spec §HELP)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n").replace("\r", "\\n")
+
+
+def _exposition_lines(registry: MetricsRegistry, exemplars: bool) -> list[str]:
     lines: list[str] = []
     for name, kind, help, instruments in registry.collect():
         if help:
-            lines.append(f"# HELP {name} {help}")
+            lines.append(f"# HELP {name} {_escape_help(help)}")
         lines.append(f"# TYPE {name} {kind}")
         for inst in instruments:
             if isinstance(inst, Histogram):
+                exemplar_map = dict()
+                if exemplars:
+                    exemplar_map = {
+                        bound: (trace_id, value) for bound, trace_id, value in inst.exemplars()
+                    }
                 for bound, cumulative in inst.cumulative_counts():
                     le = "+Inf" if math.isinf(bound) else _format_value(bound)
                     labels = _format_labels(inst.labels, (("le", le),))
-                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                    line = f"{name}_bucket{labels} {cumulative}"
+                    exemplar = exemplar_map.get(bound)
+                    if exemplar is not None:
+                        trace_id, observed = exemplar
+                        line += (
+                            f' # {{trace_id="{_escape_label(trace_id)}"}}'
+                            f" {_format_value(observed)}"
+                        )
+                    lines.append(line)
                 lines.append(f"{name}_sum{_format_labels(inst.labels)} {_format_value(inst.sum)}")
                 lines.append(f"{name}_count{_format_labels(inst.labels)} {inst.count}")
             else:
                 lines.append(f"{name}{_format_labels(inst.labels)} {_format_value(inst.value)}")
+    return lines
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines = _exposition_lines(registry, exemplars=False)
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_openmetrics(registry: MetricsRegistry) -> str:
+    """OpenMetrics flavour: exposition text + histogram exemplars + EOF.
+
+    Exemplars attach the trace-id of the (latest) traced observation to
+    the bucket it landed in, so a slow bucket can be followed straight to
+    the distributed trace that produced it.
+    """
+    lines = _exposition_lines(registry, exemplars=True)
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
 
 
 def to_jsonl(registry: MetricsRegistry) -> str:
@@ -133,3 +182,73 @@ def spans_to_jsonl(source: Tracer | list[Span]) -> str:
     return "\n".join(
         json.dumps(root.to_dict(), sort_keys=True, separators=(",", ":")) for root in roots
     ) + ("\n" if roots else "")
+
+
+#: Track layout for the Chrome/Perfetto export: span-name prefix → (pid,
+#: human track name). Every SWW layer renders as its own named process row.
+CHROME_TRACKS: dict[str, tuple[int, str]] = {
+    "client": (1, "client"),
+    "server": (2, "server"),
+    "sww": (2, "server"),
+    "cdn": (3, "edge"),
+    "origin": (4, "origin"),
+    "genai": (5, "genai"),
+}
+_OTHER_TRACK = (6, "other")
+
+
+def _chrome_track(span_name: str) -> tuple[int, str]:
+    prefix = span_name.split(".", 1)[0]
+    return CHROME_TRACKS.get(prefix, _OTHER_TRACK)
+
+
+def to_chrome_trace(source: Tracer | list[Span]) -> str:
+    """Trace Event Format JSON (Perfetto / ``chrome://tracing`` loadable).
+
+    ``source`` is a tracer or a span list — typically the output of
+    :func:`repro.obs.tracing.stitch_spans` so one fetch renders as one
+    timeline. Each span becomes a complete (``ph="X"``) event; the track
+    (``pid``) is chosen from the span name's layer prefix and named with
+    ``process_name`` metadata events, so client, server, edge and genai
+    work sit on separate labelled rows. Timestamps are microseconds,
+    rebased so the earliest span starts at 0 (runs stay diffable).
+    """
+    roots = source.roots() if isinstance(source, Tracer) else list(source)
+    spans: list[tuple[int, Span]] = []
+    for root in roots:
+        for depth, span in root.walk():
+            spans.append((depth, span))
+    events: list[dict] = []
+    used_tracks: dict[int, str] = {}
+    base = min((span.start for _, span in spans), default=0.0)
+    for depth, span in spans:
+        pid, track = _chrome_track(span.name)
+        used_tracks[pid] = track
+        args: dict = {str(k): str(v) for k, v in sorted(span.attributes.items())}
+        args["trace_id"] = span.trace_id
+        args["span_id"] = span.span_id
+        if span.remote_parent is not None:
+            args["remote_parent"] = span.remote_parent.span_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": track,
+                "ph": "X",
+                "ts": round((span.start - base) * 1e6, 3),
+                "dur": round(span.duration_s * 1e6, 3),
+                "pid": pid,
+                "tid": depth + 1,
+                "args": args,
+            }
+        )
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": name},
+        }
+        for pid, name in sorted(used_tracks.items())
+    ]
+    document = {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))

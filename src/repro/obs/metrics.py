@@ -108,7 +108,7 @@ class Histogram:
 
     kind = "histogram"
 
-    __slots__ = ("name", "labels", "buckets", "_counts", "_sum", "_count", "_lock")
+    __slots__ = ("name", "labels", "buckets", "_counts", "_sum", "_count", "_exemplars", "_lock")
 
     def __init__(self, name: str, labels: LabelKey, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         if list(buckets) != sorted(buckets):
@@ -119,14 +119,19 @@ class Histogram:
         self._counts = [0] * (len(self.buckets) + 1)  # last slot is +Inf
         self._sum = 0.0
         self._count = 0
+        #: Per-bucket exemplar: the (trace_id, value) of the latest traced
+        #: observation that landed in that bucket (OpenMetrics semantics).
+        self._exemplars: list[tuple[str, float] | None] = [None] * (len(self.buckets) + 1)
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: str | None = None) -> None:
         index = bisect.bisect_left(self.buckets, value)
         with self._lock:
             self._counts[index] += 1
             self._sum += value
             self._count += 1
+            if trace_id:
+                self._exemplars[index] = (trace_id, value)
 
     @property
     def sum(self) -> float:
@@ -150,6 +155,16 @@ class Histogram:
             out.append((bound, running))
         out.append((float("inf"), running + self._counts[-1]))
         return out
+
+    def exemplars(self) -> list[tuple[float, str, float]]:
+        """(upper_bound, trace_id, observed_value) for buckets holding one."""
+        bounds = (*self.buckets, float("inf"))
+        with self._lock:
+            return [
+                (bound, exemplar[0], exemplar[1])
+                for bound, exemplar in zip(bounds, self._exemplars)
+                if exemplar is not None
+            ]
 
 
 Instrument = Counter | Gauge | Histogram
@@ -273,10 +288,13 @@ class _NullInstrument:
     def set(self, value: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: str | None = None) -> None:
         pass
 
     def cumulative_counts(self) -> list[tuple[float, int]]:
+        return []
+
+    def exemplars(self) -> list[tuple[float, str, float]]:
         return []
 
 

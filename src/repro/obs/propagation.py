@@ -1,0 +1,136 @@
+"""W3C-style trace-context propagation (the ``traceparent`` header).
+
+One fetch in the SWW stack can cross three processes — generative client,
+edge node, origin server — and the paper's claims are about where time and
+bytes go *across* those hops. This module carries the causal link over the
+HTTP/2 wire the same way the W3C Trace Context spec does:
+
+    traceparent: 00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>
+
+* the **trace-id** (16 bytes) names the whole distributed trace and is
+  minted once, by whichever process starts the root span;
+* the **span-id** (8 bytes) names the sender's active span, which the
+  receiver records as its ``remote_parent``;
+* bit 0 of **flags** is the sampled flag; head-based sampling decided at
+  the root is honoured on every later hop.
+
+IDs come from a seeded :class:`IdSource` so traces stay deterministic —
+two identical runs produce byte-identical trace exports.
+
+Parsing is deliberately tolerant: anything malformed (wrong field widths,
+non-hex, all-zero ids, truncation) yields ``None`` and the receiver simply
+starts its own trace, per the spec's "restart the trace" guidance.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+#: Request header carrying the context (lowercase, HTTP/2 style).
+TRACEPARENT_HEADER = b"traceparent"
+
+#: The version prefix this implementation emits.
+SUPPORTED_VERSION = "00"
+
+TRACE_ID_HEX_LEN = 32  # 16 bytes
+SPAN_ID_HEX_LEN = 16  # 8 bytes
+
+_SAMPLED_FLAG = 0x01
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of one in-flight trace."""
+
+    trace_id: str  # 32 lowercase hex chars, not all zero
+    span_id: str  # 16 lowercase hex chars, not all zero
+    sampled: bool = True
+
+
+def _is_hex(value: str) -> bool:
+    try:
+        int(value, 16)
+    except ValueError:
+        return False
+    return value == value.lower()
+
+
+def format_traceparent(ctx: TraceContext) -> str:
+    """Render a context in the ``00-…-…-…`` wire form."""
+    flags = _SAMPLED_FLAG if ctx.sampled else 0
+    return f"{SUPPORTED_VERSION}-{ctx.trace_id}-{ctx.span_id}-{flags:02x}"
+
+
+def encode_traceparent(ctx: TraceContext) -> bytes:
+    """The header value as bytes, ready for an HPACK header list."""
+    return format_traceparent(ctx).encode("ascii")
+
+
+def parse_traceparent(value: str | bytes | None) -> TraceContext | None:
+    """Decode a ``traceparent`` header value; ``None`` on anything malformed.
+
+    Accepts future versions (any two-hex-digit version except ``ff``) as
+    long as the first four fields parse, per W3C §4 forward compatibility.
+    """
+    if value is None:
+        return None
+    if isinstance(value, (bytes, bytearray)):
+        try:
+            value = bytes(value).decode("ascii")
+        except UnicodeDecodeError:
+            return None
+    parts = value.strip().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, span_id, flags = parts[0], parts[1], parts[2], parts[3]
+    if len(version) != 2 or not _is_hex(version) or version == "ff":
+        return None
+    if version == SUPPORTED_VERSION and len(parts) != 4:
+        return None
+    if len(trace_id) != TRACE_ID_HEX_LEN or not _is_hex(trace_id):
+        return None
+    if len(span_id) != SPAN_ID_HEX_LEN or not _is_hex(span_id):
+        return None
+    if len(flags) != 2 or not _is_hex(flags):
+        return None
+    if set(trace_id) == {"0"} or set(span_id) == {"0"}:
+        return None
+    return TraceContext(
+        trace_id=trace_id,
+        span_id=span_id,
+        sampled=bool(int(flags, 16) & _SAMPLED_FLAG),
+    )
+
+
+class IdSource:
+    """Deterministic, injectable trace/span id generator.
+
+    Seeded with an integer it becomes fully reproducible (tests, the
+    ``sww trace`` CLI); unseeded it draws from the OS like any tracer.
+    The head-based sampling coin also lives here so a seed pins the whole
+    trace shape, ids and sampling decisions alike.
+    """
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._rng = random.Random(seed)
+
+    def trace_id(self) -> str:
+        while True:
+            value = self._rng.getrandbits(TRACE_ID_HEX_LEN * 4)
+            if value:
+                return f"{value:0{TRACE_ID_HEX_LEN}x}"
+
+    def span_id(self) -> str:
+        while True:
+            value = self._rng.getrandbits(SPAN_ID_HEX_LEN * 4)
+            if value:
+                return f"{value:0{SPAN_ID_HEX_LEN}x}"
+
+    def sample(self, rate: float) -> bool:
+        """One head-sampling coin flip at ``rate`` (0 → never, 1 → always)."""
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        return self._rng.random() < rate

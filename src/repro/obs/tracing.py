@@ -10,7 +10,17 @@ Timing uses ``time.perf_counter``. Spans nest through a per-thread stack,
 so a span opened while another is active becomes its child; completed
 *root* spans land in a bounded ring buffer (old traces fall off rather
 than growing memory — the tracer can be left attached to a long-running
-server). The :data:`NULL_TRACER` default makes every ``with`` a no-op.
+server, and evictions are counted rather than silent). The
+:data:`NULL_TRACER` default makes every ``with`` a no-op.
+
+Every recorded span carries W3C-shaped identifiers (a 16-byte trace-id
+shared by the whole trace, an 8-byte span-id of its own) minted by an
+injectable :class:`~repro.obs.propagation.IdSource`. A span opened with a
+``remote=`` :class:`~repro.obs.propagation.TraceContext` — extracted from
+a ``traceparent`` header — joins the sender's trace as a *remote child*:
+it keeps the sender's trace-id, records the sender's span-id as
+``remote_parent``, and honours the sender's head-sampling decision.
+:func:`stitch_spans` reassembles the per-process fragments into one tree.
 """
 
 from __future__ import annotations
@@ -18,14 +28,36 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from typing import Iterable
+
+from repro.obs.propagation import IdSource, TraceContext
 
 
 class Span:
     """One timed operation; context manager, may carry child spans."""
 
-    __slots__ = ("name", "attributes", "start", "end", "children", "_tracer", "_parent")
+    __slots__ = (
+        "name",
+        "attributes",
+        "start",
+        "end",
+        "children",
+        "trace_id",
+        "span_id",
+        "sampled",
+        "remote_parent",
+        "_tracer",
+        "_parent",
+        "_remote",
+    )
 
-    def __init__(self, tracer: "Tracer", name: str, attributes: dict) -> None:
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attributes: dict,
+        remote: TraceContext | None = None,
+    ) -> None:
         self._tracer = tracer
         self.name = name
         self.attributes = attributes
@@ -33,12 +65,26 @@ class Span:
         self.end: float | None = None
         self.children: list[Span] = []
         self._parent: Span | None = None
+        self._remote = remote
+        #: Identity, assigned on __enter__ (inherited from the local parent,
+        #: the remote context, or freshly minted for a new root).
+        self.trace_id: str = ""
+        self.span_id: str = ""
+        self.sampled: bool = True
+        #: The extracted cross-process parent, when this span was opened as
+        #: a remote child (None for purely local spans).
+        self.remote_parent: TraceContext | None = None
 
     @property
     def duration_s(self) -> float:
         if self.end is None:
             return 0.0
         return self.end - self.start
+
+    @property
+    def context(self) -> TraceContext:
+        """This span's identity in propagation form (inject into headers)."""
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id, sampled=self.sampled)
 
     def annotate(self, **attributes) -> "Span":
         """Attach extra attributes mid-span."""
@@ -47,8 +93,28 @@ class Span:
 
     def __enter__(self) -> "Span":
         stack = self._tracer._stack()
-        self._parent = stack[-1] if stack else None
-        if self._parent is not None:
+        local_parent = stack[-1] if stack else None
+        remote = self._remote
+        if remote is not None and (local_parent is None or local_parent.trace_id != remote.trace_id):
+            # True cross-process hop: detach from any unrelated local span
+            # and root this process's fragment of the sender's trace.
+            self._parent = None
+            self.trace_id = remote.trace_id
+            self.sampled = remote.sampled
+            self.remote_parent = remote
+        else:
+            # Purely local, or a remote context that is really the local
+            # parent seen through a same-process loopback (the in-memory
+            # transport): plain nesting keeps the tree whole.
+            self._parent = local_parent
+            if local_parent is not None:
+                self.trace_id = local_parent.trace_id
+                self.sampled = local_parent.sampled
+            else:
+                self.trace_id = self._tracer._ids.trace_id()
+                self.sampled = self._tracer._ids.sample(self._tracer.sample_rate)
+        self.span_id = self._tracer._ids.span_id()
+        if self._parent is not None and self.sampled:
             self._parent.children.append(self)
         stack.append(self)
         self.start = time.perf_counter()
@@ -61,7 +127,7 @@ class Span:
         stack = self._tracer._stack()
         if stack and stack[-1] is self:
             stack.pop()
-        if self._parent is None:
+        if self._parent is None and self.sampled:
             self._tracer._record(self)
 
     def walk(self, depth: int = 0):
@@ -72,12 +138,17 @@ class Span:
 
     def to_dict(self) -> dict:
         """JSON-friendly form (relative times only, keeps runs comparable)."""
-        return {
+        data = {
             "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
             "duration_s": self.duration_s,
             "attributes": dict(self.attributes),
             "children": [child.to_dict() for child in self.children],
         }
+        if self.remote_parent is not None:
+            data["remote_parent"] = self.remote_parent.span_id
+        return data
 
 
 class Tracer:
@@ -85,15 +156,32 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(
+        self,
+        capacity: int = 1024,
+        ids: IdSource | None = None,
+        sample_rate: float = 1.0,
+        registry=None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("ring capacity must be positive")
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in [0, 1]")
         self._ring: deque[Span] = deque(maxlen=capacity)
         self._local = threading.local()
         self._lock = threading.Lock()
+        self._ids = ids if ids is not None else IdSource()
+        #: Head-based sampling probability for locally started roots;
+        #: remote children always inherit the sender's decision instead.
+        self.sample_rate = sample_rate
+        #: Completed roots evicted by ring overflow (never reset by reads).
+        self.dropped_roots = 0
+        #: Optional metrics sink for the eviction counter.
+        self._registry = registry
 
-    def span(self, name: str, **attributes) -> Span:
-        return Span(self, name, attributes)
+    def span(self, name: str, remote: TraceContext | None = None, **attributes) -> Span:
+        """Open a span; pass ``remote=`` to join a propagated trace."""
+        return Span(self, name, attributes, remote=remote)
 
     def _stack(self) -> list[Span]:
         stack = getattr(self._local, "stack", None)
@@ -104,12 +192,25 @@ class Tracer:
 
     def _record(self, span: Span) -> None:
         with self._lock:
+            if self._ring.maxlen is not None and len(self._ring) == self._ring.maxlen:
+                self.dropped_roots += 1
+                if self._registry is not None and self._registry.enabled:
+                    self._registry.counter(
+                        "obs_traces_dropped_total",
+                        "Completed root spans evicted from the tracer ring buffer",
+                        layer="obs",
+                        operation="evicted",
+                    ).inc()
             self._ring.append(span)
 
     def roots(self) -> list[Span]:
         """Completed root spans, oldest first."""
         with self._lock:
             return list(self._ring)
+
+    def find_trace(self, trace_id: str) -> list[Span]:
+        """Completed roots belonging to one trace, oldest first."""
+        return [span for span in self.roots() if span.trace_id == trace_id]
 
     def reset(self) -> None:
         with self._lock:
@@ -121,14 +222,80 @@ class Tracer:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    def current_context(self) -> TraceContext | None:
+        """The active span's propagation context (None when idle)."""
+        span = self.current
+        if span is None or not span.trace_id:
+            return None
+        return span.context
+
+    def current_trace_id(self) -> str | None:
+        """The active *sampled* trace's id — exemplar-friendly: unsampled
+        traces are never recorded, so they yield None rather than an id
+        that resolves to nothing."""
+        span = self.current
+        if span is None or not span.sampled or not span.trace_id:
+            return None
+        return span.trace_id
+
+
+def stitch_spans(roots: Iterable[Span]) -> list[Span]:
+    """Reassemble per-process trace fragments into whole trees.
+
+    Takes completed roots from any number of tracers (one per simulated
+    process). Every root carrying a ``remote_parent`` is attached as a
+    child of the span it names — matched on ``(trace_id, span_id)`` —
+    and drops out of the returned root list; roots whose remote parent is
+    not present (or that never had one) come back as stitched tree roots.
+
+    Attachment mutates ``parent.children`` in place (idempotently), so the
+    usual :meth:`Span.walk` / renderers see one tree per trace.
+    """
+    roots = list(roots)
+    index: dict[tuple[str, str], Span] = {}
+    for root in roots:
+        for _, span in root.walk():
+            index[(span.trace_id, span.span_id)] = span
+    stitched: list[Span] = []
+    for root in roots:
+        ctx = root.remote_parent
+        parent = index.get((ctx.trace_id, ctx.span_id)) if ctx is not None else None
+        if parent is None or parent is root:
+            stitched.append(root)
+            continue
+        if not any(child is root for child in parent.children):
+            parent.children.append(root)
+            parent.children.sort(key=lambda span: span.start)
+    return stitched
+
 
 class _NullSpan:
-    """Shared no-op span; supports the full Span surface."""
+    """Shared no-op span; supports the full Span surface.
+
+    This is a process-wide singleton, so nothing on it may be shared
+    mutable state: ``attributes`` and ``children`` are properties minting
+    a fresh object per access, and :meth:`annotate` discards its input —
+    a caller mutating ``span.attributes`` cannot poison later spans.
+    """
 
     name = ""
-    attributes: dict = {}
-    children: list = []
     duration_s = 0.0
+    trace_id = ""
+    span_id = ""
+    sampled = False
+    remote_parent = None
+
+    @property
+    def attributes(self) -> dict:
+        return {}
+
+    @property
+    def children(self) -> list:
+        return []
+
+    @property
+    def context(self) -> TraceContext | None:
+        return None
 
     def annotate(self, **attributes) -> "_NullSpan":
         return self
@@ -157,7 +324,7 @@ class NullTracer(Tracer):
     def __init__(self) -> None:
         super().__init__(capacity=1)
 
-    def span(self, name: str, **attributes):  # type: ignore[override]
+    def span(self, name: str, remote: TraceContext | None = None, **attributes):  # type: ignore[override]
         return _NULL_SPAN
 
     def roots(self) -> list[Span]:

@@ -17,7 +17,7 @@ from repro.genai.registry import DEEPSEEK_R1_8B, SD3_MEDIUM
 from repro.genai.text import expand_text
 from repro.media.jpeg_model import jpeg_size
 from repro.metrics.compression import WORST_CASE_IMAGE_METADATA
-from repro.obs import MetricsRegistry
+from repro.obs import IdSource, MetricsRegistry, Tracer, stitch_spans
 from repro.sww.client import GenerativeClient, connect_in_memory
 from repro.sww.server import GenerativeServer, PageResource, SiteStore
 from repro.workloads import build_news_article, build_wikimedia_landscape_page
@@ -105,7 +105,64 @@ def run_headline_experiments() -> list[ReportRow]:
     rows.append(
         ReportRow("E8", "send large image @100Mbps", "~10 ms", f"{transmission_time_s(large) * 1000:.1f} ms")
     )
+
+    rows.extend(trace_crosscheck_rows())
     return rows
+
+
+def trace_crosscheck_rows() -> list[ReportRow]:
+    """Cross-check Table-2-grade timings against a stitched distributed trace.
+
+    Client and server run with *separate* tracers (simulated separate
+    processes) linked only by the propagated ``traceparent`` header; a
+    naive-client fetch forces server-side materialisation so the genai
+    work lands on the server's side of the wire. The stitched trace must
+    (a) form one tree rooted at ``client.fetch`` containing
+    ``server.materialise``, and (b) carry per-span simulated seconds
+    (``sim_s`` attributes) summing to the registry's
+    ``genai_generation_seconds`` — i.e. no generation happened outside
+    the trace.
+    """
+    page = build_news_article()
+    registry = MetricsRegistry()
+    client_tracer = Tracer(ids=IdSource(1))
+    server_tracer = Tracer(ids=IdSource(2))
+    store = SiteStore()
+    store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+    server = GenerativeServer(store, registry=registry, tracer=server_tracer)
+    client = GenerativeClient(
+        device=LAPTOP, gen_ability=False, registry=registry, tracer=client_tracer
+    )
+    pair = connect_in_memory(client, server)
+    client.fetch_via_pair(pair, page.path)
+
+    stitched = stitch_spans([*client_tracer.roots(), *server_tracer.roots()])
+    fetch_roots = [root for root in stitched if root.name == "client.fetch"]
+    spans = [span for root in fetch_roots for _, span in root.walk()]
+    one_trace = len(fetch_roots) == 1 and len({span.trace_id for span in spans}) == 1
+    materialised = any(span.name == "server.materialise" for span in spans)
+    span_sim_s = sum(span.attributes.get("sim_s", 0.0) for span in spans)
+    registry_sim_s = registry.total("genai_generation_seconds")
+    return [
+        ReportRow(
+            "Trace",
+            "naive fetch stitches to one trace",
+            "1 tree",
+            f"{len(fetch_roots)} tree" + ("" if one_trace else " (id mismatch)"),
+        ),
+        ReportRow(
+            "Trace",
+            "server.materialise under client.fetch",
+            "yes",
+            "yes" if materialised else "no",
+        ),
+        ReportRow(
+            "Trace",
+            "stitched sim-time vs registry",
+            "equal",
+            f"{span_sim_s:.1f} s vs {registry_sim_s:.1f} s",
+        ),
+    ]
 
 
 def format_report(rows: list[ReportRow]) -> str:

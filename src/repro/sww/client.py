@@ -193,6 +193,15 @@ class GenerativeClient:
             from repro.sww.model_negotiation import MODELS_HEADER, encode_models_header
 
             headers.append((MODELS_HEADER, encode_models_header(self.installed_models)))
+        # W3C-style trace-context propagation: whatever span is active when
+        # the request is built (client.request, client.fetch, …) becomes the
+        # remote parent of the server's spans. Sent even when unsampled, so
+        # the head-based sampling decision reaches every hop.
+        ctx = self.tracer.current_context()
+        if ctx is not None:
+            from repro.obs import TRACEPARENT_HEADER, encode_traceparent
+
+            headers.append((TRACEPARENT_HEADER, encode_traceparent(ctx)))
         return headers
 
     # ------------------------------------------------------------------ #

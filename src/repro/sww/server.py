@@ -166,6 +166,7 @@ class GenerativeServer:
         path: str,
         client_gen_ability: bool,
         client_models: list[str] | None = None,
+        trace_context=None,
     ) -> ServedResponse:
         """Produce the response for one GET, honouring negotiation state.
 
@@ -173,9 +174,14 @@ class GenerativeServer:
         negotiation): when present, generative pages are rewritten to the
         client's installed models, and pages the client cannot generate
         fall back to server-side generation.
+
+        ``trace_context`` is the extracted ``traceparent``
+        (:class:`~repro.obs.TraceContext` or None): when present the
+        server's spans join the client's distributed trace as remote
+        children, sampling decision included.
         """
         self.requests_served += 1
-        with self.tracer.span("server.request", page=path):
+        with self.tracer.span("server.request", remote=trace_context, page=path):
             response = self._respond(path, client_gen_ability, client_models)
         if self.registry.enabled:
             self._count_response(path, response)
@@ -316,7 +322,7 @@ class GenerativeServer:
                 "Simulated server-side materialisation time per page",
                 layer="sww",
                 operation="materialise",
-            ).observe(report.sim_time_s)
+            ).observe(report.sim_time_s, trace_id=self.tracer.current_trace_id())
         logger.debug(
             "materialised %s: %d assets, %.1f simulated s",
             page.path,
@@ -407,6 +413,7 @@ class ServerSession:
 
     def handle_event(self, event: Event) -> None:
         if isinstance(event, RequestReceived):
+            from repro.obs import TRACEPARENT_HEADER, parse_traceparent
             from repro.sww.model_negotiation import MODELS_HEADER, parse_models_header
 
             headers = dict(event.headers)
@@ -414,8 +421,11 @@ class ServerSession:
             authority = headers.get(b":authority", b"sww.example")
             raw_models = headers.get(MODELS_HEADER)
             client_models = parse_models_header(raw_models) if raw_models is not None else None
+            # Malformed/truncated traceparent values parse to None and the
+            # request simply starts its own trace (W3C restart semantics).
+            trace_context = parse_traceparent(headers.get(TRACEPARENT_HEADER))
             response = self.server.handle_request(
-                path, self.conn.gen_ability_negotiated, client_models
+                path, self.conn.gen_ability_negotiated, client_models, trace_context
             )
             self.responses.append(response)
             self.conn.send_headers(event.stream_id, response.headers)

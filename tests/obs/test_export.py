@@ -3,12 +3,16 @@
 import json
 
 from repro.obs import (
+    IdSource,
     MetricsRegistry,
     Tracer,
     render_metrics_table,
     render_span_tree,
     spans_to_jsonl,
+    stitch_spans,
+    to_chrome_trace,
     to_jsonl,
+    to_openmetrics,
     to_prometheus,
 )
 
@@ -45,11 +49,116 @@ class TestPrometheus:
         text = to_prometheus(reg)
         assert 'page="say \\"hi\\"\\n"' in text
 
+    def test_hostile_label_cannot_break_exposition(self):
+        # Backslashes escape first, quotes and both newline flavours after:
+        # the hostile value must stay inside one quoted string on one line.
+        reg = MetricsRegistry()
+        hostile = 'a\\b"\nc\rinjected_total{x="y"} 99'
+        reg.counter("x_total", "h", page=hostile).inc()
+        text = to_prometheus(reg)
+        (sample_line,) = [line for line in text.splitlines() if not line.startswith("#")]
+        assert sample_line.startswith("x_total{page=") and sample_line.endswith("} 1")
+        assert 'page="a\\\\b\\"\\nc\\ninjected_total{x=\\"y\\"} 99"' in sample_line
+
+    def test_help_text_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "line one\nline \\ two").inc()
+        text = to_prometheus(reg)
+        assert "# HELP x_total line one\\nline \\\\ two" in text
+
     def test_deterministic_output(self):
         assert to_prometheus(sample_registry()) == to_prometheus(sample_registry())
 
     def test_empty_registry(self):
         assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestOpenMetrics:
+    def registry_with_exemplar(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        h = reg.histogram("sww_generation_seconds", "Gen time", buckets=(1.0, 10.0), layer="sww")
+        h.observe(0.5)
+        h.observe(5.0, trace_id="ab" * 16)
+        return reg
+
+    def test_ends_with_eof(self):
+        assert to_openmetrics(MetricsRegistry()).endswith("# EOF\n")
+        assert to_openmetrics(self.registry_with_exemplar()).endswith("# EOF\n")
+
+    def test_exemplar_attached_to_bucket(self):
+        text = to_openmetrics(self.registry_with_exemplar())
+        assert (
+            'sww_generation_seconds_bucket{layer="sww",le="10"} 2'
+            ' # {trace_id="' + "ab" * 16 + '"} 5' in text
+        )
+        # The bucket the traced observation missed carries no exemplar.
+        assert 'sww_generation_seconds_bucket{layer="sww",le="1"} 1\n' in text
+
+    def test_untraced_observations_carry_no_exemplars(self):
+        reg = MetricsRegistry()
+        reg.histogram("h_seconds", "x", buckets=(1.0,)).observe(0.5)
+        assert " # {" not in to_openmetrics(reg)
+
+    def test_prometheus_flavour_omits_exemplars(self):
+        assert " # {" not in to_prometheus(self.registry_with_exemplar())
+
+
+class TestChromeTrace:
+    def stitched(self) -> list:
+        client, server = Tracer(ids=IdSource(seed=1)), Tracer(ids=IdSource(seed=2))
+        with client.span("client.fetch", page="/p") as fetch:
+            with server.span("server.request", remote=fetch.context):
+                with server.span("genai.image"):
+                    pass
+        return stitch_spans([*client.roots(), *server.roots()])
+
+    def test_valid_json_with_complete_events(self):
+        doc = json.loads(to_chrome_trace(self.stitched()))
+        assert doc["displayTimeUnit"] == "ms"
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in events} == {"client.fetch", "server.request", "genai.image"}
+        for event in events:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"} <= set(event)
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert event["args"]["trace_id"] and event["args"]["span_id"]
+
+    def test_layers_land_on_named_tracks(self):
+        doc = json.loads(to_chrome_trace(self.stitched()))
+        tracks = {
+            e["pid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert tracks == {1: "client", 2: "server", 5: "genai"}
+        by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert by_name["client.fetch"]["pid"] == 1
+        assert by_name["server.request"]["pid"] == 2
+        assert by_name["genai.image"]["pid"] == 5
+
+    def test_remote_parent_and_depth_exported(self):
+        doc = json.loads(to_chrome_trace(self.stitched()))
+        by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        fetch, request = by_name["client.fetch"], by_name["server.request"]
+        assert request["args"]["remote_parent"] == fetch["args"]["span_id"]
+        assert request["args"]["trace_id"] == fetch["args"]["trace_id"]
+        assert fetch["tid"] == 1 and request["tid"] == 2
+
+    def test_timestamps_rebased_to_zero(self):
+        doc = json.loads(to_chrome_trace(self.stitched()))
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in events) == 0
+
+    def test_unknown_prefix_goes_to_other_track(self):
+        tracer = Tracer()
+        with tracer.span("mystery.op"):
+            pass
+        doc = json.loads(to_chrome_trace(tracer))
+        (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert event["pid"] == 6 and event["cat"] == "other"
+
+    def test_empty_source(self):
+        doc = json.loads(to_chrome_trace([]))
+        assert doc["traceEvents"] == []
 
 
 class TestJsonl:

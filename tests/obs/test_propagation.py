@@ -1,0 +1,102 @@
+"""Unit tests for W3C-style traceparent encoding and the seeded id source."""
+
+import pytest
+
+from repro.obs import (
+    TRACEPARENT_HEADER,
+    IdSource,
+    TraceContext,
+    encode_traceparent,
+    format_traceparent,
+    parse_traceparent,
+)
+
+CTX = TraceContext(trace_id="0af7651916cd43dd8448eb211c80319c", span_id="b7ad6b7169203331")
+
+
+class TestFormat:
+    def test_sampled_header(self):
+        assert (
+            format_traceparent(CTX)
+            == "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+        )
+
+    def test_unsampled_flag(self):
+        ctx = TraceContext(CTX.trace_id, CTX.span_id, sampled=False)
+        assert format_traceparent(ctx).endswith("-00")
+
+    def test_encode_is_ascii_bytes(self):
+        raw = encode_traceparent(CTX)
+        assert isinstance(raw, bytes)
+        assert raw == format_traceparent(CTX).encode("ascii")
+
+    def test_header_name_is_lowercase_bytes(self):
+        # HTTP/2 pseudo-header rules: field names go on the wire lowercased.
+        assert TRACEPARENT_HEADER == b"traceparent"
+
+
+class TestParse:
+    def test_round_trip(self):
+        for sampled in (True, False):
+            ctx = TraceContext(CTX.trace_id, CTX.span_id, sampled=sampled)
+            assert parse_traceparent(encode_traceparent(ctx)) == ctx
+
+    def test_accepts_str_and_bytes(self):
+        text = format_traceparent(CTX)
+        assert parse_traceparent(text) == CTX
+        assert parse_traceparent(text.encode()) == CTX
+
+    def test_future_version_with_extra_field_tolerated(self):
+        # Per the spec, higher versions may append fields; parse what we know.
+        value = f"01-{CTX.trace_id}-{CTX.span_id}-01-whatever"
+        assert parse_traceparent(value) == CTX
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            "",
+            "00",
+            "00-abc",
+            f"00-{CTX.trace_id}-{CTX.span_id}",  # truncated: flags missing
+            f"00-{CTX.trace_id}-{CTX.span_id}-01-extra",  # v00 forbids extras
+            f"ff-{CTX.trace_id}-{CTX.span_id}-01",  # version ff is invalid
+            f"0-{CTX.trace_id}-{CTX.span_id}-01",  # version not 2 chars
+            f"00-{CTX.trace_id[:-1]}-{CTX.span_id}-01",  # short trace-id
+            f"00-{CTX.trace_id}x-{CTX.span_id}-01",  # long trace-id
+            f"00-{CTX.trace_id}-{CTX.span_id[:-1]}-01",  # short span-id
+            f"00-{CTX.trace_id.upper()}-{CTX.span_id}-01",  # uppercase hex
+            f"00-{'g' * 32}-{CTX.span_id}-01",  # non-hex trace-id
+            f"00-{'0' * 32}-{CTX.span_id}-01",  # all-zero trace-id
+            f"00-{CTX.trace_id}-{'0' * 16}-01",  # all-zero span-id
+            f"00-{CTX.trace_id}-{CTX.span_id}-zz",  # non-hex flags
+            b"\xff\xfe not ascii",
+        ],
+    )
+    def test_malformed_returns_none(self, value):
+        assert parse_traceparent(value) is None
+
+
+class TestIdSource:
+    def test_seeded_ids_are_deterministic(self):
+        a, b = IdSource(seed=7), IdSource(seed=7)
+        assert [a.trace_id(), a.span_id()] == [b.trace_id(), b.span_id()]
+        assert IdSource(seed=8).trace_id() != IdSource(seed=7).trace_id()
+
+    def test_id_shapes(self):
+        ids = IdSource(seed=0)
+        trace_id, span_id = ids.trace_id(), ids.span_id()
+        assert len(trace_id) == 32 and len(span_id) == 16
+        int(trace_id, 16), int(span_id, 16)  # both parse as hex
+        assert trace_id != "0" * 32 and span_id != "0" * 16
+
+    def test_ids_differ_across_calls(self):
+        ids = IdSource(seed=1)
+        assert len({ids.span_id() for _ in range(64)}) == 64
+
+    def test_sample_rates(self):
+        ids = IdSource(seed=3)
+        assert all(ids.sample(1.0) for _ in range(32))
+        assert not any(ids.sample(0.0) for _ in range(32))
+        hits = sum(ids.sample(0.5) for _ in range(400))
+        assert 120 < hits < 280

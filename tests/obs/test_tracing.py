@@ -4,7 +4,16 @@ import threading
 
 import pytest
 
-from repro.obs import NULL_TRACER, NullTracer, Tracer
+from repro.obs import (
+    NULL_TRACER,
+    IdSource,
+    MetricsRegistry,
+    NullTracer,
+    TraceContext,
+    Tracer,
+    parse_traceparent,
+    stitch_spans,
+)
 
 
 class TestSpanNesting:
@@ -123,3 +132,165 @@ class TestNullTracer:
     def test_shared_span_singleton(self):
         t = NullTracer()
         assert t.span("a") is t.span("b")
+
+    def test_singleton_has_no_shared_mutable_state(self):
+        # Regression: attributes/children used to be class-level dict/list,
+        # so one caller's mutation leaked into every later null span.
+        sp = NULL_TRACER.span("a")
+        sp.attributes["poison"] = True
+        sp.children.append("poison")
+        again = NULL_TRACER.span("b")
+        assert again.attributes == {}
+        assert again.children == []
+        assert again.context is None
+
+
+class TestTraceIdentity:
+    def test_ids_assigned_and_shared_within_trace(self):
+        tracer = Tracer(ids=IdSource(seed=0))
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert len(outer.trace_id) == 32 and len(outer.span_id) == 16
+        assert inner.trace_id == outer.trace_id
+        assert inner.span_id != outer.span_id
+
+    def test_new_root_new_trace_id(self):
+        tracer = Tracer(ids=IdSource(seed=0))
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.trace_id != b.trace_id
+
+    def test_context_round_trips_through_traceparent(self):
+        tracer = Tracer(ids=IdSource(seed=4))
+        with tracer.span("op") as sp:
+            ctx = tracer.current_context()
+        assert ctx == sp.context
+        assert parse_traceparent(f"00-{ctx.trace_id}-{ctx.span_id}-01") == ctx
+
+    def test_current_context_none_when_idle(self):
+        tracer = Tracer()
+        assert tracer.current_context() is None
+        assert tracer.current_trace_id() is None
+
+    def test_find_trace(self):
+        tracer = Tracer(ids=IdSource(seed=1))
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b"):
+            pass
+        assert tracer.find_trace(a.trace_id) == [a]
+
+
+class TestRemoteChildren:
+    def test_remote_child_joins_senders_trace(self):
+        client, server = Tracer(ids=IdSource(seed=1)), Tracer(ids=IdSource(seed=2))
+        with client.span("client.fetch") as fetch:
+            ctx = fetch.context
+        with server.span("server.request", remote=ctx) as handled:
+            pass
+        assert handled.trace_id == fetch.trace_id
+        assert handled.remote_parent == ctx
+        assert server.roots() == [handled]  # a root fragment on its side
+
+    def test_remote_detaches_from_unrelated_local_parent(self):
+        server = Tracer(ids=IdSource(seed=2))
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        with server.span("server.housekeeping") as outer:
+            with server.span("server.request", remote=ctx) as handled:
+                pass
+        assert handled.trace_id == ctx.trace_id != outer.trace_id
+        assert outer.children == []
+        assert {s.name for s in server.roots()} == {"server.housekeeping", "server.request"}
+
+    def test_loopback_remote_nests_locally(self):
+        # In-memory transport: the "remote" context is the local ancestor.
+        tracer = Tracer(ids=IdSource(seed=3))
+        with tracer.span("client.fetch") as fetch:
+            with tracer.span("server.request", remote=fetch.context) as handled:
+                pass
+        assert fetch.children == [handled]
+        assert handled.remote_parent is None
+
+    def test_stitch_attaches_fragment_under_named_parent(self):
+        client, server = Tracer(ids=IdSource(seed=1)), Tracer(ids=IdSource(seed=2))
+        with client.span("client.fetch") as fetch:
+            with server.span("server.request", remote=fetch.context):
+                with server.span("server.materialise"):
+                    pass
+        (stitched,) = stitch_spans([*client.roots(), *server.roots()])
+        assert stitched is fetch
+        assert [(d, s.name) for d, s in stitched.walk()] == [
+            (0, "client.fetch"),
+            (1, "server.request"),
+            (2, "server.materialise"),
+        ]
+        # Idempotent: stitching again must not duplicate the child.
+        stitch_spans([*client.roots(), *server.roots()])
+        assert len(fetch.children) == 1
+
+    def test_stitch_keeps_orphan_fragment_as_root(self):
+        server = Tracer(ids=IdSource(seed=2))
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8)
+        with server.span("server.request", remote=ctx) as handled:
+            pass
+        assert stitch_spans(server.roots()) == [handled]
+
+
+class TestSampling:
+    def test_unsampled_root_not_recorded(self):
+        tracer = Tracer(ids=IdSource(seed=0), sample_rate=0.0)
+        with tracer.span("root") as root:
+            with tracer.span("child"):
+                pass
+        assert root.sampled is False
+        assert root.children == []
+        assert tracer.roots() == []
+
+    def test_children_inherit_sampling_decision(self):
+        tracer = Tracer(ids=IdSource(seed=0), sample_rate=0.0)
+        with tracer.span("root"):
+            with tracer.span("child") as child:
+                pass
+        assert child.sampled is False
+
+    def test_remote_unsampled_honoured(self):
+        server = Tracer(ids=IdSource(seed=2))
+        ctx = TraceContext(trace_id="ab" * 16, span_id="cd" * 8, sampled=False)
+        with server.span("server.request", remote=ctx):
+            assert server.current_trace_id() is None
+        assert server.roots() == []
+
+    def test_unsampled_trace_id_hidden_from_exemplars(self):
+        tracer = Tracer(ids=IdSource(seed=0), sample_rate=0.0)
+        with tracer.span("root"):
+            assert tracer.current_context() is not None  # still propagates
+            assert tracer.current_trace_id() is None
+
+    def test_bad_sample_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+
+
+class TestDroppedRoots:
+    def test_eviction_counts_and_increments_registry(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(capacity=2, registry=registry)
+        for i in range(3):  # capacity + 1 completed roots
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.roots()] == ["s1", "s2"]
+        assert tracer.dropped_roots == 1
+        assert (
+            registry.value("obs_traces_dropped_total", layer="obs", operation="evicted") == 1
+        )
+
+    def test_no_eviction_no_counter(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(capacity=2, registry=registry)
+        with tracer.span("only"):
+            pass
+        assert tracer.dropped_roots == 0
+        assert registry.value("obs_traces_dropped_total", layer="obs", operation="evicted") == 0

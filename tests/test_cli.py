@@ -14,7 +14,7 @@ class TestParser:
         parser = build_parser()
         actions = {a.dest: a for a in parser._actions}
         choices = actions["command"].choices
-        assert set(choices) == {"serve", "fetch", "convert", "demo", "report", "stats"}
+        assert set(choices) == {"serve", "fetch", "convert", "demo", "report", "stats", "trace"}
 
     def test_demo_defaults(self):
         args = build_parser().parse_args(["demo"])
@@ -24,6 +24,11 @@ class TestParser:
     def test_stats_defaults(self):
         args = build_parser().parse_args(["stats"])
         assert args.page == "travel-blog" and args.format == "prom"
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.page == "travel-blog" and args.seed == 0
+        assert args.sample_rate == 1.0 and args.cdn is False and args.export is None
 
     def test_log_level_flag(self):
         args = build_parser().parse_args(["--log-level", "debug", "demo"])
@@ -92,6 +97,61 @@ class TestStats:
         assert main(["stats", "--page", "news", "--device", "workstation", "--format", "table"]) == 0
         out = capsys.readouterr().out
         assert out.splitlines()[0].startswith("metric")
+
+    def test_openmetrics_output(self, capsys):
+        args = ["stats", "--page", "news", "--device", "workstation", "--format", "openmetrics"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert out.rstrip().endswith("# EOF")
+        assert "# TYPE genai_generation_seconds histogram" in out
+
+
+class TestTrace:
+    def test_trace_prints_one_stitched_trace_per_fetch(self, capsys):
+        assert main(["trace", "--page", "news", "--device", "workstation"]) == 0
+        out = capsys.readouterr().out
+        # Two fetches (capable + naive) -> two stitched traces, each with
+        # the server's spans indented under the client's fetch span.
+        assert out.count("trace ") >= 2
+        assert "client.fetch" in out
+        assert "  server.request" in out
+        assert "server.materialise" in out  # the naive fetch's server-side work
+        assert "exemplars (histogram bucket -> trace):" in out
+
+    def test_trace_ids_deterministic_per_seed(self, capsys):
+        def trace_ids(out: str) -> list[str]:
+            return [line.split()[1] for line in out.splitlines() if line.startswith("trace ")]
+
+        assert main(["trace", "--page", "news", "--device", "workstation", "--seed", "7"]) == 0
+        first = trace_ids(capsys.readouterr().out)
+        assert main(["trace", "--page", "news", "--device", "workstation", "--seed", "7"]) == 0
+        assert trace_ids(capsys.readouterr().out) == first
+        assert main(["trace", "--page", "news", "--device", "workstation", "--seed", "8"]) == 0
+        assert trace_ids(capsys.readouterr().out) != first
+
+    def test_trace_export_writes_loadable_chrome_json(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "trace.json"
+        args = ["trace", "--page", "news", "--device", "workstation", "--export", str(target)]
+        assert main(args) == 0
+        doc = json.loads(target.read_text())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["name"] for e in events} >= {"client.fetch", "server.request"}
+        tracks = {e["args"]["name"] for e in doc["traceEvents"] if e["ph"] == "M"}
+        assert {"client", "server"} <= tracks
+
+    def test_trace_cdn_adds_edge_and_origin_tracks(self, capsys):
+        assert main(["trace", "--page", "news", "--device", "workstation", "--cdn"]) == 0
+        out = capsys.readouterr().out
+        assert "cdn.serve" in out
+        assert "origin.fetch" in out
+
+    def test_trace_unsampled_records_nothing(self, capsys):
+        args = ["trace", "--page", "news", "--device", "workstation", "--sample-rate", "0"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "client.fetch" not in out
 
 
 class TestConvert:

@@ -14,7 +14,16 @@ def rows():
 class TestHeadlineExperiments:
     def test_covers_all_headline_experiments(self, rows):
         experiments = {row.experiment for row in rows}
-        assert experiments == {"Fig.2", "E3", "Table2", "E8"}
+        assert experiments == {"Fig.2", "E3", "Table2", "E8", "Trace"}
+
+    def test_trace_crosscheck_rows_pass(self, rows):
+        stitch = next(r for r in rows if r.metric == "naive fetch stitches to one trace")
+        assert stitch.measured == "1 tree"
+        nested = next(r for r in rows if r.metric == "server.materialise under client.fetch")
+        assert nested.measured == "yes"
+        sim = next(r for r in rows if r.metric == "stitched sim-time vs registry")
+        spans_s, registry_s = sim.measured.split(" vs ")
+        assert spans_s.rstrip(" s") == registry_s.rstrip(" s")
 
     def test_every_row_has_both_columns(self, rows):
         for row in rows:
