@@ -29,7 +29,9 @@ models), :mod:`repro.media` (PNG codec & size models), :mod:`repro.devices`
 (calibrated hardware/energy models), :mod:`repro.metrics` (CLIP/SBERT/ELO
 similes), :mod:`repro.sww` (the paper's system), :mod:`repro.cdn` (§2.2
 scenario), :mod:`repro.workloads` (synthetic corpora), :mod:`repro.obs`
-(metrics, tracing and logging — see docs/OBSERVABILITY.md).
+(metrics, tracing and logging — see docs/OBSERVABILITY.md),
+:mod:`repro.gencache` (content-addressed generation cache and
+single-flight scheduling — see docs/PERFORMANCE.md).
 """
 
 from repro.devices import LAPTOP, WORKSTATION, MOBILE, CLOUD, get_device
@@ -58,6 +60,10 @@ from repro.sww import (
     render_text,
 )
 from repro.sww.client import connect_in_memory
+
+# Imported after repro.sww: gencache key derivation reads repro.sww.content,
+# so loading it first would re-enter repro.sww mid-initialisation.
+from repro.gencache import GenerationCache, GenerationKey, SingleFlightScheduler
 from repro.workloads import (
     build_news_article,
     build_travel_blog,
@@ -77,6 +83,9 @@ __all__ = [
     "TEXT_MODELS",
     "get_image_model",
     "get_text_model",
+    "GenerationCache",
+    "GenerationKey",
+    "SingleFlightScheduler",
     "H2Connection",
     "SETTINGS_GEN_ABILITY",
     "MetricsRegistry",

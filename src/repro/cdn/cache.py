@@ -1,8 +1,9 @@
 """A byte-accounted LRU edge cache.
 
-Entries are either full media blobs (traditional CDN) or prompts (SWW
-CDN); the cache does not care, it counts bytes. The storage-saving claim
-of §2.2 falls out of the same capacity holding ~2 orders of magnitude more
+Entries are either full media blobs (traditional CDN), prompts (SWW
+CDN), or content-addressed generated media (``repro.gencache``); the
+cache does not care, it counts bytes. The storage-saving claim of §2.2
+falls out of the same capacity holding ~2 orders of magnitude more
 prompt entries than blob entries.
 """
 
@@ -18,7 +19,8 @@ class CacheEntry:
 
     key: str
     size_bytes: int
-    #: "blob" (materialised media) or "prompt" (SWW metadata).
+    #: "blob" (materialised media), "prompt" (SWW metadata), or
+    #: "genblob" (content-addressed generated media).
     kind: str = "blob"
     payload: object = None
 
@@ -28,6 +30,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Entries refused because they exceed the whole cache capacity.
+    rejected: int = 0
     inserted_bytes: int = 0
 
     @property
@@ -62,7 +66,11 @@ class EdgeCache:
         return key in self._entries
 
     def get(self, key: str) -> CacheEntry | None:
-        """Look up (and touch) an entry; records hit/miss."""
+        """Look up (and touch) an entry; records hit/miss.
+
+        The recency touch happens exactly once per ``get``; use
+        :meth:`peek` for lookups that must not disturb eviction order.
+        """
         entry = self._entries.get(key)
         if entry is None:
             self.stats.misses += 1
@@ -71,17 +79,23 @@ class EdgeCache:
         self.stats.hits += 1
         return entry
 
-    def put(self, entry: CacheEntry) -> None:
+    def peek(self, key: str) -> CacheEntry | None:
+        """Look up an entry without touching recency or hit/miss stats."""
+        return self._entries.get(key)
+
+    def try_put(self, entry: CacheEntry) -> bool:
         """Insert an entry, evicting LRU victims to fit.
 
-        An entry larger than the whole cache is rejected outright.
+        An entry larger than the whole cache is rejected (counted in
+        ``stats.rejected``) and returns False, leaving the cache state —
+        including any existing entry under the same key and the
+        ``used_bytes`` accounting — untouched.
         """
         if entry.size_bytes < 0:
             raise ValueError("negative entry size")
         if entry.size_bytes > self.capacity_bytes:
-            raise ValueError(
-                f"entry of {entry.size_bytes} B exceeds cache capacity {self.capacity_bytes} B"
-            )
+            self.stats.rejected += 1
+            return False
         old = self._entries.pop(entry.key, None)
         if old is not None:
             self._used -= old.size_bytes
@@ -92,7 +106,19 @@ class EdgeCache:
         self._entries[entry.key] = entry
         self._used += entry.size_bytes
         self.stats.inserted_bytes += entry.size_bytes
+        return True
+
+    def put(self, entry: CacheEntry) -> None:
+        """Insert an entry, raising on entries larger than the capacity."""
+        if not self.try_put(entry):
+            raise ValueError(
+                f"entry of {entry.size_bytes} B exceeds cache capacity {self.capacity_bytes} B"
+            )
 
     def clear(self) -> None:
         self._entries.clear()
         self._used = 0
+
+    def lru_keys(self) -> list[str]:
+        """Keys from least- to most-recently used (for tests/diagnostics)."""
+        return list(self._entries)

@@ -1,0 +1,123 @@
+"""Single-flight scheduling for page generation.
+
+The paper's client generates a page's ``generated-content`` divisions one
+after another; Table 2 prices that at up to ~310 simulated seconds. Two
+structural wins need no model changes at all:
+
+* **parallelism** — the divisions are independent, so a bounded worker
+  pool can generate them concurrently (wall-clock for the real simulator
+  work: pixel rendering and PNG encoding);
+* **single-flight** — duplicate keys in one batch trigger exactly one
+  generation; the duplicates attach to the leader's in-flight future and
+  receive the same result object (the ``singleflight`` idiom).
+
+Coalescing is deterministic: all tasks of a batch are submitted before
+any result is collected, so the Nth task with a previously seen key
+always attaches to the first, regardless of worker timing.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Hashable, Sequence, TypeVar
+
+from repro.obs import MetricsRegistry, get_registry
+
+T = TypeVar("T")
+
+#: Default worker-pool width for page generation.
+DEFAULT_WORKERS = 4
+
+
+@dataclass
+class ScheduledResult:
+    """One task's outcome, in submission order."""
+
+    value: object
+    #: True when this task attached to another task's in-flight future
+    #: instead of running its own thunk.
+    coalesced: bool
+
+
+class SingleFlightScheduler:
+    """Bounded worker pool with in-flight key coalescing.
+
+    ``run`` takes ``(key, thunk)`` pairs; tasks whose key is already in
+    flight within the batch never execute their thunk. A ``None`` key
+    opts a task out of coalescing (e.g. upscale items, whose inputs are
+    not content-addressable).
+    """
+
+    def __init__(self, workers: int = DEFAULT_WORKERS, registry: MetricsRegistry | None = None) -> None:
+        if workers < 1:
+            raise ValueError("worker pool needs at least one worker")
+        self.workers = workers
+        self.registry = registry if registry is not None else get_registry()
+        self.batches = 0
+        self.tasks_run = 0
+        self.tasks_coalesced = 0
+        self._lock = threading.Lock()
+
+    def run(self, tasks: Sequence[tuple[Hashable | None, Callable[[], T]]]) -> list[ScheduledResult]:
+        """Execute a batch; results come back in submission order.
+
+        A thunk's exception propagates to every task that coalesced onto
+        it, surfacing at result-collection time.
+        """
+        self.batches += 1
+        if not tasks:
+            return []
+        queue_gauge = inflight_gauge = None
+        if self.registry.enabled:
+            queue_gauge = self.registry.gauge(
+                "gencache_queue_depth",
+                "Generation tasks admitted to the scheduler and not yet finished",
+                layer="gencache",
+            )
+            inflight_gauge = self.registry.gauge(
+                "gencache_inflight",
+                "Generation thunks currently executing on the worker pool",
+                layer="gencache",
+            )
+            queue_gauge.set(len(tasks))
+
+        def wrap(thunk: Callable[[], T]) -> Callable[[], T]:
+            def invoke() -> T:
+                if inflight_gauge is not None:
+                    inflight_gauge.inc()
+                try:
+                    return thunk()
+                finally:
+                    if inflight_gauge is not None:
+                        inflight_gauge.dec()
+                    if queue_gauge is not None:
+                        queue_gauge.dec()
+
+            return invoke
+
+        inflight: dict[Hashable, Future] = {}
+        ordered: list[tuple[Future, bool]] = []
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            for key, thunk in tasks:
+                leader = inflight.get(key) if key is not None else None
+                if leader is not None:
+                    # The duplicate never runs; it shares the leader's
+                    # future, so one queue-depth slot retires for it now.
+                    if queue_gauge is not None:
+                        queue_gauge.dec()
+                    with self._lock:
+                        self.tasks_coalesced += 1
+                    ordered.append((leader, True))
+                    continue
+                future = pool.submit(wrap(thunk))
+                if key is not None:
+                    inflight[key] = future
+                with self._lock:
+                    self.tasks_run += 1
+                ordered.append((future, False))
+            results = [ScheduledResult(future.result(), coalesced) for future, coalesced in ordered]
+        if queue_gauge is not None:
+            queue_gauge.set(0.0)
+        return results

@@ -158,13 +158,27 @@ def decode_string(data: bytes, offset: int) -> tuple[bytes, int]:
 
 @dataclass
 class DynamicTable:
-    """The HPACK dynamic table with size-based eviction (RFC 7541 §4)."""
+    """The HPACK dynamic table with size-based eviction (RFC 7541 §4).
+
+    ``find`` is on the encoder's per-header hot path, so exact and
+    name-only matches are answered from dicts instead of scanning
+    ``_entries``: every stored entry carries a monotonically increasing
+    sequence number, ``_by_pair``/``_by_name`` remember the highest
+    (most recent) sequence for each pair/name, and a relative index is
+    recovered as ``newest_seq - seq``. Evictions pop the lowest live
+    sequence, so a dict slot is deleted only when it still points at the
+    evicted entry (a newer duplicate keeps the slot alive).
+    """
 
     max_size: int = DEFAULT_TABLE_SIZE
     _entries: list[tuple[bytes, bytes]] = field(default_factory=list)
     _size: int = 0
     #: Lifetime count of evicted entries (read by the obs layer).
     evictions: int = 0
+    #: Sequence number the next stored entry will receive.
+    _next_seq: int = 0
+    _by_pair: dict = field(default_factory=dict)
+    _by_name: dict = field(default_factory=dict)
 
     @staticmethod
     def entry_size(name: bytes, value: bytes) -> int:
@@ -184,6 +198,9 @@ class DynamicTable:
         if needed <= self.max_size:
             self._entries.insert(0, (name, value))
             self._size += needed
+            self._by_pair[name, value] = self._next_seq
+            self._by_name[name] = self._next_seq
+            self._next_seq += 1
         # An entry larger than the table empties it (already done) and is
         # simply not stored (RFC 7541 §4.4).
 
@@ -193,9 +210,14 @@ class DynamicTable:
 
     def _evict_to(self, budget: int) -> None:
         while self._entries and self._size > max(budget, 0):
+            evicted_seq = self._next_seq - len(self._entries)
             name, value = self._entries.pop()
             self._size -= self.entry_size(name, value)
             self.evictions += 1
+            if self._by_pair.get((name, value)) == evicted_seq:
+                del self._by_pair[name, value]
+            if self._by_name.get(name) == evicted_seq:
+                del self._by_name[name]
 
     def lookup(self, relative_index: int) -> tuple[bytes, bytes]:
         """0-based index into the dynamic table (0 = most recent)."""
@@ -205,15 +227,17 @@ class DynamicTable:
             raise CompressionError(f"dynamic table index {relative_index} out of range") from None
 
     def find(self, name: bytes, value: bytes) -> tuple[int | None, int | None]:
-        """Return (full_match_index, name_match_index), both 0-based."""
-        name_match: int | None = None
-        for i, (n, v) in enumerate(self._entries):
-            if n == name:
-                if v == value:
-                    return i, name_match if name_match is not None else i
-                if name_match is None:
-                    name_match = i
-        return None, name_match
+        """Return (full_match_index, name_match_index), both 0-based.
+
+        Each index is the *most recent* (smallest) match, exactly what a
+        head-to-tail scan of ``_entries`` would return.
+        """
+        newest = self._next_seq - 1
+        pair_seq = self._by_pair.get((name, value))
+        name_seq = self._by_name.get(name)
+        full = newest - pair_seq if pair_seq is not None else None
+        name_match = newest - name_seq if name_seq is not None else None
+        return full, name_match
 
 
 class HpackEncoder:

@@ -6,11 +6,17 @@ symbol 256 is EOS). Encoded strings are padded to a byte boundary with the
 most-significant bits of the EOS code, i.e. with ones; a decoder must treat
 padding longer than 7 bits, or padding that is not all-ones, as a decoding
 error (RFC 7541 §5.2).
+
+Decoding runs on a flat nibble-at-a-time finite state machine built once
+at import: each state is a node of the code trie, and one table row maps a
+4-bit input chunk to ``(next_state, emitted_bytes, saw_eos)``. Two table
+lookups per input byte replace up to 8 dict walks, and the RFC's padding
+rule collapses to a set membership test on the final state (the states
+whose root path is all-ones and at most 7 bits deep).
 """
 
 from __future__ import annotations
 
-from repro._util.bitio import BitReader, BitWriter
 from repro.http2.errors import CompressionError
 
 # fmt: off
@@ -100,16 +106,77 @@ def _build_decode_tree() -> dict:
     return root
 
 
-_DECODE_TREE = _build_decode_tree()
+def _build_decode_fsm() -> tuple[tuple[tuple[tuple[int, bytes, bool], ...], ...], frozenset[int]]:
+    """Flatten the code trie into a nibble-indexed transition table.
+
+    Returns ``(transitions, accepting)``: ``transitions[state][nibble]``
+    is ``(next_state, emitted, saw_eos)``, and ``accepting`` holds every
+    state that is a legal end-of-input position (root, or a node whose
+    root path is all-ones and at most 7 bits — a proper EOS prefix).
+    The RFC 7541 code is a full binary tree, so every internal node has
+    both children; a missing child here would be a table transcription
+    error and fails loudly at import.
+    """
+    root = _build_decode_tree()
+    nodes: list[dict] = [root]
+    index: dict[int, int] = {id(root): 0}
+    i = 0
+    while i < len(nodes):
+        for child in nodes[i].values():
+            if isinstance(child, dict) and id(child) not in index:
+                index[id(child)] = len(nodes)
+                nodes.append(child)
+        i += 1
+    accepting = {0}
+    node: dict | int = root
+    for _ in range(7):
+        node = node[1]
+        if not isinstance(node, dict):
+            break
+        accepting.add(index[id(node)])
+    transitions = []
+    for node in nodes:
+        row = []
+        for nibble in range(16):
+            cur: dict | int = node
+            emitted = bytearray()
+            saw_eos = False
+            for shift in (3, 2, 1, 0):
+                cur = cur[(nibble >> shift) & 1]
+                if isinstance(cur, int):
+                    if cur == EOS_SYMBOL:
+                        saw_eos = True
+                        cur = root
+                        break
+                    emitted.append(cur)
+                    cur = root
+            row.append((index[id(cur)], bytes(emitted), saw_eos))
+        transitions.append(tuple(row))
+    return tuple(transitions), frozenset(accepting)
+
+
+_DECODE_FSM, _ACCEPTING_STATES = _build_decode_fsm()
 
 
 def huffman_encode(data: bytes) -> bytes:
-    """Huffman-encode a byte string per RFC 7541 §5.2."""
-    writer = BitWriter()
+    """Huffman-encode a byte string per RFC 7541 §5.2.
+
+    Codes are shifted into one big integer accumulator rather than a
+    per-symbol bit writer; padding with EOS-prefix ones falls out of the
+    final shift.
+    """
+    table = HUFFMAN_TABLE
+    acc = 0
+    bits = 0
     for byte in data:
-        code, length = HUFFMAN_TABLE[byte]
-        writer.write(code, length)
-    return writer.getvalue(pad_with_ones=True)
+        code, length = table[byte]
+        acc = (acc << length) | code
+        bits += length
+    pad = -bits % 8
+    if pad:
+        acc = (acc << pad) | ((1 << pad) - 1)
+        bits += pad
+    return acc.to_bytes(bits // 8, "big")
 
 
 def huffman_encoded_length(data: bytes) -> int:
@@ -124,31 +191,20 @@ def huffman_encoded_length(data: bytes) -> int:
 
 def huffman_decode(data: bytes) -> bytes:
     """Decode a Huffman-encoded string, validating the EOS padding rules."""
+    fsm = _DECODE_FSM
+    state = 0
     out = bytearray()
-    reader = BitReader(data)
-    node = _DECODE_TREE
-    bits_since_symbol = 0
-    all_ones_since_symbol = True
-    while reader.remaining_bits:
-        bit = reader.read_bit()
-        bits_since_symbol += 1
-        if bit == 0:
-            all_ones_since_symbol = False
-        nxt = node.get(bit)
-        if nxt is None:
-            raise CompressionError("invalid Huffman code point")
-        if isinstance(nxt, int):
-            if nxt == EOS_SYMBOL:
-                # RFC 7541 §5.2: an actual EOS symbol is a decoding error.
-                raise CompressionError("EOS symbol in Huffman-encoded data")
-            out.append(nxt)
-            node = _DECODE_TREE
-            bits_since_symbol = 0
-            all_ones_since_symbol = True
-        else:
-            node = nxt
-    if node is not _DECODE_TREE:
+    for byte in data:
+        state, emitted, saw_eos = fsm[state][byte >> 4]
+        if saw_eos:
+            # RFC 7541 §5.2: an actual EOS symbol is a decoding error.
+            raise CompressionError("EOS symbol in Huffman-encoded data")
+        out += emitted
+        state, emitted, saw_eos = fsm[state][byte & 0xF]
+        if saw_eos:
+            raise CompressionError("EOS symbol in Huffman-encoded data")
+        out += emitted
+    if state not in _ACCEPTING_STATES:
         # Trailing partial symbol must be a prefix of EOS: <= 7 all-one bits.
-        if bits_since_symbol > 7 or not all_ones_since_symbol:
-            raise CompressionError("invalid Huffman padding")
+        raise CompressionError("invalid Huffman padding")
     return bytes(out)

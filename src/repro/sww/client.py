@@ -94,6 +94,8 @@ class GenerativeClient:
         trust_authority=None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        gencache=None,
+        gen_workers: int = 1,
     ) -> None:
         self.device = device
         self.gen_ability = gen_ability
@@ -104,8 +106,18 @@ class GenerativeClient:
         self.pipeline = pipeline or GenerationPipeline(
             device, registry=self.registry, tracer=self.tracer
         )
-        self.generator = MediaGenerator(self.pipeline)
-        self.processor = PageProcessor(self.generator)
+        #: Optional content-addressed result cache; shareable with other
+        #: clients/layers (repro.gencache). None keeps the paper's cold
+        #: regenerate-everything behaviour byte-for-byte.
+        self.gencache = gencache
+        self.generator = MediaGenerator(self.pipeline, cache=gencache)
+        scheduler = None
+        if gen_workers > 1:
+            from repro.gencache import SingleFlightScheduler
+
+            scheduler = SingleFlightScheduler(gen_workers, registry=self.registry)
+        self.scheduler = scheduler
+        self.processor = PageProcessor(self.generator, scheduler=scheduler)
         self.server_gen_ability: bool | None = None
         #: §7 model negotiation: what this client advertises via the
         #: sww-models header. Defaults to the pipeline's loaded models.

@@ -11,13 +11,23 @@ image or text subroutine, and returns the produced artifact with its
 simulated cost. Text models are reached through the Ollama-shaped API
 (mirroring the prototype's ``requests``-based access), images through the
 pipeline's diffusion entry point (the Diffusers stand-in).
+
+With a :class:`~repro.gencache.GenerationCache` attached, results are
+memoised under content-addressed keys: a hit returns the identical bytes
+at lookup cost instead of step cost, and the avoided time/energy accrues
+to the cache's "saved" counters (never to the cold numbers — see
+docs/PERFORMANCE.md for the warm-vs-cold reporting rules). Accounting is
+lock-guarded so the single-flight scheduler may call ``generate`` from
+several workers at once.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, replace
 
 from repro.devices.profiles import DeviceProfile
+from repro.gencache import GenerationCache, GenerationKey, key_for_item
 from repro.genai.ollama_api import OllamaClient, OllamaEndpoint
 from repro.genai.pipeline import GenerationPipeline
 from repro.genai.registry import get_image_model, get_text_model
@@ -37,12 +47,21 @@ class GenerationOutput:
     energy_wh: float
     #: Suggested asset path for images (what the rewritten div points at).
     asset_path: str = ""
+    #: True when the payload came out of the generation cache.
+    cache_hit: bool = False
+    #: True when this output rode another item's in-flight generation.
+    coalesced: bool = False
 
 
 class MediaGenerator:
     """Dispatches generated-content items to the generation subroutines."""
 
-    def __init__(self, pipeline: GenerationPipeline, ollama: OllamaClient | None = None) -> None:
+    def __init__(
+        self,
+        pipeline: GenerationPipeline,
+        ollama: OllamaClient | None = None,
+        cache: GenerationCache | None = None,
+    ) -> None:
         self.pipeline = pipeline
         # The prototype talks to Ollama over its local API; default to an
         # endpoint running on the same simulated device as the pipeline,
@@ -50,12 +69,19 @@ class MediaGenerator:
         self.ollama = ollama or OllamaClient(
             OllamaEndpoint(pipeline.device, registry=pipeline.registry, tracer=pipeline.tracer)
         )
+        #: Optional content-addressed memoisation of generation results.
+        self.cache = cache
         self.generated_count = 0
+        self.cache_hit_count = 0
         self.total_time_s = 0.0
         self.total_energy_wh = 0.0
         #: Fetched small originals for §2.2 upscale items (path → PNG
         #: bytes); the client provides these before page processing.
         self.asset_sources: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+        # The Ollama endpoint reports energy via a last-call attribute, so
+        # the text round-trip and its energy read must not interleave.
+        self._text_lock = threading.Lock()
 
     def provide_assets(self, assets: dict[str, bytes]) -> None:
         """Register fetched bytes that upscale items may reference."""
@@ -65,16 +91,99 @@ class MediaGenerator:
     def device(self) -> DeviceProfile:
         return self.pipeline.device
 
+    def content_key(self, item: GeneratedContent) -> GenerationKey | None:
+        """The item's content-addressed identity (None for upscale items,
+        whose inputs are not metadata-addressable)."""
+        return key_for_item(
+            item, self.pipeline.image_model.name, self.pipeline.text_model.name
+        )
+
+    def cache_key(self, item: GeneratedContent) -> GenerationKey | None:
+        """Like :meth:`content_key`, but None when no cache is attached."""
+        if self.cache is None:
+            return None
+        return self.content_key(item)
+
     def generate(self, item: GeneratedContent) -> GenerationOutput:
-        """Parse the item's metadata and invoke the right subroutine."""
+        """Parse the item's metadata and invoke the right subroutine.
+
+        Consults the generation cache first when one is attached: a hit
+        returns the memoised bytes at lookup cost and skips the
+        subroutine entirely.
+        """
+        key = self.cache_key(item)
+        if key is not None:
+            hit = self._from_cache(key, item)
+            if hit is not None:
+                return hit
         if item.content_type == ContentType.IMAGE:
             output = self._generate_image(item)
         else:
             output = self._generate_text(item)
-        self.generated_count += 1
-        self.total_time_s += output.sim_time_s
-        self.total_energy_wh += output.energy_wh
+        if key is not None:
+            self.cache.insert(
+                key,
+                payload=output.payload,
+                text=output.text,
+                sim_time_s=output.sim_time_s,
+                energy_wh=output.energy_wh,
+            )
+        self._account(output)
         return output
+
+    def _from_cache(self, key: GenerationKey, item: GeneratedContent) -> GenerationOutput | None:
+        """Try the content-addressed store; returns a hit output or None."""
+        tracer = self.pipeline.tracer
+        with tracer.span("gencache.get", key=key.digest) as span:
+            record = self.cache.lookup(key)
+            span.annotate(outcome="hit" if record is not None else "miss")
+        if record is None:
+            return None
+        output = GenerationOutput(
+            item=item,
+            payload=record.payload,
+            text=record.text,
+            sim_time_s=self.cache.hit_time_s,
+            energy_wh=0.0,
+            asset_path=self._asset_path(item),
+            cache_hit=True,
+        )
+        self._account(output, hit=True)
+        return output
+
+    def adopt_coalesced(self, item: GeneratedContent, leader: GenerationOutput) -> GenerationOutput:
+        """Rebind a leader's in-flight result to a coalesced duplicate.
+
+        The duplicate pays lookup cost, not step cost; the avoided cost is
+        booked against the cache's coalesced counters when a cache is
+        attached (single-flight works with or without one).
+        """
+        hit_time = self.cache.hit_time_s if self.cache is not None else 0.0
+        if self.cache is not None:
+            self.cache.record_coalesced(leader.sim_time_s, leader.energy_wh)
+        output = replace(
+            leader,
+            item=item,
+            sim_time_s=hit_time,
+            energy_wh=0.0,
+            asset_path=self._asset_path(item),
+            cache_hit=True,
+            coalesced=True,
+        )
+        self._account(output, hit=True)
+        return output
+
+    def _account(self, output: GenerationOutput, hit: bool = False) -> None:
+        with self._lock:
+            self.generated_count += 1
+            if hit:
+                self.cache_hit_count += 1
+            self.total_time_s += output.sim_time_s
+            self.total_energy_wh += output.energy_wh
+
+    @staticmethod
+    def _asset_path(item: GeneratedContent) -> str:
+        return f"/generated/{item.name}.png" if item.content_type == ContentType.IMAGE else ""
 
     def _generate_image(self, item: GeneratedContent) -> GenerationOutput:
         if item.upscale_src is not None:
@@ -113,7 +222,7 @@ class MediaGenerator:
             text="",
             sim_time_s=result.sim_time_s,
             energy_wh=result.energy_wh,
-            asset_path=f"/generated/{item.name}.png",
+            asset_path=self._asset_path(item),
         )
 
     def _upscale_image(self, item: GeneratedContent) -> GenerationOutput:
@@ -134,21 +243,22 @@ class MediaGenerator:
             text="",
             sim_time_s=result.sim_time_s,
             energy_wh=result.energy_wh,
-            asset_path=f"/generated/{item.name}.png",
+            asset_path=self._asset_path(item),
         )
 
     def _generate_text(self, item: GeneratedContent) -> GenerationOutput:
         model_name = item.model or self.pipeline.text_model.name
         get_text_model(model_name)  # validate before the API round-trip
         prompt = f"{item.prompt}\nExpand the points above into {item.words} words."
-        response = self.ollama.post_generate(
-            model=model_name,
-            prompt=prompt,
-            options={"topic": item.topic},
-        )
-        text = response["response"]
-        seconds = response["total_duration"] / 1e9
-        energy = self.ollama.endpoint.last_energy_wh
+        with self._text_lock:
+            response = self.ollama.post_generate(
+                model=model_name,
+                prompt=prompt,
+                options={"topic": item.topic},
+            )
+            text = response["response"]
+            seconds = response["total_duration"] / 1e9
+            energy = self.ollama.endpoint.last_energy_wh
         return GenerationOutput(
             item=item,
             payload=text.encode("utf-8"),

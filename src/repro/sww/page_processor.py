@@ -34,6 +34,10 @@ class ProcessReport:
     #: path → PNG bytes for every generated image.
     assets: dict[str, bytes] = field(default_factory=dict)
     outputs: list[GenerationOutput] = field(default_factory=list)
+    #: Items answered from the generation cache (lookup cost, not steps).
+    cache_hits: int = 0
+    #: Items that rode another item's in-flight generation (single-flight).
+    coalesced: int = 0
 
     @property
     def generated_total(self) -> int:
@@ -43,11 +47,16 @@ class ProcessReport:
 class PageProcessor:
     """Rewrites generated-content divisions into concrete content."""
 
-    def __init__(self, generator: MediaGenerator, strict: bool = False) -> None:
+    def __init__(self, generator: MediaGenerator, strict: bool = False, scheduler=None) -> None:
         self.generator = generator
         #: In strict mode malformed divisions raise; otherwise they are
         #: left in place untouched (a browser would render them empty).
         self.strict = strict
+        #: Optional :class:`~repro.gencache.SingleFlightScheduler`: items
+        #: generate concurrently on its worker pool, duplicate keys ride
+        #: one in-flight generation. Without it, items run sequentially
+        #: (the paper's prototype behaviour).
+        self.scheduler = scheduler
 
     def find_items(self, document: Document) -> list[tuple[Element, GeneratedContent]]:
         """Locate and parse every well-formed generated-content division."""
@@ -66,11 +75,14 @@ class PageProcessor:
         malformed = len(document.find_by_class(CSS_CLASS))
         items = self.find_items(document)
         report.skipped_malformed = malformed - len(items)
-        for element, item in items:
-            output = self.generator.generate(item)
+        for (element, item), output in zip(items, self._generate_all(items)):
             report.outputs.append(output)
             report.sim_time_s += output.sim_time_s
             report.energy_wh += output.energy_wh
+            if output.cache_hit:
+                report.cache_hits += 1
+            if output.coalesced:
+                report.coalesced += 1
             if item.content_type == ContentType.IMAGE:
                 self._rewrite_image(element, item, output)
                 report.assets[output.asset_path] = output.payload
@@ -79,6 +91,24 @@ class PageProcessor:
                 self._rewrite_text(element, output)
                 report.generated_texts += 1
         return report
+
+    def _generate_all(self, items: list[tuple[Element, GeneratedContent]]) -> list[GenerationOutput]:
+        """Generate every item, sequentially or via the scheduler."""
+        if self.scheduler is None:
+            return [self.generator.generate(item) for _element, item in items]
+
+        def thunk(item: GeneratedContent):
+            return lambda: self.generator.generate(item)
+
+        tasks = [(self.generator.content_key(item), thunk(item)) for _element, item in items]
+        scheduled = self.scheduler.run(tasks)
+        outputs: list[GenerationOutput] = []
+        for (_element, item), result in zip(items, scheduled):
+            if result.coalesced:
+                outputs.append(self.generator.adopt_coalesced(item, result.value))
+            else:
+                outputs.append(result.value)
+        return outputs
 
     @staticmethod
     def _rewrite_image(element: Element, item: GeneratedContent, output: GenerationOutput) -> None:

@@ -131,6 +131,7 @@ class GenerativeServer:
         trust_authority=None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        gencache=None,
     ) -> None:
         self.store = store
         self.device = device
@@ -150,7 +151,12 @@ class GenerativeServer:
         self.pipeline = pipeline or GenerationPipeline(
             device, registry=self.registry, tracer=self.tracer
         )
-        self._generator = MediaGenerator(self.pipeline)
+        #: Optional shared content-addressed generation cache
+        #: (repro.gencache): the fallback materialisation path consults it
+        #: so server-side regeneration of media a capable client (or
+        #: another layer) already produced costs lookup time, not steps.
+        self.gencache = gencache
+        self._generator = MediaGenerator(self.pipeline, cache=gencache)
         self._processor = PageProcessor(self._generator)
         #: Cache of server-side generated traditional pages (path → html,
         #: assets), so repeat naive clients don't re-pay generation.

@@ -8,14 +8,20 @@
 :class:`TrafficModel` applies a measured page-level compression factor to
 an aggregate traffic volume, splitting traffic into a compressible share
 (media and generic text) and an incompressible remainder (unique content,
-already-compressed streams).
+already-compressed streams). :func:`zipf_requests` turns a content
+catalog into a concrete request-level stream with the skewed popularity
+web traffic actually has, for cache/coalescing experiments.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence, TypeVar
 
+from repro._util.rng import DeterministicRNG
 from repro.devices.energy import EB, PB, transmission_energy_wh
+
+_T = TypeVar("_T")
 
 #: Telefónica / Tridens figures the paper cites (§7).
 MOBILE_WEB_EB_PER_MONTH = (2.0, 3.0)
@@ -76,3 +82,45 @@ class TrafficModel:
             compressible_share=self.compressible_share,
             compression_factor=compression_factor,
         )
+
+
+def zipf_requests(
+    items: Sequence[_T],
+    count: int,
+    exponent: float = 1.1,
+    seed: object = 0,
+) -> list[_T]:
+    """Draw a request stream over ``items`` with Zipf-like popularity.
+
+    Item ``i`` (0-based rank) is requested with probability proportional
+    to ``1 / (i + 1) ** exponent`` — the classic heavy-tailed popularity
+    of web objects, which is what makes shared caches pay off. The
+    stream is fully deterministic in ``(items rank order, count,
+    exponent, seed)`` via :class:`DeterministicRNG`, so benchmarks replay
+    identically across runs.
+    """
+    if count < 0:
+        raise ValueError("request count must be non-negative")
+    if not items and count:
+        raise ValueError("cannot draw requests from an empty catalog")
+    if exponent < 0:
+        raise ValueError("Zipf exponent must be non-negative")
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(len(items))]
+    cumulative: list[float] = []
+    total = 0.0
+    for w in weights:
+        total += w
+        cumulative.append(total)
+    rng = DeterministicRNG("zipf-requests", seed, len(items), count, exponent)
+    requests: list[_T] = []
+    for _ in range(count):
+        point = rng.random() * total
+        lo, hi = 0, len(cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] <= point:
+                lo = mid + 1
+            else:
+                hi = mid
+        requests.append(items[lo])
+    return requests

@@ -79,6 +79,73 @@ class TestStats:
         assert cache.used_bytes == 0 and cache.entry_count == 0
 
 
+class TestRejection:
+    def test_try_put_rejects_oversized_without_state_change(self):
+        cache = EdgeCache(100)
+        cache.put(CacheEntry("a", 60))
+        cache.put(CacheEntry("b", 30))
+        before_keys, before_used = cache.lru_keys(), cache.used_bytes
+        assert not cache.try_put(CacheEntry("big", 101))
+        assert cache.stats.rejected == 1
+        assert cache.lru_keys() == before_keys
+        assert cache.used_bytes == before_used
+        assert cache.stats.evictions == 0
+
+    def test_oversized_replace_keeps_existing_entry(self):
+        """Rejecting an oversized update must not drop the old entry."""
+        cache = EdgeCache(100)
+        cache.put(CacheEntry("a", 60))
+        assert not cache.try_put(CacheEntry("a", 200))
+        assert cache.get("a").size_bytes == 60
+        assert cache.used_bytes == 60
+
+    def test_exact_capacity_entry_fits(self):
+        cache = EdgeCache(100)
+        assert cache.try_put(CacheEntry("a", 100))
+        assert cache.used_bytes == 100
+
+    def test_negative_size_raises(self):
+        with pytest.raises(ValueError):
+            EdgeCache(100).try_put(CacheEntry("a", -1))
+
+    def test_put_still_raises_for_oversized(self):
+        cache = EdgeCache(10)
+        with pytest.raises(ValueError):
+            cache.put(CacheEntry("big", 11))
+        assert cache.stats.rejected == 1
+
+
+class TestRecency:
+    def test_get_touches_recency_exactly_once(self):
+        cache = EdgeCache(1000)
+        for key in "abc":
+            cache.put(CacheEntry(key, 10))
+        assert cache.lru_keys() == ["a", "b", "c"]
+        cache.get("a")
+        assert cache.lru_keys() == ["b", "c", "a"]
+        # A second get of the same key leaves the relative order of the
+        # other entries unchanged.
+        cache.get("a")
+        assert cache.lru_keys() == ["b", "c", "a"]
+
+    def test_get_miss_does_not_touch_recency(self):
+        cache = EdgeCache(1000)
+        for key in "ab":
+            cache.put(CacheEntry(key, 10))
+        cache.get("nope")
+        assert cache.lru_keys() == ["a", "b"]
+
+    def test_peek_touches_nothing(self):
+        cache = EdgeCache(1000)
+        for key in "ab":
+            cache.put(CacheEntry(key, 10))
+        before = (cache.stats.hits, cache.stats.misses)
+        assert cache.peek("a").size_bytes == 10
+        assert cache.peek("nope") is None
+        assert cache.lru_keys() == ["a", "b"]
+        assert (cache.stats.hits, cache.stats.misses) == before
+
+
 class TestPromptVsBlobCapacity:
     def test_prompt_entries_two_orders_denser(self):
         """The §2.2 storage claim at cache level: the same capacity holds

@@ -1,0 +1,119 @@
+"""Cross-layer integration: client, server fallback, and CDN edge all
+share one content-addressed cache."""
+
+from repro.cdn.edge import CatalogItem, EdgeNode, OriginCatalog
+from repro.devices import LAPTOP, WORKSTATION
+from repro.gencache import GenerationCache
+from repro.media.jpeg_model import jpeg_size
+from repro.sww.client import GenerativeClient, connect_in_memory
+from repro.sww.server import GenerativeServer, PageResource, SiteStore
+from repro.workloads import build_news_article, build_travel_blog
+
+
+def _serve(page, client):
+    store = SiteStore()
+    store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+    server = GenerativeServer(store)
+    return client.fetch_via_pair(connect_in_memory(client, server), page.path)
+
+
+def test_client_warm_refetch_hits_everything():
+    page = build_travel_blog()
+    cache = GenerationCache()
+    client = GenerativeClient(device=LAPTOP, gencache=cache)
+    cold = _serve(page, client)
+    warm = _serve(page, client)
+    assert cold.report is not None and cold.report.cache_hits == 0
+    assert warm.report is not None
+    assert warm.report.cache_hits == warm.report.generated_total > 0
+    assert warm.generation_time_s < cold.generation_time_s
+    # The saved time equals (within lookup cost) what the cold run paid.
+    assert cache.stats.saved_sim_seconds > 0.9 * cold.generation_time_s
+
+
+def test_cache_shared_across_clients():
+    page = build_news_article()
+    cache = GenerationCache()
+    first = GenerativeClient(device=LAPTOP, gencache=cache)
+    second = GenerativeClient(device=LAPTOP, gencache=cache)
+    _serve(page, first)
+    warm = _serve(page, second)
+    assert warm.report is not None and warm.report.cache_hits == warm.report.generated_total
+
+
+def test_server_fallback_path_consults_the_shared_cache():
+    page = build_news_article()
+    cache = GenerationCache()
+    store = SiteStore()
+    store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+    server = GenerativeServer(store, gencache=cache)
+    # A capable client fills the cache...
+    capable = GenerativeClient(device=WORKSTATION, gencache=cache)
+    capable.fetch_via_pair(connect_in_memory(capable, server), page.path)
+    hits_before = cache.stats.hits
+    # ...and the server's materialisation for a naive client reuses it.
+    naive = GenerativeClient(device=LAPTOP, gen_ability=False)
+    result = naive.fetch_via_pair(connect_in_memory(naive, server), page.path)
+    assert result.status == 200
+    assert cache.stats.hits > hits_before
+
+
+def test_scheduler_coalesces_duplicate_divs_on_one_page():
+    from repro.sww.content import GeneratedContent
+    from repro.workloads.corpus import _element_html
+
+    prompt = "a watercolor of a lighthouse on a basalt headland"
+    divs = "".join(
+        _element_html(GeneratedContent.image(prompt, name=f"dup-{i}", width=256, height=256))
+        for i in range(3)
+    )
+    html = f"<!DOCTYPE html><html><body>{divs}</body></html>"
+    store = SiteStore()
+    store.add_page(PageResource("/dups", html))
+    server = GenerativeServer(store)
+    client = GenerativeClient(device=LAPTOP, gen_workers=2)
+    result = client.fetch_via_pair(connect_in_memory(client, server), "/dups")
+    assert result.report is not None
+    assert result.report.generated_images == 3
+    assert result.report.coalesced == 2
+    # All three divs carry identical payload bytes.
+    payloads = set(result.report.assets.values())
+    assert len(result.report.assets) == 3 and len(payloads) == 1
+
+
+def _catalog():
+    catalog = OriginCatalog()
+    for i in range(3):
+        catalog.add(
+            CatalogItem(
+                key=f"/media/scene-{i}.jpg",
+                prompt=f"a mountain scene number {i}",
+                width=256,
+                height=256,
+                media_bytes=jpeg_size(256, 256),
+            )
+        )
+    return catalog
+
+
+def test_edge_prompt_mode_memoises_generation():
+    cache = GenerationCache()
+    edge = EdgeNode(_catalog(), cache_capacity_bytes=1 << 20, mode="prompt", gencache=cache)
+    first = edge.serve("/media/scene-0.jpg")
+    second = edge.serve("/media/scene-0.jpg")
+    assert not first.gencache_hit and first.generation_time_s > 0.5
+    assert second.gencache_hit
+    assert second.generation_time_s == cache.hit_time_s
+    assert second.generation_energy_wh == 0.0
+    # Egress stays media-sized either way (§2.2: no transmission benefit).
+    assert second.egress_bytes == first.egress_bytes
+    # The store accounts the catalog's modelled media size.
+    assert cache.used_bytes == jpeg_size(256, 256)
+
+
+def test_edge_without_gencache_regenerates_every_request():
+    edge = EdgeNode(_catalog(), cache_capacity_bytes=1 << 20, mode="prompt")
+    first = edge.serve("/media/scene-0.jpg")
+    second = edge.serve("/media/scene-0.jpg")
+    assert first.generation_time_s == second.generation_time_s > 0.5
+    assert not first.gencache_hit and not second.gencache_hit

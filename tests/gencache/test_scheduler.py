@@ -1,0 +1,115 @@
+"""Single-flight scheduler: ordering, coalescing, concurrency, gauges."""
+
+import threading
+import time
+
+import pytest
+
+from repro.gencache import SingleFlightScheduler
+from repro.obs import MetricsRegistry
+
+
+def test_results_in_submission_order():
+    scheduler = SingleFlightScheduler(workers=4)
+    tasks = [(f"k{i}", (lambda i=i: i * i)) for i in range(20)]
+    results = scheduler.run(tasks)
+    assert [r.value for r in results] == [i * i for i in range(20)]
+    assert not any(r.coalesced for r in results)
+
+
+def test_duplicate_keys_coalesce_deterministically():
+    scheduler = SingleFlightScheduler(workers=2)
+    calls: list[str] = []
+    lock = threading.Lock()
+
+    def thunk(key: str):
+        def invoke():
+            with lock:
+                calls.append(key)
+            return f"result-{key}"
+
+        return invoke
+
+    tasks = [(key, thunk(key)) for key in ["a", "b", "a", "a", "b", "c"]]
+    results = scheduler.run(tasks)
+    # Exactly one execution per distinct key, regardless of worker timing.
+    assert sorted(calls) == ["a", "b", "c"]
+    assert [r.value for r in results] == [
+        "result-a", "result-b", "result-a", "result-a", "result-b", "result-c",
+    ]
+    assert [r.coalesced for r in results] == [False, False, True, True, True, False]
+    assert scheduler.tasks_run == 3 and scheduler.tasks_coalesced == 3
+
+
+def test_coalescing_attaches_while_leader_still_in_flight():
+    """Duplicates attach to a leader that has not finished yet."""
+    scheduler = SingleFlightScheduler(workers=2)
+    release = threading.Event()
+    runs = []
+
+    def slow():
+        runs.append("slow")
+        assert release.wait(timeout=5.0)
+        return "shared"
+
+    def unblock():
+        # Runs on the second worker while the leader blocks: proves the
+        # duplicate coalesced instead of waiting for a free key slot.
+        release.set()
+        return "done"
+
+    results = scheduler.run([("dup", slow), ("dup", slow), (None, unblock)])
+    assert runs == ["slow"]
+    assert [r.value for r in results] == ["shared", "shared", "done"]
+    assert [r.coalesced for r in results] == [False, True, False]
+
+
+def test_none_key_opts_out_of_coalescing():
+    scheduler = SingleFlightScheduler(workers=2)
+    counter = {"n": 0}
+    lock = threading.Lock()
+
+    def bump():
+        with lock:
+            counter["n"] += 1
+        return counter["n"]
+
+    results = scheduler.run([(None, bump), (None, bump), (None, bump)])
+    assert counter["n"] == 3
+    assert not any(r.coalesced for r in results)
+
+
+def test_parallelism_actually_overlaps():
+    scheduler = SingleFlightScheduler(workers=4)
+    barrier = threading.Barrier(4, timeout=5.0)
+
+    def task():
+        barrier.wait()  # deadlocks unless all four run concurrently
+        return True
+
+    results = scheduler.run([(f"k{i}", task) for i in range(4)])
+    assert all(r.value for r in results)
+
+
+def test_exception_propagates_to_leader_and_duplicates():
+    scheduler = SingleFlightScheduler(workers=2)
+
+    def boom():
+        raise RuntimeError("generation failed")
+
+    with pytest.raises(RuntimeError, match="generation failed"):
+        scheduler.run([("k", boom), ("k", boom)])
+
+
+def test_empty_batch_and_bad_worker_count():
+    assert SingleFlightScheduler(workers=1).run([]) == []
+    with pytest.raises(ValueError):
+        SingleFlightScheduler(workers=0)
+
+
+def test_gauges_settle_to_zero():
+    registry = MetricsRegistry()
+    scheduler = SingleFlightScheduler(workers=2, registry=registry)
+    scheduler.run([("a", lambda: time.sleep(0.01)), ("a", lambda: None), ("b", lambda: None)])
+    assert registry.total("gencache_queue_depth") == 0
+    assert registry.total("gencache_inflight") == 0

@@ -1,0 +1,102 @@
+"""GenerationCache store behaviour: LRU accounting, savings, metrics."""
+
+import threading
+
+from repro.gencache import GenerationCache, image_key
+from repro.obs import MetricsRegistry
+
+
+def k(i: int, model: str = "m"):
+    return image_key(model, f"prompt {i}", 256, 256, steps=15)
+
+
+def test_miss_then_hit_roundtrip():
+    cache = GenerationCache(capacity_bytes=1 << 20)
+    key = k(1)
+    assert cache.lookup(key) is None
+    assert cache.insert(key, payload=b"png-bytes", sim_time_s=10.0, energy_wh=0.5)
+    record = cache.lookup(key)
+    assert record is not None
+    assert record.payload == b"png-bytes"
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    assert cache.stats.hit_rate == 0.5
+
+
+def test_hit_accrues_saved_cost_not_cold_cost():
+    cache = GenerationCache(capacity_bytes=1 << 20, hit_time_s=0.001)
+    cache.insert(k(1), payload=b"x", sim_time_s=10.0, energy_wh=0.5)
+    cache.lookup(k(1))
+    assert abs(cache.stats.saved_sim_seconds - 9.999) < 1e-9
+    assert cache.stats.saved_energy_wh == 0.5
+
+
+def test_eviction_under_pressure_keeps_byte_accounting():
+    cache = GenerationCache(capacity_bytes=100)
+    for i in range(10):
+        assert cache.insert(k(i), payload=b"x" * 40)
+    assert cache.used_bytes <= 100
+    assert cache.entry_count == 2
+    assert cache.evictions == 8
+    # Oldest keys are gone, newest remain.
+    assert k(0) not in cache and k(9) in cache
+
+
+def test_oversized_insert_rejected_without_corruption():
+    cache = GenerationCache(capacity_bytes=100)
+    cache.insert(k(1), payload=b"x" * 40)
+    before = cache.used_bytes
+    assert not cache.insert(k(2), payload=b"x" * 101)
+    assert cache.used_bytes == before
+    assert cache.stats.rejected == 1
+    assert k(1) in cache
+
+
+def test_size_bytes_override_controls_accounting():
+    cache = GenerationCache(capacity_bytes=1 << 20)
+    cache.insert(k(1), payload=b"tiny", size_bytes=5000)
+    assert cache.used_bytes == 5000
+
+
+def test_coalesced_accounting():
+    cache = GenerationCache(capacity_bytes=1 << 20, hit_time_s=0.001)
+    cache.record_coalesced(8.0, 0.25)
+    assert cache.stats.coalesced == 1
+    assert abs(cache.stats.saved_sim_seconds - 7.999) < 1e-9
+    assert cache.stats.saved_energy_wh == 0.25
+
+
+def test_metrics_families_emitted():
+    registry = MetricsRegistry()
+    cache = GenerationCache(capacity_bytes=1 << 20, registry=registry)
+    cache.insert(k(1), payload=b"x" * 10, sim_time_s=5.0, energy_wh=0.1)
+    cache.lookup(k(1))
+    cache.lookup(k(2))
+    cache.record_coalesced(5.0, 0.1)
+    assert registry.total("gencache_hits_total") == 1
+    assert registry.total("gencache_misses_total") == 1
+    assert registry.total("gencache_coalesced_total") == 1
+    assert registry.total("gencache_saved_sim_seconds_total") > 9.0
+    assert registry.total("gencache_used_bytes") == 10
+
+
+def test_thread_safety_under_concurrent_mixed_load():
+    cache = GenerationCache(capacity_bytes=1 << 16)
+    errors: list[BaseException] = []
+
+    def worker(worker_id: int) -> None:
+        try:
+            for i in range(200):
+                key = k(i % 20, model=f"m{worker_id % 2}")
+                if cache.lookup(key) is None:
+                    cache.insert(key, payload=b"x" * 50, sim_time_s=1.0)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert cache.stats.requests == 8 * 200
+    assert cache.used_bytes <= 1 << 16

@@ -14,7 +14,15 @@ def rows():
 class TestHeadlineExperiments:
     def test_covers_all_headline_experiments(self, rows):
         experiments = {row.experiment for row in rows}
-        assert experiments == {"Fig.2", "E3", "Table2", "E8", "Trace"}
+        assert experiments == {"Fig.2", "E3", "Table2", "E8", "Trace", "Warm"}
+
+    def test_warm_rows_report_cache_effect(self, rows):
+        refetch = next(r for r in rows if r.metric == "re-fetch generation (cold vs warm)")
+        cold_s, warm_s = refetch.measured.split(" vs ")
+        assert float(warm_s.rstrip(" s")) < float(cold_s.rstrip(" s"))
+        assert refetch.paper == "n/a (no cache)"
+        hit_rate = next(r for r in rows if r.metric == "cache hit rate on re-fetch")
+        assert not hit_rate.measured.startswith("0%")
 
     def test_trace_crosscheck_rows_pass(self, rows):
         stitch = next(r for r in rows if r.metric == "naive fetch stitches to one trace")
