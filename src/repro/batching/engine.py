@@ -1,0 +1,348 @@
+"""The continuous micro-batching engine.
+
+One :class:`BatchingEngine` models one accelerator: a dispatcher thread
+pops the oldest queued request, opens a batching window, and admits every
+compatible request that arrives within ``max_wait_s`` (up to
+``max_batch``). Compatibility is the batch slot — same model, device,
+step count, resolution and content type — because the batched kernels
+stack the whole group into one ``(B, H, W, 3)`` pass. Groups execute
+serially on the dispatcher (one accelerator), while PNG encodes are
+pipelined onto a small worker pool so the next batch does not wait for
+compression.
+
+Admission composes with single-flight: a request submitted with a
+content key that is already in flight does not enter the queue at all —
+it shares the in-flight future and rides the leader's batch lane.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.devices.profiles import DeviceProfile
+from repro.genai.embeddings import GRID
+from repro.genai.image import ImageModel, ImageResult, batch_step_share, generate_image_batch
+from repro.obs import MetricsRegistry, Tracer, get_registry, get_tracer
+
+#: Marginal simulated cost of one extra batch lane relative to a solo run.
+#: Calibrated so an accelerator-style diffusion batch of 8 lands at ~3.9×
+#: solo throughput — the mid-range of published dynamic-batching speedups
+#: for diffusion serving (docs/PERFORMANCE.md derives the curve).
+DEFAULT_ALPHA = 0.15
+DEFAULT_MAX_BATCH = 8
+#: Batching window: how long the dispatcher holds an open group waiting
+#: for compatible requests. Real wall-clock time (admission is a wall
+#: phenomenon); simulated time is never affected by the window itself.
+DEFAULT_MAX_WAIT_S = 0.004
+
+_WAIT_BUCKETS = (0.0005, 0.001, 0.002, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25)
+_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
+
+@dataclass(frozen=True)
+class BatchSlot:
+    """The compatibility group key for admission."""
+
+    model: str
+    device: str
+    steps: int
+    width: int
+    height: int
+    content_type: str = "image"
+
+
+@dataclass
+class EngineStats:
+    """Cumulative admission/execution counters (lock-guarded by the engine)."""
+
+    requests: int = 0
+    coalesced: int = 0
+    batches: int = 0
+    batched_items: int = 0
+    largest_batch: int = 0
+    saved_sim_s: float = 0.0
+
+    @property
+    def mean_batch(self) -> float:
+        return self.batched_items / self.batches if self.batches else 0.0
+
+
+@dataclass
+class _PendingRequest:
+    model: ImageModel
+    prompt: str
+    seed: int | None
+    slot: BatchSlot
+    future: Future = field(default_factory=Future)
+    key: object | None = None
+    enqueued_at: float = 0.0
+
+
+class BatchingEngine:
+    """Admits generation requests and executes them in micro-batches."""
+
+    def __init__(
+        self,
+        device: DeviceProfile,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_wait_s: float = DEFAULT_MAX_WAIT_S,
+        alpha: float = DEFAULT_ALPHA,
+        encode_workers: int = 2,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        batch_step_share(1, alpha)  # validate alpha range
+        self.device = device
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.alpha = alpha
+        self.registry = registry if registry is not None else get_registry()
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.stats = EngineStats()
+        self._queue: deque[_PendingRequest] = deque()
+        self._inflight: dict[object, Future] = {}
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._closed = False
+        self._encode_pool = ThreadPoolExecutor(
+            max_workers=max(1, encode_workers), thread_name_prefix="batch-encode"
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="batch-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------ admission
+
+    def submit_image(
+        self,
+        model: ImageModel,
+        prompt: str,
+        width: int = 256,
+        height: int = 256,
+        steps: int | None = None,
+        seed: int | None = None,
+        key: object | None = None,
+    ) -> Future:
+        """Queue one image request; returns a future of :class:`ImageResult`.
+
+        Validation happens at submit time so bad requests fail in the
+        caller, not on the dispatcher. ``key`` (any hashable — callers
+        pass the content-addressed :class:`~repro.gencache.GenerationKey`)
+        enables single-flight coalescing: a duplicate of an in-flight key
+        shares that request's future instead of entering the queue.
+        """
+        if width < GRID or height < GRID:
+            raise ValueError(f"minimum generatable size is {GRID}x{GRID}")
+        resolved_steps = steps if steps is not None else model.default_steps
+        if resolved_steps <= 0:
+            raise ValueError("steps must be positive")
+        slot = BatchSlot(model.name, self.device.name, resolved_steps, width, height)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("BatchingEngine is closed")
+            if key is not None:
+                shared = self._inflight.get(key)
+                if shared is not None:
+                    self.stats.coalesced += 1
+                    self._count_request("coalesced")
+                    return shared
+            pending = _PendingRequest(
+                model=model,
+                prompt=prompt,
+                seed=seed,
+                slot=slot,
+                key=key,
+                enqueued_at=time.perf_counter(),
+            )
+            if key is not None:
+                self._inflight[key] = pending.future
+            self._queue.append(pending)
+            self.stats.requests += 1
+            self._count_request("admitted")
+            self._cond.notify_all()
+        return pending.future
+
+    def generate_image(
+        self,
+        model: ImageModel,
+        prompt: str,
+        width: int = 256,
+        height: int = 256,
+        steps: int | None = None,
+        seed: int | None = None,
+        key: object | None = None,
+    ) -> ImageResult:
+        """Blocking convenience wrapper around :meth:`submit_image`."""
+        return self.submit_image(model, prompt, width, height, steps, seed, key).result()
+
+    # ----------------------------------------------------------- dispatcher
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue:
+                    return  # closed and drained
+                head = self._queue.popleft()
+                group = [head]
+                deadline = time.perf_counter() + self.max_wait_s
+                while len(group) < self.max_batch:
+                    self._take_compatible(head.slot, group)
+                    if len(group) >= self.max_batch or self._closed:
+                        break
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+            self._execute(group)
+
+    def _take_compatible(self, slot: BatchSlot, group: list[_PendingRequest]) -> None:
+        """Move queued requests matching ``slot`` into ``group`` (FIFO)."""
+        kept: deque[_PendingRequest] = deque()
+        while self._queue and len(group) < self.max_batch:
+            candidate = self._queue.popleft()
+            if candidate.slot == slot:
+                group.append(candidate)
+            else:
+                kept.append(candidate)
+        kept.extend(self._queue)
+        self._queue = kept
+
+    def _execute(self, group: list[_PendingRequest]) -> None:
+        size = len(group)
+        slot = group[0].slot
+        now = time.perf_counter()
+        self._observe_admission(group, now)
+        with self.tracer.span(
+            "batch.execute",
+            model=slot.model,
+            device=slot.device,
+            size=f"{slot.width}x{slot.height}",
+            steps=slot.steps,
+            batch=size,
+        ) as span:
+            try:
+                results = generate_image_batch(
+                    group[0].model,
+                    self.device,
+                    [pending.prompt for pending in group],
+                    slot.width,
+                    slot.height,
+                    steps=slot.steps,
+                    seeds=[pending.seed for pending in group],
+                    alpha=self.alpha,
+                    registry=self.registry,
+                    tracer=self.tracer,
+                )
+            except BaseException as exc:  # propagate to every waiter
+                span.annotate(outcome="error")
+                for pending in group:
+                    pending.future.set_exception(exc)
+                self._forget_keys(group)
+                return
+            span.annotate(outcome="ok", share=round(batch_step_share(size, self.alpha), 4))
+        for pending, result in zip(group, results):
+            pending.future.set_result(result)
+        self._forget_keys(group)
+        solo_s = slot.steps * group[0].model.step_time(self.device, slot.width, slot.height)
+        saved = (solo_s - results[0].sim_time_s) * size
+        with self._lock:
+            self.stats.batches += 1
+            self.stats.batched_items += size
+            self.stats.largest_batch = max(self.stats.largest_batch, size)
+            self.stats.saved_sim_s += saved
+        self._observe_execution(size, saved)
+        # Pipeline the PNG encodes: the dispatcher moves on to the next
+        # window while workers compress (png_bytes is thread-safe and
+        # idempotent, so a consumer racing the pool costs nothing).
+        for result in results:
+            self._encode_pool.submit(result.png_bytes)
+
+    def _forget_keys(self, group: list[_PendingRequest]) -> None:
+        with self._lock:
+            for pending in group:
+                if pending.key is not None:
+                    self._inflight.pop(pending.key, None)
+
+    # -------------------------------------------------------------- closing
+
+    def close(self) -> None:
+        """Stop admission, drain queued requests, release the encode pool."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._dispatcher.join()
+        self._encode_pool.shutdown(wait=True)
+
+    def __enter__(self) -> BatchingEngine:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ---------------------------------------------------------- observation
+
+    def _count_request(self, operation: str) -> None:
+        if self.registry.enabled:
+            self.registry.counter(
+                "batching_requests_total",
+                "Generation requests offered to the batching engine",
+                layer="batching",
+                operation=operation,
+            ).inc()
+
+    def _observe_admission(self, group: list[_PendingRequest], now: float) -> None:
+        if not self.registry.enabled:
+            return
+        wait_hist = self.registry.histogram(
+            "batching_queue_wait_seconds",
+            "Wall time a request spent in the admission window",
+            buckets=_WAIT_BUCKETS,
+            layer="batching",
+            operation="admit",
+        )
+        for pending in group:
+            wait_hist.observe(now - pending.enqueued_at)
+
+    def _observe_execution(self, size: int, saved: float) -> None:
+        if not self.registry.enabled:
+            return
+        self.registry.histogram(
+            "batching_batch_size",
+            "Realised micro-batch sizes",
+            buckets=_SIZE_BUCKETS,
+            layer="batching",
+            operation="execute",
+        ).observe(size)
+        self.registry.counter(
+            "batching_batches_total",
+            "Micro-batches executed",
+            layer="batching",
+            operation="execute",
+        ).inc()
+        self.registry.counter(
+            "batching_saved_sim_seconds_total",
+            "Simulated seconds saved by amortisation vs solo runs",
+            layer="batching",
+            operation="execute",
+        ).inc(saved)
+        # Speedup of the last batch: B / (1 + α(B−1)); 1.0 means no
+        # amortisation happened (solo batches).
+        self.registry.gauge(
+            "batching_efficiency",
+            "Throughput speedup of the most recent batch vs solo execution",
+            layer="batching",
+            operation="execute",
+        ).set(size / (1.0 + self.alpha * (size - 1)))

@@ -123,12 +123,17 @@ class EdgeNode:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         gencache=None,
+        engine=None,
     ) -> None:
         if mode not in ("blob", "prompt"):
             raise ValueError(f"mode must be 'blob' or 'prompt', got {mode!r}")
         self.origin = origin
         self.cache = EdgeCache(cache_capacity_bytes)
         self.mode = mode
+        #: Optional :class:`~repro.batching.BatchingEngine`: prompt-mode
+        #: materialisations from concurrent user requests are admitted to
+        #: its micro-batching window instead of generating solo.
+        self.engine = engine
         #: Optional :class:`~repro.gencache.GenerationCache`: prompt-mode
         #: edges memoise materialised media under the same
         #: content-addressed keys the client/server layers use, restoring
@@ -197,16 +202,7 @@ class EdgeNode:
         shared with the client/server layers is never poisoned.
         """
         if self.gencache is None:
-            generation = generate_image(
-                self.model,
-                self.device,
-                item.prompt,
-                item.width,
-                item.height,
-                self.steps,
-                registry=self.registry,
-                tracer=self.tracer,
-            )
+            generation = self._materialise(item)
             return generation.sim_time_s, generation.energy_wh, False
         from repro.gencache import image_key
 
@@ -216,7 +212,23 @@ class EdgeNode:
             edge_span.annotate(gencache="hit")
             return self.gencache.hit_time_s, 0.0, True
         edge_span.annotate(gencache="miss")
-        generation = generate_image(
+        generation = self._materialise(item, gkey)
+        self.gencache.insert(
+            gkey,
+            payload=generation.png_bytes(),
+            sim_time_s=generation.sim_time_s,
+            energy_wh=generation.energy_wh,
+            size_bytes=item.media_bytes,
+        )
+        return generation.sim_time_s, generation.energy_wh, False
+
+    def _materialise(self, item: CatalogItem, gkey=None):
+        """Run one on-edge generation, micro-batched when an engine is set."""
+        if self.engine is not None:
+            return self.engine.generate_image(
+                self.model, item.prompt, item.width, item.height, self.steps, key=gkey
+            )
+        return generate_image(
             self.model,
             self.device,
             item.prompt,
@@ -226,14 +238,6 @@ class EdgeNode:
             registry=self.registry,
             tracer=self.tracer,
         )
-        self.gencache.insert(
-            gkey,
-            payload=generation.png_bytes(),
-            sim_time_s=generation.sim_time_s,
-            energy_wh=generation.energy_wh,
-            size_bytes=item.media_bytes,
-        )
-        return generation.sim_time_s, generation.energy_wh, False
 
     def _origin_pull(self, key: str, edge_span) -> CatalogItem:
         """The edge→origin hop on a cache miss, trace context re-injected."""

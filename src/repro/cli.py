@@ -88,6 +88,40 @@ def _make_gencache(args: argparse.Namespace, registry: MetricsRegistry | None = 
     return GenerationCache(args.gencache_bytes)
 
 
+def _add_batching_flags(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--max-batch",
+        type=int,
+        default=1,
+        metavar="B",
+        help="micro-batch window size for generation (1 = batching off, the "
+             "paper's solo behaviour; >1 enables the repro.batching engine)",
+    )
+    cmd.add_argument(
+        "--batch-wait-ms",
+        type=float,
+        default=4.0,
+        metavar="MS",
+        help="how long the batching window holds for compatible requests (default 4.0)",
+    )
+
+
+def _make_engine(args: argparse.Namespace, device, registry=None, tracer=None):
+    """Build the micro-batching engine the flags describe (or None)."""
+    if args.max_batch <= 1:
+        return None
+    from repro.batching import BatchingEngine
+
+    kwargs = {}
+    if registry is not None:
+        kwargs["registry"] = registry
+    if tracer is not None:
+        kwargs["tracer"] = tracer
+    return BatchingEngine(
+        device, max_batch=args.max_batch, max_wait_s=args.batch_wait_ms / 1000.0, **kwargs
+    )
+
+
 def _build_store(page_names: list[str]) -> SiteStore:
     store = SiteStore()
     for name in page_names:
@@ -102,12 +136,14 @@ def _build_store(page_names: list[str]) -> SiteStore:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     store = _build_store(args.pages)
+    device = get_device(args.device)
     server = GenerativeServer(
         store,
-        device=get_device(args.device),
+        device=device,
         gen_ability=not args.no_gen_ability,
         push_assets=args.push,
         gencache=_make_gencache(args),
+        engine=_make_engine(args, device),
     )
 
     async def run() -> None:
@@ -128,12 +164,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
 def cmd_fetch(args: argparse.Namespace) -> int:
     tracer = Tracer() if args.trace else None
+    device = get_device(args.device)
+    engine = _make_engine(args, device, tracer=tracer)
     client = GenerativeClient(
-        device=get_device(args.device),
+        device=device,
         gen_ability=not args.no_gen_ability,
         tracer=tracer,
         gencache=_make_gencache(args),
         gen_workers=args.gen_workers,
+        engine=engine,
     )
 
     async def run():
@@ -151,6 +190,12 @@ def cmd_fetch(args: argparse.Namespace) -> int:
         if result.report.cache_hits or result.report.coalesced:
             print(f"generation cache answered {result.report.cache_hits} items "
                   f"({result.report.coalesced} coalesced in flight)")
+    if engine is not None:
+        stats = engine.stats
+        print(f"micro-batching: {stats.requests} requests in {stats.batches} batches "
+              f"(mean {stats.mean_batch:.1f}, max {stats.largest_batch}; "
+              f"saved {stats.saved_sim_s:.1f} simulated s)")
+        engine.close()
     if tracer is not None:
         print()
         print(render_span_tree(tracer))
@@ -198,12 +243,15 @@ def cmd_demo(args: argparse.Namespace) -> int:
     populate_traditional_assets(store, page)
     tracer = Tracer() if args.trace else None
     gencache = _make_gencache(args)
+    device = get_device(args.device)
+    engine = _make_engine(args, device, tracer=tracer)
     server = GenerativeServer(store, tracer=tracer)
     client = GenerativeClient(
-        device=get_device(args.device),
+        device=device,
         tracer=tracer,
         gencache=gencache,
         gen_workers=args.gen_workers,
+        engine=engine,
     )
     pair = connect_in_memory(client, server)
     result = client.fetch_via_pair(pair, page.path)
@@ -226,6 +274,11 @@ def cmd_demo(args: argparse.Namespace) -> int:
             print(f"warm re-fetch    : {warm.generation_time_s:.3f} simulated s, "
                   f"{warm.report.cache_hits}/{warm.report.generated_total} items from cache "
                   f"(saved {gencache.stats.saved_sim_seconds:.1f} s)")
+    if engine is not None:
+        stats = engine.stats
+        print(f"micro-batching   : {stats.requests} requests in {stats.batches} batches "
+              f"(mean {stats.mean_batch:.1f}, saved {stats.saved_sim_s:.1f} simulated s)")
+        engine.close()
     if tracer is not None:
         print()
         print(render_span_tree(tracer))
@@ -257,15 +310,19 @@ def cmd_stats(args: argparse.Namespace) -> int:
     # capable client already generated, so the gencache_* families show
     # real cross-layer hits.
     gencache = _make_gencache(args, registry)
+    device = get_device(args.device)
+    engine = _make_engine(args, device, registry=registry, tracer=tracer)
     server = GenerativeServer(store, registry=registry, tracer=tracer, gencache=gencache)
     capable = GenerativeClient(
-        device=get_device(args.device), registry=registry, tracer=tracer, gencache=gencache
+        device=device, registry=registry, tracer=tracer, gencache=gencache, engine=engine
     )
     capable.fetch_via_pair(connect_in_memory(capable, server), page.path)
     naive = GenerativeClient(
-        device=get_device(args.device), gen_ability=False, registry=registry, tracer=tracer
+        device=device, gen_ability=False, registry=registry, tracer=tracer
     )
     naive.fetch_via_pair(connect_in_memory(naive, server), page.path)
+    if engine is not None:
+        engine.close()  # drain so the batching_* families are settled
     if args.format == "prom":
         output = to_prometheus(registry)
     elif args.format == "openmetrics":
@@ -398,6 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-gen-ability", action="store_true", help="run as a naive HTTP/2 server")
     serve.add_argument("--push", action="store_true", help="server-push generated assets to naive clients")
     _add_gencache_flags(serve)
+    _add_batching_flags(serve)
     serve.set_defaults(func=cmd_serve)
 
     fetch = sub.add_parser("fetch", help="fetch a page with the generative client")
@@ -410,6 +468,7 @@ def build_parser() -> argparse.ArgumentParser:
     fetch.add_argument("--gen-workers", type=int, default=1, metavar="N",
                        help="worker pool width for page generation (single-flight when > 1)")
     _add_gencache_flags(fetch)
+    _add_batching_flags(fetch)
     fetch.set_defaults(func=cmd_fetch)
 
     convert = sub.add_parser("convert", help="convert a traditional HTML file to SWW form")
@@ -428,6 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--gen-workers", type=int, default=1, metavar="N",
                       help="worker pool width for page generation (single-flight when > 1)")
     _add_gencache_flags(demo)
+    _add_batching_flags(demo)
     demo.set_defaults(func=cmd_demo)
 
     report = sub.add_parser("report", help="measure the paper's headline numbers live")
@@ -440,6 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="output format: Prometheus text, OpenMetrics text (with "
                             "exemplars), JSON lines, or aligned table")
     _add_gencache_flags(stats)
+    _add_batching_flags(stats)
     stats.set_defaults(func=cmd_stats)
 
     trace = sub.add_parser(

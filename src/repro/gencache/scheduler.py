@@ -14,6 +14,14 @@ structural wins need no model changes at all:
 Coalescing is deterministic: all tasks of a batch are submitted before
 any result is collected, so the Nth task with a previously seen key
 always attaches to the first, regardless of worker timing.
+
+The scheduler is also the admission front-end for the micro-batching
+engine (:mod:`repro.batching`): engine-backed thunks block inside
+``engine.generate_image`` while the pool keeps submitting the rest of
+the page, which is what fills the engine's batching window. For that
+reason the worker pool is persistent (threads are created once and
+reused across pages, not rebuilt per batch) and page processors size it
+to at least the engine's ``max_batch``.
 """
 
 from __future__ import annotations
@@ -59,6 +67,25 @@ class SingleFlightScheduler:
         self.tasks_run = 0
         self.tasks_coalesced = 0
         self._lock = threading.Lock()
+        # Lazily created, then reused for every batch: rebuilding a pool
+        # per page costs thread setup on the hot path and would tear down
+        # workers mid-window when an engine is filling a micro-batch.
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="singleflight"
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; a later run() recreates it)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def run(self, tasks: Sequence[tuple[Hashable | None, Callable[[], T]]]) -> list[ScheduledResult]:
         """Execute a batch; results come back in submission order.
@@ -99,25 +126,25 @@ class SingleFlightScheduler:
 
         inflight: dict[Hashable, Future] = {}
         ordered: list[tuple[Future, bool]] = []
-        with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            for key, thunk in tasks:
-                leader = inflight.get(key) if key is not None else None
-                if leader is not None:
-                    # The duplicate never runs; it shares the leader's
-                    # future, so one queue-depth slot retires for it now.
-                    if queue_gauge is not None:
-                        queue_gauge.dec()
-                    with self._lock:
-                        self.tasks_coalesced += 1
-                    ordered.append((leader, True))
-                    continue
-                future = pool.submit(wrap(thunk))
-                if key is not None:
-                    inflight[key] = future
+        pool = self._ensure_pool()
+        for key, thunk in tasks:
+            leader = inflight.get(key) if key is not None else None
+            if leader is not None:
+                # The duplicate never runs; it shares the leader's
+                # future, so one queue-depth slot retires for it now.
+                if queue_gauge is not None:
+                    queue_gauge.dec()
                 with self._lock:
-                    self.tasks_run += 1
-                ordered.append((future, False))
-            results = [ScheduledResult(future.result(), coalesced) for future, coalesced in ordered]
+                    self.tasks_coalesced += 1
+                ordered.append((leader, True))
+                continue
+            future = pool.submit(wrap(thunk))
+            if key is not None:
+                inflight[key] = future
+            with self._lock:
+                self.tasks_run += 1
+            ordered.append((future, False))
+        results = [ScheduledResult(future.result(), coalesced) for future, coalesced in ordered]
         if queue_gauge is not None:
             queue_gauge.set(0.0)
         return results

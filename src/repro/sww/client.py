@@ -96,6 +96,7 @@ class GenerativeClient:
         tracer: Tracer | None = None,
         gencache=None,
         gen_workers: int = 1,
+        engine=None,
     ) -> None:
         self.device = device
         self.gen_ability = gen_ability
@@ -110,7 +111,14 @@ class GenerativeClient:
         #: clients/layers (repro.gencache). None keeps the paper's cold
         #: regenerate-everything behaviour byte-for-byte.
         self.gencache = gencache
-        self.generator = MediaGenerator(self.pipeline, cache=gencache)
+        #: Optional shared micro-batching engine (repro.batching). Image
+        #: items are admitted to its window; a page's items must then be
+        #: submitted concurrently or nothing can batch, so the worker
+        #: count follows the engine's window unless explicitly set.
+        self.engine = engine
+        if engine is not None and gen_workers == 1:
+            gen_workers = engine.max_batch
+        self.generator = MediaGenerator(self.pipeline, cache=gencache, engine=engine)
         scheduler = None
         if gen_workers > 1:
             from repro.gencache import SingleFlightScheduler

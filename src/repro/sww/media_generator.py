@@ -61,8 +61,16 @@ class MediaGenerator:
         pipeline: GenerationPipeline,
         ollama: OllamaClient | None = None,
         cache: GenerationCache | None = None,
+        engine=None,
     ) -> None:
         self.pipeline = pipeline
+        #: Optional :class:`~repro.batching.BatchingEngine`: image items
+        #: are admitted to its micro-batching window instead of running
+        #: the solo pipeline, amortising step cost across concurrent
+        #: requests. Bytes are identical either way; text and §2.2
+        #: upscale items always take their dedicated paths (text rides
+        #: the Ollama API, upscale inputs are not batchable by key).
+        self.engine = engine
         # The prototype talks to Ollama over its local API; default to an
         # endpoint running on the same simulated device as the pipeline,
         # reporting into the pipeline's observability sinks.
@@ -189,7 +197,22 @@ class MediaGenerator:
         if item.upscale_src is not None:
             return self._upscale_image(item)
         model = get_image_model(item.model) if item.model else self.pipeline.image_model
-        if model is not self.pipeline.image_model:
+        if self.engine is not None:
+            # Micro-batched path: admit to the engine's window and wait.
+            # The pipeline still accounts the invocation (preload/reload
+            # semantics are a device property, not a batching one).
+            self.pipeline._maybe_reload()
+            self.pipeline.invocations += 1
+            result = self.engine.generate_image(
+                model,
+                item.prompt,
+                item.width,
+                item.height,
+                item.metadata.get("steps"),
+                item.metadata.get("seed"),
+                key=self.content_key(item),
+            )
+        elif model is not self.pipeline.image_model:
             # Honour a per-item model override by generating directly; the
             # pipeline still provides device context and load accounting.
             from repro.genai.image import generate_image

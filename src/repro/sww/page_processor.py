@@ -55,7 +55,17 @@ class PageProcessor:
         #: Optional :class:`~repro.gencache.SingleFlightScheduler`: items
         #: generate concurrently on its worker pool, duplicate keys ride
         #: one in-flight generation. Without it, items run sequentially
-        #: (the paper's prototype behaviour).
+        #: (the paper's prototype behaviour) — unless the generator has a
+        #: batching engine attached, in which case sequential submission
+        #: would starve the engine's admission window, so a scheduler
+        #: sized to the window is created automatically.
+        if scheduler is None and getattr(generator, "engine", None) is not None:
+            from repro.gencache.scheduler import SingleFlightScheduler
+
+            scheduler = SingleFlightScheduler(
+                max(2, generator.engine.max_batch),
+                registry=generator.engine.registry,
+            )
         self.scheduler = scheduler
 
     def find_items(self, document: Document) -> list[tuple[Element, GeneratedContent]]:

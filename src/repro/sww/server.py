@@ -132,6 +132,7 @@ class GenerativeServer:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         gencache=None,
+        engine=None,
     ) -> None:
         self.store = store
         self.device = device
@@ -156,7 +157,11 @@ class GenerativeServer:
         #: so server-side regeneration of media a capable client (or
         #: another layer) already produced costs lookup time, not steps.
         self.gencache = gencache
-        self._generator = MediaGenerator(self.pipeline, cache=gencache)
+        #: Optional micro-batching engine (repro.batching): concurrent
+        #: naive-client materialisations batch their image generations in
+        #: the engine's window instead of running solo back to back.
+        self.engine = engine
+        self._generator = MediaGenerator(self.pipeline, cache=gencache, engine=engine)
         self._processor = PageProcessor(self._generator)
         #: Cache of server-side generated traditional pages (path → html,
         #: assets), so repeat naive clients don't re-pay generation.

@@ -14,7 +14,7 @@ def rows():
 class TestHeadlineExperiments:
     def test_covers_all_headline_experiments(self, rows):
         experiments = {row.experiment for row in rows}
-        assert experiments == {"Fig.2", "E3", "Table2", "E8", "Trace", "Warm"}
+        assert experiments == {"Fig.2", "E3", "Table2", "E8", "Trace", "Warm", "Batched"}
 
     def test_warm_rows_report_cache_effect(self, rows):
         refetch = next(r for r in rows if r.metric == "re-fetch generation (cold vs warm)")
@@ -23,6 +23,14 @@ class TestHeadlineExperiments:
         assert refetch.paper == "n/a (no cache)"
         hit_rate = next(r for r in rows if r.metric == "cache hit rate on re-fetch")
         assert not hit_rate.measured.startswith("0%")
+
+    def test_batched_rows_report_amortisation(self, rows):
+        batch = next(r for r in rows if r.metric == "8 images, solo vs 8-way batch (wk)")
+        solo_s, batched_s = batch.measured.split(" vs ")
+        assert float(batched_s.rstrip(" s")) < float(solo_s.rstrip(" s"))
+        assert batch.paper == "n/a (no batching)"
+        rate = next(r for r in rows if r.metric == "throughput (images / simulated s)")
+        assert rate.measured.endswith("x)")
 
     def test_trace_crosscheck_rows_pass(self, rows):
         stitch = next(r for r in rows if r.metric == "naive fetch stitches to one trace")
