@@ -1,0 +1,209 @@
+"""Server concurrency benchmark — the PR-5 stream scheduler headline.
+
+Eight naive clients hit one generative server at the same instant, two
+pages each over a single multiplexed connection per client. The
+**serial** scenario is the seed behaviour (``concurrent_streams=False``):
+every request is handled inline on the event loop, so the sixteen
+materialisations run one after another and the shared
+:class:`~repro.batching.BatchingEngine` only ever sees batches of one.
+The **concurrent** scenario runs the same load through the task-per-stream
+scheduler: request logic on executor threads, responses through the
+flow-control writer, and the sixteen in-flight materialisations meet in
+the engine's admission window where amortisation
+``(1 + α·(B−1))/B`` takes over.
+
+The throughput comparison is on *simulated* generation seconds — the
+deterministic quantity batching governs — with wall time and per-client
+completion latency recorded for context. Responses must be byte-identical
+between the scenarios, and the event-loop stall probe must stay under the
+50 ms acceptance bar in concurrent mode (``BENCH_server_concurrency.json``,
+CI-gated at ≥ 2× pages per simulated second).
+"""
+
+import asyncio
+import time
+
+from _shared import print_table, record_bench
+
+from repro.batching import BatchingEngine
+from repro.devices import LAPTOP, WORKSTATION
+from repro.obs import MetricsRegistry
+from repro.sww.client import GenerativeClient
+from repro.sww.content import GeneratedContent
+from repro.sww.server import GenerativeServer, PageResource, SiteStore
+from repro.workloads.corpus import _element_html
+
+CLIENTS = 8
+PAGES_PER_CLIENT = 2
+PAGES = CLIENTS * PAGES_PER_CLIENT
+MAX_BATCH = 8
+BATCH_WAIT_S = 0.05
+STALL_BAR_S = 0.05
+
+_THEMES = (
+    "harbour", "alpine", "orchard", "citadel", "lagoon", "mesa", "fjord", "steppe",
+    "dune", "taiga", "atoll", "canyon", "glacier", "delta", "heath", "karst",
+)
+
+
+def build_page(theme: str, index: int) -> PageResource:
+    """One 192×192 image per page: identical sizes keep every page in the
+    same engine batch slot, so concurrency is the only grouping variable."""
+    div = _element_html(
+        GeneratedContent.image(
+            f"a {theme} landscape at dusk, wide shot",
+            name=f"conc-{theme}-{index:02d}",
+            width=192,
+            height=192,
+        )
+    )
+    html = (
+        f"<!DOCTYPE html><html><head><title>{theme.title()}</title></head>"
+        f"<body><h1>{theme.title()}</h1>{div}</body></html>"
+    )
+    return PageResource(f"/scene/{theme}", html)
+
+
+def build_site() -> SiteStore:
+    store = SiteStore()
+    for index, theme in enumerate(_THEMES):
+        store.add_page(build_page(theme, index))
+    return store
+
+
+def run_scenario(concurrent: bool):
+    """Fire all eight clients simultaneously; return the measurements."""
+    registry = MetricsRegistry()
+    engine = BatchingEngine(
+        WORKSTATION, max_batch=MAX_BATCH, max_wait_s=BATCH_WAIT_S, registry=registry
+    )
+    paths = sorted(build_site().pages)
+    lanes = [paths[i * PAGES_PER_CLIENT : (i + 1) * PAGES_PER_CLIENT] for i in range(CLIENTS)]
+
+    async def scenario():
+        server = GenerativeServer(
+            build_site(),
+            gen_ability=True,
+            engine=engine,
+            registry=registry,
+            concurrent_streams=concurrent,
+        )
+        listener = await server.serve_forever("127.0.0.1", 0)
+        port = listener.sockets[0].getsockname()[1]
+        try:
+            clients = [GenerativeClient(device=LAPTOP, gen_ability=False) for _ in range(CLIENTS)]
+
+            async def run_client(lane: int):
+                begin = time.perf_counter()
+                results = await clients[lane].fetch_many_tcp("127.0.0.1", port, lanes[lane])
+                return time.perf_counter() - begin, results
+
+            start = time.perf_counter()
+            per_client = await asyncio.wait_for(
+                asyncio.gather(*(run_client(i) for i in range(CLIENTS))), timeout=600
+            )
+            wall_s = time.perf_counter() - start
+            return wall_s, per_client
+        finally:
+            listener.close()
+            await listener.wait_closed()
+
+    try:
+        wall_s, per_client = asyncio.run(scenario())
+    finally:
+        engine.close()
+
+    latencies = sorted(latency for latency, _results in per_client)
+    pages: dict[str, str] = {}
+    for _latency, results in per_client:
+        for result in results:
+            assert result.status == 200, result.path
+            pages[result.path] = result.received_html
+    sim_s = registry.histogram(
+        "sww_generation_seconds", layer="sww", operation="materialise"
+    ).sum
+    max_stall_s = registry.gauge(
+        "sww_server_loop_stall_max_seconds", layer="sww", operation="loop"
+    ).value
+    return {
+        "wall_s": wall_s,
+        "sim_s": sim_s,
+        "pages": pages,
+        "latency_p50_s": latencies[len(latencies) // 2],
+        "latency_max_s": latencies[-1],
+        "max_stall_s": max_stall_s,
+        "stats": engine.stats,
+    }
+
+
+def run_both():
+    serial = run_scenario(concurrent=False)
+    concurrent = run_scenario(concurrent=True)
+    return serial, concurrent
+
+
+def test_concurrent_scheduler_vs_serial(benchmark):
+    serial, concurrent = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    assert len(serial["pages"]) == len(concurrent["pages"]) == PAGES
+    serial_rate = PAGES / serial["sim_s"]
+    concurrent_rate = PAGES / concurrent["sim_s"]
+    speedup = concurrent_rate / serial_rate
+
+    print_table(
+        f"Stream scheduler: {CLIENTS} clients x {PAGES_PER_CLIENT} pages, one socket each",
+        ["metric", "serial (seed)", f"concurrent (window {MAX_BATCH})"],
+        [
+            ["wall time", f"{serial['wall_s']:.2f} s", f"{concurrent['wall_s']:.2f} s"],
+            ["simulated generation", f"{serial['sim_s']:.1f} s", f"{concurrent['sim_s']:.1f} s"],
+            ["pages / simulated s", f"{serial_rate:.4f}", f"{concurrent_rate:.4f}"],
+            ["throughput speedup", "-", f"{speedup:.2f}x"],
+            ["client latency p50", f"{serial['latency_p50_s']:.2f} s", f"{concurrent['latency_p50_s']:.2f} s"],
+            ["client latency max", f"{serial['latency_max_s']:.2f} s", f"{concurrent['latency_max_s']:.2f} s"],
+            ["worst loop stall", f"{serial['max_stall_s'] * 1000:.1f} ms", f"{concurrent['max_stall_s'] * 1000:.1f} ms"],
+            ["largest batch", serial["stats"].largest_batch, concurrent["stats"].largest_batch],
+            ["mean batch", f"{serial['stats'].mean_batch:.1f}", f"{concurrent['stats'].mean_batch:.1f}"],
+        ],
+    )
+
+    # Byte-identical pages: the scheduler must be invisible in the payload.
+    assert concurrent["pages"] == serial["pages"]
+    # Serial handling can never form a batch; the scheduler's overlapping
+    # streams must actually meet in the engine window.
+    assert serial["stats"].largest_batch == 1
+    assert concurrent["stats"].largest_batch >= 4
+    # The acceptance bars: ≥ 2× pages per simulated second at concurrency
+    # 8, with the event loop never blocked past 50 ms.
+    assert speedup >= 2.0, f"concurrent speedup {speedup:.2f}x below the 2x gate"
+    assert concurrent["max_stall_s"] < STALL_BAR_S, (
+        f"event loop stalled {concurrent['max_stall_s'] * 1000:.1f} ms in concurrent mode"
+    )
+
+    record_bench(
+        "server_concurrency",
+        "serial",
+        wall_time_s=serial["wall_s"],
+        generation_sim_s=round(serial["sim_s"], 3),
+        pages=PAGES,
+        pages_per_sim_s=round(serial_rate, 6),
+        latency_p50_s=round(serial["latency_p50_s"], 4),
+        latency_max_s=round(serial["latency_max_s"], 4),
+        max_loop_stall_s=round(serial["max_stall_s"], 4),
+        largest_batch=serial["stats"].largest_batch,
+    )
+    record_bench(
+        "server_concurrency",
+        "concurrent_8",
+        wall_time_s=concurrent["wall_s"],
+        generation_sim_s=round(concurrent["sim_s"], 3),
+        pages=PAGES,
+        pages_per_sim_s=round(concurrent_rate, 6),
+        speedup=round(speedup, 3),
+        latency_p50_s=round(concurrent["latency_p50_s"], 4),
+        latency_max_s=round(concurrent["latency_max_s"], 4),
+        max_loop_stall_s=round(concurrent["max_stall_s"], 4),
+        largest_batch=concurrent["stats"].largest_batch,
+        mean_batch=round(concurrent["stats"].mean_batch, 3),
+        clients=CLIENTS,
+        max_batch=MAX_BATCH,
+    )

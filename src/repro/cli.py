@@ -144,6 +144,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         push_assets=args.push,
         gencache=_make_gencache(args),
         engine=_make_engine(args, device),
+        concurrent_streams=not args.serial_streams,
     )
 
     async def run() -> None:
@@ -454,6 +455,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--pages", nargs="+", default=list(PAGES), metavar="PAGE")
     serve.add_argument("--no-gen-ability", action="store_true", help="run as a naive HTTP/2 server")
     serve.add_argument("--push", action="store_true", help="server-push generated assets to naive clients")
+    serve.add_argument(
+        "--serial-streams",
+        action="store_true",
+        help="disable the concurrent stream scheduler (serve one request at "
+             "a time on the event loop, the paper's seed behaviour)",
+    )
     _add_gencache_flags(serve)
     _add_batching_flags(serve)
     serve.set_defaults(func=cmd_serve)

@@ -34,6 +34,7 @@ from repro.http2.frames import (
 from repro.http2.settings import Setting, Settings, SETTINGS_GEN_ABILITY
 from repro.http2.connection import H2Connection, Event
 from repro.http2.transport import InMemoryTransportPair, open_tcp_pair
+from repro.http2.writer import ConnectionWriter
 
 __all__ = [
     "ErrorCode",
@@ -59,4 +60,5 @@ __all__ = [
     "Event",
     "InMemoryTransportPair",
     "open_tcp_pair",
+    "ConnectionWriter",
 ]

@@ -246,29 +246,66 @@ class HpackEncoder:
     ``use_huffman`` and ``use_indexing`` exist so the A1 ablation benchmark
     can quantify what each compression mechanism contributes to the
     SETTINGS/headers overhead of the SWW handshake.
+
+    Repeated header sets are answered from an **encoded-block cache**: a
+    server sends the same response header tuple for every page it serves,
+    and in HPACK steady state (all entries resident in the dynamic table)
+    re-encoding such a set neither reads anything the table could change
+    nor mutates the table. The cache key is therefore the header tuple
+    *plus a fingerprint of the table state* — a cached block is replayed
+    only when the table is in exactly the state it was in when the block
+    was produced, and a block is only stored when encoding it left the
+    table untouched. Both conditions together make replay byte-identical
+    to re-encoding by construction (pinned by the differential tests in
+    ``tests/http2/test_hpack.py``). Encodes that mutate the table (first
+    sightings, evictions) and blocks carrying a pending table-size update
+    bypass the cache entirely.
     """
 
     #: Header names that must never enter a compression context.
     NEVER_INDEXED = frozenset({b"authorization", b"cookie", b"set-cookie"})
+
+    #: Encoded-block cache capacity; a distinct-header-set churn beyond
+    #: this simply clears the cache (steady-state servers use a handful).
+    BLOCK_CACHE_LIMIT = 256
 
     def __init__(
         self,
         max_table_size: int = DEFAULT_TABLE_SIZE,
         use_huffman: bool = True,
         use_indexing: bool = True,
+        cache_blocks: bool = True,
     ) -> None:
         self.table = DynamicTable(max_table_size)
         self.use_huffman = use_huffman
         self.use_indexing = use_indexing
         self._pending_resize: int | None = None
+        self.cache_blocks = cache_blocks
+        self._block_cache: dict[tuple, bytes] = {}
+        self.block_cache_hits = 0
+        self.block_cache_misses = 0
 
     def set_max_table_size(self, size: int) -> None:
         """Schedule a dynamic table size update (emitted in the next block)."""
         self.table.resize(size)
         self._pending_resize = size
+        self._block_cache.clear()
+
+    def _table_fingerprint(self) -> tuple[int, int, int]:
+        """Identity of the dynamic-table state a cached block depends on."""
+        table = self.table
+        return (table._next_seq, table.evictions, table.max_size)
 
     def encode(self, headers: list[tuple[bytes, bytes]]) -> bytes:
         """Encode a header list into an HPACK header block fragment."""
+        cache_key = None
+        if self.cache_blocks and self._pending_resize is None:
+            cache_key = (self._table_fingerprint(), tuple(headers))
+            cached = self._block_cache.get(cache_key)
+            if cached is not None:
+                self.block_cache_hits += 1
+                return cached
+            self.block_cache_misses += 1
         out = bytearray()
         if self._pending_resize is not None:
             out += encode_integer(self._pending_resize, 5, 0x20)
@@ -277,7 +314,15 @@ class HpackEncoder:
             name = bytes(name).lower()
             value = bytes(value)
             out += self._encode_one(name, value)
-        return bytes(out)
+        block = bytes(out)
+        if cache_key is not None and self._table_fingerprint() == cache_key[0]:
+            # Encoding was a pure read of the table: replaying the block
+            # later (from this same state) is indistinguishable from
+            # re-encoding, on the wire and in the decoder.
+            if len(self._block_cache) >= self.BLOCK_CACHE_LIMIT:
+                self._block_cache.clear()
+            self._block_cache[cache_key] = block
+        return block
 
     def _encode_one(self, name: bytes, value: bytes) -> bytes:
         if name in self.NEVER_INDEXED:

@@ -1,0 +1,252 @@
+"""Flow-control-aware response writer (the concurrent stream scheduler).
+
+The sans-io engine's :meth:`H2Connection.send_data` is strict: it raises
+:class:`FlowControlError` the moment a frame would overrun a window. That
+is the right behaviour for a protocol engine, but a server streaming many
+responses at once needs the complementary *scheduling* layer — something
+that holds each stream's remaining body, sends exactly as much as the
+connection and stream windows allow, parks streams whose window is
+exhausted, and resumes them when the peer's WINDOW_UPDATE arrives.
+
+:class:`ConnectionWriter` is that layer. It is itself sans-io (it only
+writes into the engine's outbound buffer), so the same scheduler runs
+under asyncio TCP in :mod:`repro.sww.server` and under the deterministic
+in-memory transport in tests:
+
+* **per-stream send queues** — :meth:`enqueue` accepts a whole response
+  body; the writer owns chunking it into DATA frames no larger than the
+  peer's ``MAX_FRAME_SIZE``;
+* **round-robin interleaving** — each scheduling round gives every ready
+  stream at most one frame before any stream gets a second, so a small
+  page completes in bounded time even while a multi-megabyte asset is
+  mid-transfer (no head-of-line blocking between responses);
+* **flow-control pausing** — a stream whose stream window (or the shared
+  connection window) is empty is skipped, not failed; :meth:`pump`
+  simply stops making progress and the caller waits for the peer;
+* **resume on WINDOW_UPDATE** — the owner calls :meth:`pump` again after
+  feeding WINDOW_UPDATE frames to the engine (the asyncio server wires
+  this to a writer-task wakeup).
+
+The writer never splits the engine's invariants: every byte it emits goes
+through :meth:`H2Connection.send_data` with a chunk size pre-clamped to
+the available windows, so the engine's own accounting remains the single
+source of truth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.http2.connection import H2Connection
+from repro.obs import MetricsRegistry, get_registry
+
+
+@dataclass
+class _SendQueue:
+    """One stream's pending response body."""
+
+    stream_id: int
+    data: memoryview
+    end_stream: bool
+    offset: int = 0
+    #: True once the final frame (with END_STREAM when requested) went out.
+    finished: bool = False
+    #: Extra chunks appended while the stream was already queued.
+    backlog: deque = field(default_factory=deque)
+
+    @property
+    def remaining(self) -> int:
+        return len(self.data) - self.offset
+
+    def take(self, limit: int) -> bytes:
+        chunk = bytes(self.data[self.offset : self.offset + limit])
+        self.offset += len(chunk)
+        return chunk
+
+
+class ConnectionWriter:
+    """Round-robin DATA scheduler over one connection's flow windows."""
+
+    def __init__(self, conn: H2Connection, registry: MetricsRegistry | None = None) -> None:
+        self.conn = conn
+        self.registry = registry if registry is not None else get_registry()
+        self._queues: dict[int, _SendQueue] = {}
+        #: Round-robin order; rotated as streams take their turn.
+        self._order: deque[int] = deque()
+        #: Streams whose final frame already went out (END_STREAM sent or
+        #: the stream died under the queue); late enqueues are programming
+        #: errors, not silent re-opens.
+        self._finished: set[int] = set()
+        #: Cumulative scheduling statistics (also exported as metrics).
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.stream_stalls = 0
+        self.connection_stalls = 0
+        self.completed_streams = 0
+
+    # ------------------------------------------------------------------ #
+    # Queue management
+    # ------------------------------------------------------------------ #
+
+    def enqueue(self, stream_id: int, data: bytes, end_stream: bool = True) -> None:
+        """Queue a response body for flow-controlled transmission.
+
+        Multiple calls for one stream append in order; ``end_stream`` on
+        any call marks the stream finished after its last queued byte.
+        """
+        if stream_id in self._finished:
+            raise ValueError(f"stream {stream_id} already finished its response")
+        queue = self._queues.get(stream_id)
+        if queue is None:
+            self._queues[stream_id] = _SendQueue(
+                stream_id, memoryview(bytes(data)), end_stream
+            )
+            self._order.append(stream_id)
+        else:
+            queue.backlog.append(bytes(data))
+            queue.end_stream = queue.end_stream or end_stream
+        self._update_gauges()
+
+    @property
+    def pending_streams(self) -> int:
+        return len(self._queues)
+
+    @property
+    def pending_bytes(self) -> int:
+        return sum(
+            q.remaining + sum(len(extra) for extra in q.backlog)
+            for q in self._queues.values()
+        )
+
+    @property
+    def idle(self) -> bool:
+        return not self._queues
+
+    # ------------------------------------------------------------------ #
+    # Scheduling
+    # ------------------------------------------------------------------ #
+
+    def pump(self) -> int:
+        """Emit as many DATA frames as the windows allow; return the bytes
+        written into the engine's outbound buffer.
+
+        Streams are served round-robin, one frame per stream per round.
+        A return of 0 with :attr:`pending_streams` > 0 means every queued
+        stream is blocked on flow control — the caller should wait for
+        WINDOW_UPDATE (or a SETTINGS window resize) and pump again.
+        """
+        written = 0
+        progress = True
+        while progress and self._order:
+            progress = False
+            for _ in range(len(self._order)):
+                stream_id = self._order.popleft()
+                queue = self._queues.get(stream_id)
+                if queue is None:
+                    continue
+                sent = self._send_one_frame(queue)
+                if queue.finished:
+                    del self._queues[stream_id]
+                    self.completed_streams += 1
+                    if queue.end_stream:
+                        self._finished.add(stream_id)
+                else:
+                    self._order.append(stream_id)
+                if sent is None:
+                    continue  # stalled on a window; stays queued
+                written += sent
+                progress = True
+            if (
+                not progress
+                and self._any_payload_pending()
+                and self.conn.outbound_window.available <= 0
+            ):
+                # Everyone is parked on the shared connection window.
+                self.connection_stalls += 1
+                self._count_stall("connection")
+        self._update_gauges()
+        return written
+
+    def _any_payload_pending(self) -> bool:
+        """True if any queued stream still has body bytes (not just a bare
+        END_STREAM flag, which needs no window credit)."""
+        return any(
+            q.remaining > 0 or q.backlog for q in self._queues.values()
+        )
+
+    def _send_one_frame(self, queue: _SendQueue) -> int | None:
+        """Send at most one DATA frame for this stream.
+
+        Returns the payload size sent (0 for a bare END_STREAM frame), or
+        None when the stream is parked on an exhausted window.
+        """
+        if queue.remaining == 0 and queue.backlog:
+            queue.data = memoryview(queue.backlog.popleft())
+            queue.offset = 0
+        stream = self.conn.streams.get(queue.stream_id)
+        if stream is None or not stream.can_send_data:
+            # The stream died (reset) under the queued response: drop it.
+            queue.finished = True
+            queue.offset = len(queue.data)
+            queue.backlog.clear()
+            return 0
+        last_chunk = queue.remaining <= self._frame_limit() and not queue.backlog
+        if queue.remaining == 0:
+            # Body fully sent; emit the bare END_STREAM frame if owed.
+            self.conn.send_data(queue.stream_id, b"", end_stream=queue.end_stream)
+            queue.finished = True
+            self.frames_sent += 1
+            return 0
+        allowance = min(
+            self._frame_limit(),
+            self.conn.outbound_window.available,
+            stream.outbound_window.available,
+            queue.remaining,
+        )
+        if allowance <= 0:
+            if stream.outbound_window.available <= 0:
+                self.stream_stalls += 1
+                self._count_stall("stream")
+            return None
+        final = queue.end_stream and last_chunk and allowance == queue.remaining
+        chunk = queue.take(allowance)
+        self.conn.send_data(queue.stream_id, chunk, end_stream=final)
+        queue.finished = final or (
+            queue.remaining == 0 and not queue.backlog and not queue.end_stream
+        )
+        self.frames_sent += 1
+        self.bytes_sent += len(chunk)
+        return len(chunk)
+
+    def _frame_limit(self) -> int:
+        return self.conn.peer_settings.max_frame_size
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+
+    def _count_stall(self, scope: str) -> None:
+        if self.registry.enabled:
+            self.registry.counter(
+                "http2_writer_stalls_total",
+                "Scheduler rounds that parked on an exhausted flow-control window",
+                layer="http2",
+                operation=scope,
+            ).inc()
+
+    def _update_gauges(self) -> None:
+        if not self.registry.enabled:
+            return
+        self.registry.gauge(
+            "http2_writer_queue_depth",
+            "Streams with a response queued in the connection writer",
+            layer="http2",
+            operation="streams",
+        ).set(float(self.pending_streams))
+        self.registry.gauge(
+            "http2_writer_buffered_bytes",
+            "Response bytes waiting on flow-control credit in the writer",
+            layer="http2",
+            operation="bytes",
+        ).set(float(self.pending_bytes))

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import asyncio
 import logging
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.devices.profiles import DeviceProfile, LAPTOP
@@ -25,11 +26,14 @@ from repro.html import parse_html, serialize
 from repro.html.dom import Document
 from repro.http2.connection import (
     DataReceived,
+    GenAbilityNegotiated,
     H2Connection,
     PushPromiseReceived,
     ResponseReceived,
     Role,
+    SettingsAcknowledged,
     StreamEnded,
+    StreamReset,
 )
 from repro.http2.transport import AsyncH2Transport, InMemoryTransportPair
 from repro.obs import MetricsRegistry, Tracer, get_registry, get_tracer
@@ -40,6 +44,19 @@ from repro.sww.renderer import render_text
 logger = logging.getLogger("repro.sww.client")
 
 HeaderList = list[tuple[bytes, bytes]]
+
+
+@dataclass
+class _TcpStream:
+    """Per-stream receive state for the TCP transport (request or push)."""
+
+    path: str
+    #: Request stream the server promised this push on (0 for requests).
+    parent: int = 0
+    status: int = 0
+    headers: HeaderList = field(default_factory=list)
+    body: bytearray = field(default_factory=bytearray)
+    done: asyncio.Event = field(default_factory=asyncio.Event)
 
 
 @dataclass
@@ -348,55 +365,127 @@ class GenerativeClient:
         """Full §5.2 flow over a real socket: connect, settle settings,
         request, receive, generate, render."""
         with self.tracer.span("client.fetch", page=path, transport="tcp") as fetch_span:
-            with self.tracer.span("client.connect", host=host, port=port):
-                conn = self.new_connection()
-                reader, writer = await asyncio.open_connection(host, port)
-                transport = AsyncH2Transport(conn, reader, writer)
-                conn.initiate_connection()
-                await transport.flush()
-
-            status = 0
-            headers: HeaderList = []
-            body = bytearray()
-            done = asyncio.Event()
-
-            async def handler(event) -> None:
-                nonlocal status, headers
-                if isinstance(event, ResponseReceived):
-                    headers = event.headers
-                    status = int(dict(headers).get(b":status", b"0"))
-                elif isinstance(event, DataReceived):
-                    body.extend(event.data)
-                if isinstance(event, (StreamEnded,)):
-                    done.set()
-
-            run_task = asyncio.create_task(transport.run(handler))
-            with self.tracer.span("client.negotiate") as negotiate_span:
-                # Wait a beat for the settings exchange so negotiation state
-                # is logged before the request goes out (§5.2 ordering).
-                await asyncio.sleep(0)
-                negotiate_span.annotate(advertised=self.gen_ability)
-            with self.tracer.span("client.request", page=path):
-                stream_id = conn.get_next_available_stream_id()
-                conn.send_headers(stream_id, self.request_headers(path, host), end_stream=True)
-                await transport.flush()
-                await done.wait()
-            self.server_gen_ability = conn.peer_gen_ability
+            results = await self._fetch_tcp_streams(host, port, [path])
             fetch_span.annotate(server_gen_ability=self.server_gen_ability)
-            logger.info(
-                "fetched %s from %s:%d (server gen-ability=%s)",
-                path,
-                host,
-                port,
-                self.server_gen_ability,
-            )
+        return results[0]
+
+    async def fetch_many_tcp(self, host: str, port: int, paths: Sequence[str]) -> list[FetchResult]:
+        """Fetch several pages concurrently over ONE connection.
+
+        All requests are multiplexed as separate HTTP/2 streams on a single
+        socket; the server's concurrent scheduler interleaves the response
+        DATA frames, so a small page completes while a large one is still
+        mid-stream. Results are returned in the order of ``paths``.
+        """
+        with self.tracer.span("client.fetch_many", pages=len(paths), transport="tcp") as span:
+            results = await self._fetch_tcp_streams(host, port, list(paths))
+            span.annotate(server_gen_ability=self.server_gen_ability)
+        return results
+
+    async def _fetch_tcp_streams(self, host: str, port: int, paths: list[str]) -> list[FetchResult]:
+        """Open one connection, request ``paths`` as concurrent streams,
+        collect every response (and pushed asset), and finish each page."""
+        with self.tracer.span("client.connect", host=host, port=port):
+            conn = self.new_connection()
+            reader, writer = await asyncio.open_connection(host, port)
+            transport = AsyncH2Transport(conn, reader, writer)
+            conn.initiate_connection()
+            await transport.flush()
+
+        streams: dict[int, _TcpStream] = {}
+        promised: dict[int, _TcpStream] = {}
+        settings_acked = asyncio.Event()
+        negotiated = asyncio.Event()
+
+        async def handler(event) -> None:
+            if isinstance(event, SettingsAcknowledged):
+                settings_acked.set()
+            elif isinstance(event, GenAbilityNegotiated):
+                negotiated.set()
+            elif isinstance(event, ResponseReceived):
+                state = streams.get(event.stream_id) or promised.get(event.stream_id)
+                if state is not None:
+                    state.headers = event.headers
+                    state.status = int(dict(event.headers).get(b":status", b"0"))
+            elif isinstance(event, PushPromiseReceived):
+                pushed_path = dict(event.headers).get(b":path", b"").decode("utf-8", "replace")
+                promised[event.promised_stream_id] = _TcpStream(
+                    path=pushed_path, parent=event.stream_id
+                )
+            elif isinstance(event, DataReceived):
+                state = streams.get(event.stream_id) or promised.get(event.stream_id)
+                if state is not None:
+                    state.body += event.data
+                # Top the connection-level receive window back up so a
+                # long-lived multi-stream connection never starves the
+                # server of credit (per-stream windows die with the stream).
+                if event.flow_controlled_length > 0:
+                    conn.increment_flow_control_window(event.flow_controlled_length)
+            elif isinstance(event, (StreamEnded, StreamReset)):
+                state = streams.get(event.stream_id) or promised.get(event.stream_id)
+                if state is not None:
+                    state.done.set()
+
+        run_task = asyncio.create_task(transport.run(handler))
+        try:
+            with self.tracer.span("client.negotiate") as negotiate_span:
+                # §5.2 ordering: wait for the real settings exchange — the
+                # server's SETTINGS (carrying SETTINGS_GEN_ABILITY) and its
+                # ACK of ours — before any request goes out. A bare yield
+                # here raced the exchange and could read a stale capability.
+                await settings_acked.wait()
+                await negotiated.wait()
+                self.server_gen_ability = conn.peer_gen_ability
+                negotiate_span.annotate(
+                    advertised=self.gen_ability,
+                    server_gen_ability=self.server_gen_ability,
+                )
+            order: list[int] = []
+            for path in paths:
+                with self.tracer.span("client.request", page=path):
+                    stream_id = conn.get_next_available_stream_id()
+                    streams[stream_id] = _TcpStream(path=path)
+                    order.append(stream_id)
+                    conn.send_headers(stream_id, self.request_headers(path, host), end_stream=True)
+            await transport.flush()
+            await asyncio.gather(*(streams[sid].done.wait() for sid in order))
+            # Every PUSH_PROMISE precedes its parent stream's END_STREAM, so
+            # by now ``promised`` is complete; wait out the pushed bodies.
+            await asyncio.gather(*(state.done.wait() for state in promised.values()))
+        finally:
             await transport.close()
             run_task.cancel()
             try:
                 await run_task
             except (asyncio.CancelledError, ConnectionError):
                 pass
-            return self._finish(path, status, headers, bytes(body))
+
+        logger.info(
+            "fetched %d page(s) from %s:%d (server gen-ability=%s)",
+            len(paths),
+            host,
+            port,
+            self.server_gen_ability,
+        )
+        results = []
+        for sid in order:
+            state = streams[sid]
+            pushed = {
+                push.path: bytes(push.body)
+                for push in promised.values()
+                if push.parent == sid
+            }
+            header_map = dict(state.headers)
+            if (
+                state.status == 200
+                and header_map.get(b"x-sww-content") == b"prompts"
+                and self.gen_ability
+            ):
+                self.generator.provide_assets(pushed)
+            result = self._finish(state.path, state.status, state.headers, bytes(state.body))
+            result.pushed_assets.update(pushed)
+            results.append(result)
+        return results
 
 
 def connect_in_memory(client: GenerativeClient, server) -> InMemoryTransportPair:

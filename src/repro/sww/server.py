@@ -20,18 +20,26 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import threading
+from concurrent.futures import Future
 from dataclasses import dataclass, field
 
 from repro.devices.profiles import DeviceProfile, WORKSTATION
 from repro.genai.pipeline import GenerationPipeline
 from repro.html import parse_html, serialize
 from repro.http2.connection import (
+    ConnectionTerminated,
     Event,
     H2Connection,
+    RemoteSettingsChanged,
     RequestReceived,
     Role,
+    StreamReset,
+    WindowUpdated,
 )
+from repro.http2.errors import H2Error
 from repro.http2.transport import AsyncH2Transport
+from repro.http2.writer import ConnectionWriter
 from repro.obs import MetricsRegistry, Tracer, get_registry, get_tracer
 from repro.sww.capability import NegotiationOutcome, ServeMode, ServePolicy, decide_serve_mode
 from repro.sww.media_generator import MediaGenerator
@@ -40,6 +48,14 @@ from repro.sww.page_processor import PageProcessor
 logger = logging.getLogger("repro.sww.server")
 
 HeaderList = list[tuple[bytes, bytes]]
+
+#: Event-loop stall histogram bounds (seconds). The acceptance bar for the
+#: concurrent scheduler is "no loop blockage beyond 50 ms while generation
+#: runs", so the buckets straddle that threshold.
+_STALL_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0)
+
+#: How often the stall probe samples loop responsiveness.
+_STALL_PROBE_INTERVAL_S = 0.02
 
 
 @dataclass
@@ -133,6 +149,7 @@ class GenerativeServer:
         tracer: Tracer | None = None,
         gencache=None,
         engine=None,
+        concurrent_streams: bool = True,
     ) -> None:
         self.store = store
         self.device = device
@@ -163,9 +180,21 @@ class GenerativeServer:
         self.engine = engine
         self._generator = MediaGenerator(self.pipeline, cache=gencache, engine=engine)
         self._processor = PageProcessor(self._generator)
+        #: Stream scheduling mode for the asyncio transport: True (default)
+        #: runs each request as its own task with generation offloaded to a
+        #: thread executor and responses interleaved by the flow-control
+        #: writer; False is the serial seed behaviour (one request at a
+        #: time, handled synchronously on the event loop).
+        self.concurrent_streams = concurrent_streams
         #: Cache of server-side generated traditional pages (path → html,
         #: assets), so repeat naive clients don't re-pay generation.
         self._server_generated: dict[str, tuple[str, dict[str, bytes], float, float]] = {}
+        #: Per-path single-flight coordination for concurrent materialise
+        #: calls: followers wait on the leader's future instead of paying a
+        #: duplicate generation (mirrors the gencache coalescing semantics).
+        self._materialise_lock = threading.Lock()
+        self._materialise_flights: dict[str, Future] = {}
+        self._stats_lock = threading.Lock()
         self.requests_served = 0
 
     # ------------------------------------------------------------------ #
@@ -191,7 +220,8 @@ class GenerativeServer:
         server's spans join the client's distributed trace as remote
         children, sampling decision included.
         """
-        self.requests_served += 1
+        with self._stats_lock:
+            self.requests_served += 1
         with self.tracer.span("server.request", remote=trace_context, page=path):
             response = self._respond(path, client_gen_ability, client_models)
         if self.registry.enabled:
@@ -297,19 +327,56 @@ class GenerativeServer:
         content (prompts and original files)" — the server stores prompts
         only and renders on demand for naive clients; generated assets are
         registered in the store so follow-up asset GETs resolve.
+
+        Concurrent requests for the same page are **single-flighted**: the
+        first becomes the leader and generates; followers wait on its
+        future and are accounted like cache hits (0 extra simulated cost),
+        exactly as a serial request stream would have hit the page cache.
         """
         cached = self._server_generated.get(page.path)
         if cached is not None:
-            if self.registry.enabled:
-                self.registry.counter(
-                    "sww_materialise_cache_total",
-                    "Server-side materialisation cache lookups",
-                    layer="sww",
-                    operation="hit",
-                ).inc()
-            html, assets, _time, _energy = cached
-            # Cache hits cost no additional generation time.
-            return html, assets, 0.0, 0.0
+            return self._materialised_hit(cached, "hit")
+        with self._materialise_lock:
+            cached = self._server_generated.get(page.path)
+            if cached is not None:
+                flight = None
+            else:
+                flight = self._materialise_flights.get(page.path)
+                if flight is None:
+                    # This request leads; everyone else follows its future.
+                    leader_future: Future = Future()
+                    self._materialise_flights[page.path] = leader_future
+        if cached is not None:
+            return self._materialised_hit(cached, "hit")
+        if flight is not None:
+            # Follower: wait for the leader's result (or its exception).
+            return self._materialised_hit(flight.result(), "coalesced")
+        try:
+            entry = self._materialise_cold(page)
+        except BaseException as exc:
+            leader_future.set_exception(exc)
+            raise
+        finally:
+            with self._materialise_lock:
+                self._materialise_flights.pop(page.path, None)
+        leader_future.set_result(entry)
+        return entry
+
+    def _materialised_hit(
+        self, entry: tuple[str, dict[str, bytes], float, float], outcome: str
+    ) -> tuple[str, dict[str, bytes], float, float]:
+        """Account a page-cache hit (or in-flight coalesce): no extra cost."""
+        if self.registry.enabled:
+            self.registry.counter(
+                "sww_materialise_cache_total",
+                "Server-side materialisation cache lookups",
+                layer="sww",
+                operation=outcome,
+            ).inc()
+        html, assets, _time, _energy = entry
+        return html, assets, 0.0, 0.0
+
+    def _materialise_cold(self, page: PageResource) -> tuple[str, dict[str, bytes], float, float]:
         with self.tracer.span("server.materialise", page=page.path):
             document = parse_html(page.sww_html)
             # Upscale items reference stored small originals; the server's own
@@ -397,7 +464,14 @@ class GenerativeServer:
         return ServerSession(self, conn)
 
     async def serve_forever(self, host: str = "127.0.0.1", port: int = 0) -> asyncio.AbstractServer:
-        """Listen on TCP; each connection gets its own engine + session."""
+        """Listen on TCP; each connection gets its own engine + session.
+
+        With :attr:`concurrent_streams` (the default) every request stream
+        becomes its own asyncio task, generation runs off the event loop,
+        and responses interleave through the flow-control-aware
+        :class:`~repro.http2.writer.ConnectionWriter`. Setting it to False
+        restores the serial seed behaviour for baseline comparisons.
+        """
 
         async def on_connect(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
             conn = H2Connection(Role.SERVER, gen_ability=self.gen_ability, registry=self.registry)
@@ -405,52 +479,90 @@ class GenerativeServer:
             transport = AsyncH2Transport(conn, reader, writer)
             conn.initiate_connection()
             await transport.flush()
-
-            async def handler(event: Event) -> None:
-                session.handle_event(event)
-
-            await transport.run(handler)
+            await session.run(transport, concurrent=self.concurrent_streams)
 
         return await asyncio.start_server(on_connect, host, port)
 
 
 class ServerSession:
-    """Per-connection state: applies request events to the engine."""
+    """Per-connection state: applies request events to the engine.
+
+    Two driving modes share the request logic:
+
+    * :meth:`handle_event` — synchronous, used by the in-memory transport
+      (tests, benchmarks, the CLI demo). One request is served start to
+      finish, body shipped in one ``send_data`` call.
+    * :meth:`run` — the asyncio mode. The read loop dispatches each
+      ``RequestReceived`` into its own task (:meth:`_serve_stream`), the
+      CPU-heavy request logic runs on a thread executor so the event loop
+      never blocks, and finished bodies are queued on a
+      :class:`~repro.http2.writer.ConnectionWriter` whose dedicated task
+      interleaves DATA frames round-robin within flow-control credit,
+      waking on WINDOW_UPDATE. On peer GOAWAY/EOF the session drains
+      in-flight streams before the socket closes.
+    """
 
     def __init__(self, server: GenerativeServer, conn: H2Connection) -> None:
         self.server = server
         self.conn = conn
         self.responses: list[ServedResponse] = []
+        self.writer: ConnectionWriter | None = None
+        #: Peak event-loop stall the probe observed on this connection.
+        self.max_stall_s = 0.0
+        self._transport: AsyncH2Transport | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._draining = False
+
+    # ------------------------------------------------------------------ #
+    # Shared request plumbing
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _parse_request(event: RequestReceived):
+        """Extract (path, authority, client_models, trace_context)."""
+        from repro.obs import TRACEPARENT_HEADER, parse_traceparent
+        from repro.sww.model_negotiation import MODELS_HEADER, parse_models_header
+
+        headers = dict(event.headers)
+        path = headers.get(b":path", b"/").decode("utf-8", "replace")
+        authority = headers.get(b":authority", b"sww.example")
+        raw_models = headers.get(MODELS_HEADER)
+        client_models = parse_models_header(raw_models) if raw_models is not None else None
+        # Malformed/truncated traceparent values parse to None and the
+        # request simply starts its own trace (W3C restart semantics).
+        trace_context = parse_traceparent(headers.get(TRACEPARENT_HEADER))
+        return path, authority, client_models, trace_context
+
+    def _should_push(self, response: ServedResponse) -> bool:
+        return (
+            self.server.push_assets
+            and response.mode == ServeMode.SERVER_GENERATED
+            and self.conn.peer_settings.enable_push
+        )
+
+    # ------------------------------------------------------------------ #
+    # Synchronous mode (in-memory transport)
+    # ------------------------------------------------------------------ #
 
     def handle_event(self, event: Event) -> None:
         if isinstance(event, RequestReceived):
-            from repro.obs import TRACEPARENT_HEADER, parse_traceparent
-            from repro.sww.model_negotiation import MODELS_HEADER, parse_models_header
-
-            headers = dict(event.headers)
-            path = headers.get(b":path", b"/").decode("utf-8", "replace")
-            authority = headers.get(b":authority", b"sww.example")
-            raw_models = headers.get(MODELS_HEADER)
-            client_models = parse_models_header(raw_models) if raw_models is not None else None
-            # Malformed/truncated traceparent values parse to None and the
-            # request simply starts its own trace (W3C restart semantics).
-            trace_context = parse_traceparent(headers.get(TRACEPARENT_HEADER))
+            path, authority, client_models, trace_context = self._parse_request(event)
             response = self.server.handle_request(
                 path, self.conn.gen_ability_negotiated, client_models, trace_context
             )
             self.responses.append(response)
             self.conn.send_headers(event.stream_id, response.headers)
-            if (
-                self.server.push_assets
-                and response.mode == ServeMode.SERVER_GENERATED
-                and self.conn.peer_settings.enable_push
-            ):
+            if self._should_push(response):
                 # Push the freshly generated media before closing the page
                 # stream, so the naive client never issues follow-up GETs.
                 self._push_generated_assets(event.stream_id, path, authority)
             self.conn.send_data(event.stream_id, response.body, end_stream=True)
 
-    def _push_generated_assets(self, stream_id: int, page_path: str, authority: bytes) -> None:
+    def _push_generated_assets(
+        self, stream_id: int, page_path: str, authority: bytes, writer: ConnectionWriter | None = None
+    ) -> None:
+        """Promise and send generated assets; bodies go through ``writer``
+        (flow-controlled, interleaved) when one is provided."""
         cached = self.server._server_generated.get(page_path)
         if cached is None:
             return
@@ -467,4 +579,191 @@ class ServerSession:
                 (b"content-type", b"image/png"),
                 (b"content-length", str(len(data)).encode()),
             ]
-            self.conn.push_stream(stream_id, request_headers, response_headers, data)
+            if writer is None:
+                self.conn.push_stream(stream_id, request_headers, response_headers, data)
+            else:
+                promised_id = self.conn.promise_stream(stream_id, request_headers, response_headers)
+                writer.enqueue(promised_id, data, end_stream=True)
+
+    # ------------------------------------------------------------------ #
+    # Concurrent asyncio mode
+    # ------------------------------------------------------------------ #
+
+    async def run(self, transport: AsyncH2Transport, concurrent: bool = True) -> None:
+        """Drive one connection to completion over the asyncio transport."""
+        self._transport = transport
+        self.writer = ConnectionWriter(self.conn, registry=self.server.registry)
+        writer_task = asyncio.create_task(self._writer_loop())
+        probe_task = asyncio.create_task(self._stall_probe())
+        dispatch = self._dispatch_concurrent if concurrent else self._dispatch_serial
+        try:
+            await transport.run(dispatch, close_on_exit=False)
+            await self.drain()
+        finally:
+            for task in (probe_task, writer_task):
+                task.cancel()
+            for task in (probe_task, writer_task):
+                try:
+                    await task
+                except (asyncio.CancelledError, ConnectionError, OSError):
+                    pass
+            await transport.close()
+
+    async def _dispatch_serial(self, event: Event) -> None:
+        """Seed behaviour: handle everything inline on the event loop."""
+        self.handle_event(event)
+        if isinstance(event, ConnectionTerminated):
+            self._draining = True
+
+    async def _dispatch_concurrent(self, event: Event) -> None:
+        if isinstance(event, RequestReceived):
+            if self._draining:
+                logger.info("ignoring stream %d received after GOAWAY", event.stream_id)
+                return
+            task = asyncio.create_task(self._serve_stream(event))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        elif isinstance(event, (WindowUpdated, RemoteSettingsChanged)):
+            # Fresh flow-control credit: resume any parked response stream.
+            self._transport.wake_writer()
+        elif isinstance(event, ConnectionTerminated):
+            self._draining = True
+        elif isinstance(event, StreamReset):
+            # The writer drops the queue for a dead stream on its next
+            # scheduling round; just make sure that round happens.
+            self._transport.wake_writer()
+
+    async def _serve_stream(self, event: RequestReceived) -> None:
+        """One request stream, start to finish, as its own task."""
+        stream_id = event.stream_id
+        path, authority, client_models, trace_context = self._parse_request(event)
+        registry = self.server.registry
+        inflight = None
+        if registry.enabled:
+            inflight = registry.gauge(
+                "sww_server_inflight_streams",
+                "Request streams currently being served by the stream scheduler",
+                layer="sww",
+                operation="serve",
+            )
+            inflight.inc()
+        gen_ability = self.conn.gen_ability_negotiated
+        loop = asyncio.get_running_loop()
+        try:
+            # The request logic (including server-side materialisation) is
+            # CPU work: run it off the loop so other streams — and other
+            # connections — keep flowing. Concurrent materialisations meet
+            # in the BatchingEngine window / gencache single-flight.
+            response = await loop.run_in_executor(
+                None,
+                self._handle_in_thread,
+                path,
+                stream_id,
+                gen_ability,
+                client_models,
+                trace_context,
+            )
+        except Exception:
+            logger.exception("stream %d (%s) failed; responding 500", stream_id, path)
+            body = b"internal server error"
+            response = ServedResponse(
+                500, self.server._headers("text/plain", len(body), status=500), body
+            )
+        finally:
+            if inflight is not None:
+                inflight.dec()
+        if self._transport is None or self._transport.closed.is_set():
+            return
+        self.responses.append(response)
+        try:
+            self.conn.send_headers(stream_id, response.headers)
+            if self._should_push(response):
+                self._push_generated_assets(stream_id, path, authority, writer=self.writer)
+            self.writer.enqueue(stream_id, response.body, end_stream=True)
+        except H2Error:
+            logger.warning("stream %d closed under its response; dropping", stream_id)
+            return
+        self._transport.wake_writer()
+
+    def _handle_in_thread(
+        self, path: str, stream_id: int, gen_ability: bool, client_models, trace_context
+    ) -> ServedResponse:
+        with self.server.tracer.span(
+            "server.stream", remote=trace_context, page=path, stream=stream_id
+        ):
+            return self.server.handle_request(path, gen_ability, client_models, trace_context)
+
+    async def _writer_loop(self) -> None:
+        """Dedicated writer task: pump the scheduler, honour backpressure."""
+        transport = self._transport
+        while not transport.closed.is_set():
+            await transport.wait_writable()
+            while not self.writer.idle:
+                wrote = self.writer.pump()
+                try:
+                    await transport.flush()
+                except (ConnectionError, OSError):
+                    return
+                if wrote == 0:
+                    # Every queued stream is parked on flow control; sleep
+                    # until WINDOW_UPDATE (or new work) wakes us.
+                    break
+
+    async def drain(self, timeout_s: float = 30.0) -> None:
+        """Graceful close: finish in-flight streams, flush queued bytes."""
+        self._draining = True
+        if self._tasks:
+            pending = {task for task in self._tasks if not task.done()}
+            if pending:
+                done, still_pending = await asyncio.wait(pending, timeout=timeout_s)
+                for task in still_pending:
+                    task.cancel()
+        # Give the writer a last chance to move whatever credit allows.
+        deadline = asyncio.get_running_loop().time() + timeout_s
+        while self.writer is not None and not self.writer.idle:
+            wrote = self.writer.pump()
+            try:
+                await self._transport.flush()
+            except (ConnectionError, OSError):
+                return
+            if wrote == 0 or asyncio.get_running_loop().time() >= deadline:
+                break
+        try:
+            await self._transport.flush()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _stall_probe(self) -> None:
+        """Sample event-loop responsiveness while the connection lives.
+
+        A sleep that oversleeps by Δ means something held the loop for ~Δ;
+        the serial baseline shows generation-sized stalls here, while the
+        concurrent scheduler must stay under the 50 ms acceptance bar.
+        """
+        loop = asyncio.get_running_loop()
+        registry = self.server.registry
+        histogram = gauge = None
+        if registry.enabled:
+            histogram = registry.histogram(
+                "sww_server_loop_stall_seconds",
+                "Observed event-loop scheduling delay while serving",
+                buckets=_STALL_BUCKETS,
+                layer="sww",
+                operation="loop",
+            )
+            gauge = registry.gauge(
+                "sww_server_loop_stall_max_seconds",
+                "Worst event-loop stall observed while serving",
+                layer="sww",
+                operation="loop",
+            )
+        while True:
+            before = loop.time()
+            await asyncio.sleep(_STALL_PROBE_INTERVAL_S)
+            stall = max(0.0, loop.time() - before - _STALL_PROBE_INTERVAL_S)
+            if stall > self.max_stall_s:
+                self.max_stall_s = stall
+            if histogram is not None:
+                histogram.observe(stall)
+            if gauge is not None and self.max_stall_s > gauge.value:
+                gauge.set(self.max_stall_s)

@@ -240,3 +240,91 @@ class TestPropertyRoundTrip:
         for i in range(3):
             batch = headers[i % len(headers) :]
             assert decoder.decode(encoder.encode(batch)) == batch
+
+
+class TestBlockCache:
+    """The encoded-block cache on the server hot path must be invisible on
+    the wire: cached bytes are only served when the dynamic-table state is
+    identical to when they were produced."""
+
+    REQUESTS = [
+        [(b":status", b"200"), (b"content-type", b"text/html"), (b"x-sww-content", b"prompts")],
+        [(b":status", b"200"), (b"content-type", b"image/png")],
+        [(b":status", b"404"), (b"content-type", b"text/plain")],
+    ]
+
+    def test_repeat_encodings_byte_identical_to_uncached(self):
+        cached = HpackEncoder(4096, cache_blocks=True)
+        uncached = HpackEncoder(4096, cache_blocks=False)
+        decoder = HpackDecoder(4096)
+        sequence = self.REQUESTS * 5  # repeats exercise the cache
+        for headers in sequence:
+            a = cached.encode(headers)
+            b = uncached.encode(headers)
+            assert a == b
+            assert decoder.decode(a) == headers
+        assert cached.block_cache_hits > 0
+
+    def test_cache_hit_only_after_table_settles(self):
+        encoder = HpackEncoder(4096)
+        headers = self.REQUESTS[0]
+        encoder.encode(headers)  # inserts dynamic entries: no caching yet
+        first_settled = encoder.encode(headers)
+        assert encoder.block_cache_hits == 0  # stored, but produced fresh
+        second_settled = encoder.encode(headers)
+        assert encoder.block_cache_hits == 1
+        assert second_settled == first_settled
+
+    def test_table_state_change_invalidates(self):
+        encoder = HpackEncoder(4096)
+        decoder = HpackDecoder(4096)
+        headers = self.REQUESTS[0]
+        for _ in range(3):
+            decoder.decode(encoder.encode(headers))
+        assert encoder.block_cache_hits >= 1
+        # A different header set mutates the dynamic table, changing the
+        # fingerprint: the old cached block must not be replayed.
+        decoder.decode(encoder.encode([(b"x-fresh", b"value")]))
+        out = encoder.encode(headers)
+        assert decoder.decode(out) == headers
+
+    def test_resize_clears_cache(self):
+        encoder = HpackEncoder(4096)
+        decoder = HpackDecoder(4096)
+        headers = self.REQUESTS[0]
+        for _ in range(3):
+            decoder.decode(encoder.encode(headers))
+        encoder.set_max_table_size(2048)
+        out = encoder.encode(headers)  # carries the resize instruction
+        assert decoder.decode(out) == headers
+
+    def test_cache_bounded(self):
+        encoder = HpackEncoder(4096, use_indexing=False)  # static-only: stable fingerprint
+        for i in range(encoder.BLOCK_CACHE_LIMIT + 10):
+            encoder.encode([(b":status", b"200"), (b"x-n", str(i).encode())])
+        assert len(encoder._block_cache) <= encoder.BLOCK_CACHE_LIMIT
+
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(
+                    st.sampled_from([b":status", b"content-type", b"x-sww-content", b"server"]),
+                    st.sampled_from([b"200", b"404", b"text/html", b"prompts", b"sww"]),
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_differential_cached_vs_uncached(self, blocks):
+        """Property: over any header-block sequence, a caching encoder and a
+        non-caching encoder emit identical wire bytes."""
+        cached = HpackEncoder(256, cache_blocks=True)
+        uncached = HpackEncoder(256, cache_blocks=False)
+        decoder = HpackDecoder(256)
+        for headers in blocks:
+            a = cached.encode(headers)
+            assert a == uncached.encode(headers)
+            assert decoder.decode(a) == headers

@@ -125,3 +125,83 @@ class TestWikimediaWorkload:
         server = GenerativeServer(store, device=WORKSTATION)
         response = server.handle_request(page.path, client_gen_ability=False)
         assert 38 < response.sim_time_s < 55
+
+
+class TestMaterialiseSingleFlight:
+    """Concurrent naive requests for one page must generate it once: the
+    leader pays, followers coalesce onto the leader's in-flight result."""
+
+    def _make_server(self):
+        page = build_travel_blog()
+        store = SiteStore()
+        store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+        return GenerativeServer(store), page.path
+
+    def test_racing_threads_generate_once(self, monkeypatch):
+        import threading
+
+        server, path = self._make_server()
+        page = server.store.pages[path]
+        cold_calls = []
+        original_cold = server._materialise_cold
+
+        def counting_cold(p):
+            cold_calls.append(p.path)
+            return original_cold(p)
+
+        monkeypatch.setattr(server, "_materialise_cold", counting_cold)
+
+        workers = 6
+        barrier = threading.Barrier(workers)
+        results = [None] * workers
+        errors = []
+
+        def fetch(i):
+            try:
+                barrier.wait(timeout=10)
+                results[i] = server._materialise(page)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=fetch, args=(i,)) for i in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        assert len(cold_calls) == 1, "materialisation ran more than once"
+        htmls = {r[0] for r in results}
+        assert len(htmls) == 1
+        # Followers pay nothing: only the leader reports generation time.
+        paid = [r for r in results if r[2] > 0]
+        assert len(paid) == 1
+
+    def test_leader_failure_releases_flight(self, monkeypatch):
+        server, path = self._make_server()
+        page = server.store.pages[path]
+
+        calls = []
+        original_cold = server._materialise_cold
+
+        def flaky_cold(p):
+            calls.append(p.path)
+            if len(calls) == 1:
+                raise RuntimeError("generation blew up")
+            return original_cold(p)
+
+        monkeypatch.setattr(server, "_materialise_cold", flaky_cold)
+        with pytest.raises(RuntimeError):
+            server._materialise(page)
+        # The failed flight must not wedge the path: a retry generates.
+        html, assets, gen_time, _energy = server._materialise(page)
+        assert "/generated/" in html
+        assert gen_time > 0
+        assert len(calls) == 2
+
+    def test_repeat_materialise_hits_cache(self):
+        server, path = self._make_server()
+        page = server.store.pages[path]
+        first = server._materialise(page)
+        second = server._materialise(page)
+        assert second[0] == first[0]
+        assert second[2] == 0.0  # cached repeat is free
