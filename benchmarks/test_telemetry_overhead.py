@@ -1,0 +1,229 @@
+"""Telemetry plane overhead — the PR-6 observability acceptance gate.
+
+The same 8-client load as ``test_server_concurrency`` runs twice through
+the concurrent scheduler: once with just the metrics registry (the PR-5
+baseline) and once with the full telemetry plane live — time-series
+sampler ticking, SLO tracker evaluating per tick, the wall-clock profiler
+sampling every thread, and an admin client polling ``/metrics``,
+``/healthz`` and ``/debug/timeseries`` over the serving socket throughout.
+
+The acceptance bar: the full plane costs at most 5 % of throughput
+(pages per simulated generation second). The run also writes the
+artifacts CI uploads — ``benchmarks/artifacts/profile.collapsed`` (the
+flamegraph input) and ``benchmarks/artifacts/timeseries.json`` (the
+sww-timeseries/1 ring at the end of the load).
+"""
+
+import asyncio
+import json
+import time
+
+from _shared import ARTIFACT_DIR, print_table, record_bench
+from test_server_concurrency import (
+    BATCH_WAIT_S,
+    CLIENTS,
+    MAX_BATCH,
+    PAGES,
+    PAGES_PER_CLIENT,
+    build_site,
+)
+
+from repro.batching import BatchingEngine
+from repro.devices import LAPTOP, WORKSTATION
+from repro.obs import (
+    MetricsRegistry,
+    SLOTracker,
+    TimeSeriesSampler,
+    WallClockProfiler,
+)
+from repro.sww.admin import AdminPlane, admin_fetch, admin_fetch_json
+from repro.sww.client import GenerativeClient
+from repro.sww.server import GenerativeServer
+
+#: Throughput with the full plane must stay within 5 % of the baseline.
+OVERHEAD_GATE = 0.95
+
+SAMPLE_INTERVAL_S = 0.2
+POLL_INTERVAL_S = 0.25
+
+
+def run_load(telemetry: bool):
+    """The 8-client concurrent load, with or without the telemetry plane."""
+    registry = MetricsRegistry()
+    engine = BatchingEngine(
+        WORKSTATION, max_batch=MAX_BATCH, max_wait_s=BATCH_WAIT_S, registry=registry
+    )
+    paths = sorted(build_site().pages)
+    lanes = [
+        paths[i * PAGES_PER_CLIENT : (i + 1) * PAGES_PER_CLIENT] for i in range(CLIENTS)
+    ]
+    profiler = WallClockProfiler(interval_s=0.005, registry=registry)
+    captured: dict = {"admin_polls": 0}
+
+    async def scenario():
+        server = GenerativeServer(
+            build_site(),
+            gen_ability=True,
+            engine=engine,
+            registry=registry,
+            concurrent_streams=True,
+        )
+        plane = None
+        if telemetry:
+            sampler = TimeSeriesSampler(registry, interval_s=SAMPLE_INTERVAL_S)
+            plane = AdminPlane(
+                registry, sampler=sampler, slo=SLOTracker(registry)
+            ).bind(server)
+        listener = await server.serve_forever("127.0.0.1", 0)
+        port = listener.sockets[0].getsockname()[1]
+        poll_task = None
+        try:
+            if plane is not None:
+                plane.start()
+                profiler.start()
+
+                async def poll_forever():
+                    while True:
+                        await admin_fetch_json("127.0.0.1", port, "/debug/timeseries")
+                        await admin_fetch_json("127.0.0.1", port, "/healthz")
+                        status, _body = await admin_fetch("127.0.0.1", port, "/metrics")
+                        assert status == 200
+                        captured["admin_polls"] += 1
+                        await asyncio.sleep(POLL_INTERVAL_S)
+
+                poll_task = asyncio.create_task(poll_forever())
+
+            clients = [
+                GenerativeClient(device=LAPTOP, gen_ability=False)
+                for _ in range(CLIENTS)
+            ]
+
+            async def run_client(lane: int):
+                return await clients[lane].fetch_many_tcp("127.0.0.1", port, lanes[lane])
+
+            start = time.perf_counter()
+            per_client = await asyncio.wait_for(
+                asyncio.gather(*(run_client(i) for i in range(CLIENTS))), timeout=600
+            )
+            wall_s = time.perf_counter() - start
+
+            if plane is not None:
+                # One last poll after the load so the artifacts cover it.
+                captured["timeseries"] = await admin_fetch_json(
+                    "127.0.0.1", port, "/debug/timeseries"
+                )
+                captured["healthz"] = await admin_fetch_json(
+                    "127.0.0.1", port, "/healthz"
+                )
+            return wall_s, per_client
+        finally:
+            if poll_task is not None:
+                poll_task.cancel()
+                try:
+                    await poll_task
+                except asyncio.CancelledError:
+                    pass
+            if plane is not None:
+                await plane.stop()
+            listener.close()
+            await listener.wait_closed()
+
+    try:
+        wall_s, per_client = asyncio.run(scenario())
+    finally:
+        engine.close()
+    if telemetry:
+        captured["profile"] = profiler.stop()
+
+    pages: dict[str, str] = {}
+    for results in per_client:
+        for result in results:
+            assert result.status == 200, result.path
+            pages[result.path] = result.received_html
+    sim_s = registry.histogram(
+        "sww_generation_seconds", layer="sww", operation="materialise"
+    ).sum
+    return {
+        "wall_s": wall_s,
+        "sim_s": sim_s,
+        "pages": pages,
+        "pages_per_sim_s": PAGES / sim_s,
+        "registry": registry,
+        **captured,
+    }
+
+
+def run_both():
+    baseline = run_load(telemetry=False)
+    telemetry = run_load(telemetry=True)
+    return baseline, telemetry
+
+
+def test_telemetry_plane_overhead(benchmark):
+    baseline, telemetry = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    assert len(baseline["pages"]) == len(telemetry["pages"]) == PAGES
+    # Telemetry must be invisible in the payload.
+    assert telemetry["pages"] == baseline["pages"]
+
+    ratio = telemetry["pages_per_sim_s"] / baseline["pages_per_sim_s"]
+    profile = telemetry["profile"]
+
+    print_table(
+        f"Telemetry plane: {CLIENTS} clients x {PAGES_PER_CLIENT} pages under full observation",
+        ["metric", "registry only", "full plane"],
+        [
+            ["wall time", f"{baseline['wall_s']:.2f} s", f"{telemetry['wall_s']:.2f} s"],
+            ["simulated generation", f"{baseline['sim_s']:.1f} s", f"{telemetry['sim_s']:.1f} s"],
+            ["pages / simulated s", f"{baseline['pages_per_sim_s']:.4f}", f"{telemetry['pages_per_sim_s']:.4f}"],
+            ["throughput retained", "-", f"{ratio:.1%}"],
+            ["admin polls", "-", telemetry["admin_polls"]],
+            ["sampler ticks", "-", telemetry["timeseries"]["tick"] + 1],
+            ["profiler samples", "-", profile.sample_count],
+            ["health status", "-", telemetry["healthz"]["status"]],
+        ],
+    )
+
+    # The plane observed the load: ticks advanced, the admin endpoint
+    # answered mid-run, the profiler saw more than one thread.
+    assert telemetry["admin_polls"] >= 1
+    assert telemetry["timeseries"]["tick"] >= 1
+    assert profile.sample_count > 0
+    assert "sww_request_seconds" in json.dumps(telemetry["timeseries"])
+
+    # Artifacts for CI: flamegraph input + the timeseries ring.
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    collapsed = profile.collapsed()
+    assert collapsed.strip(), "collapsed profile must not be empty"
+    (ARTIFACT_DIR / "profile.collapsed").write_text(collapsed)
+    (ARTIFACT_DIR / "timeseries.json").write_text(
+        json.dumps(telemetry["timeseries"], sort_keys=True, indent=2) + "\n"
+    )
+
+    # The 5% throughput gate (also enforced in CI against
+    # BENCH_server_concurrency.json's concurrent_8 scenario).
+    assert ratio >= OVERHEAD_GATE, (
+        f"telemetry plane cost {1 - ratio:.1%} of throughput (gate: 5%)"
+    )
+
+    record_bench(
+        "telemetry",
+        "registry_only",
+        wall_time_s=baseline["wall_s"],
+        generation_sim_s=round(baseline["sim_s"], 3),
+        pages=PAGES,
+        pages_per_sim_s=round(baseline["pages_per_sim_s"], 6),
+    )
+    record_bench(
+        "telemetry",
+        "full_plane",
+        wall_time_s=telemetry["wall_s"],
+        generation_sim_s=round(telemetry["sim_s"], 3),
+        pages=PAGES,
+        pages_per_sim_s=round(telemetry["pages_per_sim_s"], 6),
+        throughput_retained=round(ratio, 4),
+        admin_polls=telemetry["admin_polls"],
+        profiler_samples=profile.sample_count,
+        sampler_ticks=telemetry["timeseries"]["tick"] + 1,
+        clients=CLIENTS,
+    )

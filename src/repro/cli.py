@@ -12,7 +12,10 @@ The subcommands mirror the workflows a site operator or researcher runs:
 * ``sww report``  — measure the paper's headline numbers live and print a
   paper-vs-measured table.
 * ``sww stats``   — run a demo flow with metrics enabled and dump the
-  collected registry (Prometheus/OpenMetrics text, JSON lines, or a table).
+  collected registry (Prometheus/OpenMetrics text, JSON lines, or a table);
+  ``--watch`` polls a live server's admin plane instead.
+* ``sww top``     — live terminal view of a running server's telemetry
+  plane (throughput, latency quantiles, cache hit rate, SLO burn).
 * ``sww trace``   — run one fetch with per-process tracers (client, server
   and optionally CDN edge + origin), stitch the ``traceparent``-linked
   fragments into one distributed trace, and print/export it
@@ -137,15 +140,27 @@ def _build_store(page_names: list[str]) -> SiteStore:
 def cmd_serve(args: argparse.Namespace) -> int:
     store = _build_store(args.pages)
     device = get_device(args.device)
+    registry = None
+    admin = None
+    if not args.no_telemetry:
+        from repro.obs import SLOTracker, TimeSeriesSampler
+        from repro.sww.admin import AdminPlane
+
+        registry = MetricsRegistry()
+        sampler = TimeSeriesSampler(registry, interval_s=args.sample_interval)
+        admin = AdminPlane(registry, sampler=sampler, slo=SLOTracker(registry))
     server = GenerativeServer(
         store,
         device=device,
         gen_ability=not args.no_gen_ability,
         push_assets=args.push,
-        gencache=_make_gencache(args),
-        engine=_make_engine(args, device),
+        registry=registry,
+        gencache=_make_gencache(args, registry),
+        engine=_make_engine(args, device, registry=registry),
         concurrent_streams=not args.serial_streams,
     )
+    if admin is not None:
+        admin.bind(server)
 
     async def run() -> None:
         listener = await server.serve_forever(args.host, args.port)
@@ -153,6 +168,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         paths = ", ".join(sorted(store.pages))
         print(f"sww generative server on {args.host}:{port} (device={args.device}, "
               f"gen_ability={server.gen_ability}); pages: {paths}", flush=True)
+        if admin is not None:
+            print(f"telemetry plane on :authority={admin.authority} "
+                  "(/metrics /healthz /debug/streams /debug/timeseries /debug/profile); "
+                  f"watch live with: sww top --port {port}", flush=True)
         async with listener:
             await listener.serve_forever()
 
@@ -289,13 +308,121 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _top_frame(snap: dict, health: dict, window_ticks: int) -> str:
+    """Render one `sww top` frame from a timeseries snapshot + healthz."""
+    from repro.obs import snapshot_last, snapshot_quantile, snapshot_rate
+
+    def fmt(value, spec=".1f", suffix=""):
+        return "-" if value is None else f"{value:{spec}}{suffix}"
+
+    def delta_ratio(numerator: str, denominator: str):
+        num = snapshot_rate(snap, numerator, window_ticks)
+        den = snapshot_rate(snap, denominator, window_ticks)
+        return None if not den else (num or 0.0) / den
+
+    hits = snapshot_last(snap, "gencache_hits_total") or 0.0
+    misses = snapshot_last(snap, "gencache_misses_total") or 0.0
+    lookups = hits + misses
+    loop = health.get("loop_stall", {})
+    lines = [
+        f"sww top — tick {snap.get('tick', -1)} "
+        f"(interval {snap.get('interval_s', 0):g}s, window {window_ticks} ticks) "
+        f"— status {health.get('status', '?')}",
+        "",
+        f"  requests    {fmt(snapshot_rate(snap, 'sww_requests_total', window_ticks), '.2f', '/s')}"
+        f"   inflight {fmt(snapshot_last(snap, 'sww_server_inflight_streams'), '.0f')}"
+        f"   connections {health.get('connections', 0)}",
+        f"  latency     p50 {fmt(snapshot_quantile(snap, 'sww_request_seconds', 0.5, window_ticks), '.3f', 's')}"
+        f"   p99 {fmt(snapshot_quantile(snap, 'sww_request_seconds', 0.99, window_ticks), '.3f', 's')}",
+        f"  loop stall  recent {loop.get('recent_max_s', 0) * 1000:.1f}ms"
+        f"   worst {loop.get('worst_s', 0) * 1000:.1f}ms",
+        f"  gencache    hit rate {fmt(hits / lookups if lookups else None, '.0%')}"
+        f"   ({hits:.0f} hits / {misses:.0f} misses)",
+        f"  batching    occupancy {fmt(delta_ratio('batching_requests_total', 'batching_batches_total'), '.2f')}"
+        f"   queue {fmt(snapshot_last(snap, 'batching_queue_wait_seconds'), '.2f', 's-sum')}",
+        f"  writer      stalls {fmt(snapshot_last(snap, 'http2_writer_stalls_total'), '.0f')}"
+        f"   ({fmt(snapshot_rate(snap, 'http2_writer_stalls_total', window_ticks), '.2f', '/s')})"
+        f"   buffered {fmt(snapshot_last(snap, 'http2_writer_buffered_bytes'), '.0f', 'B')}",
+    ]
+    slo = health.get("slo", {})
+    for name, entry in sorted(slo.items()):
+        windows = entry.get("windows", {})
+        burns = "  ".join(f"{label} {burn:g}x" for label, burn in sorted(windows.items()))
+        flag = "" if entry.get("healthy", True) else "  ** BURNING **"
+        budget = entry.get("budget_remaining")
+        budget_text = f"  budget {budget:.0%}" if budget is not None else ""
+        lines.append(f"  slo         {name}: {burns or 'no data'}{budget_text}{flag}")
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal view of a running server's telemetry plane."""
+    from repro.sww.admin import admin_fetch_json
+
+    window_ticks = max(1, round(args.window / args.interval))
+
+    async def run() -> int:
+        iteration = 0
+        while True:
+            try:
+                snap = await admin_fetch_json(args.host, args.port, "/debug/timeseries")
+                health = await admin_fetch_json(args.host, args.port, "/healthz")
+            except (ConnectionError, OSError) as exc:
+                print(f"cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+                return 1
+            frame = _top_frame(snap, health, window_ticks)
+            if sys.stdout.isatty():
+                print("\x1b[2J\x1b[H" + frame, flush=True)
+            else:
+                print(frame + "\n", flush=True)
+            iteration += 1
+            if args.iterations and iteration >= args.iterations:
+                return 0
+            await asyncio.sleep(args.interval)
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
+def _stats_watch(args: argparse.Namespace) -> int:
+    """`sww stats --watch`: poll a live server's /metrics exposition."""
+    from repro.sww.admin import admin_fetch
+
+    async def run() -> int:
+        iteration = 0
+        while True:
+            try:
+                status, body = await admin_fetch(args.host, args.port, "/metrics")
+            except (ConnectionError, OSError) as exc:
+                print(f"cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+                return 1
+            if status != 200:
+                print(f"/metrics returned {status}", file=sys.stderr)
+                return 1
+            print(body.decode("utf-8").rstrip("\n"), flush=True)
+            iteration += 1
+            if args.iterations and iteration >= args.iterations:
+                return 0
+            await asyncio.sleep(args.interval)
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Exercise one demo page with metrics enabled and dump the registry.
 
     Runs a capable-client fetch and a naive-client fetch against the same
     in-process server so the dump covers the negotiation, generation,
-    fallback and HTTP/2 framing metric families.
+    fallback and HTTP/2 framing metric families. With ``--watch`` it
+    instead polls a live server's admin plane for its exposition.
     """
+    if args.watch:
+        return _stats_watch(args)
     try:
         page = PAGES[args.page]()
     except KeyError:
@@ -461,9 +588,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the concurrent stream scheduler (serve one request at "
              "a time on the event loop, the paper's seed behaviour)",
     )
+    serve.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable the metrics registry, admin plane and time-series sampler",
+    )
+    serve.add_argument(
+        "--sample-interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="time-series sampler tick interval in seconds (default 1.0)",
+    )
     _add_gencache_flags(serve)
     _add_batching_flags(serve)
     serve.set_defaults(func=cmd_serve)
+
+    top = sub.add_parser(
+        "top", help="live terminal view of a running server's telemetry plane"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8443)
+    top.add_argument("--interval", type=float, default=2.0, metavar="S",
+                     help="refresh interval in seconds (default 2.0)")
+    top.add_argument("--window", type=float, default=10.0, metavar="S",
+                     help="trailing window for rates/quantiles (default 10.0)")
+    top.add_argument("--iterations", type=int, default=0, metavar="N",
+                     help="stop after N frames (0 = run until interrupted)")
+    top.set_defaults(func=cmd_top)
 
     fetch = sub.add_parser("fetch", help="fetch a page with the generative client")
     fetch.add_argument("path")
@@ -506,6 +658,15 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--format", default="prom", choices=["prom", "openmetrics", "jsonl", "table"],
                        help="output format: Prometheus text, OpenMetrics text (with "
                             "exemplars), JSON lines, or aligned table")
+    stats.add_argument("--watch", action="store_true",
+                       help="poll a live server's /metrics exposition instead of "
+                            "running the in-process demo flow")
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, default=8443)
+    stats.add_argument("--interval", type=float, default=2.0, metavar="S",
+                       help="refresh interval for --watch (default 2.0)")
+    stats.add_argument("--iterations", type=int, default=0, metavar="N",
+                       help="stop --watch after N polls (0 = run until interrupted)")
     _add_gencache_flags(stats)
     _add_batching_flags(stats)
     stats.set_defaults(func=cmd_stats)

@@ -226,6 +226,36 @@ class ConnectionWriter:
     # Observability
     # ------------------------------------------------------------------ #
 
+    def debug_state(self) -> dict:
+        """Scheduler state for the admin plane's ``/debug/streams`` view:
+        cumulative counters plus every queued stream's backlog and the
+        flow-control windows it is waiting on."""
+        streams = []
+        for queue in self._queues.values():
+            stream = self.conn.streams.get(queue.stream_id)
+            streams.append(
+                {
+                    "stream_id": queue.stream_id,
+                    "queued_bytes": queue.remaining
+                    + sum(len(extra) for extra in queue.backlog),
+                    "end_stream": queue.end_stream,
+                    "stream_window": (
+                        stream.outbound_window.available if stream is not None else None
+                    ),
+                }
+            )
+        return {
+            "pending_streams": self.pending_streams,
+            "pending_bytes": self.pending_bytes,
+            "frames_sent": self.frames_sent,
+            "bytes_sent": self.bytes_sent,
+            "stream_stalls": self.stream_stalls,
+            "connection_stalls": self.connection_stalls,
+            "completed_streams": self.completed_streams,
+            "connection_window": self.conn.outbound_window.available,
+            "streams": streams,
+        }
+
     def _count_stall(self, scope: str) -> None:
         if self.registry.enabled:
             self.registry.counter(

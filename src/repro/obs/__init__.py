@@ -21,6 +21,15 @@ from __future__ import annotations
 import logging
 import sys
 
+from repro.obs.catalog import (
+    SUBSYSTEMS,
+    UNITS,
+    MetricSite,
+    check_documented,
+    check_name,
+    lint,
+    scan_sources,
+)
 from repro.obs.export import (
     render_metrics_table,
     render_span_tree,
@@ -46,6 +55,25 @@ from repro.obs.propagation import (
     encode_traceparent,
     format_traceparent,
     parse_traceparent,
+)
+from repro.obs.profiler import Profile, WallClockProfiler
+from repro.obs.slo import (
+    DEFAULT_OBJECTIVES,
+    DEFAULT_WINDOWS,
+    BurnWindow,
+    SLObjective,
+    SLOTracker,
+)
+from repro.obs.timeseries import (
+    SNAPSHOT_FORMAT,
+    TimeSeriesSampler,
+    family_of,
+    merge_snapshots,
+    quantile_from_cumulative,
+    series_key,
+    snapshot_last,
+    snapshot_quantile,
+    snapshot_rate,
 )
 from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer, stitch_spans
 
@@ -136,4 +164,27 @@ __all__ = [
     "format_traceparent",
     "encode_traceparent",
     "parse_traceparent",
+    "TimeSeriesSampler",
+    "SNAPSHOT_FORMAT",
+    "series_key",
+    "family_of",
+    "merge_snapshots",
+    "snapshot_last",
+    "snapshot_rate",
+    "snapshot_quantile",
+    "quantile_from_cumulative",
+    "Profile",
+    "WallClockProfiler",
+    "SLObjective",
+    "SLOTracker",
+    "BurnWindow",
+    "DEFAULT_OBJECTIVES",
+    "DEFAULT_WINDOWS",
+    "MetricSite",
+    "SUBSYSTEMS",
+    "UNITS",
+    "scan_sources",
+    "check_name",
+    "check_documented",
+    "lint",
 ]

@@ -1,0 +1,128 @@
+"""Metric-name convention checker (the observability lint).
+
+Every metric the codebase emits must be discoverable and predictable:
+``<subsystem>_<name>_<unit>`` with a known subsystem prefix, a known
+unit suffix, counters ending in ``_total``, and a mention in
+``docs/OBSERVABILITY.md``. This module scans ``src/`` for instrument
+registrations (``registry.counter("...")`` etc.), checks each name
+against the convention, and reports drift; ``tests/obs/
+test_metric_catalog.py`` turns any violation into a suite failure, so a
+new metric cannot land half-documented.
+
+The scanner is intentionally a source-level regex, not an import-time
+hook: it catches names on code paths no test exercises, which is exactly
+where drift hides.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+#: First name token must be one of these layer prefixes.
+SUBSYSTEMS: frozenset[str] = frozenset(
+    {"http2", "sww", "genai", "cdn", "gencache", "batching", "obs", "slo"}
+)
+
+#: Last name token must be one of these units/quantities.
+UNITS: frozenset[str] = frozenset(
+    {
+        "seconds",
+        "bytes",
+        "total",
+        "wh",
+        "ratio",
+        "streams",
+        "depth",
+        "inflight",
+        "evictions",
+        "efficiency",
+        "size",
+        "rate",
+    }
+)
+
+#: Matches counter/gauge/histogram registration calls with a literal
+#: name string, including multi-line calls where the name sits on the
+#: next line, and the SLO tracker's ``_set_gauge`` wrapper.
+_REGISTRATION_RE = re.compile(
+    r"\.(?:_set_)?(counter|gauge|histogram)\(\s*\n?\s*\"([A-Za-z0-9_]+)\"",
+    re.MULTILINE,
+)
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9]*(_[a-z0-9]+)+$")
+
+
+@dataclass(frozen=True)
+class MetricSite:
+    """One instrument registration found in source."""
+
+    name: str
+    kind: str
+    path: str
+    line: int
+
+
+def scan_sources(src_root: Path) -> list[MetricSite]:
+    """Every instrument registration in ``src_root``, sorted by name."""
+    sites: list[MetricSite] = []
+    for path in sorted(src_root.rglob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        for match in _REGISTRATION_RE.finditer(text):
+            kind, name = match.group(1), match.group(2)
+            line = text.count("\n", 0, match.start()) + 1
+            sites.append(MetricSite(name, kind, str(path.relative_to(src_root)), line))
+    return sorted(sites, key=lambda s: (s.name, s.path, s.line))
+
+
+def check_name(name: str, kind: str) -> list[str]:
+    """Violation messages for one metric name (empty = conforming)."""
+    problems: list[str] = []
+    if not _NAME_RE.match(name):
+        problems.append(
+            f"{name}: not of the form <subsystem>_<name>_<unit> "
+            "(lower-case tokens joined by underscores)"
+        )
+        return problems
+    tokens = name.split("_")
+    if tokens[0] not in SUBSYSTEMS:
+        problems.append(
+            f"{name}: unknown subsystem prefix {tokens[0]!r} "
+            f"(expected one of {', '.join(sorted(SUBSYSTEMS))})"
+        )
+    if tokens[-1] not in UNITS:
+        problems.append(
+            f"{name}: unknown unit suffix {tokens[-1]!r} "
+            f"(expected one of {', '.join(sorted(UNITS))})"
+        )
+    if kind == "counter" and tokens[-1] != "total":
+        problems.append(f"{name}: counters must end in _total")
+    if kind != "counter" and tokens[-1] == "total":
+        problems.append(f"{name}: _total names are reserved for counters, not {kind}s")
+    return problems
+
+
+def check_documented(names: set[str], doc_path: Path) -> list[str]:
+    """Names missing from the observability reference document."""
+    text = doc_path.read_text(encoding="utf-8") if doc_path.exists() else ""
+    return sorted(
+        f"{name}: not documented in {doc_path.name}"
+        for name in names
+        if name not in text
+    )
+
+
+def lint(src_root: Path, doc_path: Path) -> list[str]:
+    """All violations across the tree: naming drift + undocumented names."""
+    sites = scan_sources(src_root)
+    problems: list[str] = []
+    seen: set[tuple[str, str]] = set()
+    for site in sites:
+        if (site.name, site.kind) in seen:
+            continue
+        seen.add((site.name, site.kind))
+        for problem in check_name(site.name, site.kind):
+            problems.append(f"{site.path}:{site.line}: {problem}")
+    problems.extend(check_documented({site.name for site in sites}, doc_path))
+    return problems

@@ -62,6 +62,10 @@ def _escape_help(text: str) -> str:
 
 
 def _exposition_lines(registry: MetricsRegistry, exemplars: bool) -> list[str]:
+    # Export from a detached point-in-time copy so concurrent writer tasks
+    # / executor threads can keep mutating instruments mid-exposition
+    # without tearing any histogram's sum/count/bucket consistency.
+    registry = registry.snapshot()
     lines: list[str] = []
     for name, kind, help, instruments in registry.collect():
         if help:
@@ -113,6 +117,7 @@ def to_openmetrics(registry: MetricsRegistry) -> str:
 
 def to_jsonl(registry: MetricsRegistry) -> str:
     """One JSON object per instrument — the benchmark-artifact format."""
+    registry = registry.snapshot()
     lines: list[str] = []
     for name, kind, _help, instruments in registry.collect():
         for inst in instruments:
@@ -132,6 +137,7 @@ def to_jsonl(registry: MetricsRegistry) -> str:
 
 def render_metrics_table(registry: MetricsRegistry) -> str:
     """Aligned name/labels/value table for terminal reading."""
+    registry = registry.snapshot()
     rows: list[tuple[str, str, str]] = []
     for name, kind, _help, instruments in registry.collect():
         for inst in instruments:

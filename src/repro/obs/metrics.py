@@ -68,6 +68,13 @@ class Counter:
     def value(self) -> float:
         return self._value
 
+    def snapshot(self) -> "Counter":
+        """A detached point-in-time copy (taken under the instrument lock)."""
+        copy = Counter(self.name, self.labels)
+        with self._lock:
+            copy._value = self._value
+        return copy
+
 
 class Gauge:
     """A value that can go up and down (or be set outright)."""
@@ -96,6 +103,13 @@ class Gauge:
     @property
     def value(self) -> float:
         return self._value
+
+    def snapshot(self) -> "Gauge":
+        """A detached point-in-time copy (taken under the instrument lock)."""
+        copy = Gauge(self.name, self.labels)
+        with self._lock:
+            copy._value = self._value
+        return copy
 
 
 class Histogram:
@@ -148,13 +162,27 @@ class Histogram:
 
     def cumulative_counts(self) -> list[tuple[float, int]]:
         """(upper_bound, cumulative_count) pairs, ending with +Inf."""
+        with self._lock:
+            counts = list(self._counts)
         out: list[tuple[float, int]] = []
         running = 0
-        for bound, n in zip(self.buckets, self._counts):
+        for bound, n in zip(self.buckets, counts):
             running += n
             out.append((bound, running))
-        out.append((float("inf"), running + self._counts[-1]))
+        out.append((float("inf"), running + counts[-1]))
         return out
+
+    def snapshot(self) -> "Histogram":
+        """A detached point-in-time copy: counts, sum, count and exemplars
+        are mutually consistent because they are copied under the same lock
+        :meth:`observe` mutates them under."""
+        copy = Histogram(self.name, self.labels, self.buckets)
+        with self._lock:
+            copy._counts = list(self._counts)
+            copy._sum = self._sum
+            copy._count = self._count
+            copy._exemplars = list(self._exemplars)
+        return copy
 
     def exemplars(self) -> list[tuple[float, str, float]]:
         """(upper_bound, trace_id, observed_value) for buckets holding one."""
@@ -243,6 +271,23 @@ class MetricsRegistry:
             members = [inst for (n, _), inst in sorted(instruments.items()) if n == name]
             yield name, kind, help, members
 
+    def snapshot(self) -> "MetricsRegistry":
+        """A detached point-in-time copy of the whole registry.
+
+        The family/instrument maps are copied under the registry lock and
+        every instrument is copied under its own lock, so a snapshot taken
+        while writer tasks and executor threads mutate instruments never
+        shows a torn histogram (``+Inf`` cumulative always equals
+        ``count``). Exporters and the time-series sampler read snapshots,
+        never live instruments.
+        """
+        snap = MetricsRegistry()
+        with self._lock:
+            snap._families = dict(self._families)
+            items = list(self._instruments.items())
+        snap._instruments = {key: inst.snapshot() for key, inst in items}
+        return snap
+
     def value(self, name: str, **labels: str) -> float:
         """One instrument's value (histograms report their sum); 0 if absent."""
         instrument = self._instruments.get((name, _label_key(labels)))
@@ -296,6 +341,9 @@ class _NullInstrument:
 
     def exemplars(self) -> list[tuple[float, str, float]]:
         return []
+
+    def snapshot(self) -> "_NullInstrument":
+        return self
 
 
 _NULL_INSTRUMENT = _NullInstrument()

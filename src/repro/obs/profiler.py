@@ -1,0 +1,262 @@
+"""Sampling wall-clock profiler across every live thread.
+
+The serving hot path is spread over three execution contexts — the
+asyncio event-loop thread (read loop + ConnectionWriter task), the
+request-logic executor threads, and the batching engine's dispatcher
+thread. A cProfile-style tracing profiler can't see across them and
+distorts the hot path it instruments; this module instead *samples*:
+a daemon thread wakes every ``interval_s`` and captures each thread's
+current stack via ``sys._current_frames()``, attributing one tick of
+wall-clock time to it.
+
+The captured :class:`Profile` exports two formats:
+
+* :meth:`Profile.collapsed` — Brendan Gregg collapsed-stack text
+  (``thread;frame;frame count``), loadable by flamegraph.pl and
+  speedscope;
+* :meth:`Profile.to_chrome_trace` — Trace Event Format JSON in the same
+  shape as :func:`repro.obs.export.to_chrome_trace` (one named process
+  row per thread, nested complete events), so a profile opens in
+  Perfetto next to the distributed traces PR 2 introduced. Contiguous
+  ticks with a common stack prefix merge into one event, reconstructing
+  a flame chart from the samples.
+
+Sampling is cooperative with the GIL: capturing frames is a dict copy,
+so overhead is O(threads × stack depth) per tick — at the default 5 ms
+interval it is well under the telemetry plane's 5 % budget (CI-gated in
+``benchmarks/test_telemetry_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from collections import Counter as _TallyCounter
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Default time between samples (5 ms ≈ 200 Hz).
+DEFAULT_INTERVAL_S = 0.005
+
+#: Hard ceiling on retained ticks so a forgotten profiler cannot grow
+#: unbounded (at the default interval this is ~100 s of profile).
+DEFAULT_MAX_TICKS = 20_000
+
+
+def _frame_label(frame) -> str:
+    """``module.py:function`` — short enough to read in a flamegraph."""
+    code = frame.f_code
+    filename = code.co_filename.rsplit("/", 1)[-1]
+    return f"{filename}:{code.co_name}"
+
+
+def _capture_stacks(skip_idents: set[int]) -> dict[str, tuple[str, ...]]:
+    """One sample: thread label -> root-first stack of frame labels."""
+    frames = sys._current_frames()
+    names: dict[int, str] = {}
+    for thread in threading.enumerate():
+        if thread.ident is not None:
+            names[thread.ident] = thread.name
+    used: set[str] = set()
+    sample: dict[str, tuple[str, ...]] = {}
+    for ident, frame in frames.items():
+        if ident in skip_idents:
+            continue
+        label = names.get(ident, f"thread-{ident}")
+        if label in used:
+            label = f"{label}#{ident}"
+        used.add(label)
+        stack: list[str] = []
+        while frame is not None:
+            stack.append(_frame_label(frame))
+            frame = frame.f_back
+        sample[label] = tuple(reversed(stack))
+    return sample
+
+
+@dataclass
+class Profile:
+    """The result of one profiling run: a sequence of per-tick samples."""
+
+    interval_s: float
+    #: One entry per sampling tick: thread label -> root-first stack.
+    ticks: list[dict[str, tuple[str, ...]]] = field(default_factory=list)
+
+    @property
+    def sample_count(self) -> int:
+        """Total (thread, tick) stack samples captured."""
+        return sum(len(tick) for tick in self.ticks)
+
+    @property
+    def duration_s(self) -> float:
+        return len(self.ticks) * self.interval_s
+
+    def threads(self) -> list[str]:
+        seen: set[str] = set()
+        for tick in self.ticks:
+            seen.update(tick)
+        return sorted(seen)
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text: ``thread;frame;frame count`` per line.
+
+        Loadable by speedscope and flamegraph.pl; counts are sampling
+        ticks (multiply by :attr:`interval_s` for seconds).
+        """
+        tally: _TallyCounter = _TallyCounter()
+        for tick in self.ticks:
+            for label, stack in tick.items():
+                tally[(label, stack)] += 1
+        lines = [
+            ";".join((label, *stack)) + f" {count}"
+            for (label, stack), count in sorted(tally.items())
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_chrome_trace(self) -> str:
+        """Trace Event Format JSON (Perfetto / ``chrome://tracing``).
+
+        Each thread renders as its own named process row; runs of ticks
+        sharing a stack prefix merge into nested complete (``ph="X"``)
+        events, so the output reads as a flame chart over real time.
+        """
+        events: list[dict] = []
+        scale = self.interval_s * 1e6  # tick -> microseconds
+        thread_rows = self.threads()
+        for pid, label in enumerate(thread_rows, start=1):
+            open_frames: list[tuple[str, int]] = []  # (frame, start_tick)
+
+            def close_from(depth: int, end_tick: int, pid: int = pid) -> None:
+                while len(open_frames) > depth:
+                    frame, start = open_frames.pop()
+                    events.append(
+                        {
+                            "name": frame,
+                            "cat": "sample",
+                            "ph": "X",
+                            "ts": round(start * scale, 3),
+                            "dur": round((end_tick - start) * scale, 3),
+                            "pid": pid,
+                            "tid": len(open_frames) + 1,
+                        }
+                    )
+
+            for tick_index, tick in enumerate(self.ticks):
+                stack = tick.get(label, ())
+                common = 0
+                for open_entry, frame in zip(open_frames, stack):
+                    if open_entry[0] != frame:
+                        break
+                    common += 1
+                close_from(common, tick_index)
+                for frame in stack[common:]:
+                    open_frames.append((frame, tick_index))
+            close_from(0, len(self.ticks))
+        metadata = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": label},
+            }
+            for pid, label in enumerate(thread_rows, start=1)
+        ]
+        document = {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+        return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+class WallClockProfiler:
+    """Owns the sampling thread; start/stop or one-shot :meth:`profile_for`."""
+
+    def __init__(
+        self,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        max_ticks: int = DEFAULT_MAX_TICKS,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.interval_s = interval_s
+        self.max_ticks = max_ticks
+        self.registry = registry
+        self._profile: Profile | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def sample_once(self) -> None:
+        """Take exactly one sample (deterministic path for tests)."""
+        with self._lock:
+            if self._profile is None:
+                self._profile = Profile(self.interval_s)
+            self._record(self._profile)
+
+    def _record(self, profile: Profile) -> None:
+        # Skip only the dedicated sampling thread: its stack is always the
+        # sample loop, pure noise. A direct sample_once() caller IS
+        # captured — that guarantees one-shot profiles are never empty.
+        skip = set()
+        if self._thread is not None and self._thread.ident is not None:
+            skip.add(self._thread.ident)
+        tick = _capture_stacks(skip)
+        if len(profile.ticks) < self.max_ticks:
+            profile.ticks.append(tick)
+        if self.registry is not None and self.registry.enabled:
+            self.registry.counter(
+                "obs_profiler_samples_total",
+                "Stack samples captured by the wall-clock profiler",
+                layer="obs",
+                operation="sample",
+            ).inc(len(tick))
+
+    def start(self) -> None:
+        """Begin sampling on a daemon thread (no-op if already running)."""
+        with self._lock:
+            if self.running:
+                return
+            self._profile = Profile(self.interval_s)
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._sample_loop, name="obs-profiler", daemon=True
+            )
+            self._thread.start()
+
+    def _sample_loop(self) -> None:
+        profile = self._profile
+        while not self._stop.is_set() and len(profile.ticks) < self.max_ticks:
+            self._record(profile)
+            self._stop.wait(self.interval_s)
+
+    def stop(self) -> Profile:
+        """Stop sampling and return the captured profile."""
+        with self._lock:
+            thread = self._thread
+            self._stop.set()
+        if thread is not None:
+            thread.join(timeout=5.0)
+        with self._lock:
+            self._thread = None
+            profile = self._profile or Profile(self.interval_s)
+            self._profile = None
+        return profile
+
+    def profile_for(self, seconds: float) -> Profile:
+        """Block the calling thread for ``seconds``, sampling throughout.
+
+        ``seconds=0`` still captures one sample, so callers always get a
+        non-empty profile. Intended to run *off* the event loop (the
+        admin endpoint executes it on a request executor thread).
+        """
+        self.start()
+        deadline = time.monotonic() + max(0.0, seconds)
+        self.sample_once()
+        while time.monotonic() < deadline:
+            time.sleep(min(self.interval_s, max(0.0, deadline - time.monotonic())))
+        return self.stop()

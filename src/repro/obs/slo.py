@@ -1,0 +1,212 @@
+"""Declarative latency objectives with multi-window burn rates.
+
+An :class:`SLObjective` states "``objective`` of observations in
+``histogram`` must land at or under ``threshold_s``" — e.g. 99.9 % of
+event-loop stall samples under 50 ms. Because the repo's histograms have
+fixed deterministic buckets, "good" is the cumulative count of the
+largest bucket bound at or under the threshold — conservative: an
+observation the buckets cannot prove fast counts as bad.
+
+:class:`SLOTracker` evaluates objectives against the
+:class:`~repro.obs.timeseries.TimeSeriesSampler` ring (it registers as a
+tick listener), Google-SRE style: for each configured window it takes
+the bucket deltas between the window's edges and computes the **burn
+rate** — the fraction of the error budget consumed per unit of budget,
+
+    burn = bad_fraction / (1 - objective)
+
+so burn 1.0 spends the budget exactly at the sustainable pace, and the
+SRE-workbook alert pair fires on a *fast* burn (default ≥ 14.4 over the
+short window — a 30-day budget gone in 2 days) or a *slow* burn
+(default ≥ 6 over the long window). Burn rates surface three ways:
+
+* gauges — ``slo_burn_rate_ratio{slo=..., window=...}`` and
+  ``slo_error_budget_remaining_ratio{slo=...}``;
+* the tracker's :meth:`report`, embedded in the admin ``/healthz`` body;
+* ``sww top``'s SLO row.
+
+Windows shorter than the sampler's ring clamp to the data available, so
+a freshly started server reports meaningful (if tentative) burn rates
+immediately instead of NaNs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesSampler
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One latency objective over an existing histogram family."""
+
+    name: str
+    histogram: str
+    threshold_s: float
+    objective: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be within (0, 1)")
+        if self.threshold_s <= 0:
+            raise ValueError("threshold_s must be positive")
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One evaluation window: a label and its length in seconds."""
+
+    label: str
+    seconds: float
+    #: Burn rate at or above which this window raises an alert.
+    alert_burn: float
+
+
+#: The SRE-workbook "2 % of a 30-day budget in an hour" fast/slow pair.
+DEFAULT_WINDOWS: tuple[BurnWindow, ...] = (
+    BurnWindow("fast", 60.0, 14.4),
+    BurnWindow("slow", 600.0, 6.0),
+)
+
+#: Objectives every served process tracks out of the box. Thresholds sit
+#: on exact bucket bounds of the histograms they cover.
+DEFAULT_OBJECTIVES: tuple[SLObjective, ...] = (
+    SLObjective(
+        "request-latency",
+        "sww_request_seconds",
+        threshold_s=5.0,
+        objective=0.95,
+        description="95% of requests answered within 5 s wall-clock",
+    ),
+    SLObjective(
+        "loop-responsiveness",
+        "sww_server_loop_stall_seconds",
+        threshold_s=0.05,
+        objective=0.999,
+        description="99.9% of heartbeat probes see the event loop within 50 ms",
+    ),
+)
+
+
+class SLOTracker:
+    """Evaluates objectives on every sampler tick; exposes burn gauges."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        objectives: tuple[SLObjective, ...] = DEFAULT_OBJECTIVES,
+        windows: tuple[BurnWindow, ...] = DEFAULT_WINDOWS,
+    ) -> None:
+        names = [objective.name for objective in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError("objective names must be unique")
+        self.registry = registry
+        self.objectives = tuple(objectives)
+        self.windows = tuple(windows)
+        self._lock = threading.Lock()
+        self._last_report: dict = {}
+
+    def attach(self, sampler: TimeSeriesSampler) -> None:
+        """Register as a tick listener so evaluation tracks sampling."""
+        sampler.listeners.append(self.evaluate)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, sampler: TimeSeriesSampler) -> dict:
+        """Recompute burn rates from the sampler ring; returns the report."""
+        report: dict = {}
+        for objective in self.objectives:
+            bounds, rows = sampler.histogram_family(objective.histogram)
+            entry: dict = {
+                "objective": objective.objective,
+                "threshold_s": objective.threshold_s,
+                "description": objective.description,
+                "windows": {},
+                "healthy": True,
+            }
+            if rows:
+                # The largest bound at or under the threshold: observations
+                # landing between it and the threshold count as *bad*
+                # (conservative — never credits latency it cannot prove).
+                good_index = bisect.bisect_right(bounds, objective.threshold_s) - 1
+                budget = 1.0 - objective.objective
+                newest = rows[-1]
+                for window in self.windows:
+                    ticks_back = max(1, round(window.seconds / sampler.interval_s))
+                    if ticks_back < len(rows):
+                        base_row = rows[len(rows) - 1 - ticks_back]
+                    else:
+                        # Window reaches past recorded history: baseline at
+                        # process start so a fresh server still reports.
+                        base_row = (-1, 0, 0.0, [0] * len(newest[3]))
+                    burn = self._burn(newest, base_row, good_index, budget)
+                    entry["windows"][window.label] = round(burn, 4)
+                    self._set_gauge(
+                        "slo_burn_rate_ratio",
+                        "Error-budget burn rate per objective and window "
+                        "(1.0 = spending exactly the sustainable pace)",
+                        burn,
+                        slo=objective.name,
+                        window=window.label,
+                    )
+                    if burn >= window.alert_burn:
+                        entry["healthy"] = False
+                remaining = self._budget_remaining(newest, good_index, budget)
+                entry["budget_remaining"] = round(remaining, 4)
+                self._set_gauge(
+                    "slo_error_budget_remaining_ratio",
+                    "Fraction of the cumulative error budget still unspent",
+                    remaining,
+                    slo=objective.name,
+                )
+            report[objective.name] = entry
+        with self._lock:
+            self._last_report = report
+        return report
+
+    @staticmethod
+    def _burn(newest, base, good_index: int, budget: float) -> float:
+        """Burn rate over the window [base, newest]."""
+        _i1, count1, _s1, cums1 = newest
+        _i0, count0, _s0, cums0 = base
+        total = count1 - count0
+        if total <= 0:
+            return 0.0
+        good = cums1[good_index] - cums0[good_index] if good_index >= 0 else 0
+        bad_fraction = max(0.0, total - good) / total
+        return bad_fraction / budget
+
+    @staticmethod
+    def _budget_remaining(newest, good_index: int, budget: float) -> float:
+        """1 - (cumulative bad fraction / budget), clamped to [0, 1]."""
+        _index, count, _sum, cums = newest
+        if count <= 0:
+            return 1.0
+        good = cums[good_index] if good_index >= 0 else 0
+        bad_fraction = max(0, count - good) / count
+        return min(1.0, max(0.0, 1.0 - bad_fraction / budget))
+
+    def _set_gauge(self, name: str, help: str, value: float, **labels: str) -> None:
+        if self.registry.enabled:
+            self.registry.gauge(name, help, layer="slo", **labels).set(value)
+
+    # ------------------------------------------------------------------ #
+    # Read side
+    # ------------------------------------------------------------------ #
+
+    def report(self) -> dict:
+        """The most recent evaluation (objective name -> windows/burns)."""
+        with self._lock:
+            return dict(self._last_report)
+
+    @property
+    def healthy(self) -> bool:
+        """False when any objective's latest evaluation raised an alert."""
+        return all(entry.get("healthy", True) for entry in self.report().values())

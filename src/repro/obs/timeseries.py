@@ -1,0 +1,375 @@
+"""Fixed-interval time-series sampling over a :class:`MetricsRegistry`.
+
+The registry answers "what are the totals *now*"; operating a generative
+server needs "what happened *recently*" — request rates, live latency
+quantiles, burn over the last N minutes. :class:`TimeSeriesSampler`
+bridges the two: at a fixed interval it takes an atomic registry
+snapshot and appends one *tick* to a bounded ring buffer. Each tick
+records, per instrument:
+
+* counters — the cumulative value (consumers derive rates from deltas);
+* gauges — the value;
+* histograms — ``[count, sum, cumulative_bucket_counts...]``, so
+  per-interval quantiles can be estimated from bucket deltas.
+
+The :meth:`snapshot` JSON format (``sww-timeseries/1``) is columnar —
+one ``ticks`` index array plus per-series point arrays aligned with it —
+and supports **deltas** (``since=<tick>`` returns only newer ticks) so a
+poller like ``sww top`` ships just the new points each round. It is also
+**aggregation-ready**: :func:`merge_snapshots` combines per-worker
+snapshots tick-by-tick (counters and histogram points sum; gauges sum,
+which is the right composition for occupancy/queue-depth gauges), which
+is the merge a future pre-fork arbiter performs over its workers.
+
+Everything is deterministic given the tick times: the sampler never
+stamps wall-clock into the data, only monotonically increasing tick
+indexes (callers know ``interval_s``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import threading
+from collections import deque
+from typing import Callable, Iterable
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+#: Snapshot format identifier; bump on incompatible layout changes.
+SNAPSHOT_FORMAT = "sww-timeseries/1"
+
+
+def series_key(name: str, labels: Iterable[tuple[str, str]]) -> str:
+    """Canonical ``name{k=v,...}`` identity of one instrument's series."""
+    pairs = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{pairs}}}" if pairs else name
+
+
+def family_of(key: str) -> str:
+    """The metric family a series key belongs to (``name`` sans labels)."""
+    return key.split("{", 1)[0]
+
+
+class TimeSeriesSampler:
+    """Ring-buffer sampler: one registry snapshot per fixed interval.
+
+    Thread-safe: :meth:`tick` typically runs on the server's event loop
+    (via :meth:`run`) while :meth:`snapshot` is called from admin-request
+    executor threads; both take the sampler lock. ``capacity`` bounds
+    memory — old ticks fall off the ring, so the sampler can stay
+    attached to a long-lived server.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        interval_s: float = 1.0,
+        capacity: int = 600,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if capacity < 2:
+            raise ValueError("capacity must hold at least two ticks")
+        self.registry = registry
+        self.interval_s = interval_s
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        #: (tick_index, {series_key: point}) in tick order.
+        self._ticks: deque[tuple[int, dict]] = deque(maxlen=capacity)
+        #: series_key -> (kind, bounds-or-None), learned as series appear.
+        self._meta: dict[str, tuple[str, tuple[float, ...] | None]] = {}
+        self._next_index = 0
+        #: Called with the sampler after every tick (SLO trackers hook in).
+        self.listeners: list[Callable[["TimeSeriesSampler"], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Sampling
+    # ------------------------------------------------------------------ #
+
+    def tick(self) -> int:
+        """Sample the registry once; returns the new tick's index."""
+        if self.registry.enabled:
+            self.registry.counter(
+                "obs_timeseries_ticks_total",
+                "Time-series sampler ticks taken",
+                layer="obs",
+                operation="tick",
+            ).inc()
+        snap = self.registry.snapshot()
+        sample: dict[str, object] = {}
+        with self._lock:
+            for name, kind, _help, instruments in snap.collect():
+                for inst in instruments:
+                    key = series_key(name, inst.labels)
+                    if isinstance(inst, Histogram):
+                        cums = [c for _bound, c in inst.cumulative_counts()]
+                        bounds = tuple(inst.buckets)
+                        sample[key] = [inst.count, inst.sum, cums]
+                        self._meta[key] = ("histogram", bounds)
+                    else:
+                        sample[key] = inst.value
+                        self._meta.setdefault(key, (kind, None))
+            index = self._next_index
+            self._next_index += 1
+            self._ticks.append((index, sample))
+        for listener in list(self.listeners):
+            listener(self)
+        return index
+
+    async def run(self, stop: asyncio.Event | None = None) -> None:
+        """Tick forever (or until ``stop`` is set) at :attr:`interval_s`."""
+        while stop is None or not stop.is_set():
+            self.tick()
+            await asyncio.sleep(self.interval_s)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / delta format
+    # ------------------------------------------------------------------ #
+
+    @property
+    def last_tick(self) -> int:
+        """Index of the newest tick (-1 before the first)."""
+        with self._lock:
+            return self._ticks[-1][0] if self._ticks else -1
+
+    def snapshot(self, since: int | None = None) -> dict:
+        """The ring as a JSON-able document; ``since`` returns a delta.
+
+        ``since=N`` includes only ticks with index > N, so a poller that
+        remembers the last ``tick`` it saw receives just the new columns.
+        Series that never appear in the selected ticks are omitted; a
+        series absent at some tick pads with ``null``.
+        """
+        with self._lock:
+            ticks = [
+                (index, sample)
+                for index, sample in self._ticks
+                if since is None or index > since
+            ]
+            meta = dict(self._meta)
+        indexes = [index for index, _sample in ticks]
+        series: dict[str, dict] = {}
+        for key, (kind, bounds) in sorted(meta.items()):
+            points = [sample.get(key) for _index, sample in ticks]
+            if all(point is None for point in points):
+                continue
+            entry: dict = {"kind": kind, "points": points}
+            if bounds is not None:
+                entry["bounds"] = list(bounds)
+            series[key] = entry
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "interval_s": self.interval_s,
+            "tick": indexes[-1] if indexes else self.last_tick,
+            "ticks": indexes,
+            "series": series,
+        }
+
+    # ------------------------------------------------------------------ #
+    # History access (for the SLO tracker and in-process consumers)
+    # ------------------------------------------------------------------ #
+
+    def histogram_family(
+        self, name: str
+    ) -> tuple[tuple[float, ...], list[tuple[int, int, float, list[int]]]]:
+        """Per-tick ``(index, count, sum, cumulative_counts)`` for one
+        histogram family, summed across its label sets.
+
+        Returns ``(bounds, rows)``; bounds exclude the implicit ``+Inf``
+        (the cumulative list has one extra final entry for it).
+        """
+        with self._lock:
+            keys = [
+                key
+                for key, (kind, _bounds) in self._meta.items()
+                if kind == "histogram" and family_of(key) == name
+            ]
+            bounds: tuple[float, ...] = ()
+            for key in keys:
+                bounds = self._meta[key][1] or ()
+                break
+            rows: list[tuple[int, int, float, list[int]]] = []
+            for index, sample in self._ticks:
+                count, total, cums = 0, 0.0, [0] * (len(bounds) + 1)
+                seen = False
+                for key in keys:
+                    point = sample.get(key)
+                    if point is None:
+                        continue
+                    seen = True
+                    count += point[0]
+                    total += point[1]
+                    for i, c in enumerate(point[2]):
+                        cums[i] += c
+                if seen:
+                    rows.append((index, count, total, cums))
+        return bounds, rows
+
+
+# ---------------------------------------------------------------------- #
+# Snapshot-document helpers (shared by `sww top` and the SLO layer)
+# ---------------------------------------------------------------------- #
+
+
+def _family_points(snapshot: dict, family: str) -> list[list]:
+    """Tick-aligned points for a family, summed across its label sets.
+
+    Counter/gauge points sum to floats; histogram points sum elementwise
+    to ``[count, sum, cums]``. Ticks where no series of the family has a
+    point yield ``None``.
+    """
+    ticks = snapshot.get("ticks", [])
+    merged: list = [None] * len(ticks)
+    for key, entry in snapshot.get("series", {}).items():
+        if family_of(key) != family:
+            continue
+        for i, point in enumerate(entry["points"]):
+            if point is None:
+                continue
+            if merged[i] is None:
+                merged[i] = (
+                    [point[0], point[1], list(point[2])]
+                    if isinstance(point, list)
+                    else float(point)
+                )
+            elif isinstance(point, list):
+                merged[i][0] += point[0]
+                merged[i][1] += point[1]
+                merged[i][2] = [a + b for a, b in zip(merged[i][2], point[2])]
+            else:
+                merged[i] += float(point)
+    return merged
+
+
+def snapshot_last(snapshot: dict, family: str) -> float | None:
+    """Newest summed value of a counter/gauge family (None if absent)."""
+    for point in reversed(_family_points(snapshot, family)):
+        if point is not None and not isinstance(point, list):
+            return float(point)
+    return None
+
+
+def snapshot_rate(snapshot: dict, family: str, window_ticks: int = 1) -> float | None:
+    """Per-second rate of a counter family over the trailing window."""
+    points = [p for p in _family_points(snapshot, family) if p is not None]
+    if len(points) < 2:
+        return None
+    window = min(max(1, window_ticks), len(points) - 1)
+    delta = points[-1] - points[-1 - window]
+    interval = snapshot.get("interval_s", 1.0) or 1.0
+    return max(0.0, delta) / (window * interval)
+
+
+def snapshot_quantile(
+    snapshot: dict, family: str, q: float, window_ticks: int | None = None
+) -> float | None:
+    """Estimate a latency quantile from a histogram family's bucket deltas.
+
+    ``window_ticks=None`` uses the whole snapshot (cumulative); otherwise
+    the delta between the newest tick and ``window_ticks`` back — i.e.
+    the quantile of *recent* observations, which is what a live view
+    wants. Linear interpolation within the winning bucket, clamped to the
+    highest finite bound for the ``+Inf`` bucket (Prometheus semantics).
+    """
+    bounds = None
+    for key, entry in snapshot.get("series", {}).items():
+        if family_of(key) == family and entry.get("bounds") is not None:
+            bounds = entry["bounds"]
+            break
+    if bounds is None:
+        return None
+    points = [p for p in _family_points(snapshot, family) if isinstance(p, list)]
+    if not points:
+        return None
+    newest = points[-1][2]
+    if window_ticks is None or len(points) == 1:
+        base = [0] * len(newest)
+    else:
+        window = min(max(1, window_ticks), len(points) - 1)
+        base = points[-1 - window][2]
+    deltas = [n - b for n, b in zip(newest, base)]
+    return quantile_from_cumulative(bounds, deltas, q)
+
+
+def quantile_from_cumulative(
+    bounds: list[float], cumulative: list[int], q: float
+) -> float | None:
+    """The ``q``-quantile of a cumulative bucket distribution, or None if
+    the distribution is empty."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be within [0, 1]")
+    total = cumulative[-1] if cumulative else 0
+    if total <= 0:
+        return None
+    rank = q * total
+    index = bisect.bisect_left(cumulative, rank)
+    index = min(index, len(cumulative) - 1)
+    if index >= len(bounds):
+        # Landed in +Inf: report the highest finite bound.
+        return float(bounds[-1]) if bounds else None
+    lower = bounds[index - 1] if index > 0 else 0.0
+    upper = bounds[index]
+    below = cumulative[index - 1] if index > 0 else 0
+    in_bucket = cumulative[index] - below
+    if in_bucket <= 0:
+        return float(upper)
+    fraction = (rank - below) / in_bucket
+    return float(lower + (upper - lower) * min(1.0, max(0.0, fraction)))
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Merge per-worker snapshots into one fleet-wide document.
+
+    Ticks align by index (workers sampling on the same interval produce
+    comparable indexes once their samplers start together; a future
+    arbiter hands every worker the same epoch). Counter and histogram
+    points sum; gauge points sum too — correct for occupancy-style gauges
+    (queue depth, inflight streams), which is what the plane exposes.
+    A series missing from some workers contributes only where present.
+    """
+    if not snapshots:
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "interval_s": 0.0,
+            "tick": -1,
+            "ticks": [],
+            "series": {},
+        }
+    indexes = sorted({index for snap in snapshots for index in snap.get("ticks", [])})
+    position = {index: i for i, index in enumerate(indexes)}
+    series: dict[str, dict] = {}
+    for snap in snapshots:
+        for key, entry in snap.get("series", {}).items():
+            target = series.setdefault(
+                key,
+                {
+                    "kind": entry["kind"],
+                    "points": [None] * len(indexes),
+                    **({"bounds": entry["bounds"]} if "bounds" in entry else {}),
+                },
+            )
+            for tick_index, point in zip(snap.get("ticks", []), entry["points"]):
+                if point is None:
+                    continue
+                slot = position[tick_index]
+                current = target["points"][slot]
+                if current is None:
+                    target["points"][slot] = (
+                        [point[0], point[1], list(point[2])]
+                        if isinstance(point, list)
+                        else point
+                    )
+                elif isinstance(point, list):
+                    current[0] += point[0]
+                    current[1] += point[1]
+                    current[2] = [a + b for a, b in zip(current[2], point[2])]
+                else:
+                    target["points"][slot] = current + point
+    return {
+        "format": SNAPSHOT_FORMAT,
+        "interval_s": max(snap.get("interval_s", 0.0) for snap in snapshots),
+        "tick": indexes[-1] if indexes else -1,
+        "ticks": indexes,
+        "series": {key: series[key] for key in sorted(series)},
+    }

@@ -21,6 +21,8 @@ from __future__ import annotations
 import asyncio
 import logging
 import threading
+import time
+import weakref
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
@@ -196,6 +198,13 @@ class GenerativeServer:
         self._materialise_flights: dict[str, Future] = {}
         self._stats_lock = threading.Lock()
         self.requests_served = 0
+        #: Optional in-band telemetry plane (repro.sww.admin): requests
+        #: whose :authority matches it are answered with metrics/health/
+        #: debug state instead of site content.
+        self.admin = None
+        #: Live sessions, for the admin plane's /debug/streams and
+        #: /healthz views. Weak so closed connections vanish on GC.
+        self._sessions: "weakref.WeakSet[ServerSession]" = weakref.WeakSet()
 
     # ------------------------------------------------------------------ #
     # Request logic (sans-io)
@@ -222,10 +231,21 @@ class GenerativeServer:
         """
         with self._stats_lock:
             self.requests_served += 1
+        started = time.perf_counter()
         with self.tracer.span("server.request", remote=trace_context, page=path):
             response = self._respond(path, client_gen_ability, client_models)
         if self.registry.enabled:
             self._count_response(path, response)
+            # Real wall-clock (not simulated) service time: the latency the
+            # SLO layer and `sww top` quantiles are computed over.
+            self.registry.histogram(
+                "sww_request_seconds",
+                "Wall-clock request handling time",
+                layer="sww",
+                operation="serve",
+            ).observe(
+                time.perf_counter() - started, trace_id=self.tracer.current_trace_id()
+            )
         return response
 
     def _respond(
@@ -463,6 +483,10 @@ class GenerativeServer:
         """Bind the request logic to one HTTP/2 connection engine."""
         return ServerSession(self, conn)
 
+    def sessions(self) -> list["ServerSession"]:
+        """Live (not yet collected) sessions, for the admin plane."""
+        return list(self._sessions)
+
     async def serve_forever(self, host: str = "127.0.0.1", port: int = 0) -> asyncio.AbstractServer:
         """Listen on TCP; each connection gets its own engine + session.
 
@@ -481,6 +505,10 @@ class GenerativeServer:
             await transport.flush()
             await session.run(transport, concurrent=self.concurrent_streams)
 
+        if self.admin is not None:
+            # Start the telemetry plane's background sampling alongside the
+            # listener (idempotent; no-op without a sampler configured).
+            self.admin.start()
         return await asyncio.start_server(on_connect, host, port)
 
 
@@ -512,6 +540,7 @@ class ServerSession:
         self._transport: AsyncH2Transport | None = None
         self._tasks: set[asyncio.Task] = set()
         self._draining = False
+        server._sessions.add(self)
 
     # ------------------------------------------------------------------ #
     # Shared request plumbing
@@ -547,9 +576,13 @@ class ServerSession:
     def handle_event(self, event: Event) -> None:
         if isinstance(event, RequestReceived):
             path, authority, client_models, trace_context = self._parse_request(event)
-            response = self.server.handle_request(
-                path, self.conn.gen_ability_negotiated, client_models, trace_context
-            )
+            admin = self.server.admin
+            if admin is not None and admin.matches(authority):
+                response = admin.respond(path)
+            else:
+                response = self.server.handle_request(
+                    path, self.conn.gen_ability_negotiated, client_models, trace_context
+                )
             self.responses.append(response)
             self.conn.send_headers(event.stream_id, response.headers)
             if self._should_push(response):
@@ -638,8 +671,10 @@ class ServerSession:
         stream_id = event.stream_id
         path, authority, client_models, trace_context = self._parse_request(event)
         registry = self.server.registry
+        admin = self.server.admin
+        is_admin = admin is not None and admin.matches(authority)
         inflight = None
-        if registry.enabled:
+        if registry.enabled and not is_admin:
             inflight = registry.gauge(
                 "sww_server_inflight_streams",
                 "Request streams currently being served by the stream scheduler",
@@ -653,16 +688,21 @@ class ServerSession:
             # The request logic (including server-side materialisation) is
             # CPU work: run it off the loop so other streams — and other
             # connections — keep flowing. Concurrent materialisations meet
-            # in the BatchingEngine window / gencache single-flight.
-            response = await loop.run_in_executor(
-                None,
-                self._handle_in_thread,
-                path,
-                stream_id,
-                gen_ability,
-                client_models,
-                trace_context,
-            )
+            # in the BatchingEngine window / gencache single-flight. Admin
+            # routes take the same executor path: /debug/profile blocks its
+            # thread for the sampling window without touching the loop.
+            if is_admin:
+                response = await loop.run_in_executor(None, admin.respond, path)
+            else:
+                response = await loop.run_in_executor(
+                    None,
+                    self._handle_in_thread,
+                    path,
+                    stream_id,
+                    gen_ability,
+                    client_models,
+                    trace_context,
+                )
         except Exception:
             logger.exception("stream %d (%s) failed; responding 500", stream_id, path)
             body = b"internal server error"
@@ -732,6 +772,20 @@ class ServerSession:
             await self._transport.flush()
         except (ConnectionError, OSError):
             pass
+
+    def debug_state(self) -> dict:
+        """Live connection state for the admin plane's ``/debug/streams``."""
+        state: dict = {
+            "gen_ability_negotiated": self.conn.gen_ability_negotiated,
+            "connection_window": self.conn.outbound_window.available,
+            "draining": self._draining,
+            "inflight_tasks": len(self._tasks),
+            "responses_sent": len(self.responses),
+            "max_stall_s": round(self.max_stall_s, 6),
+        }
+        if self.writer is not None:
+            state["writer"] = self.writer.debug_state()
+        return state
 
     async def _stall_probe(self) -> None:
         """Sample event-loop responsiveness while the connection lives.

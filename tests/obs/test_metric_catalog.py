@@ -1,0 +1,114 @@
+"""The observability lint as a test: every metric the tree registers
+must follow ``<subsystem>_<name>_<unit>`` and appear in
+docs/OBSERVABILITY.md. A new metric that drifts fails the suite here."""
+
+from pathlib import Path
+
+from repro.obs import (
+    SUBSYSTEMS,
+    UNITS,
+    check_documented,
+    check_name,
+    lint,
+    scan_sources,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+DOC = REPO / "docs" / "OBSERVABILITY.md"
+
+
+class TestTreeConformance:
+    def test_no_naming_or_documentation_drift(self):
+        problems = lint(SRC, DOC)
+        assert problems == [], "\n".join(problems)
+
+    def test_scanner_finds_the_known_core_metrics(self):
+        # Sanity-check the regex scanner against metrics that are known to
+        # exist: if the scanner silently matched nothing, the lint above
+        # would pass vacuously.
+        names = {site.name for site in scan_sources(SRC)}
+        assert "sww_requests_total" in names
+        assert "sww_request_seconds" in names
+        assert "slo_burn_rate_ratio" in names
+        assert "obs_timeseries_ticks_total" in names
+        assert len(names) >= 20
+
+    def test_scanner_records_kind_path_and_line(self):
+        sites = [s for s in scan_sources(SRC) if s.name == "sww_request_seconds"]
+        assert sites, "sww_request_seconds registration not found"
+        site = sites[0]
+        assert site.kind == "histogram"
+        assert site.path.endswith(".py")
+        assert site.line > 0
+
+
+class TestCheckName:
+    def test_conforming_names(self):
+        assert check_name("sww_requests_total", "counter") == []
+        assert check_name("http2_writer_buffered_bytes", "gauge") == []
+        assert check_name("slo_burn_rate_ratio", "gauge") == []
+
+    def test_unknown_subsystem(self):
+        problems = check_name("nova_requests_total", "counter")
+        assert any("unknown subsystem" in p for p in problems)
+
+    def test_unknown_unit(self):
+        problems = check_name("sww_requests_count", "gauge")
+        assert any("unknown unit" in p for p in problems)
+
+    def test_counter_must_end_total(self):
+        problems = check_name("sww_request_seconds", "counter")
+        assert any("counters must end in _total" in p for p in problems)
+
+    def test_total_reserved_for_counters(self):
+        problems = check_name("sww_requests_total", "gauge")
+        assert any("reserved for counters" in p for p in problems)
+
+    def test_malformed_name_short_circuits(self):
+        problems = check_name("Bad-Name", "counter")
+        assert len(problems) == 1
+        assert "not of the form" in problems[0]
+
+    def test_single_token_rejected(self):
+        assert check_name("sww", "gauge") != []
+
+    def test_vocabulary_is_frozen(self):
+        assert "sww" in SUBSYSTEMS and "obs" in SUBSYSTEMS and "slo" in SUBSYSTEMS
+        assert "seconds" in UNITS and "total" in UNITS and "ratio" in UNITS
+
+
+class TestCheckDocumented:
+    def test_missing_doc_file_reports_all(self, tmp_path):
+        problems = check_documented({"sww_x_total"}, tmp_path / "absent.md")
+        assert problems == ["sww_x_total: not documented in absent.md"]
+
+    def test_documented_names_pass(self, tmp_path):
+        doc = tmp_path / "OBS.md"
+        doc.write_text("| `sww_x_total` | counter | stuff |\n")
+        assert check_documented({"sww_x_total"}, doc) == []
+
+
+class TestLintEndToEnd:
+    def test_lint_flags_drift_in_a_synthetic_tree(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "mod.py").write_text(
+            'registry.counter(\n    "bogus_metric_seconds", "help"\n)\n'
+        )
+        doc = tmp_path / "OBS.md"
+        doc.write_text("nothing here\n")
+        problems = lint(src, doc)
+        assert any("unknown subsystem prefix 'bogus'" in p for p in problems)
+        assert any("counters must end in _total" in p for p in problems)
+        assert any("not documented" in p for p in problems)
+
+    def test_lint_accepts_a_clean_tree(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "mod.py").write_text(
+            'registry.counter("sww_widgets_total", "help", layer="sww")\n'
+        )
+        doc = tmp_path / "OBS.md"
+        doc.write_text("`sww_widgets_total` is documented.\n")
+        assert lint(src, doc) == []

@@ -139,3 +139,90 @@ class TestNullRegistry:
     def test_shared_instrument_singleton(self):
         reg = NullRegistry()
         assert reg.counter("a_total") is reg.histogram("b_seconds")
+
+
+class TestSnapshotAtomicity:
+    def test_instrument_snapshots_are_detached(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total")
+        h = reg.histogram("h_seconds")
+        c.inc(3)
+        h.observe(1.0)
+        snap = reg.snapshot()
+        c.inc(10)
+        h.observe(2.0)
+        assert snap.value("x_total") == 3.0
+        assert snap.count("h_seconds") == 1
+        assert reg.value("x_total") == 13.0
+
+    def test_snapshot_preserves_families_and_exemplars(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "help text").inc()
+        reg.histogram("h_seconds").observe(0.5, trace_id="abc123")
+        snap = reg.snapshot()
+        families = {name: (kind, help) for name, kind, help, _ in snap.collect()}
+        assert families["x_total"] == ("counter", "help text")
+        (inst,) = [i for _, k, _, insts in snap.collect() if k == "histogram" for i in insts]
+        assert inst.exemplars()[0][1] == "abc123"
+
+    def test_exposition_is_atomic_under_concurrent_mutation(self):
+        """Satellite: concurrent observes never tear an exported histogram.
+
+        Observing the constant 1.0 makes sum == count exact in floats, so
+        any exposition where the +Inf cumulative bucket, the _count sample
+        and the _sum sample disagree is a torn (non-atomic) read.
+        """
+        from repro.obs import to_openmetrics
+
+        reg = MetricsRegistry()
+        h = reg.histogram("sww_stress_seconds", layer="sww", operation="stress")
+        stop = threading.Event()
+
+        def mutate():
+            while not stop.is_set():
+                h.observe(1.0)
+
+        threads = [threading.Thread(target=mutate) for _ in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(50):
+                text = to_openmetrics(reg)
+                inf_bucket = total = observed_sum = None
+                for line in text.splitlines():
+                    if line.startswith("sww_stress_seconds_bucket") and 'le="+Inf"' in line:
+                        inf_bucket = int(line.rsplit(" ", 1)[1])
+                    elif line.startswith("sww_stress_seconds_count"):
+                        total = int(line.rsplit(" ", 1)[1])
+                    elif line.startswith("sww_stress_seconds_sum"):
+                        observed_sum = float(line.rsplit(" ", 1)[1])
+                assert inf_bucket is not None and total is not None
+                assert inf_bucket == total, "bucket cumulative tore from count"
+                assert observed_sum == float(total), "sum tore from count"
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+
+    def test_registry_snapshot_consistent_while_instruments_register(self):
+        reg = MetricsRegistry()
+        stop = threading.Event()
+
+        def register():
+            i = 0
+            while not stop.is_set():
+                reg.counter("x_churn_total", layer="t", operation=str(i % 50)).inc()
+                i += 1
+
+        thread = threading.Thread(target=register)
+        thread.start()
+        try:
+            for _ in range(100):
+                snap = reg.snapshot()
+                # Every instrument in the copy is detached and readable.
+                for _name, _kind, _help, insts in snap.collect():
+                    for inst in insts:
+                        assert inst.value >= 0
+        finally:
+            stop.set()
+            thread.join()

@@ -1,0 +1,156 @@
+"""Unit tests for the sampling wall-clock profiler: capture across
+threads, collapsed-stack and Chrome-trace exports, lifecycle."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import MetricsRegistry, Profile, WallClockProfiler
+from repro.obs.profiler import _capture_stacks
+
+
+def _busy_wait(marker_event: threading.Event, stop: threading.Event) -> None:
+    marker_event.set()
+    while not stop.is_set():
+        time.sleep(0.001)
+
+
+class TestCapture:
+    def test_sees_named_threads_with_root_first_stacks(self):
+        started, stop = threading.Event(), threading.Event()
+        worker = threading.Thread(
+            target=_busy_wait, args=(started, stop), name="capture-target"
+        )
+        worker.start()
+        started.wait()
+        try:
+            sample = _capture_stacks(skip_idents={threading.get_ident()})
+            assert "capture-target" in sample
+            stack = sample["capture-target"]
+            # Root-first: the thread bootstrap is at the start, the leaf
+            # (the busy-wait body) at the end.
+            assert any("_busy_wait" in frame for frame in stack)
+            assert stack.index(
+                next(f for f in stack if "_busy_wait" in f)
+            ) > 0
+        finally:
+            stop.set()
+            worker.join()
+
+    def test_skip_idents_excludes_caller(self):
+        sample = _capture_stacks(skip_idents={threading.get_ident()})
+        current = threading.current_thread().name
+        assert current not in sample
+
+
+class TestProfile:
+    def _profile(self):
+        # Hand-built deterministic profile: two ticks on one thread with a
+        # shared prefix, one tick on another thread.
+        return Profile(
+            interval_s=0.01,
+            ticks=[
+                {"loop": ("run", "handle"), "exec": ("work",)},
+                {"loop": ("run", "flush")},
+            ],
+        )
+
+    def test_counts_and_threads(self):
+        profile = self._profile()
+        assert profile.sample_count == 3
+        assert profile.duration_s == pytest.approx(0.02)
+        assert profile.threads() == ["exec", "loop"]
+
+    def test_collapsed_format(self):
+        lines = self._profile().collapsed().strip().splitlines()
+        assert "exec;work 1" in lines
+        assert "loop;run;handle 1" in lines
+        assert "loop;run;flush 1" in lines
+
+    def test_collapsed_merges_repeated_stacks(self):
+        profile = Profile(0.01, ticks=[{"t": ("a", "b")}, {"t": ("a", "b")}])
+        assert profile.collapsed().strip() == "t;a;b 2"
+
+    def test_chrome_trace_merges_common_prefixes(self):
+        document = json.loads(self._profile().to_chrome_trace())
+        events = document["traceEvents"]
+        names = [e for e in events if e.get("ph") == "M"]
+        assert {e["args"]["name"] for e in names} == {"exec", "loop"}
+        # "run" spans both loop ticks (common prefix), so its one complete
+        # event lasts 2 ticks = 20000 us.
+        run_events = [e for e in events if e.get("name") == "run"]
+        assert len(run_events) == 1
+        assert run_events[0]["dur"] == pytest.approx(20000.0)
+        # The divergent leaves are separate 1-tick events.
+        leaf_durations = [
+            e["dur"] for e in events if e.get("name") in ("handle", "flush")
+        ]
+        assert leaf_durations == [pytest.approx(10000.0)] * 2
+
+    def test_empty_profile_exports(self):
+        profile = Profile(0.01)
+        assert profile.collapsed() == ""
+        document = json.loads(profile.to_chrome_trace())
+        assert document["traceEvents"] == []
+
+
+class TestWallClockProfiler:
+    def test_sample_once_is_deterministic_and_counts(self):
+        reg = MetricsRegistry()
+        profiler = WallClockProfiler(interval_s=0.001, registry=reg)
+        profiler.sample_once()
+        profile = profiler.stop()
+        assert len(profile.ticks) == 1
+        assert profile.sample_count >= 1
+        assert (
+            reg.value("obs_profiler_samples_total", layer="obs", operation="sample")
+            == profile.sample_count
+        )
+
+    def test_profile_for_zero_seconds_still_samples(self):
+        profile = WallClockProfiler(interval_s=0.001).profile_for(0)
+        assert profile.sample_count >= 1
+        assert profile.collapsed().strip()
+
+    def test_background_sampling_captures_worker_thread(self):
+        started, stop = threading.Event(), threading.Event()
+        worker = threading.Thread(
+            target=_busy_wait, args=(started, stop), name="profiled-worker"
+        )
+        worker.start()
+        started.wait()
+        try:
+            profiler = WallClockProfiler(interval_s=0.002)
+            profiler.start()
+            assert profiler.running
+            time.sleep(0.05)
+            profile = profiler.stop()
+        finally:
+            stop.set()
+            worker.join()
+        assert not profiler.running
+        assert len(profile.ticks) >= 3
+        assert "profiled-worker" in profile.threads()
+        # The profiler's own sampling thread never profiles itself.
+        assert "obs-profiler" not in profile.threads()
+
+    def test_max_ticks_bounds_retention(self):
+        profiler = WallClockProfiler(interval_s=0.0001, max_ticks=5)
+        profiler.start()
+        time.sleep(0.05)
+        profile = profiler.stop()
+        assert len(profile.ticks) == 5
+
+    def test_start_is_idempotent_and_stop_resets(self):
+        profiler = WallClockProfiler(interval_s=0.001)
+        profiler.start()
+        profiler.start()
+        profiler.stop()
+        empty = profiler.stop()  # stop without start: empty profile
+        assert empty.ticks == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WallClockProfiler(interval_s=0)

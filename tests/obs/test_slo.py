@@ -1,0 +1,164 @@
+"""Unit tests for the SLO layer: burn-rate math, window clamping, gauge
+export, healthz verdicts and sampler attachment."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_OBJECTIVES,
+    BurnWindow,
+    MetricsRegistry,
+    SLObjective,
+    SLOTracker,
+    TimeSeriesSampler,
+)
+
+#: One-minute fast window / ten-minute slow window at 1 s ticks, with the
+#: SRE-workbook alert thresholds.
+WINDOWS = (BurnWindow("fast", 2.0, 14.4), BurnWindow("slow", 6.0, 6.0))
+
+
+def _tracker(objective=0.9, threshold=0.1):
+    reg = MetricsRegistry()
+    hist = reg.histogram("sww_request_seconds", buckets=(0.01, 0.1, 1.0), layer="sww")
+    sampler = TimeSeriesSampler(reg, interval_s=1.0)
+    slo = SLOTracker(
+        reg,
+        objectives=(
+            SLObjective("latency", "sww_request_seconds", threshold, objective),
+        ),
+        windows=WINDOWS,
+    )
+    return reg, hist, sampler, slo
+
+
+class TestObjectiveValidation:
+    def test_objective_bounds(self):
+        with pytest.raises(ValueError):
+            SLObjective("x", "h_seconds", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            SLObjective("x", "h_seconds", 0.0, 0.9)
+
+    def test_duplicate_names_rejected(self):
+        reg = MetricsRegistry()
+        objective = SLObjective("x", "h_seconds", 1.0, 0.9)
+        with pytest.raises(ValueError):
+            SLOTracker(reg, objectives=(objective, objective))
+
+    def test_default_objectives_cover_request_latency_and_loop(self):
+        names = {o.name for o in DEFAULT_OBJECTIVES}
+        assert names == {"request-latency", "loop-responsiveness"}
+        histograms = {o.histogram for o in DEFAULT_OBJECTIVES}
+        assert histograms == {"sww_request_seconds", "sww_server_loop_stall_seconds"}
+
+
+class TestBurnRates:
+    def test_all_good_burns_zero(self):
+        _reg, hist, sampler, slo = _tracker()
+        for _ in range(10):
+            hist.observe(0.01)
+        sampler.tick()
+        report = slo.evaluate(sampler)
+        assert report["latency"]["windows"] == {"fast": 0.0, "slow": 0.0}
+        assert report["latency"]["healthy"] is True
+        assert report["latency"]["budget_remaining"] == 1.0
+
+    def test_burn_is_bad_fraction_over_budget(self):
+        # objective 0.9 → budget 0.1; 20% bad → burn 2.0.
+        _reg, hist, sampler, slo = _tracker(objective=0.9)
+        sampler.tick()  # empty baseline tick
+        for _ in range(8):
+            hist.observe(0.01)
+        for _ in range(2):
+            hist.observe(0.5)  # over the 0.1 s threshold
+        sampler.tick()
+        report = slo.evaluate(sampler)
+        assert report["latency"]["windows"]["fast"] == pytest.approx(2.0)
+        # 20% bad against a 10% budget: overspent, clamped to zero.
+        assert report["latency"]["budget_remaining"] == pytest.approx(0.0)
+        assert report["latency"]["healthy"] is True  # 2.0 < 14.4
+
+    def test_window_isolates_recent_badness(self):
+        _reg, hist, sampler, slo = _tracker(objective=0.9)
+        # Long clean history...
+        for _ in range(8):
+            for _ in range(10):
+                hist.observe(0.01)
+            sampler.tick()
+        # ...then one recent all-bad tick.
+        for _ in range(10):
+            hist.observe(0.5)
+        sampler.tick()
+        report = slo.evaluate(sampler)
+        fast = report["latency"]["windows"]["fast"]  # last 2 ticks: 10/20 bad
+        slow = report["latency"]["windows"]["slow"]  # last 6 ticks: 10/60 bad
+        assert fast == pytest.approx(5.0)
+        assert slow == pytest.approx((10 / 60) / 0.1, abs=1e-4)
+        assert fast > slow
+
+    def test_alert_threshold_marks_unhealthy(self):
+        _reg, hist, sampler, slo = _tracker(objective=0.95)
+        sampler.tick()
+        for _ in range(10):
+            hist.observe(0.5)  # 100% bad, budget 0.05 → burn 20 ≥ 14.4
+        sampler.tick()
+        report = slo.evaluate(sampler)
+        assert report["latency"]["windows"]["fast"] == pytest.approx(20.0)
+        assert report["latency"]["healthy"] is False
+        assert slo.healthy is False
+
+    def test_no_traffic_reports_empty_but_healthy(self):
+        reg = MetricsRegistry()
+        sampler = TimeSeriesSampler(reg, interval_s=1.0)
+        sampler.tick()
+        slo = SLOTracker(
+            reg,
+            objectives=(SLObjective("latency", "sww_request_seconds", 0.1, 0.9),),
+            windows=WINDOWS,
+        )
+        report = slo.evaluate(sampler)
+        assert report["latency"]["windows"] == {}
+        assert slo.healthy is True
+
+    def test_windows_clamp_to_available_history(self):
+        _reg, hist, sampler, slo = _tracker(objective=0.9)
+        for _ in range(5):
+            hist.observe(0.5)
+        sampler.tick()  # only one tick: both windows read the whole ring
+        report = slo.evaluate(sampler)
+        assert report["latency"]["windows"]["fast"] == pytest.approx(10.0)
+        assert report["latency"]["windows"]["slow"] == pytest.approx(10.0)
+
+
+class TestGaugesAndAttachment:
+    def test_burn_gauges_exported(self):
+        reg, hist, sampler, slo = _tracker(objective=0.9)
+        sampler.tick()
+        for _ in range(10):
+            hist.observe(0.5)
+        sampler.tick()
+        slo.evaluate(sampler)
+        assert reg.value(
+            "slo_burn_rate_ratio", layer="slo", slo="latency", window="fast"
+        ) == pytest.approx(10.0)
+        assert reg.value(
+            "slo_error_budget_remaining_ratio", layer="slo", slo="latency"
+        ) == pytest.approx(0.0)
+
+    def test_attach_evaluates_on_every_tick(self):
+        _reg, hist, sampler, slo = _tracker()
+        slo.attach(sampler)
+        hist.observe(0.01)
+        sampler.tick()
+        assert slo.report()["latency"]["windows"]["fast"] == 0.0
+
+    def test_threshold_maps_to_bucket_boundary(self):
+        # Threshold 0.05 sits between bounds (0.01, 0.1): good rounds DOWN
+        # to the 0.01 bound, so observations in the 0.1 bucket count as
+        # bad — the buckets cannot prove they beat the threshold.
+        _reg, hist, sampler, slo = _tracker(objective=0.5, threshold=0.05)
+        sampler.tick()
+        hist.observe(0.02)  # lands in the 0.1 bucket → bad
+        hist.observe(0.005)  # lands in the 0.01 bucket → good
+        sampler.tick()
+        report = slo.evaluate(sampler)
+        assert report["latency"]["windows"]["fast"] == pytest.approx(1.0)

@@ -1,0 +1,226 @@
+"""Unit tests for the ring-buffer time-series sampler and its snapshot
+format (sww-timeseries/1): tick recording, deltas, rates, quantiles and
+the per-worker merge."""
+
+import asyncio
+
+import pytest
+
+from repro.obs import (
+    SNAPSHOT_FORMAT,
+    MetricsRegistry,
+    TimeSeriesSampler,
+    merge_snapshots,
+    quantile_from_cumulative,
+    snapshot_last,
+    snapshot_quantile,
+    snapshot_rate,
+)
+from repro.obs.timeseries import family_of, series_key
+
+
+class TestSeriesKey:
+    def test_labels_render_in_order(self):
+        key = series_key("x_total", (("layer", "sww"), ("operation", "serve")))
+        assert key == "x_total{layer=sww,operation=serve}"
+        assert family_of(key) == "x_total"
+
+    def test_unlabeled_series(self):
+        assert series_key("x_total", ()) == "x_total"
+        assert family_of("x_total") == "x_total"
+
+
+class TestSampling:
+    def test_ticks_record_counter_gauge_histogram_points(self):
+        reg = MetricsRegistry()
+        reg.counter("sww_requests_total", layer="sww").inc(2)
+        reg.gauge("sww_server_inflight_streams", layer="sww").set(3)
+        reg.histogram("sww_request_seconds", layer="sww").observe(0.02)
+        sampler = TimeSeriesSampler(reg, interval_s=1.0)
+        index = sampler.tick()
+        assert index == 0
+        snap = sampler.snapshot()
+        assert snap["format"] == SNAPSHOT_FORMAT
+        assert snap["ticks"] == [0]
+        counter_series = snap["series"]["sww_requests_total{layer=sww}"]
+        assert counter_series == {"kind": "counter", "points": [2.0]}
+        hist = snap["series"]["sww_request_seconds{layer=sww}"]
+        assert hist["kind"] == "histogram"
+        count, total, cums = hist["points"][0]
+        assert count == 1 and total == pytest.approx(0.02)
+        assert cums[-1] == 1  # +Inf cumulative
+        assert "bounds" in hist
+
+    def test_tick_counts_itself(self):
+        reg = MetricsRegistry()
+        sampler = TimeSeriesSampler(reg, interval_s=1.0)
+        sampler.tick()
+        sampler.tick()
+        assert reg.value("obs_timeseries_ticks_total", layer="obs", operation="tick") == 2.0
+
+    def test_ring_capacity_drops_oldest(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("x_total")
+        sampler = TimeSeriesSampler(reg, interval_s=1.0, capacity=3)
+        for _ in range(5):
+            counter.inc()
+            sampler.tick()
+        snap = sampler.snapshot()
+        assert snap["ticks"] == [2, 3, 4]
+        assert snap["series"]["x_total"]["points"] == [3.0, 4.0, 5.0]
+        assert sampler.last_tick == 4
+
+    def test_since_returns_only_newer_ticks(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("x_total")
+        sampler = TimeSeriesSampler(reg, interval_s=1.0)
+        for _ in range(4):
+            counter.inc()
+            sampler.tick()
+        delta = sampler.snapshot(since=1)
+        assert delta["ticks"] == [2, 3]
+        assert delta["series"]["x_total"]["points"] == [3.0, 4.0]
+        assert delta["tick"] == 3
+        # A fully caught-up poller gets an empty delta, not an error.
+        empty = sampler.snapshot(since=3)
+        assert empty["ticks"] == []
+        assert empty["series"] == {}
+
+    def test_listeners_fire_per_tick(self):
+        reg = MetricsRegistry()
+        sampler = TimeSeriesSampler(reg, interval_s=1.0)
+        seen = []
+        sampler.listeners.append(lambda s: seen.append(s.last_tick))
+        sampler.tick()
+        sampler.tick()
+        assert seen == [0, 1]
+
+    def test_run_ticks_until_stopped(self):
+        reg = MetricsRegistry()
+        sampler = TimeSeriesSampler(reg, interval_s=0.01)
+
+        async def scenario():
+            stop = asyncio.Event()
+            task = asyncio.create_task(sampler.run(stop))
+            await asyncio.sleep(0.05)
+            stop.set()
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+        asyncio.run(scenario())
+        assert sampler.last_tick >= 2
+
+    def test_validation(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(reg, interval_s=0)
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(reg, capacity=1)
+
+
+class TestSnapshotHelpers:
+    def _snapshot(self, values, interval_s=1.0):
+        reg = MetricsRegistry()
+        counter = reg.counter("x_total")
+        sampler = TimeSeriesSampler(reg, interval_s=interval_s)
+        previous = 0.0
+        for value in values:
+            counter.inc(value - previous)
+            previous = value
+            sampler.tick()
+        return sampler.snapshot()
+
+    def test_snapshot_last_and_rate(self):
+        snap = self._snapshot([1, 3, 6], interval_s=2.0)
+        assert snapshot_last(snap, "x_total") == 6.0
+        assert snapshot_rate(snap, "x_total", window_ticks=1) == pytest.approx(1.5)
+        assert snapshot_rate(snap, "x_total", window_ticks=2) == pytest.approx(1.25)
+        # Window clamps to the available history.
+        assert snapshot_rate(snap, "x_total", window_ticks=50) == pytest.approx(1.25)
+        assert snapshot_rate(snap, "missing_total") is None
+
+    def test_rate_sums_across_label_sets(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", operation="a")
+        b = reg.counter("x_total", operation="b")
+        sampler = TimeSeriesSampler(reg, interval_s=1.0)
+        sampler.tick()
+        a.inc(2)
+        b.inc(3)
+        sampler.tick()
+        assert snapshot_rate(sampler.snapshot(), "x_total") == pytest.approx(5.0)
+
+    def test_quantile_from_cumulative_interpolates(self):
+        bounds = [0.1, 1.0, 10.0]
+        # 10 observations ≤ 0.1, 10 in (0.1, 1.0], none beyond.
+        cums = [10, 20, 20, 20]
+        assert quantile_from_cumulative(bounds, cums, 0.5) == pytest.approx(0.1)
+        assert quantile_from_cumulative(bounds, cums, 0.75) == pytest.approx(0.55)
+        assert quantile_from_cumulative(bounds, cums, 1.0) == pytest.approx(1.0)
+        assert quantile_from_cumulative(bounds, [0, 0, 0, 0], 0.5) is None
+
+    def test_quantile_in_inf_bucket_clamps_to_top_bound(self):
+        assert quantile_from_cumulative([0.1, 1.0], [0, 0, 5], 0.99) == pytest.approx(1.0)
+
+    def test_snapshot_quantile_windows_recent_observations(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("sww_request_seconds", buckets=(0.01, 0.1, 1.0))
+        sampler = TimeSeriesSampler(reg, interval_s=1.0)
+        for _ in range(20):
+            hist.observe(0.005)  # old, fast traffic
+        sampler.tick()
+        for _ in range(20):
+            hist.observe(0.5)  # recent, slow traffic
+        sampler.tick()
+        snap = sampler.snapshot()
+        overall = snapshot_quantile(snap, "sww_request_seconds", 0.5)
+        recent = snapshot_quantile(snap, "sww_request_seconds", 0.5, window_ticks=1)
+        assert overall == pytest.approx(0.01)
+        assert recent == pytest.approx(0.55)
+        assert snapshot_quantile(snap, "missing_seconds", 0.5) is None
+
+
+class TestMerge:
+    def _worker_snapshot(self, increments):
+        reg = MetricsRegistry()
+        counter = reg.counter("sww_requests_total", layer="sww")
+        hist = reg.histogram("sww_request_seconds", buckets=(0.1, 1.0))
+        sampler = TimeSeriesSampler(reg, interval_s=1.0)
+        for amount in increments:
+            counter.inc(amount)
+            hist.observe(0.05)
+            sampler.tick()
+        return sampler.snapshot()
+
+    def test_counters_and_histograms_sum_per_tick(self):
+        merged = merge_snapshots(
+            [self._worker_snapshot([1, 1]), self._worker_snapshot([2, 2])]
+        )
+        assert merged["format"] == SNAPSHOT_FORMAT
+        assert merged["ticks"] == [0, 1]
+        assert merged["series"]["sww_requests_total{layer=sww}"]["points"] == [3.0, 6.0]
+        hist_points = merged["series"]["sww_request_seconds"]["points"]
+        count, total, cums = hist_points[1]
+        assert count == 4 and total == pytest.approx(0.2)
+        assert cums[-1] == 4
+
+    def test_workers_with_different_tick_ranges(self):
+        merged = merge_snapshots(
+            [self._worker_snapshot([1]), self._worker_snapshot([2, 2, 2])]
+        )
+        assert merged["ticks"] == [0, 1, 2]
+        assert merged["series"]["sww_requests_total{layer=sww}"]["points"] == [3.0, 4.0, 6.0]
+
+    def test_merge_of_nothing(self):
+        merged = merge_snapshots([])
+        assert merged["ticks"] == [] and merged["series"] == {}
+
+    def test_merged_snapshot_still_answers_helpers(self):
+        merged = merge_snapshots(
+            [self._worker_snapshot([1, 1]), self._worker_snapshot([1, 1])]
+        )
+        assert snapshot_last(merged, "sww_requests_total") == 4.0
+        assert snapshot_rate(merged, "sww_requests_total", 1) == pytest.approx(2.0)

@@ -1,0 +1,270 @@
+"""The in-band admin plane: authority routing, telemetry routes, and the
+one-shot admin client over real TCP."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, SLOTracker, TimeSeriesSampler
+from repro.sww.admin import (
+    ADMIN_AUTHORITY,
+    AdminPlane,
+    admin_fetch,
+    admin_fetch_json,
+)
+from repro.sww.client import GenerativeClient
+from repro.sww.server import GenerativeServer, PageResource, SiteStore
+from repro.devices import LAPTOP
+from repro.workloads import build_travel_blog
+
+
+def _store() -> SiteStore:
+    page = build_travel_blog()
+    store = SiteStore()
+    store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+    return store
+
+
+def _plane(with_sampler=True, with_slo=False):
+    registry = MetricsRegistry()
+    sampler = TimeSeriesSampler(registry, interval_s=1.0) if with_sampler else None
+    slo = SLOTracker(registry) if with_slo else None
+    return registry, sampler, AdminPlane(registry, sampler=sampler, slo=slo)
+
+
+def _json_body(response) -> dict:
+    assert response.status == 200, response.body
+    return json.loads(response.body.decode("utf-8"))
+
+
+class TestAuthorityMatching:
+    def test_matches_reserved_authority(self):
+        _reg, _sampler, plane = _plane()
+        assert plane.matches(ADMIN_AUTHORITY)
+        assert plane.matches(ADMIN_AUTHORITY.encode())
+
+    def test_matches_strips_port(self):
+        _reg, _sampler, plane = _plane()
+        assert plane.matches(f"{ADMIN_AUTHORITY}:8443")
+        assert plane.matches(f"{ADMIN_AUTHORITY}:443".encode())
+
+    def test_content_authorities_do_not_match(self):
+        _reg, _sampler, plane = _plane()
+        assert not plane.matches("example.com")
+        assert not plane.matches("example.com:8443")
+        assert not plane.matches(b"")
+
+
+class TestRoutes:
+    def test_metrics_is_openmetrics(self):
+        registry, _sampler, plane = _plane()
+        registry.counter("sww_requests_total", layer="sww").inc(3)
+        response = plane.respond("/metrics")
+        assert response.status == 200
+        headers = dict(response.headers)
+        assert headers[b"content-type"].startswith(b"application/openmetrics-text")
+        text = response.body.decode("utf-8")
+        assert 'sww_requests_total{layer="sww"} 3' in text
+        assert text.rstrip().endswith("# EOF")
+
+    def test_healthz_shape_without_server(self):
+        _reg, _sampler, plane = _plane()
+        body = _json_body(plane.respond("/healthz"))
+        assert body["status"] == "ok"
+        assert body["connections"] == 0
+        assert body["inflight_streams"] == 0
+        assert "loop_stall" in body and "slo" in body
+
+    def test_healthz_includes_slo_report(self):
+        registry, sampler, _ = _plane()
+        slo = SLOTracker(registry)
+        plane = AdminPlane(registry, sampler=sampler, slo=slo)
+        registry.histogram("sww_request_seconds", layer="sww").observe(0.01)
+        sampler.tick()  # attach() means the tick also evaluates
+        body = _json_body(plane.respond("/healthz"))
+        assert "request-latency" in body["slo"]
+        assert body["slo"]["request-latency"]["healthy"] is True
+
+    def test_debug_streams_empty_without_connections(self):
+        _reg, _sampler, plane = _plane()
+        assert _json_body(plane.respond("/debug/streams")) == {"connections": []}
+
+    def test_timeseries_snapshot_and_delta(self):
+        registry, sampler, plane = _plane()
+        registry.counter("sww_requests_total", layer="sww").inc()
+        sampler.tick()
+        sampler.tick()
+        full = _json_body(plane.respond("/debug/timeseries"))
+        assert full["format"] == "sww-timeseries/1"
+        assert full["ticks"] == [0, 1]
+        delta = _json_body(plane.respond("/debug/timeseries?since=0"))
+        assert delta["ticks"] == [1]
+
+    def test_timeseries_rejects_bad_since(self):
+        _reg, _sampler, plane = _plane()
+        assert plane.respond("/debug/timeseries?since=soon").status == 400
+
+    def test_timeseries_unavailable_without_sampler(self):
+        _reg, _none, plane = _plane(with_sampler=False)
+        assert plane.respond("/debug/timeseries").status == 503
+
+    def test_profile_collapsed_nonempty(self):
+        _reg, _sampler, plane = _plane()
+        response = plane.respond("/debug/profile?seconds=0")
+        assert response.status == 200
+        text = response.body.decode("utf-8")
+        # At least the calling thread's stack, in collapsed format.
+        assert text.strip()
+        assert text.splitlines()[0].rsplit(" ", 1)[1].isdigit()
+
+    def test_profile_chrome_format(self):
+        _reg, _sampler, plane = _plane()
+        response = plane.respond("/debug/profile?seconds=0&format=chrome")
+        document = json.loads(response.body.decode("utf-8"))
+        assert "traceEvents" in document
+
+    def test_profile_rejects_bad_query(self):
+        _reg, _sampler, plane = _plane()
+        assert plane.respond("/debug/profile?seconds=abc").status == 400
+        assert plane.respond("/debug/profile?format=svg").status == 400
+
+    def test_unknown_route_404(self):
+        _reg, _sampler, plane = _plane()
+        assert plane.respond("/nope").status == 404
+
+    def test_admin_traffic_counted_separately(self):
+        registry, _sampler, plane = _plane()
+        plane.respond("/healthz")
+        plane.respond("/healthz")
+        assert (
+            registry.value(
+                "obs_admin_requests_total", layer="obs", operation="/healthz"
+            )
+            == 2.0
+        )
+        assert not registry.value("sww_requests_total", layer="sww")
+
+    def test_handler_error_returns_500(self):
+        registry, _sampler, plane = _plane()
+        plane.healthz = lambda: (_ for _ in ()).throw(RuntimeError("boom"))
+        assert plane.respond("/healthz").status == 500
+
+
+class TestOverTcp:
+    def _serve(self, scenario, concurrent=True):
+        async def runner():
+            registry = MetricsRegistry()
+            sampler = TimeSeriesSampler(registry, interval_s=0.05)
+            slo = SLOTracker(registry)
+            store = _store()
+            server = GenerativeServer(store, registry=registry)
+            server.concurrent_streams = concurrent
+            plane = AdminPlane(registry, sampler=sampler, slo=slo).bind(server)
+            listener = await server.serve_forever("127.0.0.1", 0)
+            port = listener.sockets[0].getsockname()[1]
+            try:
+                return await asyncio.wait_for(
+                    scenario(registry, plane, port), timeout=30
+                )
+            finally:
+                await plane.stop()
+                listener.close()
+                await listener.wait_closed()
+
+        return asyncio.run(runner())
+
+    def test_metrics_scrape_over_tcp(self):
+        async def scenario(registry, plane, port):
+            client = GenerativeClient(device=LAPTOP)
+            result = await client.fetch_tcp("127.0.0.1", port, "/blog/ridgeline-hike")
+            assert result.status == 200
+            status, body = await admin_fetch("127.0.0.1", port, "/metrics")
+            return status, body.decode("utf-8")
+
+        status, text = self._serve(scenario)
+        assert status == 200
+        # The content request above is visible in the scraped exposition.
+        assert 'sww_requests_total{layer="sww"' in text
+        assert "sww_request_seconds" in text
+
+    def test_healthz_sees_live_connections(self):
+        async def scenario(registry, plane, port):
+            client = GenerativeClient(device=LAPTOP)
+            await client.fetch_tcp("127.0.0.1", port, "/blog/ridgeline-hike")
+            return await admin_fetch_json("127.0.0.1", port, "/healthz")
+
+        body = self._serve(scenario)
+        assert body["status"] in ("ok", "degraded")
+        # The admin connection itself is live while the request is served.
+        assert body["connections"] >= 1
+
+    def test_debug_streams_reports_scheduler_state(self):
+        async def scenario(registry, plane, port):
+            return await admin_fetch_json("127.0.0.1", port, "/debug/streams")
+
+        body = self._serve(scenario)
+        assert body["connections"], "admin's own connection should be visible"
+        state = body["connections"][0]
+        assert "connection_window" in state
+        assert "inflight_tasks" in state
+        assert state["draining"] is False
+
+    def test_timeseries_polling_over_tcp(self):
+        async def scenario(registry, plane, port):
+            plane.start()
+            await asyncio.sleep(0.2)  # a few 50 ms sampler ticks
+            full = await admin_fetch_json("127.0.0.1", port, "/debug/timeseries")
+            since = full["tick"]
+            delta = await admin_fetch_json(
+                "127.0.0.1", port, f"/debug/timeseries?since={since}"
+            )
+            return full, delta
+
+        full, delta = self._serve(scenario)
+        assert full["tick"] >= 2
+        assert all(t > full["tick"] for t in delta["ticks"])
+
+    def test_admin_requests_do_not_inflate_serving_metrics(self):
+        async def scenario(registry, plane, port):
+            await admin_fetch_json("127.0.0.1", port, "/healthz")
+            await admin_fetch_json("127.0.0.1", port, "/healthz")
+            return (
+                registry.value("sww_requests_total", layer="sww"),
+                registry.value(
+                    "obs_admin_requests_total", layer="obs", operation="/healthz"
+                ),
+            )
+
+        served, admin = self._serve(scenario)
+        assert not served
+        assert admin == 2.0
+
+    def test_admin_routing_in_serial_mode(self):
+        async def scenario(registry, plane, port):
+            return await admin_fetch_json("127.0.0.1", port, "/healthz")
+
+        body = self._serve(scenario, concurrent=False)
+        assert body["status"] in ("ok", "degraded")
+
+    def test_large_profile_body_crosses_flow_control_windows(self):
+        async def scenario(registry, plane, port):
+            status, body = await admin_fetch(
+                "127.0.0.1", port, "/debug/profile?seconds=0.5&format=chrome"
+            )
+            return status, body
+
+        status, body = self._serve(scenario)
+        assert status == 200
+        document = json.loads(body.decode("utf-8"))
+        assert document["traceEvents"]
+
+    def test_content_requests_unaffected_by_admin_plane(self):
+        async def scenario(registry, plane, port):
+            client = GenerativeClient(device=LAPTOP)
+            result = await client.fetch_tcp("127.0.0.1", port, "/blog/ridgeline-hike")
+            return result
+
+        result = self._serve(scenario)
+        assert result.status == 200
+        assert result.sww_mode

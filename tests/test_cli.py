@@ -14,7 +14,9 @@ class TestParser:
         parser = build_parser()
         actions = {a.dest: a for a in parser._actions}
         choices = actions["command"].choices
-        assert set(choices) == {"serve", "fetch", "convert", "demo", "report", "stats", "trace"}
+        assert set(choices) == {
+            "serve", "fetch", "convert", "demo", "report", "stats", "trace", "top",
+        }
 
     def test_demo_defaults(self):
         args = build_parser().parse_args(["demo"])
@@ -256,3 +258,97 @@ class TestServeFetch:
         finally:
             stop.set()
             thread.join(timeout=5)
+
+
+class TestTopAndStatsWatch:
+    @pytest.fixture
+    def telemetry_port(self):
+        """A live telemetry-enabled server on a background thread."""
+        import threading
+        import time
+
+        from repro.cli import _build_store
+        from repro.obs import MetricsRegistry, SLOTracker, TimeSeriesSampler
+        from repro.sww.admin import AdminPlane
+        from repro.sww.server import GenerativeServer
+
+        ready = {}
+        stop = threading.Event()
+
+        def serve():
+            async def run():
+                registry = MetricsRegistry()
+                sampler = TimeSeriesSampler(registry, interval_s=0.05)
+                server = GenerativeServer(_build_store(["news"]), registry=registry)
+                plane = AdminPlane(
+                    registry, sampler=sampler, slo=SLOTracker(registry)
+                ).bind(server)
+                listener = await server.serve_forever("127.0.0.1", 0)
+                plane.start()
+                ready["port"] = listener.sockets[0].getsockname()[1]
+                while not stop.is_set():
+                    await asyncio.sleep(0.02)
+                await plane.stop()
+                listener.close()
+                await listener.wait_closed()
+
+            asyncio.run(run())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        for _ in range(300):
+            if "port" in ready:
+                break
+            time.sleep(0.01)
+        assert "port" in ready, "telemetry server failed to start"
+        yield ready["port"]
+        stop.set()
+        thread.join(timeout=5)
+
+    def test_top_parser_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.port == 8443 and args.iterations == 0
+        assert args.interval == pytest.approx(2.0)
+
+    def test_top_renders_one_frame(self, telemetry_port, capsys):
+        import time
+
+        time.sleep(0.2)  # let the sampler tick a few times
+        code = main(
+            [
+                "top",
+                "--port", str(telemetry_port),
+                "--iterations", "1",
+                "--interval", "0.1",
+                "--window", "0.2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sww top — tick" in out
+        assert "status ok" in out
+        assert "slo" in out
+
+    def test_top_unreachable_server_fails_cleanly(self, capsys):
+        code = main(["top", "--port", "1", "--iterations", "1"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_stats_watch_polls_live_exposition(self, telemetry_port, capsys):
+        code = main(
+            [
+                "stats",
+                "--watch",
+                "--port", str(telemetry_port),
+                "--iterations", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# EOF" in out
+        assert "obs_timeseries_ticks_total" in out
+
+    def test_stats_watch_unreachable_server_fails_cleanly(self, capsys):
+        code = main(["stats", "--watch", "--port", "1", "--iterations", "1"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
