@@ -31,10 +31,16 @@ from test_server_concurrency import (
 from repro.batching import BatchingEngine
 from repro.devices import LAPTOP, WORKSTATION
 from repro.obs import (
+    EventLog,
+    FlightRecorder,
+    IdSource,
     MetricsRegistry,
     SLOTracker,
+    TailSampler,
     TimeSeriesSampler,
+    Tracer,
     WallClockProfiler,
+    bundle_signature,
 )
 from repro.sww.admin import AdminPlane, admin_fetch, admin_fetch_json
 from repro.sww.client import GenerativeClient
@@ -48,10 +54,21 @@ POLL_INTERVAL_S = 0.25
 
 
 def run_load(telemetry: bool):
-    """The 8-client concurrent load, with or without the telemetry plane."""
+    """The 8-client concurrent load, with or without the telemetry plane.
+
+    The full plane now includes the wide-event log (one event per request
+    through server, engine and clients) and an armed flight recorder
+    polling its triggers on every sampler tick — both must fit inside the
+    same 5 % overhead gate.
+    """
     registry = MetricsRegistry()
+    events = EventLog(capacity=8192, registry=registry) if telemetry else None
     engine = BatchingEngine(
-        WORKSTATION, max_batch=MAX_BATCH, max_wait_s=BATCH_WAIT_S, registry=registry
+        WORKSTATION,
+        max_batch=MAX_BATCH,
+        max_wait_s=BATCH_WAIT_S,
+        registry=registry,
+        events=events,
     )
     paths = sorted(build_site().pages)
     lanes = [
@@ -67,13 +84,25 @@ def run_load(telemetry: bool):
             engine=engine,
             registry=registry,
             concurrent_streams=True,
+            events=events,
         )
         plane = None
+        recorder = None
         if telemetry:
             sampler = TimeSeriesSampler(registry, interval_s=SAMPLE_INTERVAL_S)
+            slo = SLOTracker(registry)
+            # AdminPlane attaches the SLO evaluator to the sampler; the
+            # recorder attaches after it so each tick evaluates burn rates
+            # before the armed triggers read them.
             plane = AdminPlane(
-                registry, sampler=sampler, slo=SLOTracker(registry)
+                registry, sampler=sampler, slo=slo, events=events
             ).bind(server)
+            recorder = FlightRecorder(
+                registry=registry, events=events, slo=slo, server=server
+            ).attach(sampler)
+            plane.recorder = recorder
+            server.recorder = recorder
+            captured["recorder"] = recorder
         listener = await server.serve_forever("127.0.0.1", 0)
         port = listener.sockets[0].getsockname()[1]
         poll_task = None
@@ -86,6 +115,10 @@ def run_load(telemetry: bool):
                     while True:
                         await admin_fetch_json("127.0.0.1", port, "/debug/timeseries")
                         await admin_fetch_json("127.0.0.1", port, "/healthz")
+                        await admin_fetch_json(
+                            "127.0.0.1", port, "/debug/events?format=columnar&n=64"
+                        )
+                        await admin_fetch_json("127.0.0.1", port, "/incidents")
                         status, _body = await admin_fetch("127.0.0.1", port, "/metrics")
                         assert status == 200
                         captured["admin_polls"] += 1
@@ -143,6 +176,10 @@ def run_load(telemetry: bool):
     sim_s = registry.histogram(
         "sww_generation_seconds", layer="sww", operation="materialise"
     ).sum
+    if events is not None:
+        captured["events_jsonl"] = events.to_jsonl()
+        captured["events_recorded"] = len(events.events()) + events.dropped
+        captured["open_events"] = events.open_count
     return {
         "wall_s": wall_s,
         "sim_s": sim_s,
@@ -181,6 +218,8 @@ def test_telemetry_plane_overhead(benchmark):
             ["sampler ticks", "-", telemetry["timeseries"]["tick"] + 1],
             ["profiler samples", "-", profile.sample_count],
             ["health status", "-", telemetry["healthz"]["status"]],
+            ["wide events", "-", telemetry["events_recorded"]],
+            ["incidents fired", "-", len(telemetry["recorder"].incidents())],
         ],
     )
 
@@ -191,7 +230,13 @@ def test_telemetry_plane_overhead(benchmark):
     assert profile.sample_count > 0
     assert "sww_request_seconds" in json.dumps(telemetry["timeseries"])
 
-    # Artifacts for CI: flamegraph input + the timeseries ring.
+    # Every request that began a wide event finished it — no leaked ring
+    # entries — and every page fetch is represented at least once.
+    assert telemetry["open_events"] == 0
+    assert telemetry["events_recorded"] >= PAGES
+
+    # Artifacts for CI: flamegraph input, the timeseries ring, and the
+    # wide-event log (one JSON object per request).
     ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
     collapsed = profile.collapsed()
     assert collapsed.strip(), "collapsed profile must not be empty"
@@ -199,6 +244,7 @@ def test_telemetry_plane_overhead(benchmark):
     (ARTIFACT_DIR / "timeseries.json").write_text(
         json.dumps(telemetry["timeseries"], sort_keys=True, indent=2) + "\n"
     )
+    (ARTIFACT_DIR / "events.jsonl").write_text(telemetry["events_jsonl"])
 
     # The 5% throughput gate (also enforced in CI against
     # BENCH_server_concurrency.json's concurrent_8 scenario).
@@ -226,4 +272,108 @@ def test_telemetry_plane_overhead(benchmark):
         profiler_samples=profile.sample_count,
         sampler_ticks=telemetry["timeseries"]["tick"] + 1,
         clients=CLIENTS,
+        wide_events=telemetry["events_recorded"],
+        open_events=telemetry["open_events"],
+        incidents=len(telemetry["recorder"].incidents()),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Deterministic incident capture
+# --------------------------------------------------------------------- #
+
+#: Fixed (path, status) request tape for the injected incident: 4 bad of
+#: 5 is a 0.8 bad-fraction over the 5% request-latency budget — burn 16x,
+#: comfortably over the 14.4x fast-window alert.
+INCIDENT_TAPE = [
+    ("/blog/a", 200),
+    ("/blog/slow", 500),
+    ("/blog/slow", 500),
+    ("/blog/slow", 500),
+    ("/blog/slow", 500),
+]
+
+INCIDENT_SEED = 42
+
+
+def capture_fast_burn(seed: int) -> dict:
+    """Drive a fixed workload into an SLO fast burn; return the bundle.
+
+    Everything identity-bearing is seeded (trace/span ids via IdSource)
+    or scripted (the request tape), so two captures at the same seed must
+    produce byte-identical signature projections — wall-clock durations
+    are excluded by :func:`bundle_signature`.
+    """
+    registry = MetricsRegistry()
+    events = EventLog(registry=registry)
+    tracer = Tracer(
+        ids=IdSource(seed),
+        tail=TailSampler(
+            capacity=64, slow_k=8, baseline_rate=1.0, ids=IdSource(seed)
+        ),
+    )
+    sampler = TimeSeriesSampler(registry, interval_s=1.0)
+    slo = SLOTracker(registry)
+    slo.attach(sampler)
+    recorder = FlightRecorder(
+        registry=registry, events=events, tracer=tracer, slo=slo
+    ).attach(sampler)
+
+    latency = registry.histogram("sww_request_seconds", layer="sww")
+    sampler.tick()  # baseline tick: burn windows measure from here
+    for path, status in INCIDENT_TAPE:
+        record = events.begin(
+            "server.request", path=path, transport="memory", serve_mode="generative"
+        )
+        with record.bind(), tracer.span("server.stream", page=path):
+            # Over the 5 s request-latency threshold on failures: each bad
+            # request spends fast-window error budget.
+            latency.observe(9.0 if status == 500 else 0.01)
+        if status == 500:
+            record.finish(status=status, error="TimeoutError")
+        else:
+            record.finish(status=status)
+    before = set(recorder.armed())
+    sampler.tick()  # evaluates burn, then the armed trigger reads it
+    fired = before - set(recorder.armed())
+    incidents = recorder.incidents()
+    assert events.open_count == 0
+    return {"fired": fired, "incidents": incidents, "slo": slo.report()}
+
+
+def test_injected_fast_burn_produces_a_deterministic_bundle():
+    first = capture_fast_burn(INCIDENT_SEED)
+    second = capture_fast_burn(INCIDENT_SEED)
+
+    # The injected burn fires exactly the fast-burn trigger, once.
+    assert first["fired"] == {"slo-fast-burn"}
+    assert len(first["incidents"]) == 1
+    bundle = first["incidents"][0]
+    assert bundle["trigger"]["kind"] == "slo-fast-burn"
+    assert "request-latency" in bundle["trigger"]["detail"]
+    assert first["slo"]["request-latency"]["windows"]["fast"] >= 14.4
+    # The bundle carries the request tape as wide events.
+    assert [e["path"] for e in bundle["events"]] == [p for p, _ in INCIDENT_TAPE]
+
+    # Same seed, same tape → same signature, across independent stacks.
+    sig_first = bundle_signature(bundle)
+    sig_second = bundle_signature(second["incidents"][0])
+    assert sig_first == sig_second
+
+    # Export the bundle the way `sww incidents export` would, so CI can
+    # pick it up alongside events.jsonl.
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    (ARTIFACT_DIR / f"{bundle['incident']}.json").write_text(
+        json.dumps(bundle, sort_keys=True, indent=2) + "\n"
+    )
+
+    record_bench(
+        "telemetry",
+        "injected_fast_burn",
+        trigger=bundle["trigger"]["kind"],
+        fast_burn=first["slo"]["request-latency"]["windows"]["fast"],
+        bundle_events=len(bundle["events"]),
+        bundle_traces=len(bundle["traces"]),
+        bundle_signature=sig_first,
+        deterministic=sig_first == sig_second,
     )

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from repro.devices.profiles import DeviceProfile
 from repro.genai.embeddings import GRID
 from repro.genai.image import ImageModel, ImageResult, batch_step_share, generate_image_batch
-from repro.obs import MetricsRegistry, Tracer, get_registry, get_tracer
+from repro.obs import MetricsRegistry, Tracer, get_event_log, get_registry, get_tracer
 
 #: Marginal simulated cost of one extra batch lane relative to a solo run.
 #: Calibrated so an accelerator-style diffusion batch of 8 lands at ~3.9×
@@ -94,6 +94,7 @@ class BatchingEngine:
         encode_workers: int = 2,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        events=None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -106,7 +107,13 @@ class BatchingEngine:
         self.alpha = alpha
         self.registry = registry if registry is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
+        #: Wide-event log: one batch.execute event per realised batch.
+        self.events = events if events is not None else get_event_log()
         self.stats = EngineStats()
+        #: Monotonic batch sequence; stamped on every waiter's future as
+        #: ``future.batch_id`` / ``future.batch_size`` so the request-side
+        #: wide event can record which batch its generation rode.
+        self._batch_seq = 0
         self._queue: deque[_PendingRequest] = deque()
         self._inflight: dict[object, Future] = {}
         self._lock = threading.Lock()
@@ -223,6 +230,24 @@ class BatchingEngine:
         slot = group[0].slot
         now = time.perf_counter()
         self._observe_admission(group, now)
+        with self._lock:
+            self._batch_seq += 1
+            batch_id = self._batch_seq
+        share = round(batch_step_share(size, self.alpha), 4)
+        record = self.events.begin(
+            "batch.execute",
+            batch_id=batch_id,
+            batch_size=size,
+            batch_share=share,
+            model=slot.model,
+            device=slot.device,
+            steps=slot.steps,
+        )
+        # Waiters learn their batch before the result lands, so a request
+        # event annotated after future.result() always sees the metadata.
+        for pending in group:
+            pending.future.batch_id = batch_id
+            pending.future.batch_size = size
         with self.tracer.span(
             "batch.execute",
             model=slot.model,
@@ -246,11 +271,14 @@ class BatchingEngine:
                 )
             except BaseException as exc:  # propagate to every waiter
                 span.annotate(outcome="error")
+                record.finish(error=type(exc).__name__)
                 for pending in group:
                     pending.future.set_exception(exc)
                 self._forget_keys(group)
                 return
-            span.annotate(outcome="ok", share=round(batch_step_share(size, self.alpha), 4))
+            span.annotate(outcome="ok", share=share)
+        record.set(sim_time_s=results[0].sim_time_s * size)
+        record.finish(status=200)
         for pending, result in zip(group, results):
             pending.future.set_result(result)
         self._forget_keys(group)

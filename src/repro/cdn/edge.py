@@ -26,6 +26,7 @@ from repro.obs import (
     TraceContext,
     Tracer,
     encode_traceparent,
+    get_event_log,
     get_registry,
     get_tracer,
     parse_traceparent,
@@ -124,6 +125,7 @@ class EdgeNode:
         tracer: Tracer | None = None,
         gencache=None,
         engine=None,
+        events=None,
     ) -> None:
         if mode not in ("blob", "prompt"):
             raise ValueError(f"mode must be 'blob' or 'prompt', got {mode!r}")
@@ -145,6 +147,8 @@ class EdgeNode:
         #: Observability sinks (no-ops unless injected or configured).
         self.registry = registry if registry is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
+        #: Wide-event log: one cdn.serve event per user request.
+        self.events = events if events is not None else get_event_log()
         self.results: list[EdgeServeResult] = []
 
     def serve(self, key: str, traceparent: bytes | str | TraceContext | None = None) -> EdgeServeResult:
@@ -158,35 +162,55 @@ class EdgeNode:
         client→edge→origin chain stitches into one trace.
         """
         ctx = traceparent if isinstance(traceparent, (TraceContext, type(None))) else parse_traceparent(traceparent)
-        with self.tracer.span("cdn.serve", remote=ctx, key=key, mode=self.mode) as edge_span:
-            cached = self.cache.get(key)
-            hit = cached is not None
-            item = self.origin.get(key) if hit else self._origin_pull(key, edge_span)
-            edge_span.annotate(hit=hit)
-            if self.mode == "blob":
-                backbone = 0 if hit else item.media_bytes
-                if not hit:
-                    self.cache.put(CacheEntry(key, item.media_bytes, kind="blob"))
-                result = EdgeServeResult(
-                    key=key, cache_hit=hit, backbone_bytes=backbone, egress_bytes=item.media_bytes
-                )
-            else:
-                backbone = 0 if hit else item.prompt_bytes()
-                if not hit:
-                    self.cache.put(CacheEntry(key, item.prompt_bytes(), kind="prompt"))
-                # Every request regenerates at the edge (the paper's model)
-                # unless a generation cache memoised the materialised media
-                # under its content-addressed key.
-                gen_time, gen_energy, gencache_hit = self._generate(item, edge_span)
-                result = EdgeServeResult(
-                    key=key,
-                    cache_hit=hit,
-                    backbone_bytes=backbone,
-                    egress_bytes=item.media_bytes,
-                    generation_time_s=gen_time,
-                    generation_energy_wh=gen_energy,
-                    gencache_hit=gencache_hit,
-                )
+        record = self.events.begin("cdn.serve", cache_key=key, serve_mode=self.mode)
+        try:
+            with self.tracer.span("cdn.serve", remote=ctx, key=key, mode=self.mode) as edge_span:
+                if edge_span.trace_id:
+                    record.set(trace_id=edge_span.trace_id)
+                cached = self.cache.get(key)
+                hit = cached is not None
+                item = self.origin.get(key) if hit else self._origin_pull(key, edge_span)
+                edge_span.annotate(hit=hit)
+                if self.mode == "blob":
+                    backbone = 0 if hit else item.media_bytes
+                    if not hit:
+                        self.cache.put(CacheEntry(key, item.media_bytes, kind="blob"))
+                    result = EdgeServeResult(
+                        key=key, cache_hit=hit, backbone_bytes=backbone, egress_bytes=item.media_bytes
+                    )
+                else:
+                    backbone = 0 if hit else item.prompt_bytes()
+                    if not hit:
+                        self.cache.put(CacheEntry(key, item.prompt_bytes(), kind="prompt"))
+                    # Every request regenerates at the edge (the paper's model)
+                    # unless a generation cache memoised the materialised media
+                    # under its content-addressed key.
+                    with record.bind():
+                        gen_time, gen_energy, gencache_hit = self._generate(item, edge_span)
+                    result = EdgeServeResult(
+                        key=key,
+                        cache_hit=hit,
+                        backbone_bytes=backbone,
+                        egress_bytes=item.media_bytes,
+                        generation_time_s=gen_time,
+                        generation_energy_wh=gen_energy,
+                        gencache_hit=gencache_hit,
+                    )
+        except Exception as exc:
+            record.finish(status=404 if isinstance(exc, KeyError) else 500, error=type(exc).__name__)
+            raise
+        record.set(
+            cache_hit=hit,
+            backbone_bytes=result.backbone_bytes,
+            egress_bytes=result.egress_bytes,
+            sim_time_s=result.generation_time_s,
+            energy_wh=result.total_energy_wh,
+            device=self.device.name,
+            model=self.model.name,
+        )
+        if result.gencache_hit:
+            record.set(gencache_outcome="hit", gencache_hits=1)
+        record.finish(status=200)
         if self.registry.enabled:
             trace_id = edge_span.trace_id if edge_span.sampled else None
             self._count(result, trace_id or None)

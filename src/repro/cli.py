@@ -16,6 +16,9 @@ The subcommands mirror the workflows a site operator or researcher runs:
   ``--watch`` polls a live server's admin plane instead.
 * ``sww top``     — live terminal view of a running server's telemetry
   plane (throughput, latency quantiles, cache hit rate, SLO burn).
+* ``sww incidents`` — list, show or export the flight recorder's captured
+  incident bundles (from a live server's admin plane, or offline from a
+  directory of bundle JSON artifacts with ``--from-artifacts``).
 * ``sww trace``   — run one fetch with per-process tracers (client, server
   and optionally CDN edge + origin), stitch the ``traceparent``-linked
   fragments into one distributed trace, and print/export it
@@ -142,25 +145,47 @@ def cmd_serve(args: argparse.Namespace) -> int:
     device = get_device(args.device)
     registry = None
     admin = None
+    events = None
+    recorder = None
+    tracer = None
     if not args.no_telemetry:
-        from repro.obs import SLOTracker, TimeSeriesSampler
+        from repro.obs import (
+            EventLog,
+            FlightRecorder,
+            SLOTracker,
+            TailSampler,
+            TimeSeriesSampler,
+        )
         from repro.sww.admin import AdminPlane
 
         registry = MetricsRegistry()
+        events = EventLog(registry=registry)
+        tracer = Tracer(registry=registry, tail=TailSampler(registry=registry))
         sampler = TimeSeriesSampler(registry, interval_s=args.sample_interval)
-        admin = AdminPlane(registry, sampler=sampler, slo=SLOTracker(registry))
+        slo = SLOTracker(registry)
+        recorder = FlightRecorder(
+            registry=registry, events=events, tracer=tracer, slo=slo
+        ).attach(sampler)
+        admin = AdminPlane(
+            registry, sampler=sampler, slo=slo, events=events, recorder=recorder
+        )
     server = GenerativeServer(
         store,
         device=device,
         gen_ability=not args.no_gen_ability,
         push_assets=args.push,
         registry=registry,
+        tracer=tracer,
         gencache=_make_gencache(args, registry),
         engine=_make_engine(args, device, registry=registry),
         concurrent_streams=not args.serial_streams,
+        events=events,
+        recorder=recorder,
     )
     if admin is not None:
         admin.bind(server)
+    if recorder is not None:
+        recorder.server = server
 
     async def run() -> None:
         listener = await server.serve_forever(args.host, args.port)
@@ -170,7 +195,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"gen_ability={server.gen_ability}); pages: {paths}", flush=True)
         if admin is not None:
             print(f"telemetry plane on :authority={admin.authority} "
-                  "(/metrics /healthz /debug/streams /debug/timeseries /debug/profile); "
+                  "(/metrics /healthz /debug/streams /debug/timeseries /debug/profile "
+                  "/debug/events /incidents); "
                   f"watch live with: sww top --port {port}", flush=True)
         async with listener:
             await listener.serve_forever()
@@ -355,6 +381,46 @@ def _top_frame(snap: dict, health: dict, window_ticks: int) -> str:
     return "\n".join(lines)
 
 
+#: Watch loops (`sww top`, `sww stats --watch`) tolerate transient admin
+#: outages (server restart, connection reset) once they have connected:
+#: a failed poll prints a reconnecting row and retries with linear
+#: backoff, giving up after this many consecutive failures. A failure
+#: before the *first* successful poll stays fatal — that is a wrong
+#: host/port, not a blip.
+WATCH_MAX_RETRIES = 5
+WATCH_BACKOFF_S = 0.5
+
+
+class _WatchGaveUp(Exception):
+    """The watch loop exhausted its reconnect attempts."""
+
+
+async def _watch_poll(poll, host: str, port: int, ever_connected: bool):
+    """One watch-loop poll; retries transient failures with backoff."""
+    attempt = 0
+    while True:
+        try:
+            return await poll()
+        except (ConnectionError, OSError) as exc:
+            if not ever_connected:
+                print(f"cannot reach {host}:{port}: {exc}", file=sys.stderr)
+                raise _WatchGaveUp from exc
+            attempt += 1
+            if attempt > WATCH_MAX_RETRIES:
+                print(
+                    f"cannot reach {host}:{port} after {WATCH_MAX_RETRIES} retries: {exc}",
+                    file=sys.stderr,
+                )
+                raise _WatchGaveUp from exc
+            print(
+                f"  reconnecting to {host}:{port} "
+                f"(attempt {attempt}/{WATCH_MAX_RETRIES}): {exc}",
+                file=sys.stderr,
+                flush=True,
+            )
+            await asyncio.sleep(WATCH_BACKOFF_S * attempt)
+
+
 def cmd_top(args: argparse.Namespace) -> int:
     """Live terminal view of a running server's telemetry plane."""
     from repro.sww.admin import admin_fetch_json
@@ -363,13 +429,20 @@ def cmd_top(args: argparse.Namespace) -> int:
 
     async def run() -> int:
         iteration = 0
+        connected = False
         while True:
             try:
-                snap = await admin_fetch_json(args.host, args.port, "/debug/timeseries")
-                health = await admin_fetch_json(args.host, args.port, "/healthz")
-            except (ConnectionError, OSError) as exc:
-                print(f"cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+                snap = await _watch_poll(
+                    lambda: admin_fetch_json(args.host, args.port, "/debug/timeseries"),
+                    args.host, args.port, connected,
+                )
+                health = await _watch_poll(
+                    lambda: admin_fetch_json(args.host, args.port, "/healthz"),
+                    args.host, args.port, connected,
+                )
+            except _WatchGaveUp:
                 return 1
+            connected = True
             frame = _top_frame(snap, health, window_ticks)
             if sys.stdout.isatty():
                 print("\x1b[2J\x1b[H" + frame, flush=True)
@@ -392,12 +465,16 @@ def _stats_watch(args: argparse.Namespace) -> int:
 
     async def run() -> int:
         iteration = 0
+        connected = False
         while True:
             try:
-                status, body = await admin_fetch(args.host, args.port, "/metrics")
-            except (ConnectionError, OSError) as exc:
-                print(f"cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+                status, body = await _watch_poll(
+                    lambda: admin_fetch(args.host, args.port, "/metrics"),
+                    args.host, args.port, connected,
+                )
+            except _WatchGaveUp:
                 return 1
+            connected = True
             if status != 200:
                 print(f"/metrics returned {status}", file=sys.stderr)
                 return 1
@@ -557,6 +634,101 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _incident_rows(bundles: list[dict]) -> str:
+    """One aligned row per incident bundle for `sww incidents list`."""
+    lines = []
+    for bundle in bundles:
+        trigger = bundle.get("trigger", {})
+        detail = trigger.get("detail") or "-"
+        lines.append(
+            f"{bundle.get('incident', '?'):<14} {trigger.get('kind', '?'):<20} "
+            f"events={len(bundle.get('events', [])):<5} "
+            f"traces={len(bundle.get('traces', [])):<4} {detail}"
+        )
+    return "\n".join(lines)
+
+
+def _load_artifact_bundles(directory: str) -> list[dict]:
+    """Offline mode: read `<dir>/*.json` incident bundles (CI artifacts)."""
+    import json
+    from pathlib import Path
+
+    from repro.obs import BUNDLE_FORMAT
+
+    bundles = []
+    root = Path(directory)
+    if not root.is_dir():
+        raise SystemExit(f"no artifact directory {directory!r}")
+    for path in sorted(root.glob("*.json")):
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            continue
+        if isinstance(document, dict) and document.get("format") == BUNDLE_FORMAT:
+            bundles.append(document)
+    return bundles
+
+
+def cmd_incidents(args: argparse.Namespace) -> int:
+    """`sww incidents list|show|export` — flight-recorder bundles.
+
+    Live mode polls a running server's admin plane; ``--from-artifacts``
+    reads bundle JSON files from a directory instead (the shape CI's
+    failure-export step and the benchmark artifacts write), so bundles
+    remain inspectable after the process that captured them is gone.
+    """
+    import json
+
+    if args.from_artifacts is not None:
+        bundles = _load_artifact_bundles(args.from_artifacts)
+    else:
+        from repro.sww.admin import admin_fetch_json
+
+        async def fetch_all() -> list[dict]:
+            listing = await admin_fetch_json(args.host, args.port, "/incidents")
+            return [
+                await admin_fetch_json(
+                    args.host, args.port, f"/incidents/{row['incident']}"
+                )
+                for row in listing.get("incidents", [])
+            ]
+
+        try:
+            bundles = asyncio.run(fetch_all())
+        except (ConnectionError, OSError, RuntimeError) as exc:
+            print(f"cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+            return 1
+    if args.action == "list":
+        if not bundles:
+            print("no incidents captured")
+            return 0
+        print(_incident_rows(bundles))
+        return 0
+    if args.action == "show":
+        if not args.incident:
+            raise SystemExit("incidents show requires an incident id")
+        for bundle in bundles:
+            if bundle.get("incident") == args.incident:
+                print(json.dumps(bundle, sort_keys=True, indent=2))
+                return 0
+        print(f"no incident {args.incident!r}", file=sys.stderr)
+        return 1
+    # export
+    from pathlib import Path
+
+    target = Path(args.dir)
+    target.mkdir(parents=True, exist_ok=True)
+    written = []
+    for bundle in bundles:
+        path = target / f"{bundle.get('incident', 'incident')}.json"
+        path.write_text(json.dumps(bundle, sort_keys=True, indent=2) + "\n")
+        written.append(path)
+    print(f"exported {len(written)} incident bundle(s) to {target}")
+    for path in written:
+        print(f"  {path}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.report import format_report, run_headline_experiments
 
@@ -572,6 +744,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="warning",
         choices=["debug", "info", "warning", "error"],
         help="threshold for the repro.* logger hierarchy",
+    )
+    parser.add_argument(
+        "--log-format",
+        default="text",
+        choices=["text", "json"],
+        help="log line shape: classic text, or one JSON object per line "
+             "(field names shared with the wide-event schema)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -652,6 +831,21 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="measure the paper's headline numbers live")
     report.set_defaults(func=cmd_report)
 
+    incidents = sub.add_parser(
+        "incidents", help="list, show or export flight-recorder incident bundles"
+    )
+    incidents.add_argument("action", choices=["list", "show", "export"])
+    incidents.add_argument("incident", nargs="?", default=None,
+                           help="incident id (required for show)")
+    incidents.add_argument("--host", default="127.0.0.1")
+    incidents.add_argument("--port", type=int, default=8443)
+    incidents.add_argument("--from-artifacts", metavar="DIR", default=None,
+                           help="read bundle JSON files from DIR instead of a live "
+                                "server (CI / benchmark artifacts)")
+    incidents.add_argument("--dir", default="incidents", metavar="DIR",
+                           help="output directory for export (default ./incidents)")
+    incidents.set_defaults(func=cmd_incidents)
+
     stats = sub.add_parser("stats", help="run a demo flow with metrics on and dump the registry")
     stats.add_argument("--page", default="travel-blog", choices=sorted(PAGES))
     stats.add_argument("--device", default="laptop", choices=sorted(DEVICES))
@@ -693,7 +887,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    logging_setup(args.log_level)
+    if args.log_format == "json":
+        from repro.obs import JSON_LOG_FORMAT
+
+        logging_setup(args.log_level, fmt=JSON_LOG_FORMAT)
+    else:
+        logging_setup(args.log_level)
     return args.func(args)
 
 

@@ -35,6 +35,7 @@ source of truth.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -54,6 +55,14 @@ class _SendQueue:
     finished: bool = False
     #: Extra chunks appended while the stream was already queued.
     backlog: deque = field(default_factory=deque)
+    #: Wide event this stream's response will close (see ``enqueue``).
+    event: object | None = None
+    enqueued_at: float = 0.0
+    #: Per-stream scheduling stats, annotated onto the wide event.
+    frames: int = 0
+    stalls: int = 0
+    #: True when the stream died (reset) under the queued response.
+    reset: bool = False
 
     @property
     def remaining(self) -> int:
@@ -89,23 +98,38 @@ class ConnectionWriter:
     # Queue management
     # ------------------------------------------------------------------ #
 
-    def enqueue(self, stream_id: int, data: bytes, end_stream: bool = True) -> None:
+    def enqueue(
+        self, stream_id: int, data: bytes, end_stream: bool = True, event=None
+    ) -> None:
         """Queue a response body for flow-controlled transmission.
 
         Multiple calls for one stream append in order; ``end_stream`` on
         any call marks the stream finished after its last queued byte.
+        Passing a wide ``event`` hands its completion to the writer: the
+        event is annotated with the stream's frame/stall/queue-time stats
+        and finished when the final frame goes out — or finished with
+        ``error="stream-reset"`` if the stream dies under the queue — so
+        a request's record covers its whole wire lifetime.
         """
         if stream_id in self._finished:
             raise ValueError(f"stream {stream_id} already finished its response")
         queue = self._queues.get(stream_id)
         if queue is None:
             self._queues[stream_id] = _SendQueue(
-                stream_id, memoryview(bytes(data)), end_stream
+                stream_id,
+                memoryview(bytes(data)),
+                end_stream,
+                event=event,
+                enqueued_at=time.perf_counter(),
             )
             self._order.append(stream_id)
         else:
             queue.backlog.append(bytes(data))
             queue.end_stream = queue.end_stream or end_stream
+            if event is not None:
+                queue.event = event
+                if not queue.enqueued_at:
+                    queue.enqueued_at = time.perf_counter()
         self._update_gauges()
 
     @property
@@ -151,6 +175,7 @@ class ConnectionWriter:
                     self.completed_streams += 1
                     if queue.end_stream:
                         self._finished.add(stream_id)
+                    self._close_event(queue)
                 else:
                     self._order.append(stream_id)
                 if sent is None:
@@ -188,6 +213,7 @@ class ConnectionWriter:
         if stream is None or not stream.can_send_data:
             # The stream died (reset) under the queued response: drop it.
             queue.finished = True
+            queue.reset = True
             queue.offset = len(queue.data)
             queue.backlog.clear()
             return 0
@@ -197,6 +223,7 @@ class ConnectionWriter:
             self.conn.send_data(queue.stream_id, b"", end_stream=queue.end_stream)
             queue.finished = True
             self.frames_sent += 1
+            queue.frames += 1
             return 0
         allowance = min(
             self._frame_limit(),
@@ -207,6 +234,7 @@ class ConnectionWriter:
         if allowance <= 0:
             if stream.outbound_window.available <= 0:
                 self.stream_stalls += 1
+                queue.stalls += 1
                 self._count_stall("stream")
             return None
         final = queue.end_stream and last_chunk and allowance == queue.remaining
@@ -216,11 +244,49 @@ class ConnectionWriter:
             queue.remaining == 0 and not queue.backlog and not queue.end_stream
         )
         self.frames_sent += 1
+        queue.frames += 1
         self.bytes_sent += len(chunk)
         return len(chunk)
 
     def _frame_limit(self) -> int:
         return self.conn.peer_settings.max_frame_size
+
+    # ------------------------------------------------------------------ #
+    # Wide-event completion
+    # ------------------------------------------------------------------ #
+
+    def _close_event(self, queue: _SendQueue, error: str | None = None) -> None:
+        event = queue.event
+        if event is None:
+            return
+        queue.event = None
+        event.set(
+            writer_frames=queue.frames,
+            writer_stalls=queue.stalls,
+            writer_queue_s=time.perf_counter() - queue.enqueued_at,
+        )
+        if error is not None:
+            event.finish(error=error)
+        elif queue.reset:
+            event.finish(error="stream-reset")
+        else:
+            event.finish()
+
+    def abort_pending(self, error: str = "connection-closed") -> int:
+        """Finish every queued stream's wide event with an error.
+
+        Called when the connection dies with responses still queued —
+        without this, events handed to the writer would stay open forever
+        (a leaked ring entry). Returns the number of streams aborted.
+        """
+        aborted = 0
+        for queue in list(self._queues.values()):
+            self._close_event(queue, error=error)
+            aborted += 1
+        self._queues.clear()
+        self._order.clear()
+        self._update_gauges()
+        return aborted
 
     # ------------------------------------------------------------------ #
     # Observability

@@ -18,6 +18,7 @@ defaults set with :func:`configure` (which the CLI uses).
 
 from __future__ import annotations
 
+import json
 import logging
 import sys
 
@@ -26,9 +27,24 @@ from repro.obs.catalog import (
     UNITS,
     MetricSite,
     check_documented,
+    check_event_field,
     check_name,
     lint,
+    lint_event_fields,
     scan_sources,
+)
+from repro.obs.events import (
+    EVENT_FIELDS,
+    EVENTS_FORMAT,
+    NULL_EVENT_LOG,
+    EventLog,
+    NullEventLog,
+    WideEvent,
+    add_current,
+    annotate_current,
+    current_event,
+    events_to_columnar,
+    events_to_jsonl,
 )
 from repro.obs.export import (
     render_metrics_table,
@@ -75,22 +91,44 @@ from repro.obs.timeseries import (
     snapshot_quantile,
     snapshot_rate,
 )
-from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer, stitch_spans
+from repro.obs.recorder import (
+    BUNDLE_FORMAT,
+    DEFAULT_TRIGGERS,
+    FlightRecorder,
+    bundle_signature,
+)
+from repro.obs.tracing import (
+    KEEP_BASELINE,
+    KEEP_ERROR,
+    KEEP_SLOW,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TailSampler,
+    Tracer,
+    stitch_spans,
+)
 
 #: Process-wide defaults, swapped by :func:`configure`.
 _default_registry: MetricsRegistry = NULL_REGISTRY
 _default_tracer: Tracer = NULL_TRACER
+_default_events: EventLog = NULL_EVENT_LOG
 
 
-def configure(registry: MetricsRegistry | None = None, tracer: Tracer | None = None) -> None:
+def configure(
+    registry: MetricsRegistry | None = None,
+    tracer: Tracer | None = None,
+    events: EventLog | None = None,
+) -> None:
     """Install process-wide default observability sinks.
 
-    Passing ``None`` for either resets it to the no-op singleton.
+    Passing ``None`` for any sink resets it to the no-op singleton.
     Explicit constructor injection always wins over these defaults.
     """
-    global _default_registry, _default_tracer
+    global _default_registry, _default_tracer, _default_events
     _default_registry = registry if registry is not None else NULL_REGISTRY
     _default_tracer = tracer if tracer is not None else NULL_TRACER
+    _default_events = events if events is not None else NULL_EVENT_LOG
 
 
 def get_registry() -> MetricsRegistry:
@@ -101,8 +139,41 @@ def get_tracer() -> Tracer:
     return _default_tracer
 
 
+def get_event_log() -> EventLog:
+    return _default_events
+
+
 _HANDLER_MARK = "_repro_obs_handler"
 DEFAULT_LOG_FORMAT = "%(levelname)-7s %(name)s: %(message)s"
+#: Sentinel for :func:`logging_setup`: one JSON object per line.
+JSON_LOG_FORMAT = "json"
+
+
+class _JsonLogFormatter(logging.Formatter):
+    """One JSON object per line, field names shared with wide events.
+
+    ``level``/``logger``/``message`` are the log-specific keys; when the
+    record fires inside a bound wide event the line also carries that
+    event's ``trace_id`` and ``seq``, so log lines join against the
+    event stream (and ``error`` carries the exception class, same key as
+    the wide-event schema).
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc: dict = {
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info and record.exc_info[0] is not None:
+            doc["error"] = record.exc_info[0].__name__
+        event = current_event()
+        if event is not None and event.fields:
+            if "trace_id" in event.fields:
+                doc["trace_id"] = event.fields["trace_id"]
+            if "seq" in event.fields:
+                doc["seq"] = event.fields["seq"]
+        return json.dumps(doc, sort_keys=True, default=str)
 
 
 def logging_setup(
@@ -115,6 +186,8 @@ def logging_setup(
     Idempotent: repeat calls replace the handler this function installed
     rather than stacking duplicates. Module loggers obtained with
     ``logging.getLogger("repro.<module>")`` inherit the level/handler.
+    Pass ``fmt="json"`` for structured output (one JSON object per
+    line); any other ``fmt`` is a classic percent-style format string.
     """
     logger = logging.getLogger("repro")
     if isinstance(level, str):
@@ -126,7 +199,10 @@ def logging_setup(
         if getattr(handler, _HANDLER_MARK, False):
             logger.removeHandler(handler)
     handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
-    handler.setFormatter(logging.Formatter(fmt))
+    if fmt == JSON_LOG_FORMAT:
+        handler.setFormatter(_JsonLogFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(fmt))
     setattr(handler, _HANDLER_MARK, True)
     logger.addHandler(handler)
     logger.propagate = False
@@ -146,10 +222,31 @@ __all__ = [
     "NULL_TRACER",
     "DEFAULT_BUCKETS",
     "DEFAULT_LOG_FORMAT",
+    "JSON_LOG_FORMAT",
     "configure",
     "get_registry",
     "get_tracer",
+    "get_event_log",
     "logging_setup",
+    "EventLog",
+    "NullEventLog",
+    "NULL_EVENT_LOG",
+    "WideEvent",
+    "EVENT_FIELDS",
+    "EVENTS_FORMAT",
+    "add_current",
+    "annotate_current",
+    "current_event",
+    "events_to_jsonl",
+    "events_to_columnar",
+    "TailSampler",
+    "KEEP_ERROR",
+    "KEEP_SLOW",
+    "KEEP_BASELINE",
+    "FlightRecorder",
+    "DEFAULT_TRIGGERS",
+    "BUNDLE_FORMAT",
+    "bundle_signature",
     "to_prometheus",
     "to_openmetrics",
     "to_jsonl",
@@ -186,5 +283,7 @@ __all__ = [
     "scan_sources",
     "check_name",
     "check_documented",
+    "check_event_field",
     "lint",
+    "lint_event_fields",
 ]

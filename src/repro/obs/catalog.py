@@ -53,6 +53,9 @@ _REGISTRATION_RE = re.compile(
 
 _NAME_RE = re.compile(r"^[a-z][a-z0-9]*(_[a-z0-9]+)+$")
 
+#: Wide-event field names: snake_case, single tokens allowed (``event``).
+_EVENT_FIELD_RE = re.compile(r"^[a-z][a-z0-9]*(_[a-z0-9]+)*$")
+
 
 @dataclass(frozen=True)
 class MetricSite:
@@ -113,8 +116,45 @@ def check_documented(names: set[str], doc_path: Path) -> list[str]:
     )
 
 
+def check_event_field(name: str) -> list[str]:
+    """Violation messages for one wide-event field name (empty = ok)."""
+    if not _EVENT_FIELD_RE.match(name):
+        return [
+            f"{name}: wide-event fields must be snake_case "
+            "(lower-case tokens joined by underscores)"
+        ]
+    return []
+
+
+def lint_event_fields(doc_path: Path, fields: dict[str, str] | None = None) -> list[str]:
+    """Lint the wide-event schema: snake_case names, documented, described.
+
+    ``fields`` defaults to the live :data:`repro.obs.events.EVENT_FIELDS`
+    schema — the same enforce-at-the-source approach as the metric scan:
+    every field an emitter can set comes from that dict, so linting the
+    dict lints every annotation site.
+    """
+    if fields is None:
+        from repro.obs.events import EVENT_FIELDS
+
+        fields = EVENT_FIELDS
+    problems: list[str] = []
+    for name, description in fields.items():
+        problems.extend(
+            f"event field {problem}" for problem in check_event_field(name)
+        )
+        if not description or not description.strip():
+            problems.append(f"event field {name}: missing a schema description")
+    problems.extend(
+        f"event field {problem}"
+        for problem in check_documented(set(fields), doc_path)
+    )
+    return problems
+
+
 def lint(src_root: Path, doc_path: Path) -> list[str]:
-    """All violations across the tree: naming drift + undocumented names."""
+    """All violations across the tree: naming drift, undocumented metric
+    names, and wide-event schema drift."""
     sites = scan_sources(src_root)
     problems: list[str] = []
     seen: set[tuple[str, str]] = set()
@@ -125,4 +165,5 @@ def lint(src_root: Path, doc_path: Path) -> list[str]:
         for problem in check_name(site.name, site.kind):
             problems.append(f"{site.path}:{site.line}: {problem}")
     problems.extend(check_documented({site.name for site in sites}, doc_path))
+    problems.extend(lint_event_fields(doc_path))
     return problems

@@ -25,12 +25,176 @@ it keeps the sender's trace-id, records the sender's span-id as
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
 from collections import deque
 from typing import Iterable
 
 from repro.obs.propagation import IdSource, TraceContext
+
+#: Tail-retention classes, in keep-priority order (error never evicted
+#: before slow, slow never before baseline).
+KEEP_ERROR = "error"
+KEEP_SLOW = "slow"
+KEEP_BASELINE = "baseline"
+
+
+class TailSampler:
+    """Tail-based retention: the keep/drop decision at root completion.
+
+    Head sampling (``Tracer(sample_rate=...)``) flips its coin when a
+    trace *starts*, so at any budget below 1.0 it discards errors and
+    tail-latency outliers with exactly the same probability as boring
+    traces — the traces you keep are, by construction, the ones you did
+    not need. Tail sampling inverts that: every root completes, and only
+    then is classified:
+
+    * **error** — any span in the tree recorded an ``error`` attribute:
+      always kept;
+    * **slow** — a reservoir of the ``slow_k`` slowest non-error roots
+      seen so far (a min-heap; a new root displaces the reservoir's
+      fastest member, which is then evicted);
+    * **baseline** — everything else passes a deterministic coin
+      (:meth:`IdSource.sample`) at ``baseline_rate``, keeping an
+      unbiased sample of normal traffic for comparison.
+
+    Total retention is bounded by ``capacity``; overflow evicts in
+    reverse priority (oldest baseline, then oldest slow, then oldest
+    error) so the interesting classes survive longest. Kept / dropped /
+    evicted counts go to ``obs_traces_kept_total`` and
+    ``obs_traces_dropped_total``.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        slow_k: int = 16,
+        baseline_rate: float = 0.05,
+        ids: IdSource | None = None,
+        registry=None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("retention capacity must be positive")
+        if slow_k < 0:
+            raise ValueError("slow_k must be >= 0")
+        if not 0.0 <= baseline_rate <= 1.0:
+            raise ValueError("baseline_rate must be in [0, 1]")
+        self.capacity = capacity
+        self.slow_k = slow_k
+        self.baseline_rate = baseline_rate
+        self._ids = ids if ids is not None else IdSource()
+        self._registry = registry
+        self._lock = threading.Lock()
+        #: seq -> (class, span); dict order is arrival order.
+        self._retained: dict[int, tuple[str, Span]] = {}
+        #: min-heap of (duration_s, seq) for the slow reservoir.
+        self._slow_heap: list[tuple[float, int]] = []
+        self._stale: set[int] = set()
+        self._seq = 0
+        self.kept: dict[str, int] = {KEEP_ERROR: 0, KEEP_SLOW: 0, KEEP_BASELINE: 0}
+        self.dropped = 0
+        self.evicted = 0
+
+    @staticmethod
+    def has_error(span: "Span") -> bool:
+        """True when any span in the tree carries an ``error`` attribute."""
+        for _, node in span.walk():
+            if "error" in node.attributes:
+                return True
+        return False
+
+    def record(self, span: "Span") -> str | None:
+        """Classify one completed root; returns the class kept, or None."""
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+            kind = self._classify(span, seq)
+            if kind is None:
+                self.dropped += 1
+                self._count("obs_traces_dropped_total", "tail")
+                return None
+            self._retained[seq] = (kind, span)
+            self.kept[kind] += 1
+            self._count("obs_traces_kept_total", kind)
+            while len(self._retained) > self.capacity:
+                self._evict_one()
+            return kind
+
+    def _classify(self, span: "Span", seq: int) -> str | None:
+        if self.has_error(span):
+            return KEEP_ERROR
+        duration = span.duration_s
+        if self.slow_k > 0:
+            self._prune_heap()
+            if len(self._slow_heap) < self.slow_k:
+                heapq.heappush(self._slow_heap, (duration, seq))
+                return KEEP_SLOW
+            if duration > self._slow_heap[0][0]:
+                # Displace the reservoir's fastest member; it no longer
+                # earns its slot (unless capacity kept it as baseline,
+                # it is gone — that is the point of a top-k reservoir).
+                _, demoted_seq = heapq.heapreplace(self._slow_heap, (duration, seq))
+                self._stale.discard(demoted_seq)
+                if demoted_seq in self._retained:
+                    del self._retained[demoted_seq]
+                    self.evicted += 1
+                    self._count("obs_traces_dropped_total", "tail-evicted")
+                return KEEP_SLOW
+        if self._ids.sample(self.baseline_rate):
+            return KEEP_BASELINE
+        return None
+
+    def _prune_heap(self) -> None:
+        while self._slow_heap and self._slow_heap[0][1] in self._stale:
+            self._stale.discard(self._slow_heap[0][1])
+            heapq.heappop(self._slow_heap)
+
+    def _evict_one(self) -> None:
+        victim = None
+        for priority in (KEEP_BASELINE, KEEP_SLOW, KEEP_ERROR):
+            for seq, (kind, _span) in self._retained.items():
+                if kind == priority:
+                    victim = (seq, kind)
+                    break
+            if victim is not None:
+                break
+        if victim is None:  # pragma: no cover - retained is non-empty here
+            return
+        seq, kind = victim
+        del self._retained[seq]
+        if kind == KEEP_SLOW:
+            self._stale.add(seq)
+        self.evicted += 1
+        self._count("obs_traces_dropped_total", "tail-evicted")
+
+    def _count(self, name: str, operation: str) -> None:
+        if self._registry is None or not self._registry.enabled:
+            return
+        help_text = (
+            "Completed roots kept by tail sampling, by retention class"
+            if name == "obs_traces_kept_total"
+            else "Completed root spans evicted from the tracer ring buffer"
+        )
+        self._registry.counter(
+            name, help_text, layer="obs", operation=operation
+        ).inc()
+
+    def spans(self) -> list["Span"]:
+        """Retained roots, oldest first."""
+        with self._lock:
+            return [span for _kind, span in self._retained.values()]
+
+    def retained(self) -> list[tuple[str, "Span"]]:
+        """``(class, span)`` pairs, oldest first (for tests/inspection)."""
+        with self._lock:
+            return list(self._retained.values())
+
+    def reset(self) -> None:
+        with self._lock:
+            self._retained.clear()
+            self._slow_heap.clear()
+            self._stale.clear()
 
 
 class Span:
@@ -162,6 +326,7 @@ class Tracer:
         ids: IdSource | None = None,
         sample_rate: float = 1.0,
         registry=None,
+        tail: TailSampler | None = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("ring capacity must be positive")
@@ -178,6 +343,10 @@ class Tracer:
         self.dropped_roots = 0
         #: Optional metrics sink for the eviction counter.
         self._registry = registry
+        #: Tail-based retention policy: when set, completed roots route
+        #: through it instead of the oldest-first ring (leave
+        #: ``sample_rate`` at 1.0 so the tail sees every root).
+        self.tail = tail
 
     def span(self, name: str, remote: TraceContext | None = None, **attributes) -> Span:
         """Open a span; pass ``remote=`` to join a propagated trace."""
@@ -191,6 +360,10 @@ class Tracer:
         return stack
 
     def _record(self, span: Span) -> None:
+        if self.tail is not None:
+            if self.tail.record(span) is None:
+                self.dropped_roots += 1
+            return
         with self._lock:
             if self._ring.maxlen is not None and len(self._ring) == self._ring.maxlen:
                 self.dropped_roots += 1
@@ -204,7 +377,9 @@ class Tracer:
             self._ring.append(span)
 
     def roots(self) -> list[Span]:
-        """Completed root spans, oldest first."""
+        """Completed root spans, oldest first (tail-retained when enabled)."""
+        if self.tail is not None:
+            return self.tail.spans()
         with self._lock:
             return list(self._ring)
 
@@ -215,6 +390,8 @@ class Tracer:
     def reset(self) -> None:
         with self._lock:
             self._ring.clear()
+        if self.tail is not None:
+            self.tail.reset()
         self._local = threading.local()
 
     @property

@@ -20,7 +20,13 @@ Routes:
 * ``GET /debug/timeseries[?since=N]`` — the sampler ring as an
   ``sww-timeseries/1`` document (``since`` returns a delta);
 * ``GET /debug/profile?seconds=N[&format=collapsed|chrome]`` — run the
-  wall-clock profiler for N seconds and return the profile.
+  wall-clock profiler for N seconds and return the profile;
+* ``GET /debug/events[?n=N][&format=jsonl|columnar]`` — the wide-event
+  ring, newest N (default all) as JSONL or an ``sww-events/1`` columnar
+  document;
+* ``GET /incidents`` — flight-recorder bundle listing (one summary row
+  per captured incident);
+* ``GET /incidents/<id>`` — one full incident bundle.
 
 Admin responses are accounted under ``obs_admin_requests_total``, *not*
 ``sww_requests_total``, so scraping never skews the serving metrics it
@@ -79,10 +85,16 @@ class AdminPlane:
         slo: SLOTracker | None = None,
         authority: str = ADMIN_AUTHORITY,
         profiler_interval_s: float = 0.005,
+        events=None,
+        recorder=None,
     ) -> None:
         self.registry = registry
         self.sampler = sampler
         self.slo = slo
+        #: Wide-event ring served at /debug/events (None → 503).
+        self.events = events
+        #: Flight recorder served at /incidents (None → 503).
+        self.recorder = recorder
         self.authority = authority
         self.profiler_interval_s = profiler_interval_s
         self.server: GenerativeServer | None = None
@@ -149,6 +161,10 @@ class AdminPlane:
                 response = self._timeseries(query)
             elif route == "/debug/profile":
                 response = self._profile(query)
+            elif route == "/debug/events":
+                response = self._events(query)
+            elif route == "/incidents" or route.startswith("/incidents/"):
+                response = self._incidents(route)
             else:
                 body = b"unknown admin route"
                 response = ServedResponse(
@@ -161,11 +177,13 @@ class AdminPlane:
                 500, GenerativeServer._headers(_TEXT, len(body), status=500), body
             )
         if self.registry.enabled:
+            # Bundle ids would be unbounded label cardinality; collapse them.
+            counted = "/incidents" if route.startswith("/incidents/") else route
             self.registry.counter(
                 "obs_admin_requests_total",
                 "Admin-plane requests served, by route",
                 layer="obs",
-                operation=route,
+                operation=counted,
             ).inc()
         return response
 
@@ -179,6 +197,35 @@ class AdminPlane:
             except ValueError:
                 return self._json_response({"error": "since must be an integer"}, status=400)
         return self._json_response(self.sampler.snapshot(since=since))
+
+    def _events(self, query: dict[str, str]) -> ServedResponse:
+        if self.events is None:
+            return self._json_response({"error": "no event log configured"}, status=503)
+        last: int | None = None
+        if "n" in query:
+            try:
+                last = int(query["n"])
+            except ValueError:
+                return self._json_response({"error": "n must be an integer"}, status=400)
+        fmt = query.get("format", "jsonl")
+        if fmt == "jsonl":
+            return self._text_response(self.events.to_jsonl(last=last), _TEXT)
+        if fmt == "columnar":
+            return self._json_response(self.events.to_columnar(last=last))
+        return self._json_response({"error": "format must be jsonl or columnar"}, status=400)
+
+    def _incidents(self, route: str) -> ServedResponse:
+        if self.recorder is None:
+            return self._json_response({"error": "no flight recorder configured"}, status=503)
+        if route == "/incidents" or route == "/incidents/":
+            return self._json_response(
+                {"incidents": self.recorder.summaries(), "armed": sorted(self.recorder.armed())}
+            )
+        incident_id = route[len("/incidents/"):]
+        bundle = self.recorder.get(incident_id)
+        if bundle is None:
+            return self._json_response({"error": f"no incident {incident_id!r}"}, status=404)
+        return self._json_response(bundle)
 
     def _profile(self, query: dict[str, str]) -> ServedResponse:
         try:

@@ -36,7 +36,7 @@ from repro.http2.connection import (
     StreamReset,
 )
 from repro.http2.transport import AsyncH2Transport, InMemoryTransportPair
-from repro.obs import MetricsRegistry, Tracer, get_registry, get_tracer
+from repro.obs import MetricsRegistry, Tracer, get_event_log, get_registry, get_tracer
 from repro.sww.media_generator import MediaGenerator
 from repro.sww.page_processor import PageProcessor, ProcessReport
 from repro.sww.renderer import render_text
@@ -114,12 +114,15 @@ class GenerativeClient:
         gencache=None,
         gen_workers: int = 1,
         engine=None,
+        events=None,
     ) -> None:
         self.device = device
         self.gen_ability = gen_ability
         #: Observability sinks (no-ops unless injected or configured).
         self.registry = registry if registry is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
+        #: Wide-event log: one client.fetch event per fetched page.
+        self.events = events if events is not None else get_event_log()
         #: §4.1: the image pipeline is preloaded once, not per invocation.
         self.pipeline = pipeline or GenerationPipeline(
             device, registry=self.registry, tracer=self.tracer
@@ -160,7 +163,9 @@ class GenerativeClient:
     # Shared post-receive path
     # ------------------------------------------------------------------ #
 
-    def _finish(self, path: str, status: int, headers: HeaderList, body: bytes) -> FetchResult:
+    def _finish(
+        self, path: str, status: int, headers: HeaderList, body: bytes, transport: str = "memory"
+    ) -> FetchResult:
         header_map = {name: value for name, value in headers}
         sww_mode = header_map.get(b"x-sww-content") == b"prompts"
         html = body.decode("utf-8", "replace")
@@ -171,15 +176,48 @@ class GenerativeClient:
             wire_bytes=len(body),
             sww_mode=sww_mode,
         )
-        result.document = parse_html(html)
-        if status == 200 and sww_mode and self.gen_ability:
-            # Parse → generate → rewrite (§5.2).
-            with self.tracer.span("client.generate", page=path):
-                result.report = self.processor.process(result.document)
-            raw_manifests = header_map.get(b"x-sww-manifests")
-            if raw_manifests and self.trust_authority is not None:
-                self._verify_outputs(result, raw_manifests)
-        result.rendered = render_text(result.document)
+        record = self.events.begin(
+            "client.fetch",
+            path=path,
+            transport=transport,
+            wire_bytes=len(body),
+            sww_mode=sww_mode,
+            client_gen_ability=self.gen_ability,
+            device=self.device.name,
+        )
+        try:
+            with record.bind():
+                result.document = parse_html(html)
+                if status == 200 and sww_mode and self.gen_ability:
+                    # Parse → generate → rewrite (§5.2).
+                    with self.tracer.span("client.generate", page=path) as span:
+                        result.report = self.processor.process(result.document)
+                        if span.trace_id:
+                            record.set(trace_id=span.trace_id)
+                    raw_manifests = header_map.get(b"x-sww-manifests")
+                    if raw_manifests and self.trust_authority is not None:
+                        self._verify_outputs(result, raw_manifests)
+                result.rendered = render_text(result.document)
+        except Exception as exc:
+            record.finish(status=status, error=type(exc).__name__)
+            raise
+        if result.report is not None:
+            from repro.sww.content import ContentType
+
+            outputs = result.report.outputs
+            record.set(
+                sim_time_s=result.report.sim_time_s,
+                energy_wh=result.report.energy_wh,
+                generated_images=sum(
+                    1 for o in outputs if o.item.content_type == ContentType.IMAGE
+                ),
+                generated_texts=sum(
+                    1 for o in outputs if o.item.content_type != ContentType.IMAGE
+                ),
+                gencache_hits=sum(1 for o in outputs if o.cache_hit and not o.coalesced),
+                gencache_coalesced=sum(1 for o in outputs if o.coalesced),
+            )
+        record.finish(status=status)
         return result
 
     def _verify_outputs(self, result: FetchResult, raw_manifests: bytes) -> None:
@@ -292,7 +330,7 @@ class GenerativeClient:
                     fetched = self._fetch_raw(pair, src)
                     if fetched is not None:
                         self.generator.provide_assets({src: fetched})
-            result = self._finish(path, status, headers, bytes(body))
+            result = self._finish(path, status, headers, bytes(body), transport="memory")
         result.pushed_assets.update(pushed)
         return result
 
@@ -482,7 +520,9 @@ class GenerativeClient:
                 and self.gen_ability
             ):
                 self.generator.provide_assets(pushed)
-            result = self._finish(state.path, state.status, state.headers, bytes(state.body))
+            result = self._finish(
+                state.path, state.status, state.headers, bytes(state.body), transport="tcp"
+            )
             result.pushed_assets.update(pushed)
             results.append(result)
         return results

@@ -31,6 +31,7 @@ from repro.gencache import GenerationCache, GenerationKey, key_for_item
 from repro.genai.ollama_api import OllamaClient, OllamaEndpoint
 from repro.genai.pipeline import GenerationPipeline
 from repro.genai.registry import get_image_model, get_text_model
+from repro.obs.events import add_current, annotate_current
 from repro.sww.content import ContentType, GeneratedContent
 
 
@@ -146,7 +147,10 @@ class MediaGenerator:
             record = self.cache.lookup(key)
             span.annotate(outcome="hit" if record is not None else "miss")
         if record is None:
+            annotate_current(gencache_outcome="miss")
             return None
+        annotate_current(gencache_outcome="hit")
+        add_current(gencache_hits=1)
         output = GenerationOutput(
             item=item,
             payload=record.payload,
@@ -169,6 +173,8 @@ class MediaGenerator:
         hit_time = self.cache.hit_time_s if self.cache is not None else 0.0
         if self.cache is not None:
             self.cache.record_coalesced(leader.sim_time_s, leader.energy_wh)
+        annotate_current(gencache_outcome="coalesced")
+        add_current(gencache_coalesced=1)
         output = replace(
             leader,
             item=item,
@@ -197,13 +203,17 @@ class MediaGenerator:
         if item.upscale_src is not None:
             return self._upscale_image(item)
         model = get_image_model(item.model) if item.model else self.pipeline.image_model
+        annotate_current(
+            model=model.name,
+            steps=item.metadata.get("steps") or model.default_steps,
+        )
         if self.engine is not None:
             # Micro-batched path: admit to the engine's window and wait.
             # The pipeline still accounts the invocation (preload/reload
             # semantics are a device property, not a batching one).
             self.pipeline._maybe_reload()
             self.pipeline.invocations += 1
-            result = self.engine.generate_image(
+            future = self.engine.submit_image(
                 model,
                 item.prompt,
                 item.width,
@@ -212,6 +222,15 @@ class MediaGenerator:
                 item.metadata.get("seed"),
                 key=self.content_key(item),
             )
+            result = future.result()
+            # The engine stamped the batch this generation rode onto the
+            # future before resolving it; surface it on the request event.
+            batch_id = getattr(future, "batch_id", None)
+            if batch_id is not None:
+                annotate_current(
+                    batch_id=batch_id,
+                    batch_size=getattr(future, "batch_size", 1),
+                )
         elif model is not self.pipeline.image_model:
             # Honour a per-item model override by generating directly; the
             # pipeline still provides device context and load accounting.
@@ -272,6 +291,7 @@ class MediaGenerator:
     def _generate_text(self, item: GeneratedContent) -> GenerationOutput:
         model_name = item.model or self.pipeline.text_model.name
         get_text_model(model_name)  # validate before the API round-trip
+        annotate_current(model=model_name)
         prompt = f"{item.prompt}\nExpand the points above into {item.words} words."
         with self._text_lock:
             response = self.ollama.post_generate(

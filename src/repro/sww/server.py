@@ -42,7 +42,8 @@ from repro.http2.connection import (
 from repro.http2.errors import H2Error
 from repro.http2.transport import AsyncH2Transport
 from repro.http2.writer import ConnectionWriter
-from repro.obs import MetricsRegistry, Tracer, get_registry, get_tracer
+from repro.obs import MetricsRegistry, Tracer, get_event_log, get_registry, get_tracer
+from repro.obs.events import annotate_current
 from repro.sww.capability import NegotiationOutcome, ServeMode, ServePolicy, decide_serve_mode
 from repro.sww.media_generator import MediaGenerator
 from repro.sww.page_processor import PageProcessor
@@ -152,6 +153,8 @@ class GenerativeServer:
         gencache=None,
         engine=None,
         concurrent_streams: bool = True,
+        events=None,
+        recorder=None,
     ) -> None:
         self.store = store
         self.device = device
@@ -160,6 +163,12 @@ class GenerativeServer:
         #: Observability sinks (no-ops unless injected or configured).
         self.registry = registry if registry is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
+        #: Wide-event log: one canonical record per served request,
+        #: annotated across layers (no-op unless injected or configured).
+        self.events = events if events is not None else get_event_log()
+        #: Optional incident flight recorder; pushed triggers
+        #: (protocol errors, generation failures) notify it directly.
+        self.recorder = recorder
         #: When serving a server-generated page, push the freshly
         #: generated media over HTTP/2 server push (RFC 9113 §8.4) instead
         #: of waiting for the naive client's follow-up GETs.
@@ -232,8 +241,12 @@ class GenerativeServer:
         with self._stats_lock:
             self.requests_served += 1
         started = time.perf_counter()
-        with self.tracer.span("server.request", remote=trace_context, page=path):
+        with self.tracer.span("server.request", remote=trace_context, page=path) as span:
             response = self._respond(path, client_gen_ability, client_models)
+            if response.mode is not None:
+                annotate_current(serve_mode=response.mode.value)
+            if span.trace_id:
+                annotate_current(trace_id=span.trace_id)
         if self.registry.enabled:
             self._count_response(path, response)
             # Real wall-clock (not simulated) service time: the latency the
@@ -268,13 +281,16 @@ class GenerativeServer:
 
         outcome = NegotiationOutcome(client_supports=client_gen_ability, server_supports=self.gen_ability)
         mode = decide_serve_mode(outcome, self.policy, has_prompts=page.has_prompts)
+        annotate_current(client_gen_ability=client_gen_ability, device=self.device.name)
         if mode != ServeMode.GENERATIVE:
             if not outcome.negotiated:
-                self._count_fallback("negotiation")
+                reason = "negotiation"
             elif not page.has_prompts:
-                self._count_fallback("no-prompts")
+                reason = "no-prompts"
             else:
-                self._count_fallback("policy")
+                reason = "policy"
+            self._count_fallback(reason)
+            annotate_current(fallback_reason=reason)
         if mode == ServeMode.GENERATIVE:
             html = page.sww_html
             if client_models is not None:
@@ -286,6 +302,7 @@ class GenerativeServer:
                     # modalities: materialise server-side instead.
                     mode = ServeMode.SERVER_GENERATED
                     self._count_fallback("models")
+                    annotate_current(fallback_reason="models")
                     logger.info(
                         "page %s incompatible with client models; generating server-side", path
                     )
@@ -299,6 +316,7 @@ class GenerativeServer:
                 return ServedResponse(200, headers, body, mode)
         if mode == ServeMode.SERVER_GENERATED:
             html, _assets, gen_time, gen_energy = self._materialise(page)
+            annotate_current(sim_time_s=gen_time, energy_wh=gen_energy)
             body = html.encode("utf-8")
             return ServedResponse(
                 200,
@@ -386,6 +404,7 @@ class GenerativeServer:
         self, entry: tuple[str, dict[str, bytes], float, float], outcome: str
     ) -> tuple[str, dict[str, bytes], float, float]:
         """Account a page-cache hit (or in-flight coalesce): no extra cost."""
+        annotate_current(gencache_outcome=outcome)
         if self.registry.enabled:
             self.registry.counter(
                 "sww_materialise_cache_total",
@@ -578,18 +597,41 @@ class ServerSession:
             path, authority, client_models, trace_context = self._parse_request(event)
             admin = self.server.admin
             if admin is not None and admin.matches(authority):
+                # Admin traffic never lands in the wide-event ring, same
+                # as it never counts under sww_requests_total.
                 response = admin.respond(path)
-            else:
-                response = self.server.handle_request(
-                    path, self.conn.gen_ability_negotiated, client_models, trace_context
-                )
+                self.responses.append(response)
+                self.conn.send_headers(event.stream_id, response.headers)
+                self.conn.send_data(event.stream_id, response.body, end_stream=True)
+                return
+            record = self.server.events.begin(
+                "server.request",
+                path=path,
+                stream_id=event.stream_id,
+                transport="memory",
+            )
+            try:
+                with record.bind():
+                    response = self.server.handle_request(
+                        path, self.conn.gen_ability_negotiated, client_models, trace_context
+                    )
+            except Exception as exc:
+                record.finish(status=500, error=type(exc).__name__)
+                raise
+            record.set(body_bytes=len(response.body))
             self.responses.append(response)
-            self.conn.send_headers(event.stream_id, response.headers)
-            if self._should_push(response):
-                # Push the freshly generated media before closing the page
-                # stream, so the naive client never issues follow-up GETs.
-                self._push_generated_assets(event.stream_id, path, authority)
-            self.conn.send_data(event.stream_id, response.body, end_stream=True)
+            try:
+                self.conn.send_headers(event.stream_id, response.headers)
+                if self._should_push(response):
+                    # Push the freshly generated media before closing the
+                    # page stream, so the naive client never issues
+                    # follow-up GETs.
+                    self._push_generated_assets(event.stream_id, path, authority)
+                self.conn.send_data(event.stream_id, response.body, end_stream=True)
+            except H2Error as exc:
+                record.finish(status=response.status, error=type(exc).__name__)
+                raise
+            record.finish(status=response.status)
 
     def _push_generated_assets(
         self, stream_id: int, page_path: str, authority: bytes, writer: ConnectionWriter | None = None
@@ -640,6 +682,11 @@ class ServerSession:
                     await task
                 except (asyncio.CancelledError, ConnectionError, OSError):
                     pass
+            # Any response still queued when the connection dies must not
+            # leave its wide event open (leaked ring entries): finish each
+            # with a connection-closed error.
+            if self.writer is not None:
+                self.writer.abort_pending()
             await transport.close()
 
     async def _dispatch_serial(self, event: Event) -> None:
@@ -647,6 +694,15 @@ class ServerSession:
         self.handle_event(event)
         if isinstance(event, ConnectionTerminated):
             self._draining = True
+            self._note_termination(event)
+
+    def _note_termination(self, event: ConnectionTerminated) -> None:
+        """A non-clean GOAWAY is a pushed flight-recorder trigger."""
+        if self.server.recorder is not None and int(event.error_code) != 0:
+            self.server.recorder.note(
+                "protocol-error",
+                f"connection terminated with GOAWAY error code {int(event.error_code)}",
+            )
 
     async def _dispatch_concurrent(self, event: Event) -> None:
         if isinstance(event, RequestReceived):
@@ -661,6 +717,7 @@ class ServerSession:
             self._transport.wake_writer()
         elif isinstance(event, ConnectionTerminated):
             self._draining = True
+            self._note_termination(event)
         elif isinstance(event, StreamReset):
             # The writer drops the queue for a dead stream on its next
             # scheduling round; just make sure that round happens.
@@ -684,6 +741,13 @@ class ServerSession:
             inflight.inc()
         gen_ability = self.conn.gen_ability_negotiated
         loop = asyncio.get_running_loop()
+        record = None
+        if not is_admin:
+            # Admin traffic never lands in the wide-event ring, same as it
+            # never counts under sww_requests_total.
+            record = self.server.events.begin(
+                "server.request", path=path, stream_id=stream_id, transport="tcp"
+            )
         try:
             # The request logic (including server-side materialisation) is
             # CPU work: run it off the loop so other streams — and other
@@ -697,14 +761,21 @@ class ServerSession:
                 response = await loop.run_in_executor(
                     None,
                     self._handle_in_thread,
+                    record,
                     path,
                     stream_id,
                     gen_ability,
                     client_models,
                     trace_context,
                 )
-        except Exception:
+        except Exception as exc:
             logger.exception("stream %d (%s) failed; responding 500", stream_id, path)
+            if record is not None:
+                record.set(error=type(exc).__name__)
+            if self.server.recorder is not None:
+                self.server.recorder.note(
+                    "generation-failure", f"{type(exc).__name__} on {path}"
+                )
             body = b"internal server error"
             response = ServedResponse(
                 500, self.server._headers("text/plain", len(body), status=500), body
@@ -713,25 +784,38 @@ class ServerSession:
             if inflight is not None:
                 inflight.dec()
         if self._transport is None or self._transport.closed.is_set():
+            if record is not None:
+                record.finish(status=response.status, error="connection-closed")
             return
         self.responses.append(response)
+        if record is not None:
+            # Status and body size are known now; the writer annotates the
+            # wire-side fields and closes the event when the last frame
+            # leaves (or the stream dies), covering the full lifetime.
+            record.set(status=response.status, body_bytes=len(response.body))
         try:
             self.conn.send_headers(stream_id, response.headers)
             if self._should_push(response):
                 self._push_generated_assets(stream_id, path, authority, writer=self.writer)
-            self.writer.enqueue(stream_id, response.body, end_stream=True)
-        except H2Error:
+            self.writer.enqueue(stream_id, response.body, end_stream=True, event=record)
+        except H2Error as exc:
             logger.warning("stream %d closed under its response; dropping", stream_id)
+            if record is not None:
+                record.finish(status=response.status, error=type(exc).__name__)
             return
         self._transport.wake_writer()
 
     def _handle_in_thread(
-        self, path: str, stream_id: int, gen_ability: bool, client_models, trace_context
+        self, record, path: str, stream_id: int, gen_ability: bool, client_models, trace_context
     ) -> ServedResponse:
+        binding = record.bind() if record is not None else None
         with self.server.tracer.span(
             "server.stream", remote=trace_context, page=path, stream=stream_id
         ):
-            return self.server.handle_request(path, gen_ability, client_models, trace_context)
+            if binding is None:
+                return self.server.handle_request(path, gen_ability, client_models, trace_context)
+            with binding:
+                return self.server.handle_request(path, gen_ability, client_models, trace_context)
 
     async def _writer_loop(self) -> None:
         """Dedicated writer task: pump the scheduler, honour backpressure."""

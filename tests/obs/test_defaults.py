@@ -13,11 +13,15 @@ import pytest
 
 from repro import obs
 from repro.obs import (
+    JSON_LOG_FORMAT,
+    NULL_EVENT_LOG,
     NULL_REGISTRY,
     NULL_TRACER,
+    EventLog,
     MetricsRegistry,
     Tracer,
     configure,
+    get_event_log,
     get_registry,
     get_tracer,
     logging_setup,
@@ -39,17 +43,24 @@ class TestProcessDefaults:
         assert get_tracer() is NULL_TRACER
 
     def test_configure_installs_and_resets(self):
-        reg, tracer = MetricsRegistry(), Tracer()
-        configure(registry=reg, tracer=tracer)
+        reg, tracer, events = MetricsRegistry(), Tracer(), EventLog()
+        configure(registry=reg, tracer=tracer, events=events)
         assert get_registry() is reg and get_tracer() is tracer
+        assert get_event_log() is events
         configure()
         assert get_registry() is NULL_REGISTRY and get_tracer() is NULL_TRACER
+        assert get_event_log() is NULL_EVENT_LOG
+
+    def test_null_event_log_by_default(self):
+        assert get_event_log() is NULL_EVENT_LOG
+        assert not NULL_EVENT_LOG.enabled
 
     def test_components_pick_up_configured_defaults(self):
-        reg = MetricsRegistry()
-        configure(registry=reg)
+        reg, events = MetricsRegistry(), EventLog()
+        configure(registry=reg, events=events)
         server = GenerativeServer(SiteStore())
         assert server.registry is reg
+        assert server.events is events
 
 
 class TestNoOpEndToEnd:
@@ -75,6 +86,10 @@ class TestNoOpEndToEnd:
         assert len(NULL_REGISTRY) == 0
         assert list(NULL_REGISTRY.collect()) == []
         assert NULL_TRACER.roots() == []
+        assert server.events is NULL_EVENT_LOG
+        assert client.events is NULL_EVENT_LOG
+        assert NULL_EVENT_LOG.events() == []
+        assert NULL_EVENT_LOG.open_count == 0
 
 
 class TestLoggingSetup:
@@ -104,6 +119,35 @@ class TestLoggingSetup:
     def test_unknown_level_rejected(self):
         with pytest.raises(ValueError):
             logging_setup("shout")
+
+    def test_json_format_emits_structured_lines(self):
+        import json as json_mod
+
+        stream = io.StringIO()
+        logging_setup("info", fmt=JSON_LOG_FORMAT, stream=stream)
+        logging.getLogger("repro.test").warning("structured %s", "hello")
+        line = json_mod.loads(stream.getvalue().strip().splitlines()[-1])
+        assert line["level"] == "warning"
+        assert line["logger"] == "repro.test"
+        assert line["message"] == "structured hello"
+
+    def test_json_format_joins_the_bound_wide_event(self):
+        import json as json_mod
+
+        stream = io.StringIO()
+        logging_setup("info", fmt=JSON_LOG_FORMAT, stream=stream)
+        events = EventLog()
+        record = events.begin("server.request", trace_id="deadbeef")
+        with record.bind():
+            logging.getLogger("repro.test").info("inside the request")
+        record.finish()
+        line = json_mod.loads(stream.getvalue().strip().splitlines()[-1])
+        assert line["trace_id"] == "deadbeef"
+        assert line["seq"] == record.fields["seq"]
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            logging_setup("info", fmt="yaml")
 
     def test_obs_module_reexports(self):
         for name in obs.__all__:

@@ -1,15 +1,19 @@
 """The observability lint as a test: every metric the tree registers
 must follow ``<subsystem>_<name>_<unit>`` and appear in
-docs/OBSERVABILITY.md. A new metric that drifts fails the suite here."""
+docs/OBSERVABILITY.md, and every wide-event field must be snake_case and
+documented there too. Drift in either direction fails the suite here."""
 
 from pathlib import Path
 
 from repro.obs import (
+    EVENT_FIELDS,
     SUBSYSTEMS,
     UNITS,
     check_documented,
+    check_event_field,
     check_name,
     lint,
+    lint_event_fields,
     scan_sources,
 )
 
@@ -110,5 +114,41 @@ class TestLintEndToEnd:
             'registry.counter("sww_widgets_total", "help", layer="sww")\n'
         )
         doc = tmp_path / "OBS.md"
-        doc.write_text("`sww_widgets_total` is documented.\n")
+        fields = "\n".join(f"`{name}`" for name in EVENT_FIELDS)
+        doc.write_text(f"`sww_widgets_total` is documented.\n{fields}\n")
         assert lint(src, doc) == []
+
+
+class TestEventFieldLint:
+    def test_live_schema_is_clean(self):
+        assert lint_event_fields(DOC) == []
+
+    def test_snake_case_accepted(self):
+        assert check_event_field("gencache_hits") == []
+        assert check_event_field("status") == []
+
+    def test_camel_case_rejected(self):
+        problems = check_event_field("genCacheHits")
+        assert any("snake_case" in p for p in problems)
+
+    def test_leading_digit_and_trailing_underscore_rejected(self):
+        assert check_event_field("2fast") != []
+        assert check_event_field("fast_") != []
+
+    def test_undocumented_field_reported(self, tmp_path):
+        doc = tmp_path / "OBS.md"
+        doc.write_text("nothing relevant\n")
+        problems = lint_event_fields(doc, fields={"writer_stalls": "desc"})
+        assert problems == ["event field writer_stalls: not documented in OBS.md"]
+
+    def test_empty_description_reported(self, tmp_path):
+        doc = tmp_path / "OBS.md"
+        doc.write_text("`bad_field` appears here\n")
+        problems = lint_event_fields(doc, fields={"bad_field": ""})
+        assert any("missing a schema description" in p for p in problems)
+
+    def test_bad_name_in_schema_reported(self, tmp_path):
+        doc = tmp_path / "OBS.md"
+        doc.write_text("`BadField` appears here\n")
+        problems = lint_event_fields(doc, fields={"BadField": "desc"})
+        assert any("snake_case" in p for p in problems)

@@ -1,0 +1,241 @@
+"""Tail-based trace retention: classification, eviction priority, and the
+acceptance property from the issue — under Zipf-shaped load, tail sampling
+keeps 100% of error traces and the top-k slowest, where head sampling at
+the same retention budget provably misses both."""
+
+import pytest
+
+from repro.obs import (
+    KEEP_BASELINE,
+    KEEP_ERROR,
+    KEEP_SLOW,
+    IdSource,
+    MetricsRegistry,
+    Span,
+    TailSampler,
+    Tracer,
+)
+
+
+def finished_root(tracer, name, duration_s, error=None):
+    """A hand-built completed root: fabricated timing, optional error."""
+    span = Span(tracer, name, {})
+    span.start = 0.0
+    span.end = duration_s
+    if error is not None:
+        span.attributes["error"] = error
+    return span
+
+
+def finished_root_with_error_child(tracer, duration_s):
+    root = finished_root(tracer, "root", duration_s)
+    child = Span(tracer, "child", {"error": "TimeoutError"})
+    child.start = 0.0
+    child.end = duration_s / 2
+    root.children.append(child)
+    return root
+
+
+@pytest.fixture
+def tracer():
+    # Only used as the Span constructor's owner; these tests drive the
+    # sampler directly with hand-built completed spans.
+    return Tracer(ids=IdSource(7))
+
+
+class TestClassification:
+    def test_error_root_always_kept(self, tracer):
+        sampler = TailSampler(baseline_rate=0.0, slow_k=0, ids=IdSource(1))
+        for i in range(20):
+            kind = sampler.record(finished_root(tracer, f"r{i}", 0.001, error="Boom"))
+            assert kind == KEEP_ERROR
+        assert sampler.kept[KEEP_ERROR] == 20
+        assert sampler.dropped == 0
+
+    def test_error_in_child_span_counts(self, tracer):
+        sampler = TailSampler(baseline_rate=0.0, slow_k=0, ids=IdSource(1))
+        kind = sampler.record(finished_root_with_error_child(tracer, 0.001))
+        assert kind == KEEP_ERROR
+
+    def test_slow_reservoir_fills_then_displaces_fastest(self, tracer):
+        sampler = TailSampler(baseline_rate=0.0, slow_k=2, ids=IdSource(1))
+        assert sampler.record(finished_root(tracer, "a", 0.010)) == KEEP_SLOW
+        assert sampler.record(finished_root(tracer, "b", 0.020)) == KEEP_SLOW
+        # Faster than both reservoir members: dropped outright.
+        assert sampler.record(finished_root(tracer, "c", 0.005)) is None
+        # Slower than the fastest member: displaces it.
+        assert sampler.record(finished_root(tracer, "d", 0.015)) == KEEP_SLOW
+        names = {span.name for _kind, span in sampler.retained()}
+        assert names == {"b", "d"}
+        assert sampler.dropped == 1
+        assert sampler.evicted == 1
+
+    def test_baseline_coin_is_deterministic_under_a_seed(self, tracer):
+        def run():
+            sampler = TailSampler(baseline_rate=0.3, slow_k=0, ids=IdSource(99))
+            return [
+                sampler.record(finished_root(tracer, f"r{i}", 0.001))
+                for i in range(50)
+            ]
+
+        first, second = run(), run()
+        assert first == second
+        assert KEEP_BASELINE in first
+        assert None in first
+
+    def test_baseline_rate_zero_keeps_nothing_boring(self, tracer):
+        sampler = TailSampler(baseline_rate=0.0, slow_k=0, ids=IdSource(1))
+        assert sampler.record(finished_root(tracer, "r", 0.001)) is None
+        assert sampler.dropped == 1
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            TailSampler(capacity=0)
+        with pytest.raises(ValueError):
+            TailSampler(slow_k=-1)
+        with pytest.raises(ValueError):
+            TailSampler(baseline_rate=1.5)
+
+
+class TestCapacityEviction:
+    def test_eviction_priority_baseline_then_slow_then_error(self, tracer):
+        sampler = TailSampler(
+            capacity=3, slow_k=1, baseline_rate=1.0, ids=IdSource(1)
+        )
+        sampler.record(finished_root(tracer, "err", 0.001, error="Boom"))
+        sampler.record(finished_root(tracer, "slow", 1.0))
+        sampler.record(finished_root(tracer, "base1", 0.001))
+        sampler.record(finished_root(tracer, "base2", 0.001))
+        names = [span.name for _kind, span in sampler.retained()]
+        # base1 (oldest baseline) evicted first; error and slow survive.
+        assert "base1" not in names
+        assert {"err", "slow", "base2"} <= set(names)
+        sampler.record(finished_root(tracer, "base3", 0.001))
+        sampler.record(finished_root(tracer, "base4", 0.001))
+        names = [span.name for _kind, span in sampler.retained()]
+        assert "err" in names and "slow" in names
+
+    def test_overflow_counts_evictions(self, tracer):
+        registry = MetricsRegistry()
+        sampler = TailSampler(
+            capacity=2, slow_k=0, baseline_rate=1.0, ids=IdSource(1), registry=registry
+        )
+        for i in range(5):
+            sampler.record(finished_root(tracer, f"r{i}", 0.001))
+        assert sampler.evicted == 3
+        assert (
+            registry.value(
+                "obs_traces_dropped_total", layer="obs", operation="tail-evicted"
+            )
+            == 3
+        )
+        assert (
+            registry.value(
+                "obs_traces_kept_total", layer="obs", operation=KEEP_BASELINE
+            )
+            == 5
+        )
+
+
+class TestTracerIntegration:
+    def test_tracer_routes_completed_roots_through_the_tail(self):
+        tail = TailSampler(baseline_rate=0.0, slow_k=4, ids=IdSource(5))
+        tracer = Tracer(ids=IdSource(5), tail=tail)
+        with tracer.span("fine"):
+            pass
+        with pytest.raises(RuntimeError):
+            with tracer.span("broken"):
+                raise RuntimeError("boom")
+        names = {span.name for span in tracer.roots()}
+        assert "fine" in names and "broken" in names
+        kinds = dict((span.name, kind) for kind, span in tail.retained())
+        assert kinds["broken"] == KEEP_ERROR
+
+    def test_dropped_roots_counted_on_the_tracer(self):
+        tail = TailSampler(baseline_rate=0.0, slow_k=0, ids=IdSource(5))
+        tracer = Tracer(ids=IdSource(5), tail=tail)
+        with tracer.span("boring"):
+            pass
+        assert tracer.roots() == []
+        assert tracer.dropped_roots == 1
+
+    def test_reset_clears_the_tail(self):
+        tail = TailSampler(baseline_rate=1.0, slow_k=0, ids=IdSource(5))
+        tracer = Tracer(ids=IdSource(5), tail=tail)
+        with tracer.span("kept"):
+            pass
+        assert tracer.roots()
+        tracer.reset()
+        assert tracer.roots() == []
+
+
+class TestZipfAcceptance:
+    """The issue's acceptance property, as a deterministic experiment.
+
+    1000 requests with Zipf-shaped latency (duration ~ 1/rank), 10 of
+    them errors. Tail sampling at a 64-trace budget keeps every error and
+    the full top-16 slowest. Head sampling at the *same* budget (a seeded
+    per-root coin at rate 64/1000) misses most of both — the coin cannot
+    see duration or outcome, so it keeps outliers at the base rate.
+    """
+
+    N = 1000
+    BUDGET = 64
+    SLOW_K = 16
+    ERROR_RANKS = (3, 50, 120, 275, 400, 512, 730, 801, 899, 990)
+
+    def _workload(self, tracer):
+        roots = []
+        for rank in range(1, self.N + 1):
+            duration = 1.0 / rank  # Zipf: rank 1 slowest, long boring tail
+            error = "UpstreamError" if rank in self.ERROR_RANKS else None
+            roots.append(finished_root(tracer, f"req-{rank}", duration, error))
+        return roots
+
+    def test_tail_keeps_all_errors_and_topk_where_head_sampling_misses(
+        self, tracer
+    ):
+        roots = self._workload(tracer)
+        sampler = TailSampler(
+            capacity=self.BUDGET,
+            slow_k=self.SLOW_K,
+            baseline_rate=0.02,
+            ids=IdSource(42),
+        )
+        for root in roots:
+            sampler.record(root)
+
+        retained = sampler.retained()
+        kept_names = {span.name for _kind, span in retained}
+
+        # 100% of error traces survive.
+        error_names = {f"req-{rank}" for rank in self.ERROR_RANKS}
+        assert error_names <= kept_names
+
+        # The top-k slowest non-error roots all survive.
+        non_error_ranks = [
+            r for r in range(1, self.N + 1) if r not in self.ERROR_RANKS
+        ]
+        slowest = {f"req-{rank}" for rank in non_error_ranks[: self.SLOW_K]}
+        assert slowest <= kept_names
+
+        # The whole retention stayed inside budget.
+        assert len(retained) <= self.BUDGET
+
+        # Head sampling with the same budget: a duration-blind coin at
+        # rate BUDGET/N. Deterministic under the seed — and it provably
+        # misses errors and slow outliers.
+        coin = IdSource(42)
+        head_rate = self.BUDGET / self.N
+        head_kept = {
+            f"req-{rank}"
+            for rank in range(1, self.N + 1)
+            if coin.sample(head_rate)
+        }
+        missed_errors = error_names - head_kept
+        missed_slowest = slowest - head_kept
+        assert missed_errors, "head sampling kept every error only by luck"
+        assert missed_slowest, "head sampling kept the whole top-k only by luck"
+        # And it misses *most* of each class, not just one unlucky trace.
+        assert len(missed_errors) >= len(error_names) // 2
+        assert len(missed_slowest) >= len(slowest) // 2

@@ -6,7 +6,13 @@ import json
 
 import pytest
 
-from repro.obs import MetricsRegistry, SLOTracker, TimeSeriesSampler
+from repro.obs import (
+    EventLog,
+    FlightRecorder,
+    MetricsRegistry,
+    SLOTracker,
+    TimeSeriesSampler,
+)
 from repro.sww.admin import (
     ADMIN_AUTHORITY,
     AdminPlane,
@@ -149,6 +155,71 @@ class TestRoutes:
         registry, _sampler, plane = _plane()
         plane.healthz = lambda: (_ for _ in ()).throw(RuntimeError("boom"))
         assert plane.respond("/healthz").status == 500
+
+
+class TestEventAndIncidentRoutes:
+    def _plane_with_events(self):
+        registry = MetricsRegistry()
+        events = EventLog(registry=registry)
+        events.begin("server.request", path="/a").finish(status=200)
+        events.begin("server.request", path="/b").finish(status=500, error="ValueError")
+        recorder = FlightRecorder(registry=registry, events=events)
+        plane = AdminPlane(registry, events=events, recorder=recorder)
+        return registry, events, recorder, plane
+
+    def test_debug_events_defaults_to_jsonl(self):
+        _reg, _events, _rec, plane = self._plane_with_events()
+        response = plane.respond("/debug/events")
+        assert response.status == 200
+        assert dict(response.headers)[b"content-type"].startswith(b"text/plain")
+        lines = [json.loads(line) for line in response.body.decode().splitlines()]
+        assert [line["path"] for line in lines] == ["/a", "/b"]
+
+    def test_debug_events_columnar_and_trim(self):
+        _reg, _events, _rec, plane = self._plane_with_events()
+        body = _json_body(plane.respond("/debug/events?format=columnar&n=1"))
+        assert body["format"] == "sww-events/1"
+        assert body["count"] == 1
+        assert body["columns"]["path"] == ["/b"]
+
+    def test_debug_events_rejects_bad_query(self):
+        _reg, _events, _rec, plane = self._plane_with_events()
+        assert plane.respond("/debug/events?n=soon").status == 400
+        assert plane.respond("/debug/events?format=xml").status == 400
+
+    def test_debug_events_unavailable_without_log(self):
+        _reg, _sampler, plane = _plane()
+        assert plane.respond("/debug/events").status == 503
+
+    def test_incidents_listing_and_bundle(self):
+        _reg, _events, recorder, plane = self._plane_with_events()
+        recorder.note("generation-failure", "ValueError on /b")
+        listing = _json_body(plane.respond("/incidents"))
+        assert [row["incident"] for row in listing["incidents"]] == ["incident-1"]
+        assert "generation-failure" not in listing["armed"]
+        bundle = _json_body(plane.respond("/incidents/incident-1"))
+        assert bundle["format"] == "sww-incident/1"
+        assert bundle["trigger"]["kind"] == "generation-failure"
+
+    def test_unknown_incident_404(self):
+        _reg, _events, _rec, plane = self._plane_with_events()
+        assert plane.respond("/incidents/incident-99").status == 404
+
+    def test_incidents_unavailable_without_recorder(self):
+        _reg, _sampler, plane = _plane()
+        assert plane.respond("/incidents").status == 503
+
+    def test_incident_detail_counted_under_collapsed_route(self):
+        registry, _events, recorder, plane = self._plane_with_events()
+        recorder.note("loop-stall", "synthetic")
+        plane.respond("/incidents")
+        plane.respond("/incidents/incident-1")
+        assert (
+            registry.value(
+                "obs_admin_requests_total", layer="obs", operation="/incidents"
+            )
+            == 2.0
+        )
 
 
 class TestOverTcp:

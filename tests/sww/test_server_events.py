@@ -1,0 +1,283 @@
+"""Wide events on the serving path, success and failure: every request
+that starts an event must finish it exactly once — handler exceptions,
+streams reset under their response, dead connections, failed single-flight
+leaders and batch-wide errors all included. ``EventLog.open_count`` is the
+leak detector throughout."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.devices import LAPTOP, WORKSTATION
+from repro.http2.connection import H2Connection, Role
+from repro.http2.transport import InMemoryTransportPair
+from repro.http2.writer import ConnectionWriter
+from repro.obs import EventLog, FlightRecorder, MetricsRegistry
+from repro.sww.client import GenerativeClient, connect_in_memory
+from repro.sww.server import GenerativeServer, PageResource, SiteStore
+from repro.workloads import build_travel_blog
+
+PAGE = "/blog/ridgeline-hike"
+
+
+def _store() -> SiteStore:
+    page = build_travel_blog()
+    store = SiteStore()
+    store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+    return store
+
+
+class TestSerialMode:
+    def test_success_event_is_complete(self):
+        events = EventLog()
+        server = GenerativeServer(_store(), events=events)
+        client = GenerativeClient(device=LAPTOP)
+        pair = connect_in_memory(client, server)
+        result = client.fetch_via_pair(pair, PAGE)
+        assert result.status == 200
+        recorded = events.events()
+        assert len(recorded) == 1
+        fields = recorded[0].to_dict()
+        assert fields["event"] == "server.request"
+        assert fields["path"] == PAGE
+        assert fields["transport"] == "memory"
+        assert fields["status"] == 200
+        assert fields["serve_mode"] == "generative"
+        assert fields["client_gen_ability"] is True
+        assert fields["body_bytes"] > 0
+        assert fields["duration_s"] >= 0.0
+        assert "error" not in fields
+        assert events.open_count == 0
+
+    def test_handler_exception_emits_500_event_without_leaks(self):
+        events = EventLog()
+        server = GenerativeServer(_store(), events=events)
+
+        def broken_handle(path, *args, **kwargs):
+            raise ValueError("synthetic handler failure")
+
+        server.handle_request = broken_handle
+        client = GenerativeClient(device=LAPTOP)
+        pair = connect_in_memory(client, server)
+        with pytest.raises(ValueError, match="synthetic handler failure"):
+            client.fetch_via_pair(pair, PAGE)
+        recorded = events.events()
+        assert len(recorded) == 1
+        fields = recorded[0].to_dict()
+        assert fields["status"] == 500
+        assert fields["error"] == "ValueError"
+        assert events.open_count == 0
+
+
+REQUEST = [
+    (b":method", b"GET"),
+    (b":scheme", b"https"),
+    (b":path", b"/page"),
+    (b":authority", b"test"),
+]
+RESPONSE = [(b":status", b"200"), (b"content-type", b"text/html")]
+
+
+def _writer_pair(window: int = 4096) -> InMemoryTransportPair:
+    pair = InMemoryTransportPair(
+        H2Connection(Role.CLIENT, initial_window_size=window),
+        H2Connection(Role.SERVER),
+    )
+    pair.handshake()
+    return pair
+
+
+def _open_request(pair: InMemoryTransportPair) -> int:
+    stream_id = pair.client.conn.get_next_available_stream_id()
+    pair.client.conn.send_headers(stream_id, REQUEST, end_stream=True)
+    pair.pump()
+    return stream_id
+
+
+class TestWriterErrorPaths:
+    def test_stream_reset_mid_send_finishes_the_event(self):
+        events = EventLog()
+        pair = _writer_pair(window=4096)
+        stream_id = _open_request(pair)
+        writer = ConnectionWriter(pair.server.conn)
+        pair.server.conn.send_headers(stream_id, RESPONSE)
+        record = events.begin(
+            "server.request", path="/page", stream_id=stream_id, transport="memory"
+        )
+        record.set(status=200)
+        writer.enqueue(stream_id, b"x" * 16384, end_stream=True, event=record)
+        # First pump moves one window's worth, then parks on flow control
+        # — the response is genuinely mid-flight when the reset lands.
+        writer.pump()
+        pair.pump()
+        assert not record.finished
+        pair.client.conn.reset_stream(stream_id)
+        pair.pump()
+        writer.pump()
+        assert record.finished
+        fields = record.to_dict()
+        assert fields["error"] == "stream-reset"
+        assert fields["writer_frames"] >= 1
+        assert fields["writer_queue_s"] >= 0.0
+        assert events.open_count == 0
+
+    def test_abort_pending_finishes_queued_events_as_connection_closed(self):
+        events = EventLog()
+        pair = _writer_pair()
+        stream_id = _open_request(pair)
+        writer = ConnectionWriter(pair.server.conn)
+        pair.server.conn.send_headers(stream_id, RESPONSE)
+        record = events.begin(
+            "server.request", path="/page", stream_id=stream_id, transport="tcp"
+        )
+        writer.enqueue(stream_id, b"y" * 8192, end_stream=True, event=record)
+        aborted = writer.abort_pending()
+        assert aborted == 1
+        assert record.finished
+        assert record.to_dict()["error"] == "connection-closed"
+        assert events.open_count == 0
+
+
+class TestConcurrentMode:
+    def _serve(self, scenario_body, **server_kwargs):
+        """Run a TCP server + the given async client scenario."""
+
+        async def scenario():
+            server = GenerativeServer(_store(), **server_kwargs)
+            listener = await server.serve_forever("127.0.0.1", 0)
+            port = listener.sockets[0].getsockname()[1]
+            try:
+                await scenario_body(server, port)
+            finally:
+                listener.close()
+                await listener.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_generation_failure_event_and_recorder_note(self):
+        events = EventLog()
+        recorder = FlightRecorder(events=events)
+
+        async def body(server, port):
+            def broken_handle(path, *args, **kwargs):
+                raise RuntimeError("generation exploded")
+
+            server.handle_request = broken_handle
+            client = GenerativeClient(device=LAPTOP)
+            result = await asyncio.wait_for(
+                client.fetch_tcp("127.0.0.1", port, PAGE), timeout=30
+            )
+            assert result.status == 500
+
+        self._serve(body, events=events, recorder=recorder)
+        recorded = [e.to_dict() for e in events.events() if e.fields["event"] == "server.request"]
+        assert len(recorded) == 1
+        assert recorded[0]["status"] == 500
+        assert recorded[0]["error"] == "RuntimeError"
+        assert recorded[0]["transport"] == "tcp"
+        # The writer closed the event after shipping the 500 body.
+        assert recorded[0]["writer_frames"] >= 1
+        bundles = recorder.incidents()
+        assert [b["trigger"]["kind"] for b in bundles] == ["generation-failure"]
+        assert "RuntimeError" in bundles[0]["trigger"]["detail"]
+        assert events.open_count == 0
+
+    def test_failed_single_flight_leader_fans_error_to_every_event(self):
+        events = EventLog()
+        registry = MetricsRegistry()
+        recorder = FlightRecorder(events=events)
+        cold_calls = []
+        release = threading.Event()
+
+        async def body(server, port):
+            def failing_cold(page):
+                cold_calls.append(page.path)
+                release.wait(timeout=10)
+                raise RuntimeError("leader materialise failed")
+
+            server._materialise_cold = failing_cold
+            # Naive clients force server-side materialisation.
+            first = GenerativeClient(device=LAPTOP, gen_ability=False)
+            second = GenerativeClient(device=LAPTOP, gen_ability=False)
+            loop = asyncio.get_running_loop()
+            task_a = asyncio.ensure_future(first.fetch_tcp("127.0.0.1", port, PAGE))
+            # Wait until the leader is inside the cold path, start the
+            # follower, and only release the failure once both streams are
+            # in flight — the follower is then provably waiting on the
+            # leader's future, not running its own generation.
+            await loop.run_in_executor(None, lambda: _wait_for(lambda: cold_calls))
+            task_b = asyncio.ensure_future(second.fetch_tcp("127.0.0.1", port, PAGE))
+            await loop.run_in_executor(
+                None,
+                lambda: _wait_for(
+                    lambda: registry.value(
+                        "sww_server_inflight_streams", layer="sww", operation="serve"
+                    )
+                    == 2
+                ),
+            )
+            await asyncio.sleep(0.25)
+            release.set()
+            results = await asyncio.wait_for(
+                asyncio.gather(task_a, task_b), timeout=30
+            )
+            assert [r.status for r in results] == [500, 500]
+
+        self._serve(body, events=events, recorder=recorder, registry=registry)
+        # Exactly one generation ran: the follower coalesced onto the
+        # failed leader and inherited its exception.
+        assert cold_calls == [PAGE]
+        recorded = [e.to_dict() for e in events.events() if e.fields["event"] == "server.request"]
+        assert len(recorded) == 2
+        for fields in recorded:
+            assert fields["status"] == 500
+            assert fields["error"] == "RuntimeError"
+        # One bundle: the trigger is one-shot, the second failure finds it
+        # disarmed.
+        assert [b["trigger"]["kind"] for b in recorder.incidents()] == [
+            "generation-failure"
+        ]
+        assert events.open_count == 0
+
+
+def _wait_for(predicate, timeout_s: float = 10.0, interval_s: float = 0.01):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval_s)
+    raise AssertionError("condition not reached within timeout")
+
+
+class TestBatchErrorFanOut:
+    def test_batch_failure_errors_the_event_and_every_waiter(self, monkeypatch):
+        from repro.batching.engine import BatchingEngine
+        from repro.genai.registry import DEFAULT_IMAGE_MODEL
+
+        events = EventLog()
+
+        def exploding_batch(*args, **kwargs):
+            raise RuntimeError("kernel fault")
+
+        monkeypatch.setattr(
+            "repro.batching.engine.generate_image_batch", exploding_batch
+        )
+        with BatchingEngine(
+            WORKSTATION, max_batch=4, max_wait_s=0.05, events=events
+        ) as engine:
+            futures = [
+                engine.submit_image(DEFAULT_IMAGE_MODEL, f"prompt {i}")
+                for i in range(2)
+            ]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="kernel fault"):
+                    future.result(timeout=10)
+        recorded = [e.to_dict() for e in events.events()]
+        assert recorded, "no batch.execute event emitted"
+        assert all(f["event"] == "batch.execute" for f in recorded)
+        assert all(f["error"] == "RuntimeError" for f in recorded)
+        # Every waiter is accounted to some failed batch.
+        assert sum(f["batch_size"] for f in recorded) == 2
+        assert events.open_count == 0

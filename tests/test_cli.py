@@ -16,6 +16,7 @@ class TestParser:
         choices = actions["command"].choices
         assert set(choices) == {
             "serve", "fetch", "convert", "demo", "report", "stats", "trace", "top",
+            "incidents",
         }
 
     def test_demo_defaults(self):
@@ -35,6 +36,18 @@ class TestParser:
     def test_log_level_flag(self):
         args = build_parser().parse_args(["--log-level", "debug", "demo"])
         assert args.log_level == "debug"
+
+    def test_log_format_flag(self):
+        assert build_parser().parse_args(["demo"]).log_format == "text"
+        args = build_parser().parse_args(["--log-format", "json", "demo"])
+        assert args.log_format == "json"
+
+    def test_incidents_defaults(self):
+        args = build_parser().parse_args(["incidents", "list"])
+        assert args.action == "list" and args.incident is None
+        assert args.port == 8443 and args.from_artifacts is None
+        args = build_parser().parse_args(["incidents", "show", "incident-1"])
+        assert args.incident == "incident-1"
 
     def test_unknown_subcommand_exits(self):
         with pytest.raises(SystemExit):
@@ -350,5 +363,127 @@ class TestTopAndStatsWatch:
 
     def test_stats_watch_unreachable_server_fails_cleanly(self, capsys):
         code = main(["stats", "--watch", "--port", "1", "--iterations", "1"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestWatchRetry:
+    """Transient-outage tolerance of the `top`/`stats --watch` loops."""
+
+    def test_first_failure_is_fatal(self, capsys):
+        from repro.cli import _watch_poll, _WatchGaveUp
+
+        async def poll():
+            raise ConnectionRefusedError("refused")
+
+        with pytest.raises(_WatchGaveUp):
+            asyncio.run(_watch_poll(poll, "127.0.0.1", 1, ever_connected=False))
+        assert "cannot reach 127.0.0.1:1" in capsys.readouterr().err
+
+    def test_transient_failure_retries_after_connecting(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "WATCH_BACKOFF_S", 0.0)
+        calls = {"n": 0}
+
+        async def poll():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ConnectionResetError("reset mid-watch")
+            return {"ok": True}
+
+        result = asyncio.run(cli._watch_poll(poll, "h", 9, ever_connected=True))
+        assert result == {"ok": True} and calls["n"] == 3
+        err = capsys.readouterr().err
+        assert err.count("reconnecting to h:9") == 2
+        assert "cannot reach" not in err
+
+    def test_gives_up_after_max_retries(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(cli, "WATCH_BACKOFF_S", 0.0)
+
+        async def poll():
+            raise OSError("gone for good")
+
+        with pytest.raises(cli._WatchGaveUp):
+            asyncio.run(cli._watch_poll(poll, "h", 9, ever_connected=True))
+        err = capsys.readouterr().err
+        assert err.count("reconnecting to h:9") == cli.WATCH_MAX_RETRIES
+        assert f"after {cli.WATCH_MAX_RETRIES} retries" in err
+
+
+class TestIncidentsCommand:
+    @pytest.fixture
+    def artifact_dir(self, tmp_path):
+        """A directory of exported incident bundles (the CI artifact shape)."""
+        import json
+
+        from repro.obs import EventLog, FlightRecorder
+
+        events = EventLog()
+        events.begin("server.request", path="/boom").finish(status=500, error="RuntimeError")
+        recorder = FlightRecorder(events=events)
+        recorder.note("generation-failure", "RuntimeError on /boom")
+        recorder.note("loop-stall", "event-loop stall 80ms")
+        recorder.dump(tmp_path)
+        # A non-bundle JSON file must be ignored, not crash the listing.
+        (tmp_path / "BENCH_other.json").write_text(json.dumps({"pages": 3}))
+        return tmp_path
+
+    def test_list_from_artifacts(self, artifact_dir, capsys):
+        code = main(["incidents", "list", "--from-artifacts", str(artifact_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "incident-1" in out and "generation-failure" in out
+        assert "incident-2" in out and "loop-stall" in out
+        assert "BENCH_other" not in out
+
+    def test_show_from_artifacts(self, artifact_dir, capsys):
+        import json
+
+        code = main([
+            "incidents", "show", "incident-1", "--from-artifacts", str(artifact_dir),
+        ])
+        assert code == 0
+        bundle = json.loads(capsys.readouterr().out)
+        assert bundle["incident"] == "incident-1"
+        assert bundle["trigger"]["kind"] == "generation-failure"
+        assert any(e.get("error") == "RuntimeError" for e in bundle["events"])
+
+    def test_show_unknown_incident_fails(self, artifact_dir, capsys):
+        code = main([
+            "incidents", "show", "incident-99", "--from-artifacts", str(artifact_dir),
+        ])
+        assert code == 1
+        assert "no incident" in capsys.readouterr().err
+
+    def test_export_round_trips(self, artifact_dir, tmp_path, capsys):
+        import json
+
+        out_dir = tmp_path / "exported"
+        code = main([
+            "incidents", "export",
+            "--from-artifacts", str(artifact_dir),
+            "--dir", str(out_dir),
+        ])
+        assert code == 0
+        assert "exported 2 incident bundle(s)" in capsys.readouterr().out
+        written = sorted(out_dir.glob("*.json"))
+        assert [p.name for p in written] == ["incident-1.json", "incident-2.json"]
+        reread = json.loads(written[0].read_text())
+        assert reread["format"] == "sww-incident/1"
+
+    def test_list_empty_directory(self, tmp_path, capsys):
+        code = main(["incidents", "list", "--from-artifacts", str(tmp_path)])
+        assert code == 0
+        assert "no incidents captured" in capsys.readouterr().out
+
+    def test_missing_directory_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["incidents", "list", "--from-artifacts", str(tmp_path / "absent")])
+
+    def test_unreachable_server_fails_cleanly(self, capsys):
+        code = main(["incidents", "list", "--port", "1"])
         assert code == 1
         assert "cannot reach" in capsys.readouterr().err
