@@ -52,8 +52,10 @@ from repro.obs import (
 from repro.sww.client import GenerativeClient, connect_in_memory
 from repro.sww.server import GenerativeServer, PageResource, SiteStore
 from repro.workloads import (
+    build_harbour_gallery,
     build_news_article,
     build_travel_blog,
+    build_uniform_pages,
     build_wikimedia_landscape_page,
 )
 from repro.workloads.corpus import populate_traditional_assets
@@ -62,6 +64,7 @@ PAGES = {
     "wikimedia": build_wikimedia_landscape_page,
     "travel-blog": build_travel_blog,
     "news": build_news_article,
+    "gallery": build_harbour_gallery,
 }
 
 
@@ -131,6 +134,17 @@ def _make_engine(args: argparse.Namespace, device, registry=None, tracer=None):
 def _build_store(page_names: list[str]) -> SiteStore:
     store = SiteStore()
     for name in page_names:
+        # "uniform:N" expands to N distinct equal-cost single-image pages
+        # (the worker-scaling benchmark's unit of parallel work).
+        if name.startswith("uniform:"):
+            try:
+                count = int(name.split(":", 1)[1])
+            except ValueError:
+                raise SystemExit(f"bad page spec {name!r}; want uniform:<count>")
+            for page in build_uniform_pages(count):
+                store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+                populate_traditional_assets(store, page)
+            continue
         try:
             page = PAGES[name]()
         except KeyError:
@@ -141,6 +155,8 @@ def _build_store(page_names: list[str]) -> SiteStore:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers > 1:
+        return _serve_multiworker(args)
     store = _build_store(args.pages)
     device = get_device(args.device)
     registry = None
@@ -181,6 +197,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         concurrent_streams=not args.serial_streams,
         events=events,
         recorder=recorder,
+        memoise_pages=not args.no_page_memo,
     )
     if admin is not None:
         admin.bind(server)
@@ -206,6 +223,81 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("shutting down")
     return 0
+
+
+def _serve_multiworker(args: argparse.Namespace) -> int:
+    """``serve --workers N``: a pre-fork arbiter masters N serving workers.
+
+    The store is built once pre-fork (read-only after construction, so
+    copy-on-write shares it); everything stateful — registry, event log,
+    sampler, server, cache facade — is built per worker inside
+    ``runtime_factory``, which runs in the child after fork.
+    """
+    import os
+
+    from repro.serving import Arbiter, ArbiterConfig
+    from repro.serving.worker import WorkerRuntime
+
+    store = _build_store(args.pages)
+    device = get_device(args.device)
+    cache_tier = not (args.no_cache_tier or args.gencache_off)
+
+    def runtime_factory(worker_id: int, cache_address):
+        registry = None
+        events = None
+        tracer = None
+        sampler = None
+        if not args.no_telemetry:
+            from repro.obs import EventLog, TailSampler, TimeSeriesSampler
+
+            registry = MetricsRegistry()
+            # Key the event stream by pid: merged jsonl orders by
+            # (worker, seq) and respawned workers never collide.
+            events = EventLog(registry=registry, worker_id=os.getpid())
+            tracer = Tracer(registry=registry, tail=TailSampler(registry=registry))
+            sampler = TimeSeriesSampler(registry, interval_s=args.sample_interval)
+        remote = None
+        if cache_address is not None:
+            from repro.serving import RemoteGenerationCache
+
+            gencache = remote = RemoteGenerationCache(cache_address[0], cache_address[1])
+        else:
+            gencache = _make_gencache(args, registry)
+        server = GenerativeServer(
+            store,
+            device=device,
+            gen_ability=not args.no_gen_ability,
+            push_assets=args.push,
+            registry=registry,
+            tracer=tracer,
+            gencache=gencache,
+            engine=_make_engine(args, device, registry=registry, tracer=tracer),
+            concurrent_streams=not args.serial_streams,
+            events=events,
+            memoise_pages=not args.no_page_memo,
+        )
+        return WorkerRuntime(
+            server=server, registry=registry, events=events, sampler=sampler, gencache=remote
+        )
+
+    config = ArbiterConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        worker_timeout_s=args.worker_timeout,
+        heartbeat_interval_s=args.heartbeat_interval,
+        max_requests=args.max_requests,
+        connection_limit=args.worker_connections,
+        admin_host=args.host,
+        admin_port=args.admin_port,
+        cache_tier=cache_tier,
+        cache_port=args.cache_port,
+        cache_capacity_bytes=args.gencache_bytes,
+    )
+    try:
+        return Arbiter(config, runtime_factory).run()
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_fetch(args: argparse.Namespace) -> int:
@@ -778,6 +870,70 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         metavar="S",
         help="time-series sampler tick interval in seconds (default 1.0)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="pre-fork N serving workers under an arbiter (1 = the "
+             "single-process path, unchanged)",
+    )
+    serve.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="SIGKILL a worker whose heartbeat is older than this (default 30)",
+    )
+    serve.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="worker heartbeat/telemetry shipping interval (default 1.0)",
+    )
+    serve.add_argument(
+        "--max-requests",
+        type=int,
+        default=0,
+        metavar="N",
+        help="gracefully recycle a worker after N requests plus up to 10%% "
+             "deterministic jitter (0 = never)",
+    )
+    serve.add_argument(
+        "--worker-connections",
+        type=int,
+        default=0,
+        metavar="N",
+        help="cap concurrently held connections per worker; 1 makes the "
+             "shared-socket accept least-loaded (0 = unlimited)",
+    )
+    serve.add_argument(
+        "--admin-port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="arbiter admin plane port (multi-worker only; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--cache-port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="shared gencache tier port (multi-worker only; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--no-cache-tier",
+        action="store_true",
+        help="multi-worker: give each worker its own process-local gencache "
+             "instead of the arbiter's shared tier",
+    )
+    serve.add_argument(
+        "--no-page-memo",
+        action="store_true",
+        help="disable the server-generated page memo (every request "
+             "re-materialises through the gencache)",
     )
     _add_gencache_flags(serve)
     _add_batching_flags(serve)

@@ -47,6 +47,10 @@ from repro.obs.events import (
     events_to_jsonl,
 )
 from repro.obs.export import (
+    METRICS_DUMP_FORMAT,
+    dump_registry,
+    load_registry,
+    merge_registry_dumps,
     render_metrics_table,
     render_span_tree,
     spans_to_jsonl,
@@ -251,6 +255,10 @@ __all__ = [
     "to_openmetrics",
     "to_jsonl",
     "to_chrome_trace",
+    "METRICS_DUMP_FORMAT",
+    "dump_registry",
+    "load_registry",
+    "merge_registry_dumps",
     "render_metrics_table",
     "render_span_tree",
     "spans_to_jsonl",

@@ -22,7 +22,7 @@ from pathlib import Path
 
 #: First name token must be one of these layer prefixes.
 SUBSYSTEMS: frozenset[str] = frozenset(
-    {"http2", "sww", "genai", "cdn", "gencache", "batching", "obs", "slo"}
+    {"http2", "sww", "genai", "cdn", "gencache", "batching", "obs", "slo", "serving"}
 )
 
 #: Last name token must be one of these units/quantities.

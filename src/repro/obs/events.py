@@ -56,6 +56,7 @@ EVENT_FIELDS: dict[str, str] = {
     # -- identity / envelope -------------------------------------------- #
     "event": "event type: server.request, client.fetch, cdn.serve, batch.execute",
     "seq": "monotonic per-log sequence number, stamped at begin()",
+    "worker": "pid of the serving worker that recorded the event (multi-worker mode)",
     "trace_id": "W3C trace id joining the event to its distributed trace",
     "status": "final HTTP status (or 0 when the request never got one)",
     "error": "exception class or failure kind when the request failed",
@@ -221,7 +222,9 @@ class EventLog:
 
     enabled = True
 
-    def __init__(self, capacity: int = 2048, registry=None) -> None:
+    def __init__(
+        self, capacity: int = 2048, registry=None, worker_id: int | None = None
+    ) -> None:
         if capacity <= 0:
             raise ValueError("event ring capacity must be positive")
         self._ring: deque[WideEvent] = deque(maxlen=capacity)
@@ -231,6 +234,10 @@ class EventLog:
         #: Finished events evicted by ring overflow (never reset by reads).
         self.dropped = 0
         self._registry = registry
+        #: When set (multi-worker serving), every event carries a ``worker``
+        #: field so merged jsonl streams sort deterministically by
+        #: ``(worker, seq)`` and never collide across workers.
+        self.worker_id = worker_id
 
     @property
     def capacity(self) -> int:
@@ -250,6 +257,8 @@ class EventLog:
             seq = self._seq
             self._open += 1
         record = WideEvent(self, event, {"seq": seq})
+        if self.worker_id is not None:
+            record.fields["worker"] = self.worker_id
         record.set(**fields)
         return record
 

@@ -24,6 +24,10 @@ import math
 from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.tracing import Span, Tracer
 
+#: Format tag on registry dumps shipped worker → arbiter (multi-worker
+#: serving) and merged back into one registry on the master's admin plane.
+METRICS_DUMP_FORMAT = "sww-metrics/1"
+
 
 def _format_value(value: float) -> str:
     if value != value:  # NaN
@@ -133,6 +137,80 @@ def to_jsonl(registry: MetricsRegistry) -> str:
                 record["value"] = inst.value
             lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def dump_registry(registry: MetricsRegistry) -> dict:
+    """Serialise a registry to a JSON-safe ``sww-metrics/1`` document.
+
+    The inverse of :func:`load_registry`; dump → load round-trips every
+    counter, gauge and histogram (bucket bounds, per-bucket counts, sum,
+    count) exactly. Exemplars are intentionally dropped — they carry
+    trace-ids that are only resolvable inside the worker that minted them.
+    """
+    registry = registry.snapshot()
+    families: dict[str, dict] = {}
+    instruments: list[dict] = []
+    for name, kind, help, insts in registry.collect():
+        families[name] = {"kind": kind, "help": help}
+        for inst in insts:
+            record: dict = {"name": name, "labels": [list(pair) for pair in inst.labels]}
+            if isinstance(inst, Histogram):
+                record["buckets"] = list(inst.buckets)
+                record["counts"] = list(inst._counts)
+                record["sum"] = inst.sum
+                record["count"] = inst.count
+            else:
+                record["value"] = inst.value
+            instruments.append(record)
+    return {
+        "format": METRICS_DUMP_FORMAT,
+        "families": families,
+        "instruments": instruments,
+    }
+
+
+def load_registry(doc: dict, into: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Reconstruct a registry from a ``sww-metrics/1`` dump.
+
+    With ``into``, the dump is *added* onto the existing registry —
+    counters and histograms sum, gauges add (occupancy semantics: two
+    workers each holding 3 streams really are 6 in-flight streams) —
+    which is exactly the per-worker → fleet aggregation the arbiter's
+    ``/metrics`` endpoint needs. Histogram bucket bounds must agree with
+    whatever ``into`` already holds for the same instrument.
+    """
+    if doc.get("format") != METRICS_DUMP_FORMAT:
+        raise ValueError(f"not a {METRICS_DUMP_FORMAT} dump: {doc.get('format')!r}")
+    registry = into if into is not None else MetricsRegistry()
+    families = doc["families"]
+    for record in doc["instruments"]:
+        name = record["name"]
+        kind, help = families[name]["kind"], families[name]["help"]
+        labels = {key: value for key, value in record["labels"]}
+        if kind == "counter":
+            registry.counter(name, help, **labels).inc(record["value"])
+        elif kind == "gauge":
+            registry.gauge(name, help, **labels).inc(record["value"])
+        elif kind == "histogram":
+            bounds = tuple(record["buckets"])
+            hist = registry.histogram(name, help, buckets=bounds, **labels)
+            if hist.buckets != bounds:
+                raise ValueError(f"histogram {name!r} bucket bounds disagree across dumps")
+            with hist._lock:
+                hist._counts = [a + b for a, b in zip(hist._counts, record["counts"])]
+                hist._sum += record["sum"]
+                hist._count += record["count"]
+        else:
+            raise ValueError(f"unknown instrument kind {kind!r} in dump")
+    return registry
+
+
+def merge_registry_dumps(dumps) -> MetricsRegistry:
+    """Merge N per-worker ``sww-metrics/1`` dumps into one registry."""
+    registry = MetricsRegistry()
+    for doc in dumps:
+        load_registry(doc, into=registry)
+    return registry
 
 
 def render_metrics_table(registry: MetricsRegistry) -> str:

@@ -110,9 +110,20 @@ class IdSource:
     ``sww trace`` CLI); unseeded it draws from the OS like any tracer.
     The head-based sampling coin also lives here so a seed pins the whole
     trace shape, ids and sampling decisions alike.
+
+    ``namespace`` (multi-worker serving: the worker pid) is mixed into the
+    seed so N workers forked from one configuration draw from N disjoint
+    deterministic streams instead of minting colliding ids. The mix is
+    pure integer arithmetic — never ``hash(str)`` — so it is stable across
+    processes regardless of ``PYTHONHASHSEED``.
     """
 
-    def __init__(self, seed: int | None = None) -> None:
+    def __init__(self, seed: int | None = None, namespace: int | None = None) -> None:
+        if seed is not None and namespace is not None:
+            # Weyl-sequence style mixing (golden-ratio multiplier); +1 keeps
+            # namespace 0 distinct from "no namespace". Unseeded sources
+            # ignore the namespace — OS entropy is already collision-free.
+            seed = (seed * 0x9E3779B97F4A7C15 + namespace + 1) & (2**64 - 1)
         self._rng = random.Random(seed)
 
     def trace_id(self) -> str:

@@ -1,0 +1,59 @@
+"""repro.serving — pre-fork multi-worker serving (the arbiter).
+
+Everything before this package runs the generative server as one process
+on one event loop; generation capacity — the paper's scarce resource —
+is therefore capped at a single core. This package adds the gunicorn-
+style process model on top of the existing building blocks without
+changing any of them:
+
+* :mod:`repro.serving.arbiter` — the master: binds the listening socket,
+  forks N workers, reaps/respawns on SIGCHLD, SIGKILLs workers whose
+  heartbeat goes stale, scales up/down on SIGTTIN/SIGTTOU, rolls the
+  fleet on SIGHUP, and aggregates per-worker telemetry onto its own
+  admin plane (``/metrics``, ``/healthz``, ``/debug/workers``);
+* :mod:`repro.serving.worker` — one forked worker: accepts on the shared
+  inherited socket, drives :meth:`GenerativeServer.handle_connection`,
+  drains gracefully on SIGTERM (in-flight streams finish, queued writer
+  bytes flush) and ships heartbeat/metrics/timeseries/event frames to
+  the master over its control pipe;
+* :mod:`repro.serving.cachetier` — the shared gencache tier: a
+  lightweight cache server spoken to over the repo's own HTTP/2 stack
+  under the reserved ``sww-cache.internal`` authority, extending the
+  gencache's single-flight leadership across process boundaries;
+* :mod:`repro.serving.remote` — the worker-side
+  :class:`~repro.gencache.GenerationCache`-compatible facade over that
+  tier;
+* :mod:`repro.serving.protocol` — the length-prefixed JSON control-pipe
+  frames workers ship telemetry over;
+* :mod:`repro.serving.h2util` — a minimal respond-only HTTP/2 server
+  loop shared by the cache tier and the master admin plane.
+"""
+
+from repro.serving.arbiter import Arbiter, ArbiterConfig
+from repro.serving.cachetier import CACHE_AUTHORITY, CacheTierServer
+from repro.serving.h2util import MiniH2Server, MiniRequest, MiniResponse
+from repro.serving.protocol import (
+    FrameError,
+    encode_frame,
+    read_frame,
+    write_frame_blocking,
+)
+from repro.serving.remote import RemoteGenerationCache
+from repro.serving.worker import WorkerOptions, worker_main
+
+__all__ = [
+    "Arbiter",
+    "ArbiterConfig",
+    "CACHE_AUTHORITY",
+    "CacheTierServer",
+    "MiniH2Server",
+    "MiniRequest",
+    "MiniResponse",
+    "FrameError",
+    "encode_frame",
+    "read_frame",
+    "write_frame_blocking",
+    "RemoteGenerationCache",
+    "WorkerOptions",
+    "worker_main",
+]

@@ -1,0 +1,190 @@
+"""A minimal respond-only HTTP/2 server loop over the repo's own stack.
+
+The cache tier and the arbiter's master admin plane both need the same
+small thing: accept connections, aggregate each request stream's headers
+and body, call an async handler once the stream ends, and ship the
+response through the flow-control-aware :class:`ConnectionWriter`. The
+full :class:`~repro.sww.server.GenerativeServer` brings negotiation,
+generation pipelines and wide events along — none of which a cache or
+admin endpoint wants — so this module is the thin alternative: the same
+engine (:class:`~repro.http2.connection.H2Connection`), the same
+transport, no content semantics.
+
+Flow-control notes: request bodies replenish the *connection-level*
+window as they arrive (per-stream windows start at the engine's 16 MiB
+initial size and streams here are one-shot, so stream-level top-ups are
+unnecessary — the admin-fetch client takes the same view). Response
+bodies go through the writer so a slow peer parks the stream instead of
+blocking the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from dataclasses import dataclass, field
+
+from repro.http2.connection import (
+    ConnectionTerminated,
+    DataReceived,
+    H2Connection,
+    RequestReceived,
+    Role,
+    StreamEnded,
+    StreamReset,
+    WindowUpdated,
+)
+from repro.http2.errors import H2Error
+from repro.http2.transport import AsyncH2Transport
+from repro.http2.writer import ConnectionWriter
+
+logger = logging.getLogger("repro.serving.h2util")
+
+
+@dataclass
+class MiniRequest:
+    """One fully received request stream."""
+
+    method: str
+    path: str
+    authority: str
+    body: bytes
+    stream_id: int
+
+
+@dataclass
+class MiniResponse:
+    """What a handler returns; rendered to HEADERS + DATA."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    #: Extra response headers beyond status/content-type/length.
+    headers: list[tuple[bytes, bytes]] = field(default_factory=list)
+
+    def header_list(self) -> list[tuple[bytes, bytes]]:
+        return [
+            (b":status", str(self.status).encode()),
+            (b"content-type", self.content_type.encode()),
+            (b"content-length", str(len(self.body)).encode()),
+            *self.headers,
+        ]
+
+
+class MiniH2Server:
+    """Respond-only HTTP/2 server: one async handler, no content store.
+
+    ``handler`` is ``async (MiniRequest) -> MiniResponse``; it runs on
+    the event loop (handlers must be cheap or await). Exceptions become
+    500s so one bad request never kills the connection.
+    """
+
+    def __init__(self, handler, registry=None) -> None:
+        self.handler = handler
+        self.registry = registry
+
+    async def serve(self, sock=None, host: str = "127.0.0.1", port: int = 0):
+        """Start listening; pass ``sock`` to adopt a pre-bound socket."""
+        if sock is not None:
+            return await asyncio.start_server(self.handle_connection, sock=sock)
+        return await asyncio.start_server(self.handle_connection, host, port)
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = H2Connection(Role.SERVER, gen_ability=False, registry=self.registry)
+        transport = AsyncH2Transport(conn, reader, writer)
+        conn.initiate_connection()
+        try:
+            await transport.flush()
+        except (ConnectionError, OSError):
+            await transport.close()
+            return
+        out = ConnectionWriter(conn)
+        streams: dict[int, MiniRequest] = {}
+        tasks: set[asyncio.Task] = set()
+
+        async def respond(request: MiniRequest) -> None:
+            try:
+                response = await self.handler(request)
+            except Exception:
+                logger.exception("handler failed for %s %s", request.method, request.path)
+                response = MiniResponse(
+                    status=500, body=b"handler error", content_type="text/plain"
+                )
+            try:
+                conn.send_headers(request.stream_id, response.header_list())
+                out.enqueue(request.stream_id, response.body, end_stream=True)
+            except H2Error:
+                logger.warning("stream %d died under its response", request.stream_id)
+                return
+            transport.wake_writer()
+
+        async def dispatch(event) -> None:
+            if isinstance(event, RequestReceived):
+                headers = dict(event.headers)
+                streams[event.stream_id] = MiniRequest(
+                    method=headers.get(b":method", b"GET").decode("utf-8", "replace"),
+                    path=headers.get(b":path", b"/").decode("utf-8", "replace"),
+                    authority=headers.get(b":authority", b"").decode("utf-8", "replace"),
+                    body=b"",
+                    stream_id=event.stream_id,
+                )
+            elif isinstance(event, DataReceived):
+                request = streams.get(event.stream_id)
+                if request is not None:
+                    request.body += event.data
+                if event.flow_controlled_length > 0:
+                    # Keep the connection-level window topped up; stream
+                    # windows are 16 MiB fresh per one-shot stream.
+                    conn.increment_flow_control_window(event.flow_controlled_length)
+            elif isinstance(event, StreamEnded):
+                request = streams.pop(event.stream_id, None)
+                if request is not None:
+                    task = asyncio.create_task(respond(request))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+            elif isinstance(event, (WindowUpdated, ConnectionTerminated)):
+                transport.wake_writer()
+            elif isinstance(event, StreamReset):
+                streams.pop(event.stream_id, None)
+                transport.wake_writer()
+
+        async def pump() -> None:
+            while not transport.closed.is_set():
+                await transport.wait_writable()
+                while not out.idle:
+                    wrote = out.pump()
+                    try:
+                        await transport.flush()
+                    except (ConnectionError, OSError):
+                        return
+                    if wrote == 0:
+                        break
+
+        pump_task = asyncio.create_task(pump())
+        try:
+            await transport.run(dispatch, close_on_exit=False)
+            # Let queued responses leave before the socket closes.
+            for task in list(tasks):
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+            while not out.idle:
+                if out.pump() == 0:
+                    break
+                try:
+                    await transport.flush()
+                except (ConnectionError, OSError):
+                    break
+        finally:
+            pump_task.cancel()
+            try:
+                await pump_task
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+            for task in tasks:
+                task.cancel()
+            out.abort_pending()
+            await transport.close()

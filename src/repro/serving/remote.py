@@ -1,0 +1,366 @@
+"""Worker-side facade over the shared cache tier.
+
+:class:`RemoteGenerationCache` speaks the cache-tier protocol
+(:mod:`repro.serving.cachetier`) and presents the exact blocking
+interface :class:`~repro.sww.media_generator.MediaGenerator` expects of
+a :class:`~repro.gencache.GenerationCache` — ``lookup`` / ``insert`` /
+``record_coalesced`` / ``hit_time_s`` — so a forked worker plugs the
+tier in where the in-process cache used to sit, without the generator
+learning anything changed.
+
+Concurrency model: one daemon thread runs a private event loop holding
+one persistent HTTP/2 connection to the tier. Every blocking call
+submits its own coroutine with ``run_coroutine_threadsafe`` — calls are
+*not* serialised, because a ``GET`` parked on a cross-worker flight
+(long-poll) must not block a concurrent ``PUT`` for a different key on
+the same connection. Streams multiplex by id; all engine operations are
+loop-confined and each request allocates its stream id and sends its
+HEADERS without an intervening await, so no lock is needed.
+
+Failure model: degrade, never break. A tier that is down, slow, or
+resetting streams makes ``lookup`` return ``None`` (the worker
+generates locally, exactly as with no cache), ``insert`` return False,
+and ``record_coalesced`` a no-op. One reconnect is attempted per call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import threading
+
+from repro.gencache.store import HIT_LOOKUP_TIME_S, CachedGeneration, GenCacheStats
+from repro.http2.connection import (
+    ConnectionTerminated,
+    DataReceived,
+    H2Connection,
+    ResponseReceived,
+    Role,
+    SettingsAcknowledged,
+    StreamEnded,
+    StreamReset,
+)
+from repro.http2.transport import AsyncH2Transport
+from repro.serving.cachetier import (
+    CACHE_AUTHORITY,
+    DEFAULT_FLIGHT_TIMEOUT_S,
+    decode_envelope,
+    encode_envelope,
+)
+
+logger = logging.getLogger("repro.serving.remote")
+
+#: Ordinary round-trip budget (connect + handshake + respond).
+DEFAULT_CALL_TIMEOUT_S = 15.0
+
+
+class _Stream:
+    __slots__ = ("future", "status", "headers", "body")
+
+    def __init__(self, future: asyncio.Future) -> None:
+        self.future = future
+        self.status = 0
+        self.headers: dict[bytes, bytes] = {}
+        self.body = bytearray()
+
+
+class _Channel:
+    __slots__ = ("conn", "transport", "run_task", "ready", "dead", "streams")
+
+    def __init__(self, conn: H2Connection, transport: AsyncH2Transport) -> None:
+        self.conn = conn
+        self.transport = transport
+        self.run_task: asyncio.Task | None = None
+        self.ready = asyncio.Event()
+        self.dead = False
+        self.streams: dict[int, _Stream] = {}
+
+    def fail_all(self, exc: Exception) -> None:
+        self.dead = True
+        for stream in self.streams.values():
+            if not stream.future.done():
+                stream.future.set_exception(exc)
+        self.streams.clear()
+
+
+class RemoteGenerationCache:
+    """GenerationCache-compatible client for the shared cache tier."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        authority: str = CACHE_AUTHORITY,
+        hit_time_s: float = HIT_LOOKUP_TIME_S,
+        call_timeout_s: float = DEFAULT_CALL_TIMEOUT_S,
+        flight_timeout_s: float = DEFAULT_FLIGHT_TIMEOUT_S,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.authority = authority
+        #: Simulated cost the generator charges for a (remote) hit — same
+        #: in-memory-lookup constant as the local cache: the tier lives on
+        #: the same host and the simulation's cost model is unchanged.
+        self.hit_time_s = hit_time_s
+        self.call_timeout_s = call_timeout_s
+        #: A lookup may legitimately park for a whole cross-worker flight.
+        self.lookup_timeout_s = flight_timeout_s + call_timeout_s
+        #: Local view of outcomes this worker observed at the tier.
+        self.stats = GenCacheStats()
+        #: Calls that degraded to cache-off behaviour (tier unreachable).
+        self.errors = 0
+        self._stats_lock = threading.Lock()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._start_lock = threading.Lock()
+        self._channel: _Channel | None = None
+        self._connect_lock: asyncio.Lock | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Blocking facade (called from generation/executor threads)
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, key) -> CachedGeneration | None:
+        """Tier lookup. Hit/coalesced → a record; miss (we lead) or any
+        tier failure → None (the caller generates)."""
+        try:
+            status, headers, body = self._call(
+                "GET", f"/gencache/{key.digest}", timeout=self.lookup_timeout_s
+            )
+        except Exception as exc:
+            self._degraded("lookup", exc)
+            return None
+        if status != 200:
+            with self._stats_lock:
+                self.stats.misses += 1
+            return None
+        try:
+            doc = decode_envelope(bytes(body))
+        except (ValueError, KeyError) as exc:
+            self._degraded("decode", exc)
+            return None
+        outcome = headers.get(b"x-sww-cache", b"hit")
+        with self._stats_lock:
+            if outcome == b"coalesced":
+                self.stats.coalesced += 1
+            else:
+                self.stats.hits += 1
+        return CachedGeneration(
+            key=key,
+            payload=doc["payload"],
+            text=doc.get("text", ""),
+            sim_time_s=float(doc.get("sim_time_s", 0.0)),
+            energy_wh=float(doc.get("energy_wh", 0.0)),
+        )
+
+    def insert(
+        self,
+        key,
+        payload: bytes,
+        text: str = "",
+        sim_time_s: float = 0.0,
+        energy_wh: float = 0.0,
+        size_bytes: int | None = None,
+    ) -> bool:
+        """Publish a generated result to the tier (wakes parked waiters)."""
+        envelope = encode_envelope(payload, text, sim_time_s, energy_wh)
+        try:
+            status, _headers, _body = self._call(
+                "PUT", f"/gencache/{key.digest}", body=envelope
+            )
+        except Exception as exc:
+            self._degraded("insert", exc)
+            return False
+        if status == 204:
+            with self._stats_lock:
+                self.stats.insertions += 1
+            return True
+        with self._stats_lock:
+            self.stats.rejected += 1
+        return False
+
+    def record_coalesced(self, saved_sim_s: float, saved_energy_wh: float) -> None:
+        """Forward an in-process coalesce so fleet stats stay exact."""
+        import json
+
+        body = json.dumps(
+            {"saved_sim_s": saved_sim_s, "saved_energy_wh": saved_energy_wh},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        try:
+            self._call("POST", "/coalesced", body=body)
+        except Exception as exc:
+            self._degraded("coalesced", exc)
+            return
+        with self._stats_lock:
+            self.stats.coalesced += 1
+
+    def tier_stats(self) -> dict:
+        """The tier's authoritative stats document (``GET /stats``)."""
+        import json
+
+        status, _headers, body = self._call("GET", "/stats")
+        if status != 200:
+            raise RuntimeError(f"cache tier /stats returned {status}")
+        return json.loads(bytes(body).decode("utf-8"))
+
+    def close(self) -> None:
+        """Tear down the channel and the background loop thread."""
+        self._closed = True
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            asyncio.run_coroutine_threadsafe(self._shutdown(), loop).result(5.0)
+        except Exception:
+            pass
+        loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------ #
+    # Background loop
+    # ------------------------------------------------------------------ #
+
+    def _start(self) -> None:
+        if self._loop is not None:
+            return
+        with self._start_lock:
+            if self._loop is not None:
+                return
+            loop = asyncio.new_event_loop()
+            thread = threading.Thread(
+                target=loop.run_forever, name="sww-cache-client", daemon=True
+            )
+            thread.start()
+            self._thread = thread
+            self._loop = loop
+
+    def _call(
+        self, method: str, path: str, body: bytes | None = None, timeout: float | None = None
+    ) -> tuple[int, dict[bytes, bytes], bytes]:
+        if self._closed:
+            raise ConnectionError("remote cache closed")
+        self._start()
+        future = asyncio.run_coroutine_threadsafe(
+            self._request(method, path, body), self._loop
+        )
+        return future.result(timeout if timeout is not None else self.call_timeout_s)
+
+    async def _request(
+        self, method: str, path: str, body: bytes | None
+    ) -> tuple[int, dict[bytes, bytes], bytes]:
+        last_error: Exception | None = None
+        for attempt in range(2):
+            try:
+                channel = await self._ensure_channel()
+                return await self._issue(channel, method, path, body)
+            except (ConnectionError, OSError) as exc:
+                last_error = exc
+                self._channel = None
+        raise last_error if last_error is not None else ConnectionError("cache tier unreachable")
+
+    async def _ensure_channel(self) -> _Channel:
+        if self._connect_lock is None:
+            self._connect_lock = asyncio.Lock()
+        async with self._connect_lock:
+            channel = self._channel
+            if channel is not None and not channel.dead:
+                return channel
+            return await self._connect()
+
+    async def _connect(self) -> _Channel:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        conn = H2Connection(Role.CLIENT, gen_ability=False)
+        transport = AsyncH2Transport(conn, reader, writer)
+        conn.initiate_connection()
+        await transport.flush()
+        channel = _Channel(conn, transport)
+        channel.run_task = asyncio.ensure_future(self._drive(channel))
+        try:
+            await asyncio.wait_for(channel.ready.wait(), self.call_timeout_s)
+        except asyncio.TimeoutError as exc:
+            channel.fail_all(ConnectionError("cache tier handshake timed out"))
+            await transport.close()
+            raise ConnectionError("cache tier handshake timed out") from exc
+        self._channel = channel
+        return channel
+
+    async def _drive(self, channel: _Channel) -> None:
+        conn = channel.conn
+
+        async def on_event(event) -> None:
+            if isinstance(event, SettingsAcknowledged):
+                channel.ready.set()
+            elif isinstance(event, ResponseReceived):
+                stream = channel.streams.get(event.stream_id)
+                if stream is not None:
+                    stream.headers = dict(event.headers)
+                    stream.status = int(stream.headers.get(b":status", b"0"))
+            elif isinstance(event, DataReceived):
+                stream = channel.streams.get(event.stream_id)
+                if stream is not None:
+                    stream.body.extend(event.data)
+                if event.flow_controlled_length > 0:
+                    conn.increment_flow_control_window(event.flow_controlled_length)
+            elif isinstance(event, StreamEnded):
+                stream = channel.streams.pop(event.stream_id, None)
+                if stream is not None and not stream.future.done():
+                    stream.future.set_result(
+                        (stream.status, stream.headers, bytes(stream.body))
+                    )
+            elif isinstance(event, StreamReset):
+                stream = channel.streams.pop(event.stream_id, None)
+                if stream is not None and not stream.future.done():
+                    stream.future.set_exception(
+                        ConnectionError(f"cache tier reset stream {event.stream_id}")
+                    )
+            elif isinstance(event, ConnectionTerminated):
+                channel.fail_all(ConnectionError("cache tier sent GOAWAY"))
+
+        try:
+            await channel.transport.run(on_event)
+        except (ConnectionError, OSError) as exc:
+            channel.fail_all(ConnectionError(str(exc)))
+        finally:
+            channel.fail_all(ConnectionError("cache tier connection closed"))
+
+    async def _issue(
+        self, channel: _Channel, method: str, path: str, body: bytes | None
+    ) -> tuple[int, dict[bytes, bytes], bytes]:
+        conn = channel.conn
+        loop = asyncio.get_running_loop()
+        # Stream-id allocation through send_headers happens with no await
+        # in between, so concurrent _issue coroutines can't interleave ids.
+        stream_id = conn.get_next_available_stream_id()
+        stream = _Stream(loop.create_future())
+        channel.streams[stream_id] = stream
+        headers = [
+            (b":method", method.encode("ascii")),
+            (b":path", path.encode("utf-8")),
+            (b":scheme", b"https"),
+            (b":authority", self.authority.encode("ascii")),
+            (b"user-agent", b"sww-cache-client/1.0"),
+        ]
+        conn.send_headers(stream_id, headers, end_stream=body is None)
+        if body is not None:
+            conn.send_data(stream_id, body, end_stream=True)
+        await channel.transport.flush()
+        return await stream.future
+
+    async def _shutdown(self) -> None:
+        channel = self._channel
+        self._channel = None
+        if channel is None:
+            return
+        channel.fail_all(ConnectionError("remote cache closed"))
+        if channel.run_task is not None:
+            channel.run_task.cancel()
+        await channel.transport.close()
+
+    def _degraded(self, operation: str, exc: Exception) -> None:
+        with self._stats_lock:
+            self.errors += 1
+        logger.warning("cache tier %s degraded (%s: %s)", operation, type(exc).__name__, exc)

@@ -155,6 +155,7 @@ class GenerativeServer:
         concurrent_streams: bool = True,
         events=None,
         recorder=None,
+        memoise_pages: bool = True,
     ) -> None:
         self.store = store
         self.device = device
@@ -199,6 +200,11 @@ class GenerativeServer:
         self.concurrent_streams = concurrent_streams
         #: Cache of server-side generated traditional pages (path → html,
         #: assets), so repeat naive clients don't re-pay generation.
+        #: ``memoise_pages=False`` disables the page-level memo (every
+        #: request re-materialises through the item-level gencache) — used
+        #: when the interesting cache is a shared tier whose hit rate the
+        #: page memo would mask.
+        self.memoise_pages = memoise_pages
         self._server_generated: dict[str, tuple[str, dict[str, bytes], float, float]] = {}
         #: Per-path single-flight coordination for concurrent materialise
         #: calls: followers wait on the leader's future instead of paying a
@@ -371,7 +377,7 @@ class GenerativeServer:
         future and are accounted like cache hits (0 extra simulated cost),
         exactly as a serial request stream would have hit the page cache.
         """
-        cached = self._server_generated.get(page.path)
+        cached = self._server_generated.get(page.path) if self.memoise_pages else None
         if cached is not None:
             return self._materialised_hit(cached, "hit")
         with self._materialise_lock:
@@ -447,7 +453,8 @@ class GenerativeServer:
             report.sim_time_s,
         )
         entry = (html, dict(report.assets), report.sim_time_s, report.energy_wh)
-        self._server_generated[page.path] = entry
+        if self.memoise_pages:
+            self._server_generated[page.path] = entry
         return entry
 
     def _sign_page(self, html: str) -> bytes:
@@ -506,6 +513,23 @@ class GenerativeServer:
         """Live (not yet collected) sessions, for the admin plane."""
         return list(self._sessions)
 
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one accepted TCP connection start to finish.
+
+        Builds the per-connection engine + session and runs it until the
+        peer goes away. Public so alternative accept loops (the pre-fork
+        worker in :mod:`repro.serving.worker`) can drive the exact same
+        connection path :meth:`serve_forever` uses.
+        """
+        conn = H2Connection(Role.SERVER, gen_ability=self.gen_ability, registry=self.registry)
+        session = self.attach(conn)
+        transport = AsyncH2Transport(conn, reader, writer)
+        conn.initiate_connection()
+        await transport.flush()
+        await session.run(transport, concurrent=self.concurrent_streams)
+
     async def serve_forever(self, host: str = "127.0.0.1", port: int = 0) -> asyncio.AbstractServer:
         """Listen on TCP; each connection gets its own engine + session.
 
@@ -515,20 +539,11 @@ class GenerativeServer:
         :class:`~repro.http2.writer.ConnectionWriter`. Setting it to False
         restores the serial seed behaviour for baseline comparisons.
         """
-
-        async def on_connect(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
-            conn = H2Connection(Role.SERVER, gen_ability=self.gen_ability, registry=self.registry)
-            session = self.attach(conn)
-            transport = AsyncH2Transport(conn, reader, writer)
-            conn.initiate_connection()
-            await transport.flush()
-            await session.run(transport, concurrent=self.concurrent_streams)
-
         if self.admin is not None:
             # Start the telemetry plane's background sampling alongside the
             # listener (idempotent; no-op without a sampler configured).
             self.admin.start()
-        return await asyncio.start_server(on_connect, host, port)
+        return await asyncio.start_server(self.handle_connection, host, port)
 
 
 class ServerSession:
@@ -856,6 +871,18 @@ class ServerSession:
             await self._transport.flush()
         except (ConnectionError, OSError):
             pass
+
+    async def shutdown(self, timeout_s: float = 30.0) -> None:
+        """Server-initiated graceful close (worker drain path).
+
+        Marks the session draining so late streams are refused, reuses
+        :meth:`drain` to finish in-flight streams and flush every queued
+        writer byte within flow-control credit, then closes the transport —
+        which unblocks the read loop so :meth:`run` returns.
+        """
+        await self.drain(timeout_s)
+        if self._transport is not None:
+            await self._transport.close()
 
     def debug_state(self) -> dict:
         """Live connection state for the admin plane's ``/debug/streams``."""

@@ -13,6 +13,8 @@ from repro.workloads.corpus import (
     build_wikimedia_landscape_page,
     build_travel_blog,
     build_news_article,
+    build_harbour_gallery,
+    build_uniform_pages,
     landscape_prompts,
 )
 from repro.workloads.traffic import TrafficModel, MOBILE_WEB_EB_PER_MONTH
@@ -22,6 +24,8 @@ __all__ = [
     "build_wikimedia_landscape_page",
     "build_travel_blog",
     "build_news_article",
+    "build_harbour_gallery",
+    "build_uniform_pages",
     "landscape_prompts",
     "TrafficModel",
     "MOBILE_WEB_EB_PER_MONTH",

@@ -305,3 +305,81 @@ def build_travel_blog(seed: str = "travel-blog") -> CorpusPage:
     page.sww_html = header + "".join(sww_parts) + footer
     page.traditional_html = header + "".join(trad_parts) + footer
     return page
+
+def build_harbour_gallery(seed: str = "gallery") -> CorpusPage:
+    """A gallery whose divisions repeat prompts (same artwork, several
+    placements) — in-page duplication that single-flight generation and
+    the gencache coalesce. Shared by the gencache and worker-scaling
+    benchmarks so their Zipf replays hit identical content.
+    """
+    prompts = [
+        "a watercolor of a lighthouse on a basalt headland",
+        "a watercolor of a lighthouse on a basalt headland",
+        "an ink sketch of fishing boats at low tide",
+        "an ink sketch of fishing boats at low tide",
+        "a watercolor of a lighthouse on a basalt headland",
+        "a linocut print of gulls over a breakwater",
+    ]
+    page = CorpusPage(
+        path="/gallery/harbour",
+        title="Harbour gallery",
+        sww_html="",
+        traditional_html="",
+        prompts=list(prompts),
+    )
+    sww_items: list[str] = []
+    trad_items: list[str] = []
+    for index, prompt in enumerate(prompts):
+        name = f"gallery-{index:02d}"
+        item = GeneratedContent.image(prompt, name=name, width=256, height=256)
+        sww_items.append(_element_html(item))
+        trad_items.append(
+            f'<img src="/gallery/{name}.jpg" alt="{prompt}" width="256" height="256">'
+        )
+        page.image_sizes.append((256, 256))
+        page.account.add_item(name, jpeg_size(256, 256), item.wire_size_bytes(), kind="media")
+    header = (
+        "<!DOCTYPE html><html><head><title>Harbour gallery</title></head>"
+        "<body><h1>Harbour gallery</h1>"
+    )
+    footer = "</body></html>"
+    page.sww_html = header + "".join(sww_items) + footer
+    page.traditional_html = header + "".join(trad_items) + footer
+    return page
+
+
+def build_uniform_pages(count: int, seed: str = "uniform", side: int = 192) -> list[CorpusPage]:
+    """``count`` distinct pages of identical generation cost.
+
+    Each page carries exactly one ``side``×``side`` image with a unique
+    prompt, so a fleet serving them pays ``count`` equal generation
+    bills — the worker-scaling benchmark's unit of parallel work (with
+    equal costs, ideal speedup is exactly the worker count).
+    """
+    prompts = landscape_prompts(count, seed)
+    pages: list[CorpusPage] = []
+    for index, prompt in enumerate(prompts):
+        name = f"uniform-{index:02d}"
+        page = CorpusPage(
+            path=f"/uniform/{name}",
+            title=f"Uniform page {index:02d}",
+            sww_html="",
+            traditional_html="",
+            prompts=[prompt],
+            image_sizes=[(side, side)],
+        )
+        item = GeneratedContent.image(prompt, name=name, width=side, height=side)
+        header = (
+            f"<!DOCTYPE html><html><head><title>Uniform page {index:02d}"
+            "</title></head><body>"
+        )
+        footer = "</body></html>"
+        page.sww_html = header + _element_html(item) + footer
+        page.traditional_html = (
+            header
+            + f'<img src="/uniform/{name}.jpg" alt="{prompt}" width="{side}" height="{side}">'
+            + footer
+        )
+        page.account.add_item(name, jpeg_size(side, side), item.wire_size_bytes(), kind="media")
+        pages.append(page)
+    return pages

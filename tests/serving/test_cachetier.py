@@ -1,0 +1,138 @@
+"""The shared gencache tier: cross-process single-flight over HTTP/2."""
+
+import asyncio
+import threading
+
+from repro.gencache.store import CachedGeneration, GenerationCache
+from repro.obs import MetricsRegistry
+from repro.serving.cachetier import CacheTierServer
+from repro.serving.remote import RemoteGenerationCache
+
+
+class _Key:
+    """Stand-in for a GenerationKey: the cache addresses by digest only."""
+
+    def __init__(self, digest: str) -> None:
+        self.digest = digest
+
+
+def _run_with_tier(flight_timeout_s, body):
+    """Serve a tier on an ephemeral port and run ``body(tier, port)``."""
+
+    async def main():
+        tier = CacheTierServer(registry=MetricsRegistry(), flight_timeout_s=flight_timeout_s)
+        server = await tier.server().serve(host="127.0.0.1", port=0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            return await asyncio.get_running_loop().run_in_executor(
+                None, body, tier, port
+            )
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    return asyncio.run(main())
+
+
+def test_cross_worker_single_flight_coalesces():
+    """Two 'workers' ask for the same key concurrently: exactly one
+    generation, one coalesced waiter, bit-identical payloads."""
+    payload = b"\x00\x01generated-bytes\xff" * 64
+    results = {}
+
+    def body(tier, port):
+        worker_a = RemoteGenerationCache("127.0.0.1", port)
+        worker_b = RemoteGenerationCache("127.0.0.1", port)
+        a_led = threading.Event()
+
+        def leader():
+            miss = worker_a.lookup(_Key("d1"))
+            results["a_first"] = miss
+            a_led.set()
+            # "Generate" while B parks on the tier's flight.
+            import time
+
+            time.sleep(0.3)
+            results["a_insert"] = worker_a.insert(
+                _Key("d1"), payload=payload, text="alt", sim_time_s=6.0, energy_wh=0.02
+            )
+
+        def waiter():
+            a_led.wait(5)
+            record = worker_b.lookup(_Key("d1"))
+            results["b_record"] = record
+
+        threads = [threading.Thread(target=leader), threading.Thread(target=waiter)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        results["b_again"] = worker_b.lookup(_Key("d1"))
+        results["a_stats"] = worker_a.stats
+        results["b_stats"] = worker_b.stats
+        results["tier_stats"] = worker_a.tier_stats()
+        worker_a.close()
+        worker_b.close()
+
+    _run_with_tier(30.0, body)
+
+    assert results["a_first"] is None  # leader saw the miss and led
+    assert results["a_insert"] is True
+    record = results["b_record"]
+    assert isinstance(record, CachedGeneration)
+    assert record.payload == payload  # bit-identical to the leader's publish
+    assert record.text == "alt" and record.sim_time_s == 6.0
+    again = results["b_again"]
+    assert again is not None and again.payload == payload
+
+    tier = results["tier_stats"]
+    assert tier["misses"] == 1  # one generation led, fleet-wide
+    assert tier["coalesced"] == 1  # one waiter absorbed in flight
+    assert tier["hits"] == 1  # the post-publish lookup
+    assert tier["insertions"] == 1
+    assert tier["flights"] == 0
+    # Worker-local facades kept their own view of the same outcomes.
+    assert results["a_stats"].misses == 1 and results["a_stats"].insertions == 1
+    assert results["b_stats"].coalesced == 1 and results["b_stats"].hits == 1
+
+
+def test_flight_timeout_promotes_waiter_to_leader():
+    """A parked waiter whose leader dies is promoted after the timeout."""
+
+    def body(tier, port):
+        worker = RemoteGenerationCache("127.0.0.1", port, flight_timeout_s=0.3)
+        # A leader that never publishes (crashed worker).
+        assert worker.lookup(_Key("dead")) is None
+        # The waiter parks, times out, and is told to lead.
+        promoted = worker.lookup(_Key("dead"))
+        stats = worker.tier_stats()
+        # The promoted leader can publish and later lookups hit.
+        assert worker.insert(_Key("dead"), payload=b"x", text="", sim_time_s=1.0, energy_wh=0.0)
+        hit = worker.lookup(_Key("dead"))
+        worker.close()
+        return promoted, stats, hit
+
+    promoted, stats, hit = _run_with_tier(0.25, body)
+    assert promoted is None  # promoted waiter leads (counted as a miss)
+    assert stats["misses"] == 2 and stats["coalesced"] == 0
+    assert hit is not None and hit.payload == b"x"
+
+
+def test_remote_cache_degrades_without_tier():
+    """No tier listening: lookups degrade to misses, inserts to no-ops —
+    the worker keeps serving on its own generation."""
+    cache = RemoteGenerationCache("127.0.0.1", 1, call_timeout_s=0.5)
+    assert cache.lookup(_Key("any")) is None
+    assert cache.insert(_Key("any"), payload=b"p", text="", sim_time_s=1.0, energy_wh=0.0) is False
+    assert cache.errors >= 1
+    cache.close()
+
+
+def test_tier_server_interface_matches_local_cache():
+    """The facade quacks like GenerationCache where MediaGenerator cares."""
+    local = GenerationCache()
+    remote = RemoteGenerationCache("127.0.0.1", 1)
+    for name in ("lookup", "insert", "record_coalesced", "hit_time_s", "stats"):
+        assert hasattr(remote, name), name
+    assert remote.hit_time_s == local.hit_time_s
+    remote.close()
