@@ -11,12 +11,40 @@
 * :mod:`repro.cdn.edge` — an edge node that serves from cache, generating
   from prompts on demand (with the energy/time trade-off §2.2 flags).
 * :mod:`repro.cdn.placement` — cache placement under backbone-traffic
-  constraints (§7: SWW "provides more flexibility in cache placement").
+  constraints (§7: SWW "provides more flexibility in cache placement"),
+  plus the consistent-hash ring that places generation keys across a
+  fleet of edges.
+* :mod:`repro.cdn.router` — region→home-edge routing and the fleet's
+  propagation-latency model.
+* :mod:`repro.cdn.fleet` — the geo-distributed edge fleet: cross-edge
+  gencache peering, bounded-load generation placement, and the origin
+  shield, driven by the open-loop per-region request tape.
 """
 
 from repro.cdn.cache import EdgeCache, CacheEntry, CacheStats
 from repro.cdn.edge import EdgeNode, EdgeServeResult, OriginCatalog, CatalogItem
-from repro.cdn.placement import PlacementProblem, PlacementResult, plan_placement
+from repro.cdn.placement import (
+    HashRing,
+    PlacementProblem,
+    PlacementResult,
+    moved_share,
+    plan_placement,
+)
+from repro.cdn.router import FleetRouter, LatencyModel
+
+#: Fleet names resolved lazily: repro.cdn.fleet pulls in repro.gencache,
+#: whose store is built on repro.cdn.cache — importing it eagerly here
+#: would close that loop into a circular import.
+_FLEET_EXPORTS = ("EdgeFleet", "FleetConfig", "FleetServeResult", "build_fleet_catalog")
+
+
+def __getattr__(name: str):
+    if name in _FLEET_EXPORTS:
+        from repro.cdn import fleet
+
+        return getattr(fleet, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "EdgeCache",
@@ -26,6 +54,14 @@ __all__ = [
     "EdgeServeResult",
     "OriginCatalog",
     "CatalogItem",
+    "EdgeFleet",
+    "FleetConfig",
+    "FleetServeResult",
+    "build_fleet_catalog",
+    "HashRing",
+    "moved_share",
+    "FleetRouter",
+    "LatencyModel",
     "PlacementProblem",
     "PlacementResult",
     "plan_placement",

@@ -5,17 +5,34 @@
     main limitation to cache location was often the latency to the user,
     in SWW the network latency is a minor problem."
 
-The model: candidate cache sites sit at different depths of the network;
-deeper (closer-to-user) sites give lower latency but filling them consumes
-backbone capacity proportional to the catalog size shipped. A greedy
-planner picks the deepest feasible site per region; with prompt-sized
-catalogs, far more regions fit deep placements within the same backbone
-budget — the quantitative form of the paper's flexibility claim.
+Two placement layers live here:
+
+* **Site planning** (:func:`plan_placement`): candidate cache sites sit
+  at different depths of the network; deeper (closer-to-user) sites give
+  lower latency but filling them consumes backbone capacity proportional
+  to the catalog size shipped. A greedy planner picks the deepest
+  feasible site per region; with prompt-sized catalogs, far more regions
+  fit deep placements within the same backbone budget — the quantitative
+  form of the paper's flexibility claim.
+* **Key placement** (:class:`HashRing`): once a fleet of edges exists,
+  each :class:`~repro.gencache.key.GenerationKey` digest needs a stable
+  owner so cross-edge peering knows where a generated artifact lives.
+  The ring hashes virtual nodes onto a circle (many points per edge so
+  arcs even out) and assigns each key to the first point clockwise.
+  Adding an edge to an ``N``-edge ring therefore moves only ~``1/(N+1)``
+  of the keys — the property the fleet benchmark gates at ``≤ 2/N``.
+  The bounded-load variant (Mirrokni et al.'s consistent hashing with
+  bounded loads) walks past owners that are already at capacity, so one
+  viral key cannot pin a whole region's generation demand to one edge.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro._util.hashing import stable_u64
 
 
 @dataclass(frozen=True)
@@ -118,3 +135,143 @@ def plan_placement(problem: PlacementProblem) -> PlacementResult:
 
     used = problem.backbone_budget_bytes - budget
     return PlacementResult(chosen=chosen, backbone_bytes_used=used, regions_unserved=unserved)
+
+
+#: Virtual nodes per physical edge. More points → more even arcs →
+#: lower variance in both load split and rebalancing churn.
+DEFAULT_VNODES = 128
+
+
+class HashRing:
+    """Consistent-hash ring with virtual nodes and a bounded-load walk.
+
+    Nodes are plain strings (edge names). Every node contributes
+    ``vnodes`` points to the circle, each at
+    ``stable_u64("ring-point", node, i)`` — process-independent, so the
+    same fleet always produces the same placement (the property that
+    lets a router and a cache agree without talking). Keys map to the
+    first point clockwise from ``stable_u64("ring-key", key)``.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes <= 0:
+            raise ValueError("vnodes must be positive")
+        self.vnodes = vnodes
+        #: Sorted (point, node) pairs — the circle.
+        self._points: list[tuple[int, str]] = []
+        self._nodes: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            insort(self._points, (stable_u64("ring-point", node, i), node))
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            raise KeyError(f"node {node!r} not on the ring")
+        self._nodes.discard(node)
+        self._points = [(p, n) for p, n in self._points if n != node]
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key``: first ring point clockwise."""
+        return self.preference(key, 1)[0]
+
+    def preference(self, key: str, k: int) -> list[str]:
+        """The first ``k`` *distinct* nodes clockwise from ``key``.
+
+        ``preference(key, 1)[0]`` is the owner; subsequent entries are the
+        natural spill/replica targets (each key gets its own, roughly
+        uniform, backup order — unlike a static "next edge" rule that
+        would double the successor's load).
+        """
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        k = min(k, len(self._nodes))
+        # (h,) sorts before any (h, node) pair, so this lands on the first
+        # ring point at or clockwise-after the key's position.
+        start = bisect_right(self._points, (stable_u64("ring-key", key),))
+        seen: list[str] = []
+        for i in range(len(self._points)):
+            node = self._points[(start + i) % len(self._points)][1]
+            if node not in seen:
+                seen.append(node)
+                if len(seen) == k:
+                    break
+        return seen
+
+    def owner_bounded(
+        self, key: str, load: Mapping[str, float], capacity: float
+    ) -> str:
+        """Bounded-load owner: first node on ``key``'s preference walk
+        whose current ``load`` is below ``capacity``.
+
+        Falls back to the least-loaded node on the walk when every node
+        is at or over capacity (the work has to land somewhere); ties
+        break toward ring order, so the choice is deterministic.
+        """
+        walk = self.preference(key, len(self._nodes))
+        for node in walk:
+            if load.get(node, 0.0) < capacity:
+                return node
+        return min(walk, key=lambda node: load.get(node, 0.0))
+
+    def assign_bounded(
+        self,
+        keys: Sequence[str],
+        load_factor: float = 1.25,
+        weight: Callable[[str], float] | None = None,
+    ) -> dict[str, str]:
+        """Place ``keys`` with the bounded-load guarantee.
+
+        No node ends up with more than ``load_factor`` times its fair
+        share of the total weight (``len(keys)`` when ``weight`` is
+        None), the classic c-bound. Assignment order is the caller's key
+        order, so the result is deterministic.
+        """
+        if load_factor <= 1.0:
+            raise ValueError("load_factor must exceed 1.0")
+        if not self._nodes:
+            raise LookupError("hash ring is empty")
+        total = sum(weight(k) for k in keys) if weight else float(len(keys))
+        capacity = load_factor * total / len(self._nodes)
+        load: dict[str, float] = {}
+        placed: dict[str, str] = {}
+        for key in keys:
+            node = self.owner_bounded(key, load, capacity)
+            placed[key] = node
+            load[node] = load.get(node, 0.0) + (weight(key) if weight else 1.0)
+        return placed
+
+
+def moved_share(before: HashRing, after: HashRing, keys: Sequence[str]) -> float:
+    """Fraction of ``keys`` whose owner differs between two rings.
+
+    The consistent-hashing contract: growing an ``N``-node ring by one
+    should move ~``1/(N+1)`` of the keys; anything near ``2/N`` means the
+    ring is misbehaving (the fleet benchmark's rebalancing gate).
+    """
+    if not keys:
+        return 0.0
+    return sum(1 for key in keys if before.owner(key) != after.owner(key)) / len(keys)

@@ -1,0 +1,81 @@
+"""Region→edge request routing for the geo-distributed fleet.
+
+Every simulated user belongs to a region (see
+:class:`~repro.workloads.traffic.RegionSpec`); their fetches go to the
+region's *home edge*. Homing rides the same consistent-hash machinery as
+key placement — regions hash onto the ring of edges — so growing the
+fleet re-homes only ~``1/(N+1)`` of the regions instead of reshuffling
+the planet, and the router and the fleet agree on the mapping without a
+control plane.
+
+The router is also where the topology's propagation delays live: the
+user↔edge hop comes from the region spec (metro vs. intercontinental),
+while the edge↔edge peering hop, the edge↔shield hop and the
+shield↔origin hop are fleet-wide constants. These are one-way RTT-style
+costs; bandwidth-induced transfer time is intentionally out of scope
+(the fleet model prices generation and queueing, not link capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cdn.placement import HashRing
+from repro.workloads.traffic import RegionSpec
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Fleet-wide propagation delays, seconds (round-trip per hop)."""
+
+    #: Edge↔edge peering hop (probe + transfer of a cached artifact).
+    peer_rtt_s: float = 0.012
+    #: Edge↔origin-shield hop.
+    shield_rtt_s: float = 0.020
+    #: Shield↔origin hop (the long haul the shield exists to amortise).
+    origin_rtt_s: float = 0.080
+
+
+@dataclass
+class FleetRouter:
+    """Maps regions to home edges over the fleet's hash ring."""
+
+    regions: Sequence[RegionSpec]
+    ring: HashRing
+    latency: LatencyModel = field(default_factory=LatencyModel)
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise ValueError("router needs at least one region")
+        if not len(self.ring):
+            raise LookupError("router needs a non-empty edge ring")
+        self._by_name = {spec.name: spec for spec in self.regions}
+        #: Region name → home edge, frozen at construction so one run's
+        #: routing is stable even if the caller later mutates the ring.
+        self._home = {
+            spec.name: self.ring.owner(f"region:{spec.name}") for spec in self.regions
+        }
+
+    def region(self, name: str) -> RegionSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown region {name!r}") from None
+
+    def home_edge(self, region: str) -> str:
+        """The edge serving ``region``'s users."""
+        try:
+            return self._home[region]
+        except KeyError:
+            raise KeyError(f"unknown region {region!r}") from None
+
+    def user_rtt_s(self, region: str) -> float:
+        return self.region(region).user_rtt_s
+
+    def homes(self) -> dict[str, list[str]]:
+        """Edge → regions homed there (for topology dumps and tests)."""
+        out: dict[str, list[str]] = {edge: [] for edge in self.ring.nodes}
+        for region, edge in sorted(self._home.items()):
+            out[edge].append(region)
+        return out

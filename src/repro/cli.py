@@ -426,6 +426,81 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Simulate the geo-distributed edge fleet under open-loop load."""
+    import json
+
+    from repro.cdn.fleet import EdgeFleet, FleetConfig, build_fleet_catalog
+    from repro.cdn.placement import HashRing
+    from repro.cdn.router import FleetRouter
+    from repro.workloads.session import OpenLoopSession
+    from repro.workloads.traffic import default_regions
+
+    config = FleetConfig(
+        edges=args.edges,
+        gencache_bytes=int(args.gencache_mib * 1024 * 1024),
+        gen_lanes=args.lanes,
+        max_backlog_s=args.max_backlog,
+    )
+    catalog = build_fleet_catalog(args.catalog)
+    ring = HashRing(config.edge_names(), config.vnodes)
+    regions = default_regions(args.regions, rate_per_s=args.rate)
+    router = FleetRouter(regions, ring)
+    fleet = EdgeFleet(catalog, config, router, ring=ring)
+    session = OpenLoopSession(fleet, regions, args.duration, seed=args.seed)
+
+    passes = [session.run() for _ in range(max(1, args.passes))]
+    final = passes[-1]
+
+    if args.json:
+        payload = {
+            "config": {
+                "edges": args.edges,
+                "regions": args.regions,
+                "rate_per_s": args.rate,
+                "duration_s": args.duration,
+                "catalog_items": args.catalog,
+                "gencache_mib": args.gencache_mib,
+                "passes": len(passes),
+                "seed": args.seed,
+            },
+            "passes": [p.summary() for p in passes],
+            "fleet": fleet.debug_state(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    label = "warm" if len(passes) > 1 else "cold"
+    summary = final.summary()
+    print(f"fleet: {args.edges} edges, {args.regions} regions @ {args.rate:.1f} req/s each, "
+          f"{args.duration:.0f} s tape x {len(passes)} pass(es)")
+    print(f"requests         : {summary['requests']:,} ({label} pass shown)")
+    print(f"fleet hit rate   : {100 * summary['fleet_hit_rate']:.1f}% "
+          f"(edge+peer+coalesced, one outcome per request)")
+    for tier in ("edge", "peer", "coalesced", "generated", "origin"):
+        stats = summary["tiers"].get(tier)
+        if stats:
+            print(f"  {tier:<14} : {stats['count']:>6,}  "
+                  f"p50 {stats['p50_s'] * 1000:7.1f} ms  p99 {stats['p99_s'] * 1000:8.1f} ms")
+    offload = summary["origin_offload"]
+    offload_text = "inf (no origin bytes)" if offload is None else f"{offload:.1f}x"
+    print(f"origin offload   : {offload_text} "
+          f"({summary['origin_bytes']:,} B from origin vs {summary['egress_bytes']:,} B egress)")
+    print(f"latency          : p50 {summary['p50_s'] * 1000:.1f} ms, "
+          f"p99 {summary['p99_s'] * 1000:.1f} ms, "
+          f"mean queue {summary['mean_queue_s'] * 1000:.1f} ms")
+    print(f"generation       : {summary['generation_sim_s']:.1f} simulated s, "
+          f"{summary['generation_energy_wh']:.2f} Wh this pass; "
+          f"saved {fleet.ledger.saved_sim_seconds:.1f} s / "
+          f"{fleet.ledger.saved_energy_wh:.2f} Wh total")
+    state = fleet.debug_state()
+    busiest = max(state["edges"].items(), key=lambda kv: kv[1]["generations"])
+    print(f"edges            : busiest {busiest[0]} with {busiest[1]['generations']} generations; "
+          f"shield collapsed {state['shield_coalesced']} pulls, "
+          f"{state['origin_media_pulls']} media / {state['origin_prompt_pulls']} prompt origin pulls")
+    return 0
+
+
 def _top_frame(snap: dict, health: dict, window_ticks: int) -> str:
     """Render one `sww top` frame from a timeseries snapshot + healthz."""
     from repro.obs import snapshot_last, snapshot_quantile, snapshot_rate
@@ -986,6 +1061,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="measure the paper's headline numbers live")
     report.set_defaults(func=cmd_report)
+
+    fleet = sub.add_parser(
+        "fleet", help="simulate the geo-distributed edge fleet under open-loop load"
+    )
+    fleet.add_argument("--edges", type=int, default=4, metavar="N",
+                       help="edge count on the consistent-hash ring (default 4)")
+    fleet.add_argument("--regions", type=int, default=8, metavar="N",
+                       help="user regions, each homed on an edge (default 8)")
+    fleet.add_argument("--rate", type=float, default=2.0, metavar="R",
+                       help="open-loop Poisson arrivals per second per region (default 2.0)")
+    fleet.add_argument("--duration", type=float, default=60.0, metavar="S",
+                       help="simulated seconds of tape per pass (default 60)")
+    fleet.add_argument("--catalog", type=int, default=240, metavar="N",
+                       help="origin catalog size in items (default 240)")
+    fleet.add_argument("--gencache-mib", type=float, default=24.0, metavar="MIB",
+                       help="generation-cache capacity per edge (default 24 MiB)")
+    fleet.add_argument("--lanes", type=int, default=1, metavar="N",
+                       help="concurrent generation lanes per edge (default 1)")
+    fleet.add_argument("--max-backlog", type=float, default=5.0, metavar="S",
+                       help="queue backlog before the bounded-load walk spills and "
+                            "the origin fallback engages (default 5.0)")
+    fleet.add_argument("--passes", type=int, default=2, metavar="N",
+                       help="tape replays; pass 2+ measures warm caches (default 2)")
+    fleet.add_argument("--seed", type=int, default=0, help="workload seed")
+    fleet.add_argument("--json", action="store_true", help="emit JSON instead of the summary")
+    fleet.set_defaults(func=cmd_fleet)
 
     incidents = sub.add_parser(
         "incidents", help="list, show or export flight-recorder incident bundles"

@@ -145,6 +145,24 @@ class GenerationCache:
                 ).set(self._store.used_bytes)
         return ok
 
+    def peek(self, key: GenerationKey, touch: bool = False) -> CachedGeneration | None:
+        """Uncounted lookup: returns the record without touching the
+        hit/miss/saved accounting.
+
+        The fleet's cross-edge peering uses this for both the home-edge
+        and ring-owner probes, so one user request produces exactly one
+        fleet-level outcome (hit, lead, or coalesced — the cache-tier
+        protocol's rule) no matter how many edge caches it inspected on
+        the way. ``touch=True`` still refreshes LRU recency, which the
+        home edge wants (popular entries must not be evicted just because
+        every probe was "only a peek").
+        """
+        with self._lock:
+            entry = self._store.get(key.digest) if touch else self._store.peek(key.digest)
+        if entry is None:
+            return None
+        return entry.payload
+
     def record_coalesced(self, saved_sim_s: float, saved_energy_wh: float) -> None:
         """Account one in-flight duplicate absorbed by single-flight."""
         with self._lock:

@@ -290,8 +290,12 @@ class H2Connection:
                 ContinuationFrame(stream_id=stream_id, header_block=fragment, end_headers=not rest)
             )
 
-    def send_data(self, stream_id: int, data: bytes, end_stream: bool = False) -> None:
-        """Send DATA, chunked to the peer's MAX_FRAME_SIZE, consuming windows."""
+    def send_data(self, stream_id: int, data: bytes | memoryview, end_stream: bool = False) -> None:
+        """Send DATA, chunked to the peer's MAX_FRAME_SIZE, consuming windows.
+
+        Chunks are memoryview slices — no per-frame copy of the body; the
+        only copy is the final wire assembly in ``Frame.serialize``.
+        """
         self._assert_open_for_sending()
         stream = self.streams.get(stream_id)
         if stream is None or not stream.can_send_data:
@@ -300,7 +304,7 @@ class H2Connection:
         view = memoryview(data)
         offset = 0
         while True:
-            chunk = bytes(view[offset : offset + limit])
+            chunk = view[offset : offset + limit]
             offset += len(chunk)
             last = offset >= len(data)
             try:

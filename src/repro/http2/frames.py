@@ -67,7 +67,12 @@ class Frame:
         raise NotImplementedError
 
     def serialize(self) -> bytes:
-        """Return the wire representation, header plus payload."""
+        """Return the wire representation, header plus payload.
+
+        ``payload()`` may return a :class:`memoryview` (the writer's
+        zero-copy DATA path); the join here is the single copy that
+        assembles the wire bytes.
+        """
         _check_stream_id(self.stream_id)
         body = self.payload()
         if len(body) > 0xFFFFFF:
@@ -80,7 +85,7 @@ class Frame:
             self.flags(),
             self.stream_id & 0x7FFFFFFF,
         )
-        return header + body
+        return b"".join((header, body))
 
     def wire_length(self) -> int:
         """Total bytes on the wire (header + payload)."""
@@ -107,14 +112,20 @@ def _split_padding(payload: bytes, flags: int) -> tuple[bytes, int]:
 def _pad(content: bytes, pad_length: int) -> bytes:
     if pad_length > 255:
         raise FrameError("pad length exceeds 255")
-    return bytes([pad_length]) + content + b"\x00" * pad_length
+    # join, not +: content may be a memoryview on the zero-copy path.
+    return b"".join((bytes([pad_length]), content, b"\x00" * pad_length))
 
 
 @dataclass
 class DataFrame(Frame):
-    """DATA (§6.1) — application payload bytes, flow controlled."""
+    """DATA (§6.1) — application payload bytes, flow controlled.
 
-    data: bytes = b""
+    ``data`` may be a :class:`memoryview` slice of a larger response body
+    (the writer's zero-copy path); it is consumed by ``serialize()``
+    before the frame outlives the buffer it views.
+    """
+
+    data: bytes | memoryview = b""
     end_stream: bool = False
     pad_length: int = 0
     TYPE = TYPE_DATA

@@ -68,8 +68,13 @@ class _SendQueue:
     def remaining(self) -> int:
         return len(self.data) - self.offset
 
-    def take(self, limit: int) -> bytes:
-        chunk = bytes(self.data[self.offset : self.offset + limit])
+    def take(self, limit: int) -> memoryview:
+        """Next chunk as a zero-copy view into the queued body.
+
+        The view is consumed (serialized into the engine's outbound
+        buffer) before the writer yields, so it never outlives ``data``.
+        """
+        chunk = self.data[self.offset : self.offset + limit]
         self.offset += len(chunk)
         return chunk
 
@@ -117,14 +122,17 @@ class ConnectionWriter:
         if queue is None:
             self._queues[stream_id] = _SendQueue(
                 stream_id,
-                memoryview(bytes(data)),
+                # Zero-copy: the queue views the caller's body directly;
+                # every frame is sliced out of it without duplicating the
+                # payload (callers hand over immutable response bytes).
+                memoryview(data),
                 end_stream,
                 event=event,
                 enqueued_at=time.perf_counter(),
             )
             self._order.append(stream_id)
         else:
-            queue.backlog.append(bytes(data))
+            queue.backlog.append(data)
             queue.end_stream = queue.end_stream or end_stream
             if event is not None:
                 queue.event = event

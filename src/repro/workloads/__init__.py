@@ -5,7 +5,10 @@
   travel blog (generic text + stock images + unique hike content), and
   the §6.2 newspaper article (≈2,400 B of text).
 * :mod:`repro.workloads.traffic` — Internet-scale traffic projection for
-  the §7 "2-3 EB/month → tens of PB/month" argument.
+  the §7 "2-3 EB/month → tens of PB/month" argument, plus the open-loop
+  per-region Poisson/Zipf request tape that drives the edge fleet.
+* :mod:`repro.workloads.session` — browsing-session economics over one
+  connection, and the open-loop fleet replay driver.
 """
 
 from repro.workloads.corpus import (
@@ -17,7 +20,16 @@ from repro.workloads.corpus import (
     build_uniform_pages,
     landscape_prompts,
 )
-from repro.workloads.traffic import TrafficModel, MOBILE_WEB_EB_PER_MONTH
+from repro.workloads.traffic import (
+    MOBILE_WEB_EB_PER_MONTH,
+    OpenLoopRequest,
+    RegionSpec,
+    TrafficModel,
+    default_regions,
+    open_loop_requests,
+    poisson_arrivals,
+    region_ranking,
+)
 
 __all__ = [
     "CorpusPage",
@@ -29,4 +41,10 @@ __all__ = [
     "landscape_prompts",
     "TrafficModel",
     "MOBILE_WEB_EB_PER_MONTH",
+    "OpenLoopRequest",
+    "RegionSpec",
+    "default_regions",
+    "open_loop_requests",
+    "poisson_arrivals",
+    "region_ranking",
 ]

@@ -11,11 +11,20 @@ effects the system design cares about:
 :class:`BrowsingSession` drives a generative client through a sequence of
 page views over one connection and aggregates wire bytes, generation
 time/energy, and the traditional-delivery counterfactual.
+
+:class:`OpenLoopSession` is the fleet-scale counterpart: it replays the
+open-loop per-region tape from
+:func:`~repro.workloads.traffic.open_loop_requests` against an
+:class:`~repro.cdn.fleet.EdgeFleet` (optionally for several passes, so
+warm-cache behaviour can be measured the way the gencache benchmark
+does) and aggregates per-tier latency percentiles, queueing delay, and
+byte flows.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
 
 from repro.devices.energy import transmission_energy_wh
 from repro.devices.profiles import DeviceProfile, LAPTOP
@@ -28,6 +37,10 @@ from repro.workloads.corpus import (
     build_wikimedia_landscape_page,
     populate_traditional_assets,
 )
+from repro.workloads.traffic import OpenLoopRequest, RegionSpec, open_loop_requests
+
+if TYPE_CHECKING:
+    from repro.cdn.fleet import EdgeFleet, FleetServeResult
 
 
 @dataclass
@@ -139,4 +152,174 @@ class BrowsingSession:
                     generation_wh=result.generation_energy_wh,
                 )
             )
+        return stats
+
+
+# --------------------------------------------------------------------- #
+# Open-loop fleet replay
+# --------------------------------------------------------------------- #
+
+
+def latency_percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over raw observations (0 when empty).
+
+    Exact over the sample, unlike the bucketed estimate the live
+    timeseries plane uses — benchmarks gate on these, so they must not
+    depend on histogram bucket boundaries.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered) + 0.5) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class TierStats:
+    """One serving tier's latency/queue aggregates for a replay pass."""
+
+    count: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    def observe(self, latency_s: float) -> None:
+        self.count += 1
+        self.latencies.append(latency_s)
+
+    def p50(self) -> float:
+        return latency_percentile(self.latencies, 0.50)
+
+    def p99(self) -> float:
+        return latency_percentile(self.latencies, 0.99)
+
+
+@dataclass
+class OpenLoopStats:
+    """Aggregates for one pass of the open-loop tape over the fleet."""
+
+    requests: int = 0
+    tiers: dict[str, TierStats] = field(default_factory=dict)
+    latencies: list[float] = field(default_factory=list)
+    queue_s: list[float] = field(default_factory=list)
+    generation_sim_s: float = 0.0
+    generation_energy_wh: float = 0.0
+    egress_bytes: int = 0
+    peer_bytes: int = 0
+    shield_bytes: int = 0
+    origin_bytes: int = 0
+
+    def observe(self, result: FleetServeResult) -> None:
+        self.requests += 1
+        self.tiers.setdefault(result.tier, TierStats()).observe(result.latency_s)
+        self.latencies.append(result.latency_s)
+        if result.queue_s > 0:
+            self.queue_s.append(result.queue_s)
+        self.generation_sim_s += result.gen_time_s
+        self.generation_energy_wh += result.gen_energy_wh
+        self.egress_bytes += result.egress_bytes
+        self.peer_bytes += result.peer_bytes
+        self.shield_bytes += result.shield_bytes
+        self.origin_bytes += result.origin_bytes
+
+    def tier_count(self, tier: str) -> int:
+        stats = self.tiers.get(tier)
+        return stats.count if stats else 0
+
+    @property
+    def fleet_hit_rate(self) -> float:
+        """Share served without new origin or generation work (home +
+        peer + coalesced), the benchmark's combined hit rate."""
+        if not self.requests:
+            return 0.0
+        served = sum(self.tier_count(t) for t in ("edge", "peer", "coalesced"))
+        return served / self.requests
+
+    @property
+    def origin_offload(self) -> float:
+        """User egress bytes per origin byte — how much delivered traffic
+        the fleet absorbs for each byte the origin still has to send."""
+        return self.egress_bytes / self.origin_bytes if self.origin_bytes else float("inf")
+
+    def p50(self) -> float:
+        return latency_percentile(self.latencies, 0.50)
+
+    def p99(self) -> float:
+        return latency_percentile(self.latencies, 0.99)
+
+    def mean_queue_s(self) -> float:
+        return sum(self.queue_s) / len(self.queue_s) if self.queue_s else 0.0
+
+    def summary(self) -> dict:
+        """JSON-ready flat summary (what the CLI and benchmark print)."""
+        offload = self.origin_offload
+        return {
+            "requests": self.requests,
+            "fleet_hit_rate": round(self.fleet_hit_rate, 6),
+            "origin_offload": None if offload == float("inf") else round(offload, 3),
+            "p50_s": round(self.p50(), 6),
+            "p99_s": round(self.p99(), 6),
+            "mean_queue_s": round(self.mean_queue_s(), 6),
+            "generation_sim_s": round(self.generation_sim_s, 3),
+            "generation_energy_wh": round(self.generation_energy_wh, 6),
+            "egress_bytes": self.egress_bytes,
+            "peer_bytes": self.peer_bytes,
+            "shield_bytes": self.shield_bytes,
+            "origin_bytes": self.origin_bytes,
+            "tiers": {
+                tier: {
+                    "count": stats.count,
+                    "p50_s": round(stats.p50(), 6),
+                    "p99_s": round(stats.p99(), 6),
+                }
+                for tier, stats in sorted(self.tiers.items())
+            },
+        }
+
+
+class OpenLoopSession:
+    """Replays the per-region open-loop tape against an edge fleet.
+
+    One instance owns the workload definition (regions, catalog keys,
+    duration, seed); each :meth:`run` replays the *same* key sequence
+    shifted forward in simulated time, so pass 2 measures warm-cache
+    behaviour over an identical stream — the replay discipline the
+    gencache warm benchmark established.
+    """
+
+    def __init__(
+        self,
+        fleet: EdgeFleet,
+        regions: Sequence[RegionSpec],
+        duration_s: float,
+        seed: object = 0,
+    ) -> None:
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        self.fleet = fleet
+        self.regions = list(regions)
+        self.duration_s = duration_s
+        self.seed = seed
+        self._catalog_keys = sorted(fleet.catalog.items)
+        self._passes = 0
+
+    def tape(self, start_s: float = 0.0) -> list[OpenLoopRequest]:
+        requests = open_loop_requests(
+            self.regions, self._catalog_keys, self.duration_s, seed=self.seed
+        )
+        if not start_s:
+            return requests
+        return [
+            OpenLoopRequest(
+                time_s=r.time_s + start_s, region=r.region, user_id=r.user_id, key=r.key
+            )
+            for r in requests
+        ]
+
+    def run(self) -> OpenLoopStats:
+        """Replay one pass; successive passes continue the fleet's clock."""
+        stats = OpenLoopStats()
+        for req in self.tape(start_s=self._passes * self.duration_s):
+            stats.observe(self.fleet.serve(req.region, req.key, req.time_s))
+        self._passes += 1
         return stats

@@ -66,3 +66,62 @@ class TestResult:
         result = PlacementResult(chosen={}, backbone_bytes_used=0, regions_unserved=["r0"])
         assert result.mean_latency_ms == float("inf")
         assert result.coverage == 0.0
+
+
+class TestPlannerBoundaries:
+    def test_infeasible_budget_serves_nothing(self):
+        """Every region's cheapest fill exceeds the budget: full coverage
+        failure, zero spend, every region reported unserved."""
+        problem = PlacementProblem(two_tier_sites(3), catalog_bytes=100, backbone_budget_bytes=99)
+        result = plan_placement(problem)
+        assert result.chosen == {}
+        assert result.backbone_bytes_used == 0
+        assert sorted(result.regions_unserved) == ["r0", "r1", "r2"]
+        assert result.coverage == 0.0
+
+    def test_exact_budget_boundary_is_inclusive(self):
+        """A fill that costs exactly the remaining budget is placed —
+        the planner's comparisons are <=, not <."""
+        # One region, core fill costs exactly 100.
+        problem = PlacementProblem(two_tier_sites(1), catalog_bytes=100, backbone_budget_bytes=100)
+        result = plan_placement(problem)
+        assert result.coverage == 1.0
+        assert result.backbone_bytes_used == 100
+        # Exact budget for the metro upgrade too: 100 core + 200 upgrade.
+        problem = PlacementProblem(two_tier_sites(1), catalog_bytes=100, backbone_budget_bytes=300)
+        result = plan_placement(problem)
+        assert result.chosen["r0"].user_latency_ms == 8
+        assert result.backbone_bytes_used == 300
+
+    def test_one_byte_under_upgrade_cost_stays_core(self):
+        problem = PlacementProblem(two_tier_sites(1), catalog_bytes=100, backbone_budget_bytes=299)
+        result = plan_placement(problem)
+        assert result.chosen["r0"].user_latency_ms == 40
+        assert result.backbone_bytes_used == 100
+
+    def test_equal_latency_sites_tie_break_is_listing_order(self):
+        """Two deepest sites at the same latency: the stable sort keeps
+        the first-listed site, so planning is deterministic."""
+        sites = [
+            CandidateSite("metro-a", "r0", user_latency_ms=8, fill_cost_factor=3.0),
+            CandidateSite("metro-b", "r0", user_latency_ms=8, fill_cost_factor=2.0),
+            CandidateSite("core", "r0", user_latency_ms=40, fill_cost_factor=1.0),
+        ]
+        problem = PlacementProblem(sites, catalog_bytes=100, backbone_budget_bytes=10_000)
+        result = plan_placement(problem)
+        assert result.chosen["r0"].name == "metro-a"
+
+    def test_upgrade_order_prefers_biggest_latency_win(self):
+        """With budget for one upgrade, the region with the deepest gap
+        (largest latency delta) gets it."""
+        sites = [
+            CandidateSite("metro-0", "r0", user_latency_ms=30, fill_cost_factor=3.0),
+            CandidateSite("core-0", "r0", user_latency_ms=40, fill_cost_factor=1.0),
+            CandidateSite("metro-1", "r1", user_latency_ms=5, fill_cost_factor=3.0),
+            CandidateSite("core-1", "r1", user_latency_ms=40, fill_cost_factor=1.0),
+        ]
+        # Budget: two core fills (200) + one upgrade (200).
+        problem = PlacementProblem(sites, catalog_bytes=100, backbone_budget_bytes=400)
+        result = plan_placement(problem)
+        assert result.chosen["r1"].name == "metro-1"  # 35 ms win beats 10 ms
+        assert result.chosen["r0"].name == "core-0"

@@ -1,0 +1,125 @@
+"""Tests for the consistent-hash ring and bounded-load placement."""
+
+import pytest
+
+from repro.cdn.placement import DEFAULT_VNODES, HashRing, moved_share
+
+
+def sample_keys(count: int) -> list[str]:
+    return [f"digest-{i:05d}" for i in range(count)]
+
+
+class TestRingBasics:
+    def test_owner_is_deterministic_across_instances(self):
+        a = HashRing(["edge-a", "edge-b", "edge-c"])
+        b = HashRing(["edge-c", "edge-a", "edge-b"])  # insertion order irrelevant
+        for key in sample_keys(200):
+            assert a.owner(key) == b.owner(key)
+
+    def test_membership(self):
+        ring = HashRing(["edge-a"])
+        assert "edge-a" in ring
+        assert len(ring) == 1
+        ring.add("edge-b")
+        assert sorted(ring.nodes) == ["edge-a", "edge-b"]
+        ring.remove("edge-a")
+        assert "edge-a" not in ring
+
+    def test_duplicate_add_and_missing_remove_raise(self):
+        ring = HashRing(["edge-a"])
+        with pytest.raises(ValueError):
+            ring.add("edge-a")
+        with pytest.raises(KeyError):
+            ring.remove("edge-z")
+
+    def test_empty_ring_lookup_raises(self):
+        with pytest.raises(LookupError):
+            HashRing().owner("key")
+
+    def test_vnodes_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_preference_lists_distinct_nodes(self):
+        ring = HashRing([f"edge-{i}" for i in range(5)])
+        for key in sample_keys(50):
+            walk = ring.preference(key, 5)
+            assert len(walk) == 5
+            assert len(set(walk)) == 5
+            assert walk[0] == ring.owner(key)
+
+    def test_preference_k_capped_at_node_count(self):
+        ring = HashRing(["edge-a", "edge-b"])
+        assert len(ring.preference("key", 10)) == 2
+
+    def test_load_split_roughly_even(self):
+        nodes = [f"edge-{i}" for i in range(8)]
+        ring = HashRing(nodes, vnodes=DEFAULT_VNODES)
+        counts = {n: 0 for n in nodes}
+        keys = sample_keys(8000)
+        for key in keys:
+            counts[ring.owner(key)] += 1
+        fair = len(keys) / len(nodes)
+        for node, count in counts.items():
+            # Virtual nodes keep the split within ~2x of fair share.
+            assert 0.5 * fair < count < 2.0 * fair, (node, count)
+
+
+class TestRebalancing:
+    def test_adding_one_edge_moves_about_one_over_n(self):
+        """The consistent-hashing contract the fleet benchmark gates."""
+        keys = sample_keys(10_000)
+        for n in (4, 16):
+            before = HashRing([f"edge-{i:02d}" for i in range(n)])
+            after = HashRing([f"edge-{i:02d}" for i in range(n + 1)])
+            share = moved_share(before, after, keys)
+            # Expect ~1/(n+1); gate at the benchmark's 2/n bound.
+            assert 0 < share <= 2 / n
+            # Keys that moved all moved TO the new node, never shuffled
+            # between old nodes.
+            new_node = f"edge-{n:02d}"
+            for key in keys[:2000]:
+                if before.owner(key) != after.owner(key):
+                    assert after.owner(key) == new_node
+
+    def test_moved_share_empty_keys(self):
+        ring = HashRing(["edge-a"])
+        assert moved_share(ring, ring, []) == 0.0
+
+
+class TestBoundedLoad:
+    def test_walks_past_saturated_owner(self):
+        ring = HashRing(["edge-a", "edge-b", "edge-c"])
+        key = "hot-key"
+        owner = ring.owner(key)
+        load = {owner: 10.0}
+        spill = ring.owner_bounded(key, load, capacity=5.0)
+        assert spill != owner
+        assert spill == ring.preference(key, 3)[1]
+
+    def test_under_capacity_stays_home(self):
+        ring = HashRing(["edge-a", "edge-b", "edge-c"])
+        assert ring.owner_bounded("k", {}, capacity=1.0) == ring.owner("k")
+
+    def test_all_saturated_falls_back_to_least_loaded(self):
+        ring = HashRing(["edge-a", "edge-b", "edge-c"])
+        load = {"edge-a": 9.0, "edge-b": 7.0, "edge-c": 8.0}
+        assert ring.owner_bounded("k", load, capacity=5.0) == "edge-b"
+
+    def test_assign_bounded_respects_cap(self):
+        nodes = [f"edge-{i}" for i in range(4)]
+        ring = HashRing(nodes)
+        keys = sample_keys(1000)
+        placed = ring.assign_bounded(keys, load_factor=1.25)
+        counts = {n: 0 for n in nodes}
+        for node in placed.values():
+            counts[node] += 1
+        cap = 1.25 * len(keys) / len(nodes)
+        assert all(count <= cap for count in counts.values())
+        assert sum(counts.values()) == len(keys)
+
+    def test_assign_bounded_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(["edge-a"]).assign_bounded(["k"], load_factor=1.0)
+        with pytest.raises(LookupError):
+            HashRing().assign_bounded(["k"])

@@ -100,3 +100,49 @@ def test_thread_safety_under_concurrent_mixed_load():
     assert not errors
     assert cache.stats.requests == 8 * 200
     assert cache.used_bytes <= 1 << 16
+
+
+class TestPeek:
+    def test_peek_does_not_count(self):
+        from repro.gencache.key import image_key
+        from repro.gencache.store import GenerationCache
+
+        cache = GenerationCache(1024)
+        key = image_key("m", "p", 64, 64)
+        assert cache.peek(key) is None
+        cache.insert(key, b"data", sim_time_s=1.0, energy_wh=0.1)
+        record = cache.peek(key)
+        assert record is not None and record.payload == b"data"
+        # No hits, misses, or savings recorded — only the ledger that
+        # wraps the fleet counts outcomes.
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+        assert cache.stats.saved_sim_seconds == 0.0
+
+    def test_peek_touch_refreshes_lru(self):
+        from repro.gencache.key import image_key
+        from repro.gencache.store import GenerationCache
+
+        cache = GenerationCache(2048)
+        old = image_key("m", "old", 64, 64)
+        new = image_key("m", "new", 64, 64)
+        cache.insert(old, b"x", size_bytes=1024)
+        cache.insert(new, b"y", size_bytes=512)
+        cache.peek(old, touch=True)  # refresh: "old" is now most recent
+        cache.insert(image_key("m", "third", 64, 64), b"z", size_bytes=1024)
+        assert cache.peek(old) is not None  # survived the eviction
+        assert cache.peek(new) is None  # LRU victim
+
+    def test_plain_peek_leaves_recency_alone(self):
+        from repro.gencache.key import image_key
+        from repro.gencache.store import GenerationCache
+
+        cache = GenerationCache(2048)
+        old = image_key("m", "old", 64, 64)
+        new = image_key("m", "new", 64, 64)
+        cache.insert(old, b"x", size_bytes=1024)
+        cache.insert(new, b"y", size_bytes=512)
+        cache.peek(old)  # no touch: "old" stays least recent
+        cache.insert(image_key("m", "third", 64, 64), b"z", size_bytes=1024)
+        assert cache.peek(old) is None  # evicted despite the peek
+        assert cache.peek(new) is not None

@@ -241,3 +241,50 @@ class TestQueueSemantics:
         pair.server.take_events()
         writer.pump()
         assert writer.idle
+
+
+class TestZeroCopy:
+    def test_take_returns_view_into_original_body(self):
+        from repro.http2.writer import _SendQueue
+
+        body = bytes(range(256)) * 16
+        queue = _SendQueue(1, memoryview(body), end_stream=True)
+        chunk = queue.take(1024)
+        assert isinstance(chunk, memoryview)
+        assert chunk.obj is body  # a slice of the body, not a copy
+        assert queue.remaining == len(body) - 1024
+
+    def test_enqueue_keeps_caller_buffer_without_copying(self):
+        pair = small_window_pair(1 << 20)
+        stream_id = open_request(pair)
+        writer = ConnectionWriter(pair.server.conn)
+        pair.server.conn.send_headers(stream_id, RESPONSE)
+        body = b"z" * 50_000
+        writer.enqueue(stream_id, body)
+        assert writer._queues[stream_id].data.obj is body
+
+    def test_zero_copy_path_delivers_identical_bytes(self):
+        """The memoryview plumbing must be invisible on the wire: the
+        client reassembles exactly the enqueued body across many frames."""
+        pair = small_window_pair(1 << 20)
+        stream_id = open_request(pair)
+        writer = ConnectionWriter(pair.server.conn)
+        pair.server.conn.send_headers(stream_id, RESPONSE)
+        body = bytes(range(256)) * 256  # 64 KiB, several MAX_FRAME_SIZE frames
+        writer.enqueue(stream_id, body)
+        writer.pump()
+        pair.pump()
+        assert client_body(pair, stream_id) == body
+        assert any(isinstance(e, StreamEnded) for e in pair.client.events)
+
+    def test_dataframe_serializes_memoryview_like_bytes(self):
+        plain = DataFrame(stream_id=1, data=b"abcdef", end_stream=True)
+        viewed = DataFrame(stream_id=1, data=memoryview(b"abcdef"), end_stream=True)
+        assert viewed.serialize() == plain.serialize()
+
+    def test_padded_dataframe_accepts_memoryview(self):
+        plain = DataFrame(stream_id=1, data=b"abc", pad_length=4)
+        viewed = DataFrame(stream_id=1, data=memoryview(b"abc"), pad_length=4)
+        assert viewed.serialize() == plain.serialize()
+        parsed = parse_frames(memoryview(viewed.serialize()))[0][0]
+        assert bytes(parsed.data) == b"abc"

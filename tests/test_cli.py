@@ -16,7 +16,7 @@ class TestParser:
         choices = actions["command"].choices
         assert set(choices) == {
             "serve", "fetch", "convert", "demo", "report", "stats", "trace", "top",
-            "incidents",
+            "incidents", "fleet",
         }
 
     def test_demo_defaults(self):
@@ -487,3 +487,33 @@ class TestIncidentsCommand:
         code = main(["incidents", "list", "--port", "1"])
         assert code == 1
         assert "cannot reach" in capsys.readouterr().err
+
+
+class TestFleet:
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.edges == 4 and args.regions == 8
+        assert args.passes == 2 and args.json is False
+
+    def test_fleet_summary_output(self, capsys):
+        assert main([
+            "fleet", "--edges", "2", "--regions", "2", "--duration", "10",
+            "--catalog", "40", "--passes", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fleet hit rate" in out
+        assert "origin offload" in out
+        assert "warm pass shown" in out
+
+    def test_fleet_json_output(self, capsys):
+        import json
+
+        assert main([
+            "fleet", "--edges", "2", "--regions", "2", "--duration", "10",
+            "--catalog", "40", "--passes", "1", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["edges"] == 2
+        assert len(payload["passes"]) == 1
+        assert payload["passes"][0]["requests"] > 0
+        assert set(payload["fleet"]["edges"]) == {"edge-00", "edge-01"}
