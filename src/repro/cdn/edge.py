@@ -264,7 +264,25 @@ class EdgeNode:
         )
 
     def _origin_pull(self, key: str, edge_span) -> CatalogItem:
-        """The edge→origin hop on a cache miss, trace context re-injected."""
+        """The edge→origin hop on a cache miss, trace context re-injected.
+
+        The hop carries an RFC 9218 priority matching its payload class:
+        a prompt-mode pull is a tiny metadata fetch (agent class, urgency
+        0 — it must never queue behind media on a shared backbone
+        connection), a blob-mode pull is bulk media (below-the-fold class,
+        urgency 5, incremental).
+        """
+        from repro.sww.priorities import AGENT, BELOW_FOLD
+
+        priority = AGENT if self.mode == "prompt" else BELOW_FOLD
+        edge_span.annotate(pull_urgency=priority.urgency)
+        if self.registry.enabled:
+            self.registry.counter(
+                "cdn_origin_pulls_total",
+                "Origin pulls by the RFC 9218 urgency they are fetched at",
+                layer="cdn",
+                operation=f"u{priority.urgency}",
+            ).inc()
         header = encode_traceparent(edge_span.context) if edge_span.trace_id else None
         return self.origin.fetch(key, traceparent=header)
 

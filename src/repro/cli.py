@@ -198,6 +198,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         events=events,
         recorder=recorder,
         memoise_pages=not args.no_page_memo,
+        priorities_enabled=not args.no_priorities,
+        max_concurrent_streams=args.max_concurrent_streams,
     )
     if admin is not None:
         admin.bind(server)
@@ -275,6 +277,8 @@ def _serve_multiworker(args: argparse.Namespace) -> int:
             concurrent_streams=not args.serial_streams,
             events=events,
             memoise_pages=not args.no_page_memo,
+            priorities_enabled=not args.no_priorities,
+            max_concurrent_streams=args.max_concurrent_streams,
         )
         return WorkerRuntime(
             server=server, registry=registry, events=events, sampler=sampler, gencache=remote
@@ -311,6 +315,8 @@ def cmd_fetch(args: argparse.Namespace) -> int:
         gencache=_make_gencache(args),
         gen_workers=args.gen_workers,
         engine=engine,
+        send_priorities=not args.no_priorities,
+        adaptive_window=not args.no_bdp,
     )
 
     async def run():
@@ -383,13 +389,15 @@ def cmd_demo(args: argparse.Namespace) -> int:
     gencache = _make_gencache(args)
     device = get_device(args.device)
     engine = _make_engine(args, device, tracer=tracer)
-    server = GenerativeServer(store, tracer=tracer)
+    server = GenerativeServer(store, tracer=tracer, priorities_enabled=not args.no_priorities)
     client = GenerativeClient(
         device=device,
         tracer=tracer,
         gencache=gencache,
         gen_workers=args.gen_workers,
         engine=engine,
+        send_priorities=not args.no_priorities,
+        adaptive_window=not args.no_bdp,
     )
     pair = connect_in_memory(client, server)
     result = client.fetch_via_pair(pair, page.path)
@@ -1010,6 +1018,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the server-generated page memo (every request "
              "re-materialises through the gencache)",
     )
+    serve.add_argument(
+        "--no-priorities",
+        action="store_true",
+        help="ignore RFC 9218 priority signals (restore the flat "
+             "round-robin writer schedule)",
+    )
+    serve.add_argument(
+        "--max-concurrent-streams",
+        type=int,
+        default=None,
+        metavar="N",
+        help="advertise and enforce SETTINGS_MAX_CONCURRENT_STREAMS; "
+             "excess streams are refused with REFUSED_STREAM "
+             "(default: unlimited)",
+    )
     _add_gencache_flags(serve)
     _add_batching_flags(serve)
     serve.set_defaults(func=cmd_serve)
@@ -1036,6 +1059,11 @@ def build_parser() -> argparse.ArgumentParser:
     fetch.add_argument("--trace", action="store_true", help="print the span tree of the fetch")
     fetch.add_argument("--gen-workers", type=int, default=1, metavar="N",
                        help="worker pool width for page generation (single-flight when > 1)")
+    fetch.add_argument("--no-priorities", action="store_true",
+                       help="do not send RFC 9218 priority signals")
+    fetch.add_argument("--no-bdp", action="store_true",
+                       help="disable BDP-adaptive receive-window tuning "
+                            "(keep the fixed initial window)")
     _add_gencache_flags(fetch)
     _add_batching_flags(fetch)
     fetch.set_defaults(func=cmd_fetch)
@@ -1055,6 +1083,10 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--trace", action="store_true", help="print the span tree of the flow")
     demo.add_argument("--gen-workers", type=int, default=1, metavar="N",
                       help="worker pool width for page generation (single-flight when > 1)")
+    demo.add_argument("--no-priorities", action="store_true",
+                      help="disable RFC 9218 priority signalling and scheduling")
+    demo.add_argument("--no-bdp", action="store_true",
+                      help="disable BDP-adaptive receive-window tuning")
     _add_gencache_flags(demo)
     _add_batching_flags(demo)
     demo.set_defaults(func=cmd_demo)

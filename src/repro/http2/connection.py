@@ -41,12 +41,19 @@ from repro.http2.frames import (
     HeadersFrame,
     PingFrame,
     PriorityFrame,
+    PriorityUpdateFrame,
     PushPromiseFrame,
     RstStreamFrame,
     SettingsFrame,
     WindowUpdateFrame,
 )
 from repro.http2.hpack import HpackDecoder, HpackEncoder
+from repro.http2.priority import (
+    PRIORITY_HEADER,
+    Priority,
+    parse_priority_field,
+    urgency_from_weight,
+)
 from repro.http2.settings import Setting, Settings
 from repro.http2.streams import H2Stream, StreamEvent, StreamState
 from repro.obs import MetricsRegistry, get_registry
@@ -68,6 +75,7 @@ FRAME_TYPE_NAMES = {
     frames.TYPE_GOAWAY: "GOAWAY",
     frames.TYPE_WINDOW_UPDATE: "WINDOW_UPDATE",
     frames.TYPE_CONTINUATION: "CONTINUATION",
+    frames.TYPE_PRIORITY_UPDATE: "PRIORITY_UPDATE",
 }
 
 
@@ -167,6 +175,36 @@ class ConnectionTerminated(Event):
     debug_data: bytes = b""
 
 
+@dataclass
+class PriorityUpdated(Event):
+    """An RFC 9218 priority signal (header, PRIORITY_UPDATE, or mapped
+    legacy PRIORITY frame) changed a stream's scheduling parameters."""
+
+    urgency: int = 3
+    incremental: bool = False
+    #: True when the signal came from a deprecated RFC 7540 §5.3 PRIORITY
+    #: frame and was approximated via ``urgency_from_weight``.
+    legacy: bool = False
+
+
+@dataclass
+class StreamRefused(Event):
+    """A new peer stream was refused (REFUSED_STREAM) — over the local
+    MAX_CONCURRENT_STREAMS limit. The stream was never created; the peer
+    may safely retry it later (RFC 9113 §8.7)."""
+
+    reason: str = "max-concurrent-streams"
+
+
+@dataclass
+class AbuseDetected(Event):
+    """Abusive peer behaviour crossed a limit and the connection is being
+    torn down with ENHANCE_YOUR_CALM (rapid reset, SETTINGS/PING floods)."""
+
+    kind: str = ""
+    count: int = 0
+
+
 class H2Connection:
     """One endpoint of an HTTP/2 connection.
 
@@ -190,6 +228,9 @@ class H2Connection:
         use_indexing: bool = True,
         initial_window_size: int = 1 << 24,
         registry: MetricsRegistry | None = None,
+        max_concurrent_streams: int | None = None,
+        rapid_reset_limit: int = 64,
+        control_flood_limit: int = 512,
     ) -> None:
         self.role = role
         #: Observability sink; defaults to the process-wide registry
@@ -197,12 +238,22 @@ class H2Connection:
         self.registry = registry if registry is not None else get_registry()
         self.local_gen_ability = gen_ability
         self._gen_ability_value = gen_ability_value if gen_ability_value is not None else (1 if gen_ability else 0)
-        self.local_settings = Settings(
-            {
-                Setting.GEN_ABILITY: self._gen_ability_value,
-                Setting.INITIAL_WINDOW_SIZE: initial_window_size,
-            }
-        )
+        local_overrides = {
+            Setting.GEN_ABILITY: self._gen_ability_value,
+            Setting.INITIAL_WINDOW_SIZE: initial_window_size,
+        }
+        if max_concurrent_streams is not None:
+            local_overrides[Setting.MAX_CONCURRENT_STREAMS] = max_concurrent_streams
+        self.local_settings = Settings(local_overrides)
+        #: None = unlimited (we refuse nothing even if the peer floods us).
+        self._max_concurrent_streams = max_concurrent_streams
+        # Abuse accounting (CVE-2023-44487-style rapid reset; SETTINGS/PING
+        # control-frame floods). Crossing a limit triggers GOAWAY with
+        # ENHANCE_YOUR_CALM and an AbuseDetected event.
+        self._rapid_reset_limit = rapid_reset_limit
+        self._control_flood_limit = control_flood_limit
+        self._rapid_resets = 0
+        self._control_frames = 0
         self.peer_settings = Settings()
         self._peer_settings_received = False
         self.encoder = HpackEncoder(header_table_size, use_huffman=use_huffman, use_indexing=use_indexing)
@@ -236,6 +287,8 @@ class H2Connection:
             Setting.INITIAL_WINDOW_SIZE: self.local_settings.initial_window_size,
             Setting.MAX_FRAME_SIZE: self.local_settings.max_frame_size,
         }
+        if self._max_concurrent_streams is not None:
+            settings[Setting.MAX_CONCURRENT_STREAMS] = self._max_concurrent_streams
         if self._gen_ability_value:
             settings[Setting.GEN_ABILITY] = self._gen_ability_value
             if self.registry.enabled:
@@ -389,6 +442,27 @@ class H2Connection:
             GoAwayFrame(last_stream_id=self._highest_peer_stream, error_code=error_code, debug_data=debug)
         )
         self._goaway_sent = True
+        if self.registry.enabled:
+            self.registry.counter(
+                "http2_goaway_sent_total",
+                "GOAWAY frames emitted, by error code",
+                layer="http2",
+                operation=error_code.name,
+            ).inc()
+
+    def send_priority_update(self, stream_id: int, priority: Priority) -> None:
+        """Reprioritise a stream hop-by-hop (RFC 9218 §7.1).
+
+        Also applies the parameters locally so a same-process scheduler
+        (tests, in-memory transports) observes the change without a
+        round trip.
+        """
+        self._emit_frame(
+            PriorityUpdateFrame(prioritized_stream_id=stream_id, field_value=priority.serialize())
+        )
+        stream = self.streams.get(stream_id)
+        if stream is not None and not stream.closed:
+            stream.set_priority(priority.urgency, priority.incremental)
 
     def increment_flow_control_window(self, increment: int, stream_id: int = 0) -> None:
         """Grant the peer more credit (connection when stream_id == 0)."""
@@ -407,7 +481,17 @@ class H2Connection:
     def update_settings(self, changes: dict[int, int]) -> None:
         """Send a mid-connection SETTINGS frame."""
         self._emit_frame(SettingsFrame(settings=dict(changes)))
-        self.local_settings.update(changes)
+        old_window = self.local_settings.initial_window_size
+        applied = self.local_settings.update(changes)
+        if Setting.INITIAL_WINDOW_SIZE in applied:
+            # Mirror §6.9.2 locally: the peer will treat every stream's
+            # send window as resized by the delta the moment it applies
+            # this frame, so our per-stream receive windows must move in
+            # lockstep or a grown window looks like an overrun here.
+            delta = applied[Setting.INITIAL_WINDOW_SIZE] - old_window
+            for stream in self.streams.values():
+                if not stream.closed:
+                    stream.inbound_window.adjust(delta)
 
     def data_to_send(self) -> bytes:
         """Drain the outbound byte buffer."""
@@ -556,9 +640,60 @@ class H2Connection:
             ]
         if isinstance(frame, PushPromiseFrame):
             return self._handle_push_promise(frame)
+        if isinstance(frame, PriorityUpdateFrame):
+            return self._handle_priority_update(frame)
         if isinstance(frame, PriorityFrame):
-            return []  # deprecated prioritisation scheme: parsed, ignored
+            return self._handle_legacy_priority(frame)
         return []
+
+    def _handle_priority_update(self, frame: PriorityUpdateFrame) -> list[Event]:
+        priority = parse_priority_field(frame.field_value)
+        stream = self.streams.get(frame.prioritized_stream_id)
+        if stream is None or stream.closed:
+            # RFC 9218 §7: updates for unknown/closed streams are ignored
+            # (a real server might buffer a couple for soon-to-open ids).
+            return []
+        stream.set_priority(priority.urgency, priority.incremental)
+        return [
+            PriorityUpdated(
+                stream_id=frame.prioritized_stream_id,
+                urgency=priority.urgency,
+                incremental=priority.incremental,
+            )
+        ]
+
+    def _handle_legacy_priority(self, frame: PriorityFrame) -> list[Event]:
+        """Map a deprecated RFC 7540 §5.3 PRIORITY frame onto urgency.
+
+        The dependency tree is not reconstructed — only the weight is
+        approximated (RFC 9218 §2 recommends exactly this downgrade). Dep
+        and exclusivity are accepted and dropped.
+        """
+        if frame.stream_id == 0:
+            raise ProtocolError("PRIORITY on stream 0")
+        stream = self.streams.get(frame.stream_id)
+        if stream is None or stream.closed:
+            return []  # priority for idle/closed streams carries no state here
+        urgency = urgency_from_weight(frame.weight)
+        stream.set_priority(urgency, incremental=False)
+        return [
+            PriorityUpdated(stream_id=frame.stream_id, urgency=urgency, incremental=False, legacy=True)
+        ]
+
+    def _active_peer_streams(self) -> int:
+        """Streams the peer initiated that are not yet closed (§5.1.2)."""
+        peer_parity = 1 if self.role == Role.SERVER else 0
+        return sum(
+            1
+            for stream in self.streams.values()
+            if stream.stream_id % 2 == peer_parity and not stream.closed
+        )
+
+    def _abuse(self, kind: str, count: int) -> list[Event]:
+        """Tear the connection down with ENHANCE_YOUR_CALM."""
+        if not self._goaway_sent:
+            self.close_connection(ErrorCode.ENHANCE_YOUR_CALM, debug=kind.encode("ascii"))
+        return [AbuseDetected(kind=kind, count=count)]
 
     def _handle_settings(self, frame: SettingsFrame) -> list[Event]:
         if frame.ack:
@@ -587,11 +722,37 @@ class H2Connection:
                     operation="accepted" if negotiated.negotiated else "fallback",
                 ).inc()
             events.append(negotiated)
+        events.extend(self._count_control_frame("settings-flood"))
         return events
 
     def _header_events(self, stream_id: int, headers: HeaderList, end_stream: bool) -> list[Event]:
         self._note_hpack()
+        if (
+            self._max_concurrent_streams is not None
+            and stream_id not in self.streams
+            and self._active_peer_streams() >= self._max_concurrent_streams
+        ):
+            # Refuse without touching the stream table: IDLE has no
+            # SEND_RST transition, and REFUSED_STREAM promises the peer
+            # the request was not processed at all (§8.7). The HPACK
+            # block was already decoded, keeping the shared decoder
+            # context consistent.
+            self._emit_frame(
+                RstStreamFrame(stream_id=stream_id, error_code=ErrorCode.REFUSED_STREAM)
+            )
+            if self.registry.enabled:
+                self.registry.counter(
+                    "http2_refused_streams_total",
+                    "New streams refused over MAX_CONCURRENT_STREAMS",
+                    layer="http2",
+                    operation="max-concurrent",
+                ).inc()
+            return [StreamRefused(stream_id=stream_id, reason="max-concurrent-streams")]
         stream = self._get_or_create_stream(stream_id)
+        priority_field = next((value for name, value in headers if name == PRIORITY_HEADER), None)
+        if priority_field is not None:
+            parsed = parse_priority_field(priority_field)
+            stream.set_priority(parsed.urgency, parsed.incremental)
         is_trailers = bool(stream.received_headers) and stream.state in (
             StreamState.OPEN,
             StreamState.HALF_CLOSED_LOCAL,
@@ -621,7 +782,15 @@ class H2Connection:
             headers = self.decoder.decode(frame.header_block)
         except CompressionError:
             raise
-        return self._header_events(frame.stream_id, headers, frame.end_stream)
+        events = self._header_events(frame.stream_id, headers, frame.end_stream)
+        if frame.priority is not None:
+            # Legacy HEADERS-borne prioritisation (RFC 7540 §6.2). The
+            # RFC 9218 ``priority`` header field wins when both appear.
+            stream = self.streams.get(frame.stream_id)
+            if stream is not None and not stream.priority_signalled:
+                _, weight, _ = frame.priority
+                stream.set_priority(urgency_from_weight(weight), incremental=False)
+        return events
 
     def _handle_continuation(self, frame: ContinuationFrame) -> list[Event]:
         if self._expect_continuation is None:
@@ -676,7 +845,18 @@ class H2Connection:
         if frame.ack:
             return [PingAcknowledged(data=frame.data)]
         self._emit_frame(PingFrame(data=frame.data, ack=True))
-        return [PingReceived(data=frame.data)]
+        events: list[Event] = [PingReceived(data=frame.data)]
+        events.extend(self._count_control_frame("ping-flood"))
+        return events
+
+    def _count_control_frame(self, kind: str) -> list[Event]:
+        """Flood accounting for ack-eliciting control frames (PING,
+        non-ack SETTINGS): each costs us a mandatory reply, so an
+        unbounded stream of them is free amplification for the peer."""
+        self._control_frames += 1
+        if self._control_frames >= self._control_flood_limit:
+            return self._abuse(kind, self._control_frames)
+        return []
 
     def _handle_window_update(self, frame: WindowUpdateFrame) -> list[Event]:
         if frame.increment == 0:
@@ -693,8 +873,24 @@ class H2Connection:
         stream = self.streams.get(frame.stream_id)
         if stream is None:
             raise ProtocolError(f"RST_STREAM for idle stream {frame.stream_id}")
+        if self.registry.enabled:
+            self.registry.counter(
+                "http2_rst_received_total",
+                "RST_STREAM frames received, by error code",
+                layer="http2",
+                operation=frame.error_code.name,
+            ).inc()
+        # Rapid-reset accounting (CVE-2023-44487): a peer that cancels
+        # streams it just opened, over and over, burns server work for
+        # free. Count resets that land while the request is still live.
+        rapid = stream.state in (StreamState.OPEN, StreamState.HALF_CLOSED_REMOTE)
         stream.process(StreamEvent.RECV_RST)
-        return [StreamReset(stream_id=frame.stream_id, error_code=frame.error_code)]
+        events: list[Event] = [StreamReset(stream_id=frame.stream_id, error_code=frame.error_code)]
+        if rapid:
+            self._rapid_resets += 1
+            if self._rapid_resets >= self._rapid_reset_limit:
+                events.extend(self._abuse("rapid-reset", self._rapid_resets))
+        return events
 
     def _handle_push_promise(self, frame: PushPromiseFrame) -> list[Event]:
         if self.role == Role.SERVER:

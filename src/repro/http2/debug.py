@@ -23,6 +23,7 @@ from repro.http2.frames import (
     HeadersFrame,
     PingFrame,
     PriorityFrame,
+    PriorityUpdateFrame,
     PushPromiseFrame,
     RstStreamFrame,
     SettingsFrame,
@@ -77,7 +78,17 @@ def describe_frame(frame: Frame) -> str:
             f"promised={frame.promised_stream_id} block={len(frame.header_block)}B{flags}",
         )
     elif isinstance(frame, PriorityFrame):
-        kind, detail = "PRIORITY", f"dep={frame.dependency} weight={frame.weight}"
+        from repro.http2.priority import urgency_from_weight
+
+        kind, detail = "PRIORITY", (
+            f"dep={frame.dependency} weight={frame.weight}"
+            f" (~u={urgency_from_weight(frame.weight)})"
+        )
+    elif isinstance(frame, PriorityUpdateFrame):
+        kind, detail = (
+            "PRIORITY_UPDATE",
+            f"prioritized={frame.prioritized_stream_id} {frame.field_value.decode('ascii', 'replace') or '(defaults)'}",
+        )
     else:
         kind, detail = type(frame).__name__, ""
     return f"{kind:<14} stream={frame.stream_id:<4} {detail}"

@@ -39,6 +39,8 @@ TYPE_PING = 0x6
 TYPE_GOAWAY = 0x7
 TYPE_WINDOW_UPDATE = 0x8
 TYPE_CONTINUATION = 0x9
+#: RFC 9218 §7.1 (extensible priorities; not part of RFC 9113's ten).
+TYPE_PRIORITY_UPDATE = 0x10
 
 #: Flag bits.
 FLAG_END_STREAM = 0x1
@@ -293,6 +295,23 @@ class WindowUpdateFrame(Frame):
 
 
 @dataclass
+class PriorityUpdateFrame(Frame):
+    """PRIORITY_UPDATE (RFC 9218 §7.1) — reprioritise a stream hop-by-hop.
+
+    Sent on stream 0; the stream being reprioritised travels in the
+    payload, followed by the ASCII priority field value (``u=N, i``).
+    """
+
+    prioritized_stream_id: int = 0
+    field_value: bytes = b""
+    TYPE = TYPE_PRIORITY_UPDATE
+
+    def payload(self) -> bytes:
+        _check_stream_id(self.prioritized_stream_id)
+        return struct.pack(">L", self.prioritized_stream_id & 0x7FFFFFFF) + self.field_value
+
+
+@dataclass
 class ContinuationFrame(Frame):
     """CONTINUATION (§6.10) — continues a header block."""
 
@@ -444,6 +463,20 @@ def parse_frame(data: bytes, offset: int = 0, max_frame_size: int = DEFAULT_MAX_
     if ftype == TYPE_CONTINUATION:
         return (
             ContinuationFrame(stream_id=stream_id, header_block=payload, end_headers=bool(flags & FLAG_END_HEADERS)),
+            new_offset,
+        )
+    if ftype == TYPE_PRIORITY_UPDATE:
+        if stream_id != 0:
+            raise FrameError("PRIORITY_UPDATE must be on stream 0", ErrorCode.PROTOCOL_ERROR)
+        if length < 4:
+            raise FrameError("PRIORITY_UPDATE payload truncated")
+        (prioritized,) = struct.unpack(">L", payload[:4])
+        return (
+            PriorityUpdateFrame(
+                stream_id=0,
+                prioritized_stream_id=prioritized & 0x7FFFFFFF,
+                field_value=payload[4:],
+            ),
             new_offset,
         )
     # Unknown frame type: discard (extensions are allowed to use new types).

@@ -1,0 +1,114 @@
+"""RFC 9218 Extensible Priorities for HTTP.
+
+The scheme replaces RFC 7540 §5.3's dependency tree (deprecated by
+RFC 9113 §5.3.1) with two parameters carried as a Structured Fields
+dictionary (RFC 8941):
+
+* ``urgency`` (``u``) — an integer between 0 (most urgent) and 7 (least),
+  default 3;
+* ``incremental`` (``i``) — a boolean; an incremental response is useful
+  as it arrives and may be interleaved with others of equal urgency,
+  while a non-incremental one should be sent to completion.
+
+Endpoints signal priorities two ways, both implemented here and in
+:mod:`repro.http2.connection`:
+
+* the ``priority`` request header field (end-to-end, set at request time);
+* the ``PRIORITY_UPDATE`` frame (hop-by-hop, reprioritises a stream
+  mid-response) — see :class:`repro.http2.frames.PriorityUpdateFrame`.
+
+The legacy RFC 7540 weight scheme (1–256, bigger = more important) is
+mapped onto the urgency scale logarithmically so that the default weight
+16 lands on the default urgency 3 and the extremes meet (weight 256 →
+urgency 0, weight 1 → urgency 7); see :func:`urgency_from_weight`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: RFC 9218 §4.1: urgency is an integer in [0, 7]; 3 when absent.
+URGENCY_LEVELS = 8
+DEFAULT_URGENCY = 3
+HIGHEST_URGENCY = 0
+LOWEST_URGENCY = URGENCY_LEVELS - 1
+
+#: The request header field name (lowercase, as HPACK carries it).
+PRIORITY_HEADER = b"priority"
+
+
+def clamp_urgency(value: int) -> int:
+    return max(HIGHEST_URGENCY, min(LOWEST_URGENCY, int(value)))
+
+
+@dataclass(frozen=True)
+class Priority:
+    """One stream's RFC 9218 priority parameters."""
+
+    urgency: int = DEFAULT_URGENCY
+    incremental: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "urgency", clamp_urgency(self.urgency))
+
+    def serialize(self) -> bytes:
+        """Render the Structured Fields dictionary (``u=N`` / ``u=N, i``).
+
+        Default-valued parameters are omitted, per RFC 9218 §4: an empty
+        field value carries the defaults.
+        """
+        parts = []
+        if self.urgency != DEFAULT_URGENCY:
+            parts.append(f"u={self.urgency}")
+        if self.incremental:
+            parts.append("i")
+        return ", ".join(parts).encode("ascii")
+
+
+def parse_priority_field(value: bytes | str | None) -> Priority:
+    """Parse a ``priority`` header / PRIORITY_UPDATE field value.
+
+    Implements the subset of RFC 8941 dictionary parsing the priority
+    field uses: comma-separated ``key`` or ``key=value`` members. Unknown
+    keys are ignored (§4); malformed members fall back to the defaults
+    rather than failing the request (robustness per RFC 9218 §5: "failure
+    to parse SHOULD be treated as if the field were absent").
+    """
+    if not value:
+        return Priority()
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        text = bytes(value).decode("ascii", "replace")
+    else:
+        text = value
+    urgency = DEFAULT_URGENCY
+    incremental = False
+    for member in text.split(","):
+        member = member.strip()
+        if not member:
+            continue
+        key, _, raw = member.partition("=")
+        key = key.strip()
+        raw = raw.strip()
+        if key == "u":
+            try:
+                urgency = clamp_urgency(int(raw))
+            except ValueError:
+                urgency = DEFAULT_URGENCY
+        elif key == "i":
+            # A bare ``i`` means true (RFC 8941 boolean); ``i=?0`` false.
+            incremental = raw in ("", "?1", "1")
+    return Priority(urgency=urgency, incremental=incremental)
+
+
+def urgency_from_weight(weight: int) -> int:
+    """Approximate a legacy RFC 7540 weight (1–256) as an urgency.
+
+    Logarithmic so that the perceptually even weight doublings map to
+    even urgency steps: weight 256 → 0, 16 → 3, 1 → 7. Out-of-range
+    weights are clamped first.
+    """
+    weight = max(1, min(256, int(weight)))
+    # log2 spans [0, 8]; scale onto the 7-step urgency ladder, inverted
+    # (bigger weight = more important = smaller urgency).
+    return clamp_urgency(7 - round(math.log2(weight) * 7 / 8))

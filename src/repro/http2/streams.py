@@ -115,6 +115,22 @@ class H2Stream:
     #: Received request/response header lists, in arrival order.
     received_headers: list[list[tuple[bytes, bytes]]] = field(default_factory=list)
     received_data: bytearray = field(default_factory=bytearray)
+    #: RFC 9218 urgency (0 most urgent … 7 least); 3 when unsignalled.
+    urgency: int = 3
+    #: RFC 9218 incremental flag. Defaults True (not the RFC's False):
+    #: with no explicit priority signal the scheduler keeps the legacy
+    #: interleave-everything behaviour; an explicit ``priority`` field or
+    #: PRIORITY_UPDATE overwrites both parameters with RFC semantics.
+    incremental: bool = True
+    #: True once an explicit priority signal (header, PRIORITY_UPDATE, or
+    #: legacy PRIORITY frame) set the parameters above.
+    priority_signalled: bool = False
+
+    def set_priority(self, urgency: int, incremental: bool) -> None:
+        """Apply an explicit RFC 9218 (or mapped legacy) priority signal."""
+        self.urgency = max(0, min(7, int(urgency)))
+        self.incremental = bool(incremental)
+        self.priority_signalled = True
 
     def process(self, event: StreamEvent) -> StreamState:
         """Apply an event, returning the new state or raising on violation."""

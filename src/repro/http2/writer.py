@@ -16,10 +16,21 @@ in-memory transport in tests:
 * **per-stream send queues** — :meth:`enqueue` accepts a whole response
   body; the writer owns chunking it into DATA frames no larger than the
   peer's ``MAX_FRAME_SIZE``;
-* **round-robin interleaving** — each scheduling round gives every ready
-  stream at most one frame before any stream gets a second, so a small
-  page completes in bounded time even while a multi-megabyte asset is
-  mid-transfer (no head-of-line blocking between responses);
+* **priority scheduling (RFC 9218)** — streams sit in strict urgency
+  buckets (0 most urgent … 7 least). A lower-urgency bucket is served
+  only when every more-urgent bucket is empty or window-blocked. Within
+  a bucket, *incremental* streams round-robin one frame at a time (a
+  small page completes in bounded time even while a multi-megabyte asset
+  is mid-transfer) and *non-incremental* streams run to completion in
+  enqueue order (§4.2: a response useless until complete should not be
+  interleaved). Streams with no priority signal default to urgency 3,
+  incremental — exactly the pre-priority writer's equal-share round
+  robin, which ``priorities_enabled=False`` forces for every stream;
+* **anti-starvation credit** — every frame served at urgency *u* accrues
+  one debt unit to each hungrier-numbered non-empty bucket; at
+  ``starvation_interval`` units the starved bucket claims one frame
+  ahead of the strict scan, so urgency-7 bulk still drains under a
+  steady stream of urgent work;
 * **flow-control pausing** — a stream whose stream window (or the shared
   connection window) is empty is skipped, not failed; :meth:`pump`
   simply stops making progress and the caller waits for the peer;
@@ -40,6 +51,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.http2.connection import H2Connection
+from repro.http2.priority import DEFAULT_URGENCY, URGENCY_LEVELS, clamp_urgency
 from repro.obs import MetricsRegistry, get_registry
 
 
@@ -63,6 +75,9 @@ class _SendQueue:
     stalls: int = 0
     #: True when the stream died (reset) under the queued response.
     reset: bool = False
+    #: RFC 9218 scheduling parameters (bucket index / interleave mode).
+    urgency: int = DEFAULT_URGENCY
+    incremental: bool = True
 
     @property
     def remaining(self) -> int:
@@ -80,14 +95,30 @@ class _SendQueue:
 
 
 class ConnectionWriter:
-    """Round-robin DATA scheduler over one connection's flow windows."""
+    """Urgency-bucketed DATA scheduler over one connection's flow windows."""
 
-    def __init__(self, conn: H2Connection, registry: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        conn: H2Connection,
+        registry: MetricsRegistry | None = None,
+        priorities_enabled: bool = True,
+        starvation_interval: int = 8,
+    ) -> None:
         self.conn = conn
         self.registry = registry if registry is not None else get_registry()
+        #: False restores the flat equal-share round robin (every stream
+        #: forced to the default bucket, incremental) — the ``--no-priorities``
+        #: comparison path.
+        self.priorities_enabled = priorities_enabled
+        self.starvation_interval = max(1, starvation_interval)
         self._queues: dict[int, _SendQueue] = {}
-        #: Round-robin order; rotated as streams take their turn.
-        self._order: deque[int] = deque()
+        #: Strict-priority buckets of stream ids, index = urgency. Within
+        #: a bucket the front stream is next up; incremental streams
+        #: rotate to the back after each frame, non-incremental hold the
+        #: front until finished (or window-stalled).
+        self._buckets: list[deque[int]] = [deque() for _ in range(URGENCY_LEVELS)]
+        #: Anti-starvation debt per bucket (see module docstring).
+        self._starvation_debt: list[int] = [0] * URGENCY_LEVELS
         #: Streams whose final frame already went out (END_STREAM sent or
         #: the stream died under the queue); late enqueues are programming
         #: errors, not silent re-opens.
@@ -98,13 +129,20 @@ class ConnectionWriter:
         self.stream_stalls = 0
         self.connection_stalls = 0
         self.completed_streams = 0
+        self.starvation_credits = 0
 
     # ------------------------------------------------------------------ #
     # Queue management
     # ------------------------------------------------------------------ #
 
     def enqueue(
-        self, stream_id: int, data: bytes, end_stream: bool = True, event=None
+        self,
+        stream_id: int,
+        data: bytes,
+        end_stream: bool = True,
+        event=None,
+        urgency: int | None = None,
+        incremental: bool | None = None,
     ) -> None:
         """Queue a response body for flow-controlled transmission.
 
@@ -115,12 +153,20 @@ class ConnectionWriter:
         and finished when the final frame goes out — or finished with
         ``error="stream-reset"`` if the stream dies under the queue — so
         a request's record covers its whole wire lifetime.
+
+        Priority resolution: explicit ``urgency``/``incremental``
+        arguments win, then the parameters the connection recorded on the
+        stream (``priority`` header / PRIORITY_UPDATE), then the legacy
+        defaults (urgency 3, incremental) that reproduce the flat round
+        robin. With :attr:`priorities_enabled` off, every stream is
+        forced to the legacy defaults.
         """
         if stream_id in self._finished:
             raise ValueError(f"stream {stream_id} already finished its response")
+        urgency, incremental = self._resolve_priority(stream_id, urgency, incremental)
         queue = self._queues.get(stream_id)
         if queue is None:
-            self._queues[stream_id] = _SendQueue(
+            queue = _SendQueue(
                 stream_id,
                 # Zero-copy: the queue views the caller's body directly;
                 # every frame is sliced out of it without duplicating the
@@ -129,8 +175,11 @@ class ConnectionWriter:
                 end_stream,
                 event=event,
                 enqueued_at=time.perf_counter(),
+                urgency=urgency,
+                incremental=incremental,
             )
-            self._order.append(stream_id)
+            self._queues[stream_id] = queue
+            self._buckets[urgency].append(stream_id)
         else:
             queue.backlog.append(data)
             queue.end_stream = queue.end_stream or end_stream
@@ -138,7 +187,48 @@ class ConnectionWriter:
                 queue.event = event
                 if not queue.enqueued_at:
                     queue.enqueued_at = time.perf_counter()
+            if (queue.urgency, queue.incremental) != (urgency, incremental):
+                self._move_queue(queue, urgency, incremental)
         self._update_gauges()
+
+    def reprioritize(self, stream_id: int, urgency: int, incremental: bool) -> bool:
+        """Apply a mid-response priority change (PRIORITY_UPDATE).
+
+        Returns True when the stream had a queue to move; the caller
+        should pump afterwards, since a promotion may unblock sending
+        order immediately.
+        """
+        if not self.priorities_enabled:
+            return False
+        queue = self._queues.get(stream_id)
+        if queue is None:
+            return False
+        self._move_queue(queue, clamp_urgency(urgency), bool(incremental))
+        self._update_gauges()
+        return True
+
+    def _resolve_priority(
+        self, stream_id: int, urgency: int | None, incremental: bool | None
+    ) -> tuple[int, bool]:
+        if not self.priorities_enabled:
+            return DEFAULT_URGENCY, True
+        stream = self.conn.streams.get(stream_id)
+        if urgency is None:
+            urgency = stream.urgency if stream is not None else DEFAULT_URGENCY
+        if incremental is None:
+            incremental = stream.incremental if stream is not None else True
+        return clamp_urgency(urgency), bool(incremental)
+
+    def _move_queue(self, queue: _SendQueue, urgency: int, incremental: bool) -> None:
+        if queue.urgency != urgency:
+            bucket = self._buckets[queue.urgency]
+            try:
+                bucket.remove(queue.stream_id)
+            except ValueError:
+                pass
+            self._buckets[urgency].append(queue.stream_id)
+        queue.urgency = urgency
+        queue.incremental = incremental
 
     @property
     def pending_streams(self) -> int:
@@ -163,43 +253,114 @@ class ConnectionWriter:
         """Emit as many DATA frames as the windows allow; return the bytes
         written into the engine's outbound buffer.
 
-        Streams are served round-robin, one frame per stream per round.
         A return of 0 with :attr:`pending_streams` > 0 means every queued
         stream is blocked on flow control — the caller should wait for
         WINDOW_UPDATE (or a SETTINGS window resize) and pump again.
         """
         written = 0
-        progress = True
-        while progress and self._order:
-            progress = False
-            for _ in range(len(self._order)):
-                stream_id = self._order.popleft()
-                queue = self._queues.get(stream_id)
-                if queue is None:
-                    continue
-                sent = self._send_one_frame(queue)
-                if queue.finished:
-                    del self._queues[stream_id]
-                    self.completed_streams += 1
-                    if queue.end_stream:
-                        self._finished.add(stream_id)
-                    self._close_event(queue)
-                else:
-                    self._order.append(stream_id)
-                if sent is None:
-                    continue  # stalled on a window; stays queued
-                written += sent
-                progress = True
-            if (
-                not progress
-                and self._any_payload_pending()
-                and self.conn.outbound_window.available <= 0
-            ):
-                # Everyone is parked on the shared connection window.
-                self.connection_stalls += 1
-                self._count_stall("connection")
+        #: Streams that hit an empty window this pump; skipped until the
+        #: next pump call (their credit can only return via the peer).
+        stalled: set[int] = set()
+        while True:
+            queue = self._next_queue(stalled)
+            if queue is None:
+                break
+            sent = self._send_one_frame(queue)
+            if queue.finished:
+                self._remove_queue(queue)
+                self.completed_streams += 1
+                if queue.end_stream:
+                    self._finished.add(queue.stream_id)
+                self._close_event(queue)
+                if sent:
+                    written += sent
+                self._tick_starvation(queue.urgency)
+                continue
+            if sent is None:
+                stalled.add(queue.stream_id)
+                self._rotate(queue)
+                continue
+            written += sent
+            if queue.incremental:
+                self._rotate(queue)
+            self._tick_starvation(queue.urgency)
+        if self._any_payload_pending() and self.conn.outbound_window.available <= 0:
+            # Pump ended with bytes still queued and the shared connection
+            # window dry — everyone is parked on the peer.
+            self.connection_stalls += 1
+            self._count_stall("connection")
         self._update_gauges()
         return written
+
+    def _next_queue(self, stalled: set[int]) -> _SendQueue | None:
+        """Pick the next stream to serve: a starvation claim first, then
+        the strict ascending-urgency scan, skipping stalled streams."""
+        claim = self._starvation_claim(stalled)
+        if claim is not None:
+            return claim
+        for bucket in self._buckets:
+            for _ in range(len(bucket)):
+                stream_id = bucket[0]
+                queue = self._queues.get(stream_id)
+                if queue is None:
+                    bucket.popleft()  # finished stream left behind by a move
+                    continue
+                if stream_id in stalled:
+                    bucket.rotate(-1)
+                    continue
+                return queue
+        return None
+
+    def _starvation_claim(self, stalled: set[int]) -> _SendQueue | None:
+        """Give the hungriest over-debt bucket one frame ahead of the
+        strict scan (scanned least-urgent first: deeper buckets starve
+        soonest under a strict policy)."""
+        for urgency in range(URGENCY_LEVELS - 1, 0, -1):
+            if self._starvation_debt[urgency] < self.starvation_interval:
+                continue
+            bucket = self._buckets[urgency]
+            for _ in range(len(bucket)):
+                stream_id = bucket[0]
+                queue = self._queues.get(stream_id)
+                if queue is None:
+                    bucket.popleft()
+                    continue
+                if stream_id in stalled:
+                    bucket.rotate(-1)
+                    continue
+                self._starvation_debt[urgency] = 0
+                self.starvation_credits += 1
+                if self.registry.enabled:
+                    self.registry.counter(
+                        "http2_writer_starvation_credits_total",
+                        "Frames granted to starved low-priority buckets",
+                        layer="http2",
+                        operation=f"u{urgency}",
+                    ).inc()
+                return queue
+        return None
+
+    def _tick_starvation(self, served_urgency: int) -> None:
+        """A frame went to ``served_urgency``; every hungrier non-empty
+        bucket moves one unit closer to a claim."""
+        for urgency in range(served_urgency + 1, URGENCY_LEVELS):
+            if self._buckets[urgency]:
+                self._starvation_debt[urgency] += 1
+
+    def _rotate(self, queue: _SendQueue) -> None:
+        bucket = self._buckets[queue.urgency]
+        try:
+            bucket.remove(queue.stream_id)
+        except ValueError:
+            return
+        bucket.append(queue.stream_id)
+
+    def _remove_queue(self, queue: _SendQueue) -> None:
+        self._queues.pop(queue.stream_id, None)
+        try:
+            self._buckets[queue.urgency].remove(queue.stream_id)
+        except ValueError:
+            pass
 
     def _any_payload_pending(self) -> bool:
         """True if any queued stream still has body bytes (not just a bare
@@ -272,6 +433,7 @@ class ConnectionWriter:
             writer_frames=queue.frames,
             writer_stalls=queue.stalls,
             writer_queue_s=time.perf_counter() - queue.enqueued_at,
+            writer_urgency=queue.urgency,
         )
         if error is not None:
             event.finish(error=error)
@@ -292,7 +454,8 @@ class ConnectionWriter:
             self._close_event(queue, error=error)
             aborted += 1
         self._queues.clear()
-        self._order.clear()
+        for bucket in self._buckets:
+            bucket.clear()
         self._update_gauges()
         return aborted
 
@@ -313,6 +476,8 @@ class ConnectionWriter:
                     "queued_bytes": queue.remaining
                     + sum(len(extra) for extra in queue.backlog),
                     "end_stream": queue.end_stream,
+                    "urgency": queue.urgency,
+                    "incremental": queue.incremental,
                     "stream_window": (
                         stream.outbound_window.available if stream is not None else None
                     ),
@@ -326,6 +491,8 @@ class ConnectionWriter:
             "stream_stalls": self.stream_stalls,
             "connection_stalls": self.connection_stalls,
             "completed_streams": self.completed_streams,
+            "starvation_credits": self.starvation_credits,
+            "priorities_enabled": self.priorities_enabled,
             "connection_window": self.conn.outbound_window.available,
             "streams": streams,
         }
@@ -354,3 +521,11 @@ class ConnectionWriter:
             layer="http2",
             operation="bytes",
         ).set(float(self.pending_bytes))
+        for urgency, bucket in enumerate(self._buckets):
+            if bucket or self.priorities_enabled:
+                self.registry.gauge(
+                    "http2_writer_urgency_depth",
+                    "Streams queued per RFC 9218 urgency bucket",
+                    layer="http2",
+                    operation=f"u{urgency}",
+                ).set(float(len(bucket)))

@@ -87,6 +87,7 @@ EVENT_FIELDS: dict[str, str] = {
     "writer_frames": "DATA frames the connection writer sent for the stream",
     "writer_stalls": "times the stream parked on an exhausted flow-control window",
     "writer_queue_s": "enqueue-to-last-frame seconds spent in the writer",
+    "writer_urgency": "RFC 9218 urgency bucket (0-7) the response was scheduled in",
     "body_bytes": "response body bytes before framing",
     "wire_bytes": "bytes that actually crossed the wire",
     # -- client-side ---------------------------------------------------- #

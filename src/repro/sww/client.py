@@ -115,9 +115,24 @@ class GenerativeClient:
         gen_workers: int = 1,
         engine=None,
         events=None,
+        send_priorities: bool = True,
+        adaptive_window: bool = True,
+        initial_window_size: int | None = None,
+        rtt_hint_s: float = 0.05,
     ) -> None:
         self.device = device
         self.gen_ability = gen_ability
+        #: RFC 9218: attach a ``priority`` header to each request, derived
+        #: from the page-aware policy in :mod:`repro.sww.priorities`
+        #: (``--no-priorities`` turns this off for A/B comparison).
+        self.send_priorities = send_priorities
+        #: BDP autotuning of the receive windows (``--no-bdp`` disables).
+        self.adaptive_window = adaptive_window
+        #: Starting per-stream receive window; None keeps the engine's
+        #: default. Small values + adaptive_window exercise window growth.
+        self.initial_window_size = initial_window_size
+        #: Seed RTT for the BDP estimator before real samples arrive.
+        self.rtt_hint_s = rtt_hint_s
         #: Observability sinks (no-ops unless injected or configured).
         self.registry = registry if registry is not None else get_registry()
         self.tracer = tracer if tracer is not None else get_tracer()
@@ -157,7 +172,12 @@ class GenerativeClient:
         self.trust_authority = trust_authority
 
     def new_connection(self) -> H2Connection:
-        return H2Connection(Role.CLIENT, gen_ability=self.gen_ability, registry=self.registry)
+        kwargs = {}
+        if self.initial_window_size is not None:
+            kwargs["initial_window_size"] = self.initial_window_size
+        return H2Connection(
+            Role.CLIENT, gen_ability=self.gen_ability, registry=self.registry, **kwargs
+        )
 
     # ------------------------------------------------------------------ #
     # Shared post-receive path
@@ -256,7 +276,9 @@ class GenerativeClient:
             if not verification.trusted:
                 logger.warning("generated item %r failed verification", output.item.name)
 
-    def request_headers(self, path: str, authority: str = "sww.example") -> HeaderList:
+    def request_headers(
+        self, path: str, authority: str = "sww.example", priority=None
+    ) -> HeaderList:
         headers: HeaderList = [
             (b":method", b"GET"),
             (b":path", path.encode("utf-8")),
@@ -264,6 +286,16 @@ class GenerativeClient:
             (b":authority", authority.encode("utf-8")),
             (b"user-agent", b"sww-generative-client/1.0"),
         ]
+        if self.send_priorities:
+            from repro.sww.priorities import priority_for_path
+
+            if priority is None:
+                priority = priority_for_path(path)
+            encoded = priority.serialize()
+            if encoded:
+                # An empty field value means all-defaults (RFC 9218 §4);
+                # omitting the header says the same in zero bytes.
+                headers.append((b"priority", encoded))
         if self.gen_ability and self.installed_models:
             from repro.sww.model_negotiation import MODELS_HEADER, encode_models_header
 
@@ -407,20 +439,38 @@ class GenerativeClient:
             fetch_span.annotate(server_gen_ability=self.server_gen_ability)
         return results[0]
 
-    async def fetch_many_tcp(self, host: str, port: int, paths: Sequence[str]) -> list[FetchResult]:
+    async def fetch_many_tcp(
+        self,
+        host: str,
+        port: int,
+        paths: Sequence[str],
+        priorities: Sequence | None = None,
+    ) -> list[FetchResult]:
         """Fetch several pages concurrently over ONE connection.
 
         All requests are multiplexed as separate HTTP/2 streams on a single
         socket; the server's concurrent scheduler interleaves the response
         DATA frames, so a small page completes while a large one is still
         mid-stream. Results are returned in the order of ``paths``.
+
+        ``priorities`` optionally pins an RFC 9218 :class:`Priority` per
+        path (positionally matched); otherwise the page-aware policy in
+        :mod:`repro.sww.priorities` classifies each path.
         """
         with self.tracer.span("client.fetch_many", pages=len(paths), transport="tcp") as span:
-            results = await self._fetch_tcp_streams(host, port, list(paths))
+            results = await self._fetch_tcp_streams(
+                host, port, list(paths), priorities=list(priorities) if priorities else None
+            )
             span.annotate(server_gen_ability=self.server_gen_ability)
         return results
 
-    async def _fetch_tcp_streams(self, host: str, port: int, paths: list[str]) -> list[FetchResult]:
+    async def _fetch_tcp_streams(
+        self,
+        host: str,
+        port: int,
+        paths: list[str],
+        priorities: list | None = None,
+    ) -> list[FetchResult]:
         """Open one connection, request ``paths`` as concurrent streams,
         collect every response (and pushed asset), and finish each page."""
         with self.tracer.span("client.connect", host=host, port=port):
@@ -429,6 +479,21 @@ class GenerativeClient:
             transport = AsyncH2Transport(conn, reader, writer)
             conn.initiate_connection()
             await transport.flush()
+
+        adaptive = None
+        if self.adaptive_window:
+            from repro.http2.bdp import AdaptiveReceiveWindow, BdpEstimator
+
+            import time as _time
+
+            adaptive = AdaptiveReceiveWindow(
+                conn,
+                BdpEstimator(
+                    _time.monotonic,
+                    rtt_s=self.rtt_hint_s,
+                    min_window=conn.local_settings.initial_window_size,
+                ),
+            )
 
         streams: dict[int, _TcpStream] = {}
         promised: dict[int, _TcpStream] = {}
@@ -454,11 +519,23 @@ class GenerativeClient:
                 state = streams.get(event.stream_id) or promised.get(event.stream_id)
                 if state is not None:
                     state.body += event.data
-                # Top the connection-level receive window back up so a
-                # long-lived multi-stream connection never starves the
-                # server of credit (per-stream windows die with the stream).
+                # Replenish the consumed credit — the connection window
+                # always (a long-lived multi-stream connection must never
+                # starve the server), and the stream window while the
+                # stream is still open (with BDP-sized small windows, a
+                # response larger than one stream window deadlocks without
+                # this). The adaptive tuner also feeds its rate estimator
+                # and may grow the advertised windows as it learns the path.
                 if event.flow_controlled_length > 0:
-                    conn.increment_flow_control_window(event.flow_controlled_length)
+                    if adaptive is not None:
+                        adaptive.on_data(event.stream_id, event.flow_controlled_length)
+                    else:
+                        conn.increment_flow_control_window(event.flow_controlled_length)
+                        stream = conn.streams.get(event.stream_id)
+                        if stream is not None and not stream.closed:
+                            conn.increment_flow_control_window(
+                                event.flow_controlled_length, event.stream_id
+                            )
             elif isinstance(event, (StreamEnded, StreamReset)):
                 state = streams.get(event.stream_id) or promised.get(event.stream_id)
                 if state is not None:
@@ -479,12 +556,17 @@ class GenerativeClient:
                     server_gen_ability=self.server_gen_ability,
                 )
             order: list[int] = []
-            for path in paths:
+            for index, path in enumerate(paths):
                 with self.tracer.span("client.request", page=path):
                     stream_id = conn.get_next_available_stream_id()
                     streams[stream_id] = _TcpStream(path=path)
                     order.append(stream_id)
-                    conn.send_headers(stream_id, self.request_headers(path, host), end_stream=True)
+                    priority = priorities[index] if priorities else None
+                    conn.send_headers(
+                        stream_id,
+                        self.request_headers(path, host, priority=priority),
+                        end_stream=True,
+                    )
             await transport.flush()
             await asyncio.gather(*(streams[sid].done.wait() for sid in order))
             # Every PUSH_PROMISE precedes its parent stream's END_STREAM, so
@@ -532,7 +614,12 @@ def connect_in_memory(client: GenerativeClient, server) -> InMemoryTransportPair
     """Wire a client and a :class:`~repro.sww.server.GenerativeServer`
     through the in-memory transport and run the settings handshake."""
     client_conn = client.new_connection()
-    server_conn = H2Connection(Role.SERVER, gen_ability=server.gen_ability, registry=server.registry)
+    server_conn = H2Connection(
+        Role.SERVER,
+        gen_ability=server.gen_ability,
+        registry=server.registry,
+        max_concurrent_streams=getattr(server, "max_concurrent_streams", None),
+    )
     session = server.attach(server_conn)
     pair = InMemoryTransportPair(client_conn, server_conn)
 

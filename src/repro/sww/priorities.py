@@ -1,0 +1,92 @@
+"""Page-aware RFC 9218 priority assignment (the perceived-speed policy).
+
+The paper's win is measured at the user's eyeball: what matters is when
+the first above-the-fold div renders, not when the last below-the-fold
+byte lands (PixLift frames page speed the same way). This module is the
+policy layer that turns page structure into wire priorities:
+
+* the **HTML page** itself is urgency 1, non-incremental — nothing
+  renders until it parses, so it should pre-empt every asset and arrive
+  contiguously;
+* **above-the-fold** content divs (the first :data:`FOLD_ITEM_COUNT`
+  generated items in document order — a proxy for layout position in a
+  top-to-bottom page) are urgency 1, non-incremental;
+* **below-the-fold** items are urgency 5, incremental — they may trickle
+  in interleaved without delaying anything the user can see;
+* **agent/metadata fetches** ("Towards an Agent-First Web"'s second
+  client class: tiny structured responses consumed by software, not
+  rendered) are urgency 0, non-incremental — they should never queue
+  behind media.
+
+The mapping feeds :meth:`GenerativeClient.request_headers` (the
+``priority`` header) and the server's scheduler via
+:class:`repro.http2.writer.ConnectionWriter`.
+"""
+
+from __future__ import annotations
+
+from repro.html.dom import Document
+from repro.http2.priority import Priority
+from repro.sww.content import CSS_CLASS, ContentError, GeneratedContent
+
+#: Generated items visible without scrolling, in document order. Our
+#: synthetic pages lay content strictly top-to-bottom, so ordinal
+#: position stands in for layout geometry.
+FOLD_ITEM_COUNT = 3
+
+#: The page document: blocks all rendering, wanted contiguous.
+PAGE = Priority(urgency=1, incremental=False)
+#: Above-the-fold media: paints the first screenful.
+ABOVE_FOLD = Priority(urgency=1, incremental=False)
+#: Below-the-fold media: progressive, interleavable.
+BELOW_FOLD = Priority(urgency=5, incremental=True)
+#: Agent/metadata fetches: tiny, machine-consumed, never queue.
+AGENT = Priority(urgency=0, incremental=False)
+
+
+def classify_document(document: Document) -> dict[str, Priority]:
+    """Map each generated item's asset path to its fold priority.
+
+    Items are taken in document order; the first :data:`FOLD_ITEM_COUNT`
+    are above the fold. Both the ``/generated/<name>.png`` asset path and
+    any ``upscale_src`` original get the item's priority (fetching the
+    small original *is* fetching the item, wire-wise).
+    """
+    priorities: dict[str, Priority] = {}
+    position = 0
+    for element in document.find_by_class(CSS_CLASS):
+        try:
+            item = GeneratedContent.from_element(element)
+        except ContentError:
+            continue
+        priority = ABOVE_FOLD if position < FOLD_ITEM_COUNT else BELOW_FOLD
+        priorities[f"/generated/{item.name}.png"] = priority
+        if item.upscale_src is not None:
+            priorities[item.upscale_src] = priority
+        position += 1
+    return priorities
+
+
+def priority_for_path(
+    path: str,
+    fold_map: dict[str, Priority] | None = None,
+    agent: bool = False,
+) -> Priority:
+    """The priority a fetch of ``path`` should signal.
+
+    ``fold_map`` (from :func:`classify_document`) wins for known assets;
+    unknown asset-like paths are treated as below-the-fold media, and
+    everything else as a page document.
+    """
+    if agent:
+        return AGENT
+    if fold_map and path in fold_map:
+        return fold_map[path]
+    if _looks_like_asset(path):
+        return BELOW_FOLD
+    return PAGE
+
+
+def _looks_like_asset(path: str) -> bool:
+    tail = path.rsplit("?", 1)[0]
+    return tail.endswith((".png", ".jpg", ".jpeg", ".gif", ".webp", ".css", ".js"))

@@ -30,12 +30,15 @@ from repro.devices.profiles import DeviceProfile, WORKSTATION
 from repro.genai.pipeline import GenerationPipeline
 from repro.html import parse_html, serialize
 from repro.http2.connection import (
+    AbuseDetected,
     ConnectionTerminated,
     Event,
     H2Connection,
+    PriorityUpdated,
     RemoteSettingsChanged,
     RequestReceived,
     Role,
+    StreamRefused,
     StreamReset,
     WindowUpdated,
 )
@@ -156,6 +159,8 @@ class GenerativeServer:
         events=None,
         recorder=None,
         memoise_pages: bool = True,
+        priorities_enabled: bool = True,
+        max_concurrent_streams: int | None = None,
     ) -> None:
         self.store = store
         self.device = device
@@ -198,6 +203,12 @@ class GenerativeServer:
         #: writer; False is the serial seed behaviour (one request at a
         #: time, handled synchronously on the event loop).
         self.concurrent_streams = concurrent_streams
+        #: RFC 9218 urgency-bucket scheduling in the connection writer;
+        #: False restores the flat round robin (``--no-priorities``).
+        self.priorities_enabled = priorities_enabled
+        #: Advertised SETTINGS_MAX_CONCURRENT_STREAMS; excess new streams
+        #: are refused with REFUSED_STREAM. None leaves it unlimited.
+        self.max_concurrent_streams = max_concurrent_streams
         #: Cache of server-side generated traditional pages (path → html,
         #: assets), so repeat naive clients don't re-pay generation.
         #: ``memoise_pages=False`` disables the page-level memo (every
@@ -523,7 +534,12 @@ class GenerativeServer:
         worker in :mod:`repro.serving.worker`) can drive the exact same
         connection path :meth:`serve_forever` uses.
         """
-        conn = H2Connection(Role.SERVER, gen_ability=self.gen_ability, registry=self.registry)
+        conn = H2Connection(
+            Role.SERVER,
+            gen_ability=self.gen_ability,
+            registry=self.registry,
+            max_concurrent_streams=self.max_concurrent_streams,
+        )
         session = self.attach(conn)
         transport = AsyncH2Transport(conn, reader, writer)
         conn.initiate_connection()
@@ -682,7 +698,11 @@ class ServerSession:
     async def run(self, transport: AsyncH2Transport, concurrent: bool = True) -> None:
         """Drive one connection to completion over the asyncio transport."""
         self._transport = transport
-        self.writer = ConnectionWriter(self.conn, registry=self.server.registry)
+        self.writer = ConnectionWriter(
+            self.conn,
+            registry=self.server.registry,
+            priorities_enabled=self.server.priorities_enabled,
+        )
         writer_task = asyncio.create_task(self._writer_loop())
         probe_task = asyncio.create_task(self._stall_probe())
         dispatch = self._dispatch_concurrent if concurrent else self._dispatch_serial
@@ -737,6 +757,27 @@ class ServerSession:
             # The writer drops the queue for a dead stream on its next
             # scheduling round; just make sure that round happens.
             self._transport.wake_writer()
+        elif isinstance(event, PriorityUpdated):
+            # Mid-response reprioritisation: move the queued body between
+            # urgency buckets and pump — a promotion should take effect on
+            # the very next frame.
+            if self.writer is not None and self.writer.reprioritize(
+                event.stream_id, event.urgency, event.incremental
+            ):
+                self._transport.wake_writer()
+        elif isinstance(event, StreamRefused):
+            logger.info(
+                "refused stream %d over MAX_CONCURRENT_STREAMS", event.stream_id
+            )
+        elif isinstance(event, AbuseDetected):
+            # The engine already sent GOAWAY(ENHANCE_YOUR_CALM); surface
+            # the incident to the flight recorder and stop taking streams.
+            logger.warning("abusive peer: %s after %d occurrences", event.kind, event.count)
+            self._draining = True
+            if self.server.recorder is not None:
+                self.server.recorder.note(
+                    "protocol-error", f"abuse detected: {event.kind} x{event.count}"
+                )
 
     async def _serve_stream(self, event: RequestReceived) -> None:
         """One request stream, start to finish, as its own task."""

@@ -1,0 +1,242 @@
+"""Tests for BDP-adaptive receive-window tuning (receiver-driven
+autotuning) and the §6.9.2 local mirror in update_settings."""
+
+import pytest
+
+from repro.http2.bdp import (
+    RESIZE_HYSTERESIS,
+    WINDOW_CEILING,
+    AdaptiveReceiveWindow,
+    BdpEstimator,
+)
+from repro.http2.connection import DataReceived, H2Connection, RequestReceived, Role
+from repro.http2.frames import SettingsFrame, WindowUpdateFrame, parse_frames
+from repro.http2.settings import MAX_WINDOW, Setting
+from repro.http2.transport import InMemoryTransportPair
+
+REQUEST = [
+    (b":method", b"GET"),
+    (b":scheme", b"https"),
+    (b":path", b"/page"),
+    (b":authority", b"test"),
+]
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestBdpEstimator:
+    def test_rtt_ewma_converges(self):
+        clock = FakeClock()
+        est = BdpEstimator(clock, rtt_s=0.05)
+        for _ in range(100):
+            est.on_rtt_sample(0.1)
+        assert abs(est.srtt_s - 0.1) < 0.005
+
+    def test_non_positive_rtt_ignored(self):
+        est = BdpEstimator(FakeClock(), rtt_s=0.05)
+        est.on_rtt_sample(0.0)
+        est.on_rtt_sample(-1.0)
+        assert est.srtt_s == 0.05
+
+    def test_rate_sample_closes_after_one_srtt(self):
+        clock = FakeClock()
+        est = BdpEstimator(clock, rtt_s=0.1)
+        est.on_data(50_000)  # opens the interval
+        clock.advance(0.1)
+        est.on_data(50_000)  # closes it: 100 KB over 0.1 s = 1 MB/s
+        assert est.samples == 1
+        assert est.rate_bps == 100_000 / 0.1
+
+    def test_sub_srtt_intervals_accumulate(self):
+        clock = FakeClock()
+        est = BdpEstimator(clock, rtt_s=0.1)
+        est.on_data(1000)
+        clock.advance(0.01)
+        est.on_data(1000)  # only 10 ms elapsed: no sample yet
+        assert est.samples == 0
+
+    def test_max_filter_survives_slow_interval(self):
+        clock = FakeClock()
+        est = BdpEstimator(clock, rtt_s=0.1)
+        est.on_data(100_000)
+        clock.advance(0.1)
+        est.on_data(100_000)  # fast interval
+        fast_rate = est.rate_bps
+        clock.advance(0.1)
+        est.on_data(10)  # nearly idle interval closes at ~100 B/s
+        assert est.rate_bps == pytest.approx(0.9 * fast_rate)  # decayed max, not collapsed
+
+    def test_target_window_is_gain_times_bdp_clamped(self):
+        clock = FakeClock()
+        est = BdpEstimator(clock, rtt_s=0.1, min_window=65_535, gain=2.0)
+        assert est.target_window() == 65_535  # no samples yet → floor
+        est.on_data(500_000)
+        clock.advance(0.1)
+        est.on_data(500_000)
+        # rate = 1e6/0.1 = 1e7 B/s; BDP = 1e6; target = 2e6.
+        assert est.bdp_bytes() == int(est.rate_bps * est.srtt_s)
+        assert est.target_window() == 2 * est.bdp_bytes()
+
+    def test_target_window_respects_protocol_ceiling(self):
+        clock = FakeClock()
+        est = BdpEstimator(clock, rtt_s=1.0, max_window=MAX_WINDOW * 2)
+        assert est.max_window == WINDOW_CEILING
+        est.on_data(MAX_WINDOW)
+        clock.advance(1.0)
+        est.on_data(MAX_WINDOW)
+        assert est.target_window() == WINDOW_CEILING
+
+
+def small_window_pair(window: int = 65_535):
+    """Client advertises a small receive window; server will send DATA."""
+    pair = InMemoryTransportPair(
+        H2Connection(Role.CLIENT, gen_ability=True, initial_window_size=window),
+        H2Connection(Role.SERVER, gen_ability=True),
+    )
+    pair.handshake()
+    return pair
+
+
+def open_request(pair) -> int:
+    stream_id = pair.client.conn.get_next_available_stream_id()
+    pair.client.conn.send_headers(stream_id, REQUEST, end_stream=True)
+    pair.pump()
+    assert any(isinstance(e, RequestReceived) for e in pair.server.take_events())
+    return stream_id
+
+
+class TestAdaptiveReceiveWindow:
+    def drive(self, pair, adaptive, clock, stream_id, chunks, chunk_bytes, rtt):
+        """Server sends; client accounts each DataReceived through the tuner."""
+        pair.server.conn.send_headers(stream_id, [(b":status", b"200")])
+        for _ in range(chunks):
+            clock.advance(rtt)
+            pair.server.conn.send_data(stream_id, b"d" * chunk_bytes)
+            for event in pair.client.conn.receive_data(pair.server.conn.data_to_send()):
+                if isinstance(event, DataReceived):
+                    adaptive.on_data(event.stream_id, event.flow_controlled_length)
+            # Deliver the tuner's SETTINGS / WINDOW_UPDATE back to the server.
+            pair.server.conn.receive_data(pair.client.conn.data_to_send())
+
+    def test_window_grows_on_fast_path(self):
+        window = 16_384
+        pair = small_window_pair(window)
+        stream_id = open_request(pair)
+        clock = FakeClock()
+        est = BdpEstimator(clock, rtt_s=0.1, min_window=window)
+        adaptive = AdaptiveReceiveWindow(pair.client.conn, est)
+
+        self.drive(pair, adaptive, clock, stream_id, chunks=8, chunk_bytes=16_000, rtt=0.1)
+
+        assert adaptive.resizes >= 1
+        grown = pair.client.conn.local_settings.initial_window_size
+        assert grown > window * RESIZE_HYSTERESIS
+        # The peer's view moved in lockstep: its send window for the
+        # stream reflects the SETTINGS re-base, and the connection window
+        # got the explicit catch-up grant.
+        assert pair.server.conn.peer_settings.initial_window_size == grown
+        assert pair.server.conn.streams[stream_id].outbound_window.available > 0
+
+    def test_resize_emits_settings_and_connection_catchup(self):
+        window = 16_384
+        pair = small_window_pair(window)
+        stream_id = open_request(pair)
+        clock = FakeClock()
+        adaptive = AdaptiveReceiveWindow(
+            pair.client.conn, BdpEstimator(clock, rtt_s=0.1, min_window=window)
+        )
+        pair.server.conn.send_headers(stream_id, [(b":status", b"200")])
+        wire = bytearray()
+        for _ in range(4):
+            clock.advance(0.1)
+            pair.server.conn.send_data(stream_id, b"d" * 16_000)
+            for event in pair.client.conn.receive_data(pair.server.conn.data_to_send()):
+                if isinstance(event, DataReceived):
+                    adaptive.on_data(event.stream_id, event.flow_controlled_length)
+            reply = pair.client.conn.data_to_send()
+            wire += reply
+            pair.server.conn.receive_data(reply)  # keep the sender credited
+        frames, _ = parse_frames(bytes(wire))
+        settings = [
+            f for f in frames
+            if isinstance(f, SettingsFrame) and int(Setting.INITIAL_WINDOW_SIZE) in f.settings
+        ]
+        assert settings, "resize must travel as SETTINGS_INITIAL_WINDOW_SIZE"
+        conn_grants = [
+            f for f in frames if isinstance(f, WindowUpdateFrame) and f.stream_id == 0
+        ]
+        assert conn_grants, "connection window needs an explicit catch-up grant"
+
+    def test_steady_path_settles_without_oscillating(self):
+        window = 65_535
+        pair = small_window_pair(window)
+        stream_id = open_request(pair)
+        clock = FakeClock()
+        adaptive = AdaptiveReceiveWindow(
+            pair.client.conn,
+            BdpEstimator(clock, rtt_s=0.01, min_window=window),
+        )
+        # Slow trickle: 1 KB per 10 ms RTT → BDP ~1 KB, far below the floor.
+        self.drive(pair, adaptive, clock, stream_id, chunks=20, chunk_bytes=1000, rtt=0.01)
+        assert adaptive.resizes == 0
+        assert pair.client.conn.local_settings.initial_window_size == window
+
+    def test_credit_replenished_without_resize(self):
+        """The tuner owns replenishment: stream and connection credit come
+        back even when no resize is warranted."""
+        window = 65_535
+        pair = small_window_pair(window)
+        stream_id = open_request(pair)
+        clock = FakeClock()
+        adaptive = AdaptiveReceiveWindow(
+            pair.client.conn, BdpEstimator(clock, rtt_s=0.01, min_window=window)
+        )
+        self.drive(pair, adaptive, clock, stream_id, chunks=30, chunk_bytes=4000, rtt=0.01)
+        # 120 KB crossed a 64 KB window: only possible if credit returns.
+        stream = pair.server.conn.streams[stream_id]
+        assert stream.outbound_window.available == window
+        assert pair.server.conn.outbound_window.available > 0
+
+
+class TestSettingsWindowMirror:
+    def test_update_settings_rebases_local_stream_receive_windows(self):
+        """§6.9.2: when we raise INITIAL_WINDOW_SIZE, the peer treats every
+        open stream's send window as grown by the delta — our per-stream
+        receive accounting must mirror that or legitimate DATA looks like
+        an overrun."""
+        window = 10_000
+        pair = small_window_pair(window)
+        stream_id = open_request(pair)
+        inbound = pair.client.conn.streams[stream_id].inbound_window
+        before = inbound.available
+
+        pair.client.conn.update_settings({Setting.INITIAL_WINDOW_SIZE: window * 3})
+        assert inbound.available == before + window * 2
+
+        # And the peer can actually use the grown window without tripping
+        # the client's flow-control accounting.
+        pair.pump()
+        pair.server.conn.send_headers(stream_id, [(b":status", b"200")])
+        pair.server.conn.send_data(stream_id, b"d" * (window * 2))
+        pair.pump()  # would raise FlowControlError if the mirror was missing
+        received = sum(
+            len(e.data) for e in pair.client.events if isinstance(e, DataReceived)
+        )
+        assert received == window * 2
+
+    def test_shrink_applies_negative_delta(self):
+        window = 30_000
+        pair = small_window_pair(window)
+        stream_id = open_request(pair)
+        inbound = pair.client.conn.streams[stream_id].inbound_window
+        pair.client.conn.update_settings({Setting.INITIAL_WINDOW_SIZE: 10_000})
+        assert inbound.available == 10_000

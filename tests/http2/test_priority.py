@@ -1,0 +1,246 @@
+"""Tests for RFC 9218 extensible priorities: field parsing, the
+PRIORITY_UPDATE frame, header/legacy signalling into the stream table."""
+
+import pytest
+
+from repro.http2.connection import (
+    H2Connection,
+    PriorityUpdated,
+    RequestReceived,
+    Role,
+)
+from repro.http2.debug import describe_frame
+from repro.http2.errors import ErrorCode
+from repro.http2.frames import (
+    FrameError,
+    HeadersFrame,
+    PriorityFrame,
+    PriorityUpdateFrame,
+    parse_frames,
+)
+from repro.http2.priority import (
+    DEFAULT_URGENCY,
+    Priority,
+    clamp_urgency,
+    parse_priority_field,
+    urgency_from_weight,
+)
+from repro.http2.transport import InMemoryTransportPair
+
+REQUEST = [
+    (b":method", b"GET"),
+    (b":scheme", b"https"),
+    (b":path", b"/page"),
+    (b":authority", b"test"),
+]
+
+
+def handshaken_pair() -> InMemoryTransportPair:
+    pair = InMemoryTransportPair(
+        H2Connection(Role.CLIENT, gen_ability=True),
+        H2Connection(Role.SERVER, gen_ability=True),
+    )
+    pair.handshake()
+    return pair
+
+
+def open_request(pair, extra_headers=()):
+    stream_id = pair.client.conn.get_next_available_stream_id()
+    pair.client.conn.send_headers(stream_id, REQUEST + list(extra_headers))
+    pair.pump()
+    return stream_id
+
+
+class TestPriorityField:
+    def test_defaults(self):
+        assert Priority() == Priority(urgency=DEFAULT_URGENCY, incremental=False)
+
+    def test_urgency_clamped_on_construction(self):
+        assert Priority(urgency=99).urgency == 7
+        assert Priority(urgency=-5).urgency == 0
+        assert clamp_urgency(3) == 3
+
+    def test_serialize_omits_defaults(self):
+        # RFC 9218 §4: an empty field value carries the defaults.
+        assert Priority().serialize() == b""
+        assert Priority(urgency=1).serialize() == b"u=1"
+        assert Priority(incremental=True).serialize() == b"i"
+        assert Priority(urgency=5, incremental=True).serialize() == b"u=5, i"
+
+    @pytest.mark.parametrize(
+        "priority",
+        [
+            Priority(),
+            Priority(urgency=0),
+            Priority(urgency=7, incremental=True),
+            Priority(urgency=2, incremental=False),
+        ],
+    )
+    def test_round_trip(self, priority):
+        assert parse_priority_field(priority.serialize()) == priority
+
+    def test_parse_accepts_str_and_none(self):
+        assert parse_priority_field("u=6, i") == Priority(urgency=6, incremental=True)
+        assert parse_priority_field(None) == Priority()
+        assert parse_priority_field(b"") == Priority()
+
+    def test_parse_ignores_unknown_keys(self):
+        assert parse_priority_field(b"u=2, x=9, i") == Priority(2, True)
+
+    def test_parse_explicit_boolean_forms(self):
+        assert parse_priority_field(b"i=?1").incremental is True
+        assert parse_priority_field(b"i=?0").incremental is False
+
+    def test_malformed_urgency_falls_back_to_default(self):
+        # RFC 9218 §5: failure to parse is treated as field-absent.
+        assert parse_priority_field(b"u=potato").urgency == DEFAULT_URGENCY
+        assert parse_priority_field(b"u=12").urgency == 7  # clamped
+
+    def test_weight_mapping_endpoints(self):
+        assert urgency_from_weight(256) == 0
+        assert urgency_from_weight(16) == 3  # both schemes' default
+        assert urgency_from_weight(1) == 7
+
+    def test_weight_mapping_monotonic(self):
+        urgencies = [urgency_from_weight(w) for w in range(1, 257)]
+        assert urgencies == sorted(urgencies, reverse=True)
+
+    def test_weight_mapping_clamps_out_of_range(self):
+        assert urgency_from_weight(0) == 7
+        assert urgency_from_weight(10_000) == 0
+
+
+class TestPriorityUpdateFrame:
+    def test_round_trip(self):
+        frame = PriorityUpdateFrame(prioritized_stream_id=7, field_value=b"u=1, i")
+        frames, rest = parse_frames(frame.serialize())
+        assert rest == b""
+        (parsed,) = frames
+        assert isinstance(parsed, PriorityUpdateFrame)
+        assert parsed.stream_id == 0
+        assert parsed.prioritized_stream_id == 7
+        assert parsed.field_value == b"u=1, i"
+
+    def test_rejected_off_stream_zero(self):
+        raw = bytearray(PriorityUpdateFrame(prioritized_stream_id=3).serialize())
+        raw[8] = 5  # forge the carrying stream id
+        with pytest.raises(FrameError) as err:
+            parse_frames(bytes(raw))
+        assert err.value.code == ErrorCode.PROTOCOL_ERROR
+
+    def test_truncated_payload_rejected(self):
+        raw = bytearray(PriorityUpdateFrame(prioritized_stream_id=3).serialize())
+        raw[2] = 2  # shrink declared length below the 4-byte stream id
+        with pytest.raises(FrameError):
+            parse_frames(bytes(raw[: 9 + 2]))
+
+
+class TestPrioritySignalling:
+    def test_priority_header_sets_stream_parameters(self):
+        pair = handshaken_pair()
+        stream_id = open_request(pair, [(b"priority", b"u=1")])
+        stream = pair.server.conn.streams[stream_id]
+        assert stream.urgency == 1
+        assert stream.incremental is False  # explicit signal → RFC default
+        assert stream.priority_signalled
+
+    def test_unsignalled_stream_keeps_legacy_interleave_defaults(self):
+        pair = handshaken_pair()
+        stream_id = open_request(pair)
+        stream = pair.server.conn.streams[stream_id]
+        assert stream.urgency == DEFAULT_URGENCY
+        assert stream.incremental is True
+        assert not stream.priority_signalled
+
+    def test_priority_update_frame_reprioritizes(self):
+        pair = handshaken_pair()
+        stream_id = open_request(pair)
+        pair.client.conn.send_priority_update(stream_id, Priority(urgency=6, incremental=True))
+        pair.pump()
+        updates = [e for e in pair.server.events if isinstance(e, PriorityUpdated)]
+        assert updates == [
+            PriorityUpdated(stream_id=stream_id, urgency=6, incremental=True)
+        ]
+        stream = pair.server.conn.streams[stream_id]
+        assert (stream.urgency, stream.incremental) == (6, True)
+
+    def test_priority_update_for_unknown_stream_ignored(self):
+        pair = handshaken_pair()
+        events = pair.server.conn.receive_data(
+            PriorityUpdateFrame(prioritized_stream_id=99, field_value=b"u=0").serialize()
+        )
+        assert events == []
+        assert 99 not in pair.server.conn.streams
+
+    def test_send_priority_update_applies_locally(self):
+        # Same-process schedulers see the change without a round trip.
+        pair = handshaken_pair()
+        stream_id = open_request(pair)
+        pair.server.conn.send_priority_update(stream_id, Priority(urgency=0))
+        assert pair.server.conn.streams[stream_id].urgency == 0
+
+
+class TestLegacyPriority:
+    def test_legacy_priority_frame_maps_to_urgency(self):
+        """Satellite: RFC 7540 §6.3 PRIORITY frames used to be parsed and
+        silently dropped; now the weight lands on the urgency ladder."""
+        pair = handshaken_pair()
+        stream_id = open_request(pair)
+        events = pair.server.conn.receive_data(
+            PriorityFrame(stream_id=stream_id, dependency=0, weight=256).serialize()
+        )
+        assert events == [
+            PriorityUpdated(stream_id=stream_id, urgency=0, incremental=False, legacy=True)
+        ]
+        assert pair.server.conn.streams[stream_id].urgency == 0
+
+    def test_legacy_priority_for_idle_stream_ignored(self):
+        pair = handshaken_pair()
+        events = pair.server.conn.receive_data(
+            PriorityFrame(stream_id=41, weight=256).serialize()
+        )
+        assert events == []
+
+    def test_headers_borne_priority_applies_when_no_rfc9218_signal(self):
+        pair = handshaken_pair()
+        stream_id = pair.client.conn.get_next_available_stream_id()
+        block = pair.client.conn.encoder.encode(REQUEST)
+        frame = HeadersFrame(
+            stream_id=stream_id,
+            header_block=block,
+            end_headers=True,
+            priority=(0, 256, False),
+        )
+        events = pair.server.conn.receive_data(frame.serialize())
+        assert any(isinstance(e, RequestReceived) for e in events)
+        assert pair.server.conn.streams[stream_id].urgency == 0
+
+    def test_rfc9218_header_wins_over_headers_borne_weight(self):
+        pair = handshaken_pair()
+        stream_id = pair.client.conn.get_next_available_stream_id()
+        block = pair.client.conn.encoder.encode(REQUEST + [(b"priority", b"u=6")])
+        frame = HeadersFrame(
+            stream_id=stream_id,
+            header_block=block,
+            end_headers=True,
+            priority=(0, 256, False),  # weight says urgency 0
+        )
+        pair.server.conn.receive_data(frame.serialize())
+        assert pair.server.conn.streams[stream_id].urgency == 6
+
+
+class TestDebugRendering:
+    def test_priority_frame_renders_mapped_urgency(self):
+        text = describe_frame(PriorityFrame(stream_id=5, dependency=3, weight=256))
+        assert "dep=3" in text and "weight=256" in text and "~u=0" in text
+
+    def test_priority_update_frame_renders_field_value(self):
+        text = describe_frame(
+            PriorityUpdateFrame(prioritized_stream_id=9, field_value=b"u=1, i")
+        )
+        assert "PRIORITY_UPDATE" in text
+        assert "prioritized=9" in text and "u=1, i" in text
+
+    def test_priority_update_defaults_render_placeholder(self):
+        text = describe_frame(PriorityUpdateFrame(prioritized_stream_id=9))
+        assert "(defaults)" in text

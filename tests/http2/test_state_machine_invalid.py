@@ -1,0 +1,139 @@
+"""Negative tests for the stream state machine, written against the
+RFC 9113 §5.1 transition diagram: every (state, event) pair the table
+does not permit must raise, with the error class §5.1 prescribes."""
+
+import pytest
+
+from repro.http2.connection import H2Connection, Role
+from repro.http2.errors import ErrorCode, ProtocolError, StreamError
+from repro.http2.frames import DataFrame, RstStreamFrame
+from repro.http2.streams import _TRANSITIONS, H2Stream, StreamEvent, StreamState
+from repro.http2.transport import InMemoryTransportPair
+
+_S = StreamState
+_E = StreamEvent
+
+#: Events tolerated outside the table (§5.1: "endpoints MUST ignore" /
+#: "could receive" cases the implementation deliberately accepts).
+_TOLERATED = {
+    # RST for a stream that is already closed races the peer's frames in
+    # flight; both directions are explicitly tolerated.
+    (_S.CLOSED, _E.SEND_RST),
+    (_S.CLOSED, _E.RECV_RST),
+}
+
+
+def make_stream(state: StreamState, stream_id: int = 1) -> H2Stream:
+    stream = H2Stream(stream_id=stream_id)
+    stream.state = state
+    return stream
+
+
+class TestTransitionTable:
+    @pytest.mark.parametrize("state", list(StreamState))
+    @pytest.mark.parametrize("event", list(StreamEvent))
+    def test_off_table_pairs_raise(self, state, event):
+        """Exhaustive sweep: 7 states × 8 events. Pairs in the table move
+        to the table's state; tolerated races are no-ops; everything else
+        is a violation and must raise, never silently change state."""
+        stream = make_stream(state)
+        expected = _TRANSITIONS.get((state, event))
+        if expected is not None:
+            assert stream.process(event) == expected
+        elif (state, event) in _TOLERATED:
+            assert stream.process(event) == state
+        else:
+            with pytest.raises((ProtocolError, StreamError)):
+                stream.process(event)
+            assert stream.state == state  # a rejected event has no effect
+
+    def test_closed_stream_frames_are_stream_closed_errors(self):
+        """§5.1 closed: frames for a closed stream are STREAM_CLOSED
+        stream errors (recoverable), not connection teardowns."""
+        stream = make_stream(_S.CLOSED, stream_id=5)
+        for event in (_E.RECV_HEADERS, _E.RECV_END_STREAM, _E.RECV_PUSH_PROMISE):
+            with pytest.raises(StreamError) as err:
+                stream.process(event)
+            assert err.value.code == ErrorCode.STREAM_CLOSED
+            assert err.value.stream_id == 5
+
+    def test_half_closed_remote_recv_is_protocol_error(self):
+        """§5.1 half-closed (remote): the peer already ended its side;
+        more of its HEADERS/END_STREAM is a connection-level violation."""
+        for event in (_E.RECV_HEADERS, _E.RECV_END_STREAM):
+            stream = make_stream(_S.HALF_CLOSED_REMOTE)
+            with pytest.raises(ProtocolError):
+                stream.process(event)
+
+    def test_idle_data_equivalent_events_raise(self):
+        """§5.1 idle: receiving anything but HEADERS/PUSH_PROMISE is a
+        PROTOCOL_ERROR connection error."""
+        for event in (_E.RECV_END_STREAM, _E.RECV_RST, _E.SEND_END_STREAM):
+            stream = make_stream(_S.IDLE)
+            with pytest.raises((ProtocolError, StreamError)):
+                stream.process(event)
+
+    def test_reserved_local_cannot_receive_headers(self):
+        stream = make_stream(_S.RESERVED_LOCAL)
+        with pytest.raises(ProtocolError):
+            stream.process(_E.RECV_HEADERS)
+
+    def test_reserved_remote_cannot_send_headers(self):
+        stream = make_stream(_S.RESERVED_REMOTE)
+        with pytest.raises(ProtocolError):
+            stream.process(_E.SEND_HEADERS)
+
+
+REQUEST = [
+    (b":method", b"GET"),
+    (b":scheme", b"https"),
+    (b":path", b"/page"),
+    (b":authority", b"test"),
+]
+
+
+class TestConnectionLevelEnforcement:
+    """The engine maps wire frames onto the state machine; spot-check the
+    frame-level symptoms of the §5.1 rules."""
+
+    def make_pair(self):
+        pair = InMemoryTransportPair(
+            H2Connection(Role.CLIENT, gen_ability=True),
+            H2Connection(Role.SERVER, gen_ability=True),
+        )
+        pair.handshake()
+        return pair
+
+    def test_data_on_idle_stream_rejected(self):
+        pair = self.make_pair()
+        with pytest.raises(StreamError):
+            pair.server.conn.receive_data(
+                DataFrame(stream_id=7, data=b"x", end_stream=True).serialize()
+            )
+
+    def test_rst_on_idle_stream_rejected(self):
+        pair = self.make_pair()
+        with pytest.raises(ProtocolError):
+            pair.server.conn.receive_data(
+                RstStreamFrame(stream_id=9, error_code=ErrorCode.CANCEL).serialize()
+            )
+
+    def test_data_after_end_stream_rejected(self):
+        pair = self.make_pair()
+        stream_id = pair.client.conn.get_next_available_stream_id()
+        pair.client.conn.send_headers(stream_id, REQUEST, end_stream=True)
+        pair.pump()
+        # Forge a DATA frame after END_STREAM (the client engine itself
+        # would refuse to send it, so craft the frame directly).
+        with pytest.raises(StreamError) as err:
+            pair.server.conn.receive_data(
+                DataFrame(stream_id=stream_id, data=b"late").serialize()
+            )
+        assert err.value.code == ErrorCode.STREAM_CLOSED
+
+    def test_send_data_on_half_closed_local_rejected(self):
+        pair = self.make_pair()
+        stream_id = pair.client.conn.get_next_available_stream_id()
+        pair.client.conn.send_headers(stream_id, REQUEST, end_stream=True)
+        with pytest.raises((ProtocolError, StreamError)):
+            pair.client.conn.send_data(stream_id, b"more")

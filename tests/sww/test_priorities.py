@@ -1,0 +1,142 @@
+"""Tests for the page-aware priority policy and its end-to-end wiring:
+fold classification → the client's ``priority`` header → the server
+engine's per-stream scheduling parameters."""
+
+from repro.devices import LAPTOP
+from repro.html.parser import parse_html
+from repro.sww.client import GenerativeClient, connect_in_memory
+from repro.sww.priorities import (
+    ABOVE_FOLD,
+    AGENT,
+    BELOW_FOLD,
+    FOLD_ITEM_COUNT,
+    PAGE,
+    classify_document,
+    priority_for_path,
+)
+from repro.sww.server import GenerativeServer, PageResource, SiteStore
+from repro.workloads import build_travel_blog
+from repro.workloads.corpus import populate_traditional_assets
+
+
+def make_server(**kwargs) -> GenerativeServer:
+    page = build_travel_blog()
+    store = SiteStore()
+    store.add_page(PageResource(page.path, page.sww_html, page.traditional_html))
+    populate_traditional_assets(store, page)
+    return GenerativeServer(store, **kwargs)
+
+
+class TestClassifyDocument:
+    def test_first_items_above_the_fold(self):
+        doc = parse_html(build_travel_blog().sww_html)
+        fold_map = classify_document(doc)
+        assert fold_map  # the corpus page has generated items
+        priorities = list(fold_map.values())
+        assert priorities[:FOLD_ITEM_COUNT] == [ABOVE_FOLD] * min(
+            FOLD_ITEM_COUNT, len(priorities)
+        )
+        assert all(p == BELOW_FOLD for p in priorities[FOLD_ITEM_COUNT:])
+
+    def test_asset_paths_are_generated_pngs(self):
+        doc = parse_html(build_travel_blog().sww_html)
+        for path in classify_document(doc):
+            assert path.startswith("/generated/")
+
+    def test_document_without_generated_items_is_empty(self):
+        assert classify_document(parse_html("<html><body><p>hi</p></body></html>")) == {}
+
+
+class TestPriorityForPath:
+    def test_page_documents_get_page_priority(self):
+        assert priority_for_path("/blog/ridgeline-hike") == PAGE
+
+    def test_fold_map_wins_for_known_assets(self):
+        fold_map = {"/generated/hero.png": ABOVE_FOLD}
+        assert priority_for_path("/generated/hero.png", fold_map) == ABOVE_FOLD
+
+    def test_unknown_assets_default_below_the_fold(self):
+        assert priority_for_path("/generated/other.png") == BELOW_FOLD
+        assert priority_for_path("/static/site.css") == BELOW_FOLD
+        assert priority_for_path("/app.js?v=3") == BELOW_FOLD
+
+    def test_agent_fetches_preempt_everything(self):
+        assert priority_for_path("/api/metadata", agent=True) == AGENT
+        assert AGENT.urgency < ABOVE_FOLD.urgency < BELOW_FOLD.urgency
+
+    def test_policy_constants_match_issue_spec(self):
+        assert (PAGE.urgency, PAGE.incremental) == (1, False)
+        assert (ABOVE_FOLD.urgency, ABOVE_FOLD.incremental) == (1, False)
+        assert (BELOW_FOLD.urgency, BELOW_FOLD.incremental) == (5, True)
+        assert (AGENT.urgency, AGENT.incremental) == (0, False)
+
+
+class TestClientSignalling:
+    def test_page_request_carries_priority_header(self):
+        client = GenerativeClient(device=LAPTOP)
+        headers = dict(client.request_headers("/blog/ridgeline-hike"))
+        assert headers[b"priority"] == PAGE.serialize()
+
+    def test_asset_request_carries_below_fold_priority(self):
+        client = GenerativeClient(device=LAPTOP)
+        headers = dict(client.request_headers("/generated/stock-9.png"))
+        assert headers[b"priority"] == b"u=5, i"
+
+    def test_explicit_priority_overrides_policy(self):
+        client = GenerativeClient(device=LAPTOP)
+        headers = dict(client.request_headers("/x.png", priority=AGENT))
+        assert headers[b"priority"] == b"u=0"
+
+    def test_no_priorities_flag_omits_header(self):
+        client = GenerativeClient(device=LAPTOP, send_priorities=False)
+        headers = client.request_headers("/blog/ridgeline-hike")
+        assert all(name != b"priority" for name, _ in headers)
+
+    def test_default_priority_serializes_to_nothing_and_is_omitted(self):
+        # urgency 3, non-incremental is the protocol default: zero bytes.
+        from repro.http2.priority import Priority
+
+        client = GenerativeClient(device=LAPTOP)
+        headers = client.request_headers("/page", priority=Priority())
+        assert all(name != b"priority" for name, _ in headers)
+
+
+class TestEndToEnd:
+    def test_fetch_lands_priorities_in_server_stream_table(self):
+        """The full path: policy → header → HPACK → server engine →
+        per-stream urgency the writer schedules by."""
+        client = GenerativeClient(device=LAPTOP)
+        server = make_server()
+        pair = connect_in_memory(client, server)
+        result = client.fetch_via_pair(pair, "/blog/ridgeline-hike")
+        assert result.status == 200
+
+        signalled = [
+            s for s in pair.server.conn.streams.values() if s.priority_signalled
+        ]
+        assert signalled, "no stream carried a priority signal"
+        page_stream = min(signalled, key=lambda s: s.stream_id)
+        assert page_stream.urgency == PAGE.urgency
+        assert page_stream.incremental is False
+
+    def test_naive_asset_fetches_signal_fold_priorities(self):
+        """A naive client pulls media over the wire; its asset streams
+        must signal the below-the-fold default class."""
+        client = GenerativeClient(device=LAPTOP, gen_ability=False)
+        server = make_server()
+        pair = connect_in_memory(client, server)
+        result = client.fetch_via_pair(pair, "/blog/ridgeline-hike")
+        assert result.status == 200
+        urgencies = {
+            s.urgency for s in pair.server.conn.streams.values() if s.priority_signalled
+        }
+        assert PAGE.urgency in urgencies
+
+    def test_no_priorities_client_leaves_streams_unsignalled(self):
+        client = GenerativeClient(device=LAPTOP, send_priorities=False)
+        server = make_server()
+        pair = connect_in_memory(client, server)
+        client.fetch_via_pair(pair, "/blog/ridgeline-hike")
+        assert not any(
+            s.priority_signalled for s in pair.server.conn.streams.values()
+        )
